@@ -1,0 +1,64 @@
+// Command characterize runs any of the paper's three characterization
+// methods for a benchmark's techniques.
+//
+// Usage:
+//
+//	characterize -method bottleneck|profile|arch [-bench mcf] [-scale test|cli|full] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	methodFlag := flag.String("method", "bottleneck", "bottleneck, profile, or arch")
+	benchFlag := flag.String("bench", "mcf", "benchmark")
+	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
+	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	switch *scaleFlag {
+	case "test":
+		o.Scale = sim.ScaleTest
+	case "cli":
+		o.Scale = sim.ScaleCLI
+	case "full":
+		o.Scale = sim.ScaleFull
+	default:
+		die(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	o.Full = *fullFlag
+	o.Benches = []bench.Name{bench.Name(*benchFlag)}
+	o.Engine().Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+
+	switch *methodFlag {
+	case "bottleneck":
+		f1, err := experiments.Figure1(o)
+		die(err)
+		fmt.Print(f1.Render())
+	case "profile":
+		rows, err := experiments.ProfileCharacterization(o, 0.05)
+		die(err)
+		fmt.Print(experiments.RenderProfileChar(rows))
+	case "arch":
+		rows, err := experiments.ArchCharacterization(o)
+		die(err)
+		fmt.Print(experiments.RenderArchChar(rows))
+	default:
+		die(fmt.Errorf("unknown method %q", *methodFlag))
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}

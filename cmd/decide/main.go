@@ -1,0 +1,49 @@
+// Command decide queries the Figure 7 decision tree: given the user's
+// ranked concerns, it recommends a simulation technique family and prints
+// the orderings behind the recommendation.
+//
+// Usage:
+//
+//	decide                       # print the whole tree
+//	decide accuracy              # accuracy first
+//	decide speed-vs-accuracy cost-to-generate
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	tree := experiments.NewDecisionTree()
+	if len(os.Args) < 2 {
+		fmt.Print(tree.Render())
+		fmt.Println("Pass one or more criteria (most important first) for a recommendation:")
+		for _, c := range experiments.Criteria() {
+			fmt.Println("  " + c)
+		}
+		return
+	}
+	var prefs []experiments.Criterion
+	for _, a := range os.Args[1:] {
+		prefs = append(prefs, experiments.Criterion(a))
+	}
+	fam, err := tree.Recommend(prefs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decide:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Recommended technique family: %s\n\n", fam)
+	for _, c := range prefs {
+		fmt.Printf("%s ordering: ", c)
+		for i, f := range tree.Orderings[c] {
+			if i > 0 {
+				fmt.Print(" > ")
+			}
+			fmt.Print(f)
+		}
+		fmt.Println()
+	}
+}

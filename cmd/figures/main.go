@@ -1,0 +1,180 @@
+// Command figures regenerates the paper's tables and figures. Each
+// artifact can be selected with -only; by default everything runs on the
+// representative technique subset at the chosen scale.
+//
+// Usage:
+//
+//	figures [-scale test|cli|full] [-benches gzip,mcf,...] [-full] [-foldover] [-only T1,F1,...]
+//
+// Artifacts: T1 T2 T3 SURVEY F1 F2 F3 F4 F5 F6 F7 PROFILE ARCH
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "test", "scale: test (fast), cli, or full")
+	benchFlag := flag.String("benches", "", "comma-separated benchmark subset (default: all ten)")
+	fullFlag := flag.Bool("full", false, "use the full 69-permutation Table 1 catalogue")
+	foldFlag := flag.Bool("foldover", false, "fold the PB design (88 configurations instead of 44)")
+	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH)")
+	jsonFlag := flag.String("json", "", "also write machine-readable results to this file")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	switch *scaleFlag {
+	case "test":
+		o.Scale = sim.ScaleTest
+	case "cli":
+		o.Scale = sim.ScaleCLI
+	case "full":
+		o.Scale = sim.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	o.Full = *fullFlag
+	o.Foldover = *foldFlag
+	if *benchFlag != "" {
+		o.Benches = nil
+		for _, s := range strings.Split(*benchFlag, ",") {
+			o.Benches = append(o.Benches, bench.Name(strings.TrimSpace(s)))
+		}
+	}
+	o.Engine().Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, s := range strings.Split(*onlyFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(s))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	var artifacts []experiments.Artifact
+	record := func(id string, data any) {
+		if *jsonFlag != "" {
+			artifacts = append(artifacts, experiments.Artifact{ID: id, Data: data})
+		}
+	}
+
+	start := time.Now()
+	if sel("T1") {
+		emit("T1", experiments.Table1(o.Benches[0]))
+	}
+	if sel("T2") {
+		emit("T2", experiments.Table2())
+	}
+	if sel("T3") {
+		emit("T3", experiments.Table3())
+	}
+	if sel("SURVEY") {
+		emit("SURVEY", experiments.RenderSurvey())
+	}
+
+	var f1 *experiments.Figure1Result
+	needF1 := sel("F1") || sel("F2")
+	if needF1 {
+		var err error
+		f1, err = experiments.Figure1(o)
+		die(err)
+	}
+	if sel("F1") {
+		emit("F1", f1.Render())
+		record("F1", f1.Export())
+	}
+	if sel("F2") {
+		series, err := experiments.Figure2(f1, o.Benches)
+		die(err)
+		emit("F2", experiments.RenderFigure2(series))
+		record("F2", series)
+	}
+	if sel("F3") {
+		res, err := experiments.SvAT(o, pickBench(o, bench.Gcc))
+		die(err)
+		emit("F3", res.Render()+"\nFamily ordering (best first): "+joinFams(res))
+		record("F3", res)
+	}
+	if sel("F4") {
+		res, err := experiments.SvAT(o, pickBench(o, bench.Mcf))
+		die(err)
+		emit("F4", res.Render()+"\nFamily ordering (best first): "+joinFams(res))
+		record("F4", res)
+	}
+	if sel("F5") {
+		res, err := experiments.Figure5(o)
+		die(err)
+		emit("F5", res.Render())
+		record("F5", res)
+	}
+	if sel("F6") {
+		res, err := experiments.Figure6(o, pickBench(o, bench.Gcc), nil)
+		die(err)
+		emit("F6", res.Render())
+		record("F6", res)
+	}
+	if sel("F7") {
+		emit("F7", experiments.NewDecisionTree().Render())
+	}
+	if sel("PROFILE") {
+		rows, err := experiments.ProfileCharacterization(o, 0.05)
+		die(err)
+		emit("PROFILE", experiments.RenderProfileChar(rows))
+		record("PROFILE", rows)
+	}
+	if sel("ARCH") {
+		rows, err := experiments.ArchCharacterization(o)
+		die(err)
+		emit("ARCH", experiments.RenderArchChar(rows))
+		record("ARCH", rows)
+	}
+	if *jsonFlag != "" {
+		f, err := os.Create(*jsonFlag)
+		die(err)
+		die(experiments.WriteJSON(f, artifacts))
+		die(f.Close())
+	}
+	runs, hits := o.Engine().Stats()
+	fmt.Fprintf(os.Stderr, "done in %v (%d simulations, %d cache hits)\n",
+		time.Since(start).Round(time.Millisecond), runs, hits)
+}
+
+func pickBench(o *experiments.Options, preferred bench.Name) bench.Name {
+	if o.SvATBench != "" {
+		return o.SvATBench
+	}
+	for _, b := range o.Benches {
+		if b == preferred {
+			return b
+		}
+	}
+	return o.Benches[0]
+}
+
+func joinFams(r *experiments.SvATResult) string {
+	var parts []string
+	for _, f := range r.FamilyOrdering() {
+		parts = append(parts, string(f))
+	}
+	return strings.Join(parts, ", ") + "\n"
+}
+
+func emit(id, body string) {
+	fmt.Printf("==================== %s ====================\n%s\n", id, body)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command simrun runs one benchmark under one simulation technique and
+// prints the estimated statistics — the smallest useful entry point to the
+// library.
+//
+// Usage:
+//
+//	simrun -bench mcf [-input reference] [-tech reference|smarts|simpoint|runz|ffrun|ffwurun]
+//	       [-scale test|cli|full] [-config base|1|2|3|4] [-z 1000] [-x 2000] [-y 10] [-u 1000] [-w 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	benchFlag := flag.String("bench", "mcf", "benchmark name")
+	inputFlag := flag.String("input", "reference", "input set (for -tech reduced)")
+	techFlag := flag.String("tech", "reference", "technique: reference, reduced, runz, ffrun, ffwurun, simpoint, smarts")
+	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
+	cfgFlag := flag.String("config", "base", "machine config: base or 1..4 (Table 3)")
+	zFlag := flag.Float64("z", 1000, "Run Z length (paper-M)")
+	xFlag := flag.Float64("x", 2000, "fast-forward length (paper-M)")
+	yFlag := flag.Float64("y", 10, "warm-up length (paper-M)")
+	uFlag := flag.Uint64("u", 1000, "SMARTS detailed unit (instructions)")
+	wFlag := flag.Uint64("w", 2000, "SMARTS warm-up (instructions)")
+	intervalFlag := flag.Float64("interval", 10, "SimPoint interval (paper-M)")
+	maxkFlag := flag.Int("maxk", 100, "SimPoint max_k")
+	flag.Parse()
+
+	var scale sim.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = sim.ScaleTest
+	case "cli":
+		scale = sim.ScaleCLI
+	case "full":
+		scale = sim.ScaleFull
+	default:
+		die(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+
+	cfg := sim.BaseConfig()
+	switch *cfgFlag {
+	case "base":
+	case "1", "2", "3", "4":
+		cfg = sim.ArchConfigs()[int((*cfgFlag)[0]-'1')]
+	default:
+		die(fmt.Errorf("unknown config %q", *cfgFlag))
+	}
+
+	var tech core.Technique
+	switch *techFlag {
+	case "reference":
+		tech = core.Reference{}
+	case "reduced":
+		tech = core.Reduced{Input: bench.InputSet(*inputFlag)}
+	case "runz":
+		tech = core.RunZ{Z: *zFlag}
+	case "ffrun":
+		tech = core.FFRun{X: *xFlag, Z: *zFlag}
+	case "ffwurun":
+		tech = core.FFWURun{X: *xFlag, Y: *yFlag, Z: *zFlag}
+	case "simpoint":
+		tech = core.SimPoint{IntervalM: *intervalFlag, MaxK: *maxkFlag, WarmupM: 1}
+	case "smarts":
+		tech = core.SMARTS{U: *uFlag, W: *wFlag}
+	default:
+		die(fmt.Errorf("unknown technique %q", *techFlag))
+	}
+
+	ctx := core.Context{Bench: bench.Name(*benchFlag), Config: cfg, Scale: scale}
+	res, err := tech.Run(ctx)
+	die(err)
+
+	s := res.Stats
+	fmt.Printf("technique:        %s\n", tech.Name())
+	fmt.Printf("benchmark:        %s (%s input)\n", *benchFlag, *inputFlag)
+	fmt.Printf("configuration:    %s\n", cfg.Name)
+	fmt.Printf("measured instr:   %d\n", s.Instructions)
+	fmt.Printf("cycles:           %d\n", s.Cycles)
+	fmt.Printf("CPI / IPC:        %.4f / %.4f\n", s.CPI(), s.IPC())
+	fmt.Printf("branch accuracy:  %.4f\n", s.BranchAccuracy())
+	fmt.Printf("L1D hit rate:     %.4f (%d accesses)\n", s.L1D.HitRate(), s.L1D.Accesses)
+	fmt.Printf("L2 hit rate:      %.4f (%d accesses)\n", s.L2.HitRate(), s.L2.Accesses)
+	fmt.Printf("detailed instr:   %d\n", res.DetailedInstr)
+	fmt.Printf("functional instr: %d\n", res.FunctionalInstr)
+	fmt.Printf("simulations:      %d\n", res.Simulations)
+	fmt.Printf("wall time:        %v (+%v setup)\n", res.Wall, res.SetupWall)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,56 @@
+// Command svat produces a speed-versus-accuracy trade-off graph (Figures
+// 3 and 4) for one benchmark.
+//
+// Usage:
+//
+//	svat -bench gcc [-scale test|cli|full] [-full] [-foldover]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	benchFlag := flag.String("bench", "gcc", "benchmark")
+	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
+	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
+	foldFlag := flag.Bool("foldover", false, "fold the PB configuration envelope")
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	switch *scaleFlag {
+	case "test":
+		o.Scale = sim.ScaleTest
+	case "cli":
+		o.Scale = sim.ScaleCLI
+	case "full":
+		o.Scale = sim.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "svat: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	o.Full = *fullFlag
+	o.Foldover = *foldFlag
+	o.Engine().Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+
+	res, err := experiments.SvAT(o, bench.Name(*benchFlag))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svat:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Render())
+	fmt.Print("\nFamily ordering (best trade-off first): ")
+	for i, f := range res.FamilyOrdering() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(f)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,88 @@
+// Command workload characterizes the synthetic benchmarks themselves:
+// static code properties, dynamic instruction mix, and memory behaviour
+// per input set — the data behind Table 2 and the workload-signature
+// claims of DESIGN.md.
+//
+// Usage:
+//
+//	workload [-bench mcf] [-scale test|cli|full]   # one benchmark, all inputs
+//	workload -all                                   # every benchmark, reference input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+func main() {
+	benchFlag := flag.String("bench", "mcf", "benchmark")
+	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
+	allFlag := flag.Bool("all", false, "characterize every benchmark's reference input")
+	flag.Parse()
+
+	var scale sim.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = sim.ScaleTest
+	case "cli":
+		scale = sim.ScaleCLI
+	case "full":
+		scale = sim.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "workload: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-10s %-10s %10s %7s %7s %6s %6s %6s %6s %8s %8s\n",
+		"benchmark", "input", "dyn-instr", "blocks", "code", "load%", "store%", "fp%", "br%", "mem(KB)", "hot-blk%")
+	if *allFlag {
+		for _, b := range bench.All() {
+			row(b, bench.Reference, scale)
+		}
+		return
+	}
+	b := bench.Name(*benchFlag)
+	for _, in := range bench.InputSets() {
+		if bench.Has(b, in) {
+			row(b, in, scale)
+		}
+	}
+}
+
+func row(b bench.Name, in bench.InputSet, scale sim.Scale) {
+	p, err := bench.Build(b, in, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		os.Exit(1)
+	}
+	e := cpu.NewEmu(p)
+	prof := cpu.NewProfile(p)
+	var counts [isa.NumClasses]uint64
+	var di cpu.DynInst
+	for e.Step(&di) {
+		counts[di.Class]++
+		prof.Instrs[di.Block]++
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	pct := func(c isa.Class) float64 { return 100 * float64(counts[c]) / float64(total) }
+	var hot int64
+	for _, v := range prof.Instrs {
+		if v > hot {
+			hot = v
+		}
+	}
+	fmt.Printf("%-10s %-10s %10d %7d %7d %5.1f%% %5.1f%% %5.1f%% %5.1f%% %8d %7.1f%%\n",
+		b, in, total, p.NumBlocks(), len(p.Code),
+		pct(isa.ClassLoad), pct(isa.ClassStore),
+		pct(isa.ClassFPALU)+pct(isa.ClassFPMult), pct(isa.ClassBranch),
+		p.MemWords*8/1024, 100*float64(hot)/float64(total))
+}

@@ -1,0 +1,39 @@
+// Quickstart: build a benchmark, simulate it to completion (the
+// reference), then estimate the same run with SMARTS sampling and compare
+// — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	ctx := core.Context{
+		Bench:  bench.Gzip,
+		Config: sim.BaseConfig(),
+		Scale:  sim.ScaleTest,
+	}
+
+	ref, err := core.Reference{}.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference: %d instructions in %d cycles, CPI %.4f (took %v)\n",
+		ref.Stats.Instructions, ref.Stats.Cycles, ref.CPI(), ref.Wall.Round(1e6))
+
+	sm, err := (core.SMARTS{U: 1000, W: 2000}).Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SMARTS:    %d instructions measured in detail, CPI %.4f (took %v)\n",
+		sm.Stats.Instructions, sm.CPI(), sm.Wall.Round(1e6))
+
+	errPct := 100 * (sm.CPI() - ref.CPI()) / ref.CPI()
+	speedup := float64(ref.Wall) / float64(sm.Wall)
+	fmt.Printf("\nSMARTS estimated CPI with %+.2f%% error while running %.1fx faster.\n", errPct, speedup)
+}

@@ -1,0 +1,70 @@
+// Sampling comparison: SimPoint vs SMARTS on gcc, the suite's most
+// phase-complex workload — the head-to-head at the heart of the paper.
+// Prints each technique's CPI error against the reference, the simulation
+// work performed, and SimPoint's phase analysis.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simpoint"
+)
+
+func main() {
+	ctx := core.Context{
+		Bench:  bench.Gcc,
+		Config: sim.BaseConfig(),
+		Scale:  sim.ScaleTest,
+	}
+
+	ref, err := core.Reference{}.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference CPI: %.4f over %d instructions\n\n", ref.CPI(), ref.Stats.Instructions)
+
+	// SimPoint's phase analysis, shown explicitly.
+	prog, err := bench.Build(ctx.Bench, bench.Reference, ctx.Scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := simpoint.BuildPlan(prog, simpoint.Config{
+		IntervalInstr: ctx.Scale.Instr(10),
+		MaxK:          30, Seeds: 3, MaxIter: 40, ProjectDim: 15, ProjectSeed: 1, BICThreshold: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SimPoint phase analysis: %d intervals -> %d clusters (simulation points):\n",
+		plan.Intervals, plan.K)
+	for _, pt := range plan.Points {
+		fmt.Printf("  interval %4d (instr %9d..) weight %.3f\n",
+			pt.Interval, pt.Start, pt.Weight)
+	}
+	fmt.Println()
+
+	table := []struct {
+		name string
+		tech core.Technique
+	}{
+		{"SimPoint multiple 10M", core.SimPoint{IntervalM: 10, MaxK: 30, WarmupM: 1, Seeds: 3, MaxIter: 40}},
+		{"SMARTS U=1000 W=2000", core.SMARTS{U: 1000, W: 2000}},
+		{"Run 1000M (truncated)", core.RunZ{Z: 1000}},
+	}
+	fmt.Printf("%-24s %8s %9s %10s %10s\n", "technique", "CPI", "err%", "detailed", "functional")
+	for _, row := range table {
+		res, err := row.tech.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 100 * (res.CPI() - ref.CPI()) / ref.CPI()
+		fmt.Printf("%-24s %8.4f %+8.2f%% %10d %10d\n",
+			row.name, res.CPI(), errPct, res.DetailedInstr, res.FunctionalInstr)
+	}
+	fmt.Println("\nBoth sampling techniques track the reference closely; the truncated")
+	fmt.Println("run lands in whatever phases happen to come first (§5.1 of the paper).")
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildArt models 179.art: an adaptive-resonance neural network whose time
+// goes into dense floating-point passes (F1/F2 layer activations) over
+// arrays streamed front to back. Branches are counted loops and thus
+// almost perfectly predictable; at the reference size the arrays exceed
+// the L2 cache, so the benchmark streams from memory with unit stride —
+// the classic art signature of high FP throughput demand plus bandwidth-
+// bound misses.
+func buildArt(spec Spec, target uint64) *program.Program {
+	const base = int64(64)
+	w := clampWords(int64(target)/30, 2048, 1<<19)
+
+	g := newGen("art-"+string(spec.Input), int(base+3*w+64), 0x617274)
+	// Initialize the weight and input arrays with deterministic floats.
+	weights := make([]float64, w)
+	inputs := make([]float64, w)
+	for i := range weights {
+		weights[i] = 0.25 + g.rng.Float64()/2
+		inputs[i] = g.rng.Float64()
+	}
+	g.DataFloats(int(base), weights)
+	g.DataFloats(int(base+w), inputs)
+
+	// Per outer pass: activation (8 instr/elem) + scaling (7 instr/elem).
+	perOuter := w * 15
+	outer := int64(target) / perOuter
+	if outer < 1 {
+		outer = 1
+	}
+
+	aByte := base * 8
+	bByte := (base + w) * 8
+	cByte := (base + 2*w) * 8
+
+	g.Fmovi(isa.F(10), 1.009) // learning-rate-like constant
+	g.loop(isa.R(1), isa.R(2), outer, func() {
+		// Activation pass: acc += weight[i] * input[i].
+		g.Li(isa.R(10), aByte)
+		g.Li(isa.R(11), bByte)
+		g.Fmovi(isa.F(4), 0)
+		g.loop(isa.R(3), isa.R(4), w, func() {
+			g.Fld(isa.F(1), isa.R(10), 0)
+			g.Fld(isa.F(2), isa.R(11), 0)
+			g.Op3(isa.FMUL, isa.F(3), isa.F(1), isa.F(2))
+			g.Op3(isa.FADD, isa.F(4), isa.F(4), isa.F(3))
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+			g.OpI(isa.ADDI, isa.R(11), isa.R(11), 8)
+		})
+		// Weight-adjustment pass: out[i] = weight[i] * rate.
+		g.Li(isa.R(12), aByte)
+		g.Li(isa.R(13), cByte)
+		g.loop(isa.R(5), isa.R(6), w, func() {
+			g.Fld(isa.F(5), isa.R(12), 0)
+			g.Op3(isa.FMUL, isa.F(5), isa.F(5), isa.F(10))
+			g.Fst(isa.F(5), isa.R(13), 0)
+			g.OpI(isa.ADDI, isa.R(12), isa.R(12), 8)
+			g.OpI(isa.ADDI, isa.R(13), isa.R(13), 8)
+		})
+	})
+	g.Fst(isa.F(4), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

@@ -1,0 +1,194 @@
+// Package bench provides the ten benchmark workloads of the study
+// (Table 2): synthetic analogues of the SPEC CPU2000 benchmarks the paper
+// simulates, each built as a real program over the synthetic ISA with the
+// qualitative signature of its SPEC counterpart — mcf is memory-latency
+// bound pointer chasing, gcc has many complex phases, art is streaming
+// floating point, perlbmk is a dispatch-heavy interpreter, and so on.
+//
+// Each benchmark exists in up to six input sets mirroring Table 2: the
+// MinneSPEC-style small/medium/large reduced inputs and the SPEC
+// test/train/reference inputs, with the same N/A holes as the paper's
+// table. Reduced inputs shrink both the dynamic instruction count and the
+// data footprint and shift the phase mix, which is what makes them behave
+// like "a different program" relative to the reference input — the paper's
+// central finding about reduced input sets.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// Name identifies a benchmark.
+type Name string
+
+// The ten benchmarks of Table 2.
+const (
+	Gzip     Name = "gzip"
+	VprPlace Name = "vpr-place"
+	VprRoute Name = "vpr-route"
+	Gcc      Name = "gcc"
+	Art      Name = "art"
+	Mcf      Name = "mcf"
+	Equake   Name = "equake"
+	Perlbmk  Name = "perlbmk"
+	Vortex   Name = "vortex"
+	Bzip2    Name = "bzip2"
+)
+
+// All lists the benchmarks in the paper's order.
+func All() []Name {
+	return []Name{Gzip, VprPlace, VprRoute, Gcc, Art, Mcf, Equake, Perlbmk, Vortex, Bzip2}
+}
+
+// InputSet identifies one input of a benchmark.
+type InputSet string
+
+// Input sets: the three MinneSPEC reduced inputs and the three SPEC inputs.
+const (
+	Small     InputSet = "small"
+	Medium    InputSet = "medium"
+	Large     InputSet = "large"
+	Test      InputSet = "test"
+	Train     InputSet = "train"
+	Reference InputSet = "reference"
+)
+
+// InputSets lists the input sets from smallest to largest.
+func InputSets() []InputSet {
+	return []InputSet{Small, Medium, Large, Test, Train, Reference}
+}
+
+// ReducedSets lists the input sets usable by the reduced-input-set
+// simulation technique (everything but the reference).
+func ReducedSets() []InputSet {
+	return []InputSet{Small, Medium, Large, Test, Train}
+}
+
+// Spec describes one benchmark/input-set combination.
+type Spec struct {
+	Bench Name
+	Input InputSet
+
+	// LengthPaperM is the nominal dynamic length in the paper's
+	// instruction unit (millions of reference instructions); the actual
+	// instruction count is LengthPaperM * Scale.Unit within a tolerance.
+	LengthPaperM float64
+
+	// InputLabel is the SPEC input file name from Table 2, for reports.
+	InputLabel string
+}
+
+// lengths per benchmark and input set, in paper-M. Reference lengths are
+// all above 6000 paper-M so the largest truncated-execution window
+// (FF 4000M + Run 2000M) always fits.
+var lengths = map[Name]map[InputSet]float64{
+	Gzip:     {Small: 100, Medium: 300, Large: 800, Test: 500, Train: 1800, Reference: 8000},
+	VprPlace: {Small: 100, Medium: 300, Test: 400, Train: 1500, Reference: 7000},
+	VprRoute: {Small: 100, Medium: 250, Large: 700, Train: 1400, Reference: 6500},
+	Gcc:      {Small: 120, Medium: 350, Test: 600, Train: 2200, Reference: 12000},
+	Art:      {Large: 700, Test: 450, Train: 1700, Reference: 9000},
+	Mcf:      {Small: 90, Large: 650, Test: 380, Train: 1500, Reference: 7500},
+	Equake:   {Large: 720, Test: 420, Train: 1600, Reference: 8500},
+	Perlbmk:  {Small: 110, Medium: 320, Train: 2000, Reference: 10000},
+	Vortex:   {Small: 100, Medium: 300, Large: 780, Test: 500, Train: 1900, Reference: 9500},
+	Bzip2:    {Large: 680, Test: 460, Train: 1700, Reference: 8000},
+}
+
+// labels reproduces Table 2's input file names.
+var labels = map[Name]map[InputSet]string{
+	Gzip:     {Small: "smred.log", Medium: "mdred.log", Large: "lgred.log", Test: "test.combined", Train: "train.combined", Reference: "ref.log"},
+	VprPlace: {Small: "smred.net", Medium: "mdred.net", Test: "test.net", Train: "train.net", Reference: "ref.net"},
+	VprRoute: {Small: "small.arch.in", Medium: "small.arch.in", Large: "small.arch.in", Train: "train.arch.in", Reference: "ref.arch.in"},
+	Gcc:      {Small: "smred.c-iterate.i", Medium: "mdred.rtlanal.i", Test: "cccp.i", Train: "cp-decl.i", Reference: "166.i"},
+	Art:      {Large: "lgred", Test: "test", Train: "train", Reference: "-startx 110"},
+	Mcf:      {Small: "smred.in", Large: "lgred.in", Test: "test.in", Train: "train.in", Reference: "ref.in"},
+	Equake:   {Large: "lgred.in", Test: "test.in", Train: "train.in", Reference: "ref.in"},
+	Perlbmk:  {Small: "smred.makerand", Medium: "mdred.makerand", Train: "scrabbl", Reference: "diffmail"},
+	Vortex:   {Small: "smred.raw", Medium: "mdred.raw", Large: "lgred.raw", Test: "test.raw", Train: "train.raw", Reference: "lendian1.raw"},
+	Bzip2:    {Large: "lgred.source", Test: "test.random", Train: "train.compressed", Reference: "ref.source"},
+}
+
+// Has reports whether the benchmark provides the input set (Table 2's N/A
+// cells return false).
+func Has(b Name, in InputSet) bool {
+	_, ok := lengths[b][in]
+	return ok
+}
+
+// Lookup returns the Spec for a benchmark/input pair.
+func Lookup(b Name, in InputSet) (Spec, error) {
+	l, ok := lengths[b][in]
+	if !ok {
+		return Spec{}, fmt.Errorf("bench: %s has no %s input set (N/A in Table 2)", b, in)
+	}
+	return Spec{Bench: b, Input: in, LengthPaperM: l, InputLabel: labels[b][in]}, nil
+}
+
+// Inventory returns every available benchmark/input combination, sorted by
+// benchmark then input size — the content of Table 2.
+func Inventory() []Spec {
+	var out []Spec
+	for _, b := range All() {
+		for _, in := range InputSets() {
+			if s, err := Lookup(b, in); err == nil {
+				out = append(out, s)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Bench < out[j].Bench })
+	return out
+}
+
+// RefLengthPaperM returns the nominal reference-input dynamic length.
+func RefLengthPaperM(b Name) float64 { return lengths[b][Reference] }
+
+// Build constructs the program for a benchmark/input pair at the given
+// scale. Programs are deterministic: the same triple always yields the
+// same image.
+func Build(b Name, in InputSet, scale sim.Scale) (*program.Program, error) {
+	spec, err := Lookup(b, in)
+	if err != nil {
+		return nil, err
+	}
+	target := scale.Instr(spec.LengthPaperM)
+	var p *program.Program
+	switch b {
+	case Gzip:
+		p = buildGzip(spec, target)
+	case VprPlace:
+		p = buildVprPlace(spec, target)
+	case VprRoute:
+		p = buildVprRoute(spec, target)
+	case Gcc:
+		p = buildGcc(spec, target)
+	case Art:
+		p = buildArt(spec, target)
+	case Mcf:
+		p = buildMcf(spec, target)
+	case Equake:
+		p = buildEquake(spec, target)
+	case Perlbmk:
+		p = buildPerlbmk(spec, target)
+	case Vortex:
+		p = buildVortex(spec, target)
+	case Bzip2:
+		p = buildBzip2(spec, target)
+	default:
+		return nil, fmt.Errorf("bench: unknown benchmark %q", b)
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and experiment drivers
+// that use only known-valid combinations.
+func MustBuild(b Name, in InputSet, scale sim.Scale) *program.Program {
+	p, err := Build(b, in, scale)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

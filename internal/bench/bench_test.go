@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+var testScale = sim.Scale{Unit: 200}
+
+func TestInventoryMatchesTable2(t *testing.T) {
+	// Spot-check the N/A holes of Table 2.
+	naCases := []struct {
+		b  Name
+		in InputSet
+	}{
+		{VprPlace, Large}, {Gcc, Large}, {Art, Small}, {Art, Medium},
+		{Mcf, Medium}, {Equake, Small}, {Equake, Medium},
+		{Perlbmk, Large}, {Perlbmk, Test}, {Bzip2, Small}, {Bzip2, Medium},
+		{VprRoute, Test},
+	}
+	for _, c := range naCases {
+		if Has(c.b, c.in) {
+			t.Errorf("%s/%s should be N/A per Table 2", c.b, c.in)
+		}
+		if _, err := Lookup(c.b, c.in); err == nil {
+			t.Errorf("Lookup(%s,%s) should fail", c.b, c.in)
+		}
+	}
+	// And presence of the full sets.
+	for _, in := range InputSets() {
+		if !Has(Gzip, in) || !Has(Vortex, in) {
+			t.Errorf("gzip and vortex should provide every input set (missing %s)", in)
+		}
+	}
+	if len(All()) != 10 {
+		t.Errorf("All() = %d benchmarks, want 10", len(All()))
+	}
+	inv := Inventory()
+	if len(inv) < 40 {
+		t.Errorf("Inventory has %d entries, suspiciously few", len(inv))
+	}
+	for _, s := range inv {
+		if s.InputLabel == "" {
+			t.Errorf("%s/%s has no input label", s.Bench, s.Input)
+		}
+	}
+}
+
+func TestRefLengthsExceedLargestTruncationWindow(t *testing.T) {
+	// FF 4000M + Run 2000M must fit inside every reference run (§2).
+	for _, b := range All() {
+		if RefLengthPaperM(b) < 6000 {
+			t.Errorf("%s reference length %.0f paper-M < 6000", b, RefLengthPaperM(b))
+		}
+	}
+}
+
+func TestEveryBenchmarkBuildsHaltsAndHitsLength(t *testing.T) {
+	for _, spec := range Inventory() {
+		spec := spec
+		t.Run(string(spec.Bench)+"/"+string(spec.Input), func(t *testing.T) {
+			p, err := Build(spec.Bench, spec.Input, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			target := testScale.Instr(spec.LengthPaperM)
+			e := cpu.NewEmu(p)
+			executed := e.Run(4 * target)
+			if !e.Halted {
+				t.Fatalf("did not halt within 4x target (%d executed)", executed)
+			}
+			ratio := float64(executed) / float64(target)
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("dynamic length %d is %.2fx target %d", executed, ratio, target)
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, b := range []Name{Gzip, Mcf, Gcc} {
+		p1 := MustBuild(b, Reference, testScale)
+		p2 := MustBuild(b, Reference, testScale)
+		if len(p1.Code) != len(p2.Code) {
+			t.Fatalf("%s: code lengths differ", b)
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				t.Fatalf("%s: code differs at %d", b, i)
+			}
+		}
+		e1, e2 := cpu.NewEmu(p1), cpu.NewEmu(p2)
+		e1.Run(100000)
+		e2.Run(100000)
+		if e1.Count != e2.Count || e1.PC != e2.PC {
+			t.Errorf("%s: execution diverges", b)
+		}
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	if _, err := Build(Name("nonesuch"), Reference, testScale); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// classMix runs a benchmark functionally and returns the fraction of
+// dynamic instructions in each class.
+func classMix(t *testing.T, b Name, in InputSet) map[isa.Class]float64 {
+	t.Helper()
+	p := MustBuild(b, in, testScale)
+	e := cpu.NewEmu(p)
+	var counts [isa.NumClasses]uint64
+	var di cpu.DynInst
+	var total uint64
+	for total < 400000 && e.Step(&di) {
+		counts[di.Class]++
+		total++
+	}
+	mix := map[isa.Class]float64{}
+	for c, n := range counts {
+		mix[isa.Class(c)] = float64(n) / float64(total)
+	}
+	return mix
+}
+
+func TestWorkloadSignatures(t *testing.T) {
+	// art and equake are floating-point dominated; mcf and vortex are not.
+	artMix := classMix(t, Art, Reference)
+	if fp := artMix[isa.ClassFPALU] + artMix[isa.ClassFPMult]; fp < 0.15 {
+		t.Errorf("art FP fraction %.2f too low", fp)
+	}
+	mcfMix := classMix(t, Mcf, Reference)
+	if fp := mcfMix[isa.ClassFPALU] + mcfMix[isa.ClassFPMult]; fp > 0.01 {
+		t.Errorf("mcf FP fraction %.2f too high", fp)
+	}
+	if ld := mcfMix[isa.ClassLoad]; ld < 0.2 {
+		t.Errorf("mcf load fraction %.2f too low for a memory-bound workload", ld)
+	}
+	// vortex is call-dense: branches (incl. jal/jr) well represented.
+	vtxMix := classMix(t, Vortex, Reference)
+	if br := vtxMix[isa.ClassBranch]; br < 0.1 {
+		t.Errorf("vortex branch fraction %.2f too low", br)
+	}
+}
+
+func TestGccHasLargestCodeFootprint(t *testing.T) {
+	gccBlocks := MustBuild(Gcc, Reference, testScale).NumBlocks()
+	for _, b := range []Name{Gzip, Mcf, Art, Equake} {
+		if n := MustBuild(b, Reference, testScale).NumBlocks(); n >= gccBlocks {
+			t.Errorf("%s has %d blocks >= gcc's %d; gcc must have the largest code footprint", b, n, gccBlocks)
+		}
+	}
+}
+
+func TestMcfFootprintShrinksWithInput(t *testing.T) {
+	ref := MustBuild(Mcf, Reference, testScale)
+	small := MustBuild(Mcf, Small, testScale)
+	if small.MemWords >= ref.MemWords {
+		t.Errorf("mcf small footprint %d words not smaller than reference %d",
+			small.MemWords, ref.MemWords)
+	}
+}
+
+func TestReducedInputIsNotATruncationOfReference(t *testing.T) {
+	// The BBV of gzip/small must differ in shape from the BBV of the first
+	// equal-length window of gzip/reference: reduced inputs are different
+	// programs, not prefixes.
+	small := MustBuild(Gzip, Small, testScale)
+	ref := MustBuild(Gzip, Reference, testScale)
+	es, er := cpu.NewEmu(small), cpu.NewEmu(ref)
+	ps, pr := cpu.NewProfile(small), cpu.NewProfile(ref)
+	n := es.RunProfile(1<<62, ps)
+	er.RunProfile(n, pr)
+	// Compare the fraction of instructions spent in the single hottest
+	// block; they should not be nearly identical given the different data
+	// mixes and loop bounds.
+	frac := func(p *cpu.Profile) float64 {
+		var max, tot int64
+		for _, v := range p.Instrs {
+			tot += v
+			if v > max {
+				max = v
+			}
+		}
+		return float64(max) / float64(tot)
+	}
+	fs, fr := frac(ps), frac(pr)
+	if diff := fs - fr; diff < 0.001 && diff > -0.001 {
+		t.Logf("warning: small and reference have nearly identical hot-block shares (%.4f vs %.4f)", fs, fr)
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildBzip2 models 256.bzip2: block-sorting compression. Each block pass
+// runs four structurally different phases — a byte histogram (scattered
+// read-modify-writes into a 256-entry table), a prefix sum (dependent
+// sequential adds), a counting-sort permutation (scattered stores across
+// the block), and a move-to-front-like transform (data-dependent short
+// loops) — giving bzip2's alternating compute/scatter phase profile.
+func buildBzip2(spec Spec, target uint64) *program.Program {
+	const (
+		base     = int64(64)
+		histSize = int64(256)
+	)
+	w := clampWords(int64(target)/70, 4096, 1<<17)
+
+	g := newGen("bzip2-"+string(spec.Input), int(base+2*w+histSize+64), 0x627a32)
+	data := make([]int64, w)
+	for i := range data {
+		// Text-like skew: small byte values dominate.
+		v := g.rng.Int63() % 256
+		if g.rng.Intn(4) != 0 {
+			v %= 64
+		}
+		data[i] = v
+	}
+	g.Data(int(base), data)
+
+	srcByte := base * 8
+	dstByte := (base + w) * 8
+	histByte := (base + 2*w) * 8
+
+	// Phases: hist 8/elem, prefix 6/256, permute 13/elem, mtf 9/elem.
+	perBlock := w*8 + histSize*6 + w*13 + w*9
+	blocks := int64(target) / perBlock
+	if blocks < 1 {
+		blocks = 1
+	}
+
+	g.Li(isa.R(20), srcByte)
+	g.Li(isa.R(21), dstByte)
+	g.Li(isa.R(22), histByte)
+	g.loop(isa.R(1), isa.R(2), blocks, func() {
+		// Phase 1: clear + histogram.
+		g.Li(isa.R(10), histByte)
+		g.loop(isa.R(3), isa.R(4), histSize, func() {
+			g.St(isa.R(0), isa.R(10), 0)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+		g.Li(isa.R(10), srcByte)
+		g.loop(isa.R(3), isa.R(4), w, func() {
+			g.Ld(isa.R(11), isa.R(10), 0)
+			g.OpI(isa.SHLI, isa.R(11), isa.R(11), 3)
+			g.Op3(isa.ADD, isa.R(11), isa.R(11), isa.R(22))
+			g.Ld(isa.R(12), isa.R(11), 0)
+			g.OpI(isa.ADDI, isa.R(12), isa.R(12), 1)
+			g.St(isa.R(12), isa.R(11), 0)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+		// Phase 2: prefix sum over the histogram (dependent chain).
+		g.Li(isa.R(10), histByte)
+		g.Li(isa.R(13), 0)
+		g.loop(isa.R(3), isa.R(4), histSize, func() {
+			g.Ld(isa.R(12), isa.R(10), 0)
+			g.Op3(isa.ADD, isa.R(14), isa.R(13), isa.R(0)) // old cumulative
+			g.Op3(isa.ADD, isa.R(13), isa.R(13), isa.R(12))
+			g.St(isa.R(14), isa.R(10), 0)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+		// Phase 3: counting-sort permutation — scattered stores.
+		g.Li(isa.R(10), srcByte)
+		g.loop(isa.R(3), isa.R(4), w, func() {
+			g.Ld(isa.R(11), isa.R(10), 0)
+			g.OpI(isa.SHLI, isa.R(15), isa.R(11), 3)
+			g.Op3(isa.ADD, isa.R(15), isa.R(15), isa.R(22))
+			g.Ld(isa.R(16), isa.R(15), 0) // destination rank
+			g.OpI(isa.ADDI, isa.R(17), isa.R(16), 1)
+			g.St(isa.R(17), isa.R(15), 0)
+			g.OpI(isa.SHLI, isa.R(16), isa.R(16), 3)
+			g.Op3(isa.ADD, isa.R(16), isa.R(16), isa.R(21))
+			g.St(isa.R(11), isa.R(16), 0) // dst[rank] = value
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+		// Phase 4: move-to-front-like transform with data-dependent branch.
+		g.Li(isa.R(10), dstByte)
+		g.Li(isa.R(18), -1) // previous value
+		g.loop(isa.R(3), isa.R(4), w, func() {
+			g.Ld(isa.R(11), isa.R(10), 0)
+			same := g.NewLabel()
+			done := g.NewLabel()
+			g.Branch(isa.BEQ, isa.R(11), isa.R(18), same)
+			g.Op3(isa.SUB, isa.R(19), isa.R(11), isa.R(18))
+			g.Op3(isa.XOR, isa.R(25), isa.R(25), isa.R(19))
+			g.Jmp(done)
+			g.Bind(same)
+			g.OpI(isa.ADDI, isa.R(25), isa.R(25), 1) // run-length tally
+			g.Bind(done)
+			g.Op3(isa.ADD, isa.R(18), isa.R(11), isa.R(0))
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+	})
+	g.St(isa.R(25), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildEquake models 183.equake: an earthquake-wave simulation whose time
+// steps apply a sparse stencil to a mesh. Each step runs a three-point
+// stencil over the displacement array (dense FP with good spatial
+// locality) followed by a sparse gather pass through an index array
+// (indirect loads with moderate locality), matching equake's sparse
+// matrix-vector structure.
+func buildEquake(spec Spec, target uint64) *program.Program {
+	const base = int64(64)
+	w := clampWords(int64(target)/50, 2048, 1<<18)
+	w = pow2Floor(w)
+	mask := w - 1
+
+	g := newGen("equake-"+string(spec.Input), int(base+3*w+64), 0x65716b)
+	disp := make([]float64, w)
+	for i := range disp {
+		disp[i] = g.rng.Float64() - 0.5
+	}
+	g.DataFloats(int(base), disp)
+	// Sparse indices: mostly near-diagonal with occasional far jumps.
+	idx := make([]int64, w)
+	for i := range idx {
+		d := int64(i) + g.rng.Int63()%32 - 16
+		if g.rng.Intn(16) == 0 {
+			d = g.rng.Int63() % w
+		}
+		idx[i] = (base + (d&mask)%w) * 8 // byte address into disp
+	}
+	g.Data(int(base+2*w), idx)
+
+	dispByte := base * 8
+	outByte := (base + w) * 8
+	idxByte := (base + 2*w) * 8
+
+	// Stencil: 11/elem over w-2; gather: 8/elem over w/2.
+	perStep := (w-2)*11 + (w/2)*8
+	steps := int64(target) / perStep
+	if steps < 1 {
+		steps = 1
+	}
+
+	g.Fmovi(isa.F(10), 0.25)
+	g.Fmovi(isa.F(11), 0.5)
+	g.loop(isa.R(1), isa.R(2), steps, func() {
+		// Three-point stencil: out[i] = 0.25*in[i-1] + 0.5*in[i] + 0.25*in[i+1].
+		g.Li(isa.R(10), dispByte+8)
+		g.Li(isa.R(11), outByte+8)
+		g.loop(isa.R(3), isa.R(4), w-2, func() {
+			g.Fld(isa.F(1), isa.R(10), -8)
+			g.Fld(isa.F(2), isa.R(10), 0)
+			g.Fld(isa.F(3), isa.R(10), 8)
+			g.Op3(isa.FMUL, isa.F(1), isa.F(1), isa.F(10))
+			g.Op3(isa.FMUL, isa.F(2), isa.F(2), isa.F(11))
+			g.Op3(isa.FMUL, isa.F(3), isa.F(3), isa.F(10))
+			g.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(2))
+			g.Op3(isa.FADD, isa.F(1), isa.F(1), isa.F(3))
+			g.Fst(isa.F(1), isa.R(11), 0)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+			g.OpI(isa.ADDI, isa.R(11), isa.R(11), 8)
+		})
+		// Sparse gather: acc += disp[idx[j]].
+		g.Li(isa.R(12), idxByte)
+		g.Fmovi(isa.F(4), 0)
+		g.loop(isa.R(5), isa.R(6), w/2, func() {
+			g.Ld(isa.R(13), isa.R(12), 0)
+			g.Fld(isa.F(5), isa.R(13), 0)
+			g.Op3(isa.FADD, isa.F(4), isa.F(4), isa.F(5))
+			g.OpI(isa.ADDI, isa.R(12), isa.R(12), 16)
+		})
+		// Swap in/out roles by copying a slice back (cheap, keeps data live).
+		g.Li(isa.R(14), outByte)
+		g.Li(isa.R(15), dispByte)
+		g.loop(isa.R(7), isa.R(8), 64, func() {
+			g.Fld(isa.F(6), isa.R(14), 0)
+			g.Fst(isa.F(6), isa.R(15), 0)
+			g.OpI(isa.ADDI, isa.R(14), isa.R(14), 8)
+			g.OpI(isa.ADDI, isa.R(15), isa.R(15), 8)
+		})
+	})
+	g.Fst(isa.F(4), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

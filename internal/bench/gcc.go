@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildGcc models 176.gcc: a compiler with the most complex phase behavior
+// in the suite. The program runs six structurally different kernels in
+// sequence per "function compiled" — lexing, symbol hashing, IR graph
+// walking, dataflow bit vectors, an instruction-scheduling sort pass, and
+// constant folding — each with its own code region (the static code and
+// basic-block footprint is the largest of the ten benchmarks, pressuring
+// the I-cache and branch tables). Phase lengths are deliberately unequal,
+// so short simulation windows land in unrepresentative phases; the paper
+// repeatedly singles out gcc for exactly this property (§5.1, §6.1).
+func buildGcc(spec Spec, target uint64) *program.Program {
+	const base = int64(64)
+	w := clampWords(int64(target)/120, 512, 1<<16)
+	w = pow2Floor(w)
+
+	const hashSize = int64(1 << 10)
+
+	g := newGen("gcc-"+string(spec.Input), int(base+3*w+hashSize+64), 0x676363)
+	src := make([]int64, w)
+	for i := range src {
+		src[i] = g.rng.Int63() % 128
+	}
+	g.Data(int(base), src)
+	g.Data(int(base+w), permCycleBytes(g.rng, base+w, w/2, 2))
+
+	srcByte := base * 8
+	irByte := (base + w) * 8
+	bitByte := (base + 2*w) * 8
+	hashByte := (base + 3*w) * 8
+
+	// Phase trip counts per outer "function". Deliberately unequal.
+	lexN := w
+	hashN := w / 2
+	walkN := w / 2
+	bitsN := w / 4
+	sortN := w / 8
+	foldN := w / 3
+	// Measured cost of one full six-phase pass: ~24 instructions per w.
+	perOuter := w * 24
+	outer := (int64(target) + perOuter/2) / perOuter
+	if outer < 1 {
+		outer = 1
+	}
+
+	g.lcgInit(3)
+
+	// Unique straight-line blocks enlarge the code footprint like gcc's
+	// enormous text segment; executed once at startup.
+	g.padBlocks(192, 2)
+
+	g.loop(isa.R(1), isa.R(2), outer, func() {
+		// Phase 1: lexing — classify each "character" with a compare chain.
+		g.Li(isa.R(10), srcByte)
+		g.Li(isa.R(20), 32)
+		g.Li(isa.R(21), 64)
+		g.Li(isa.R(22), 96)
+		g.loop(isa.R(3), isa.R(4), lexN, func() {
+			g.Ld(isa.R(11), isa.R(10), 0)
+			isLow := g.NewLabel()
+			isMid := g.NewLabel()
+			next := g.NewLabel()
+			g.Branch(isa.BLT, isa.R(11), isa.R(20), isLow)
+			g.Branch(isa.BLT, isa.R(11), isa.R(21), isMid)
+			g.OpI(isa.ADDI, isa.R(12), isa.R(12), 3) // identifier class
+			g.Jmp(next)
+			g.Bind(isLow)
+			g.OpI(isa.ADDI, isa.R(13), isa.R(13), 1) // whitespace class
+			g.Jmp(next)
+			g.Bind(isMid)
+			g.OpI(isa.ADDI, isa.R(14), isa.R(14), 2) // punctuation class
+			g.Bind(next)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+
+		// Phase 2: symbol hashing — linear-probed insertions.
+		g.Li(isa.R(23), hashByte)
+		g.loop(isa.R(3), isa.R(4), hashN, func() {
+			g.lcgMasked(isa.R(11), hashSize-1)
+			g.OpI(isa.SHLI, isa.R(11), isa.R(11), 3)
+			g.Op3(isa.ADD, isa.R(11), isa.R(11), isa.R(23))
+			g.Ld(isa.R(12), isa.R(11), 0)
+			occupied := g.NewLabel()
+			g.Branch(isa.BNE, isa.R(12), isa.R(0), occupied)
+			g.St(isa.R(3), isa.R(11), 0) // insert
+			g.Bind(occupied)
+			g.OpI(isa.ADDI, isa.R(12), isa.R(12), 1)
+			g.St(isa.R(12), isa.R(11), 0) // bump occupancy count
+		})
+
+		// Phase 3: IR graph walk — pointer chasing over w/2 nodes.
+		g.Li(isa.R(15), irByte)
+		g.loop(isa.R(3), isa.R(4), walkN, func() {
+			g.Ld(isa.R(16), isa.R(15), 8)
+			g.Op3(isa.ADD, isa.R(17), isa.R(17), isa.R(16))
+			g.Ld(isa.R(15), isa.R(15), 0)
+		})
+
+		// Phase 4: dataflow bit vectors — dense ALU work over words.
+		g.Li(isa.R(10), bitByte)
+		g.loop(isa.R(3), isa.R(4), bitsN, func() {
+			g.Ld(isa.R(11), isa.R(10), 0)
+			g.OpI(isa.SHLI, isa.R(12), isa.R(11), 1)
+			g.Op3(isa.OR, isa.R(11), isa.R(11), isa.R(12))
+			g.OpI(isa.XORI, isa.R(11), isa.R(11), 0x5555)
+			g.Op3(isa.AND, isa.R(11), isa.R(11), isa.R(17))
+			g.St(isa.R(11), isa.R(10), 0)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 8)
+		})
+
+		// Phase 5: scheduling sort — one insertion pass with swaps.
+		g.Li(isa.R(10), srcByte)
+		g.loop(isa.R(3), isa.R(4), sortN, func() {
+			g.Ld(isa.R(11), isa.R(10), 0)
+			g.Ld(isa.R(12), isa.R(10), 8)
+			inOrder := g.NewLabel()
+			g.Branch(isa.BGE, isa.R(12), isa.R(11), inOrder)
+			g.St(isa.R(12), isa.R(10), 0)
+			g.St(isa.R(11), isa.R(10), 8)
+			g.Bind(inOrder)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 16)
+		})
+
+		// Phase 6: constant folding — multiplies and divides, some of which
+		// are naturally trivial (x*1, x*0), exercising the TC enhancement.
+		g.Li(isa.R(18), 1)
+		g.Li(isa.R(19), 0)
+		g.loop(isa.R(3), isa.R(4), foldN, func() {
+			g.lcgNext(isa.R(11))
+			g.OpI(isa.ANDI, isa.R(12), isa.R(11), 3)
+			g.Op3(isa.MUL, isa.R(13), isa.R(11), isa.R(12)) // often *0 or *1
+			g.Op3(isa.DIV, isa.R(14), isa.R(13), isa.R(18)) // /1: trivial
+			g.Op3(isa.ADD, isa.R(19), isa.R(19), isa.R(14))
+		})
+	})
+	g.St(isa.R(19), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

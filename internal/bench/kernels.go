@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/xrand"
+)
+
+// gen wraps the program builder with the code-generation idioms shared by
+// the benchmark generators: counted loops, in-register linear congruential
+// pseudo-random numbers, and calls.
+//
+// Register conventions used by all benchmarks:
+//
+//	r1..r8   loop counters and bounds
+//	r10..r27 kernel temporaries
+//	r28      LCG state
+//	r29      scratch for LCG output
+//	r31      link register
+type gen struct {
+	*program.Builder
+	rng *xrand.RNG
+}
+
+func newGen(name string, memWords int, seed uint64) *gen {
+	return &gen{
+		Builder: program.NewBuilder(name, memWords),
+		rng:     xrand.New(seed),
+	}
+}
+
+// loop emits `for rI = 0; rI < n; rI++ { body }` using rI as the counter
+// and rN to hold the bound.
+func (g *gen) loop(rI, rN isa.Reg, n int64, body func()) {
+	g.Li(rI, 0)
+	g.Li(rN, n)
+	if n <= 0 {
+		return
+	}
+	top := g.Here()
+	body()
+	g.OpI(isa.ADDI, rI, rI, 1)
+	g.Branch(isa.BLT, rI, rN, top)
+}
+
+// whileLt emits `for ; rI < rN; { body }` without initializing rI or rN.
+func (g *gen) whileLt(rI, rN isa.Reg, body func()) {
+	top := g.NewLabel()
+	end := g.NewLabel()
+	g.Bind(top)
+	g.Branch(isa.BGE, rI, rN, end)
+	body()
+	g.Jmp(top)
+	g.Bind(end)
+}
+
+// lcgInit seeds the in-register pseudo-random generator.
+func (g *gen) lcgInit(seed int64) {
+	g.Li(isa.R(28), seed|1)
+}
+
+// lcgNext advances the in-register LCG and leaves a non-negative
+// pseudo-random value in dst. Uses r28 (state) and r29 (scratch).
+func (g *gen) lcgNext(dst isa.Reg) {
+	// state = state*6364136223846793005 + 1442695040888963407 (MMIX), then
+	// take the high-quality middle bits.
+	g.Li(isa.R(29), 6364136223846793005)
+	g.Op3(isa.MUL, isa.R(28), isa.R(28), isa.R(29))
+	g.OpI(isa.ADDI, isa.R(28), isa.R(28), 1442695040888963407)
+	g.OpI(isa.SHRI, dst, isa.R(28), 17)
+}
+
+// lcgMasked leaves lcgNext & mask in dst (mask must be 2^k - 1).
+func (g *gen) lcgMasked(dst isa.Reg, mask int64) {
+	g.lcgNext(dst)
+	g.OpI(isa.ANDI, dst, dst, mask)
+}
+
+// fn binds a label, runs body (which must leave r31 untouched), and emits
+// the return. Call sites use g.Jal(isa.R(31), label).
+func (g *gen) fn(l program.Label, body func()) {
+	g.Bind(l)
+	body()
+	g.Jr(isa.R(31))
+}
+
+// padBlocks emits n unique single-entry straight-line blocks (each ending
+// in a jump to the next), giving a benchmark a larger static code and
+// basic-block footprint, as gcc-class programs have. The blocks perform
+// harmless distinct arithmetic so they are not collapsed into one another.
+func (g *gen) padBlocks(n int, work int) {
+	for i := 0; i < n; i++ {
+		next := g.NewLabel()
+		for w := 0; w < work; w++ {
+			g.OpI(isa.XORI, isa.R(27), isa.R(27), int64(i*31+w+1))
+		}
+		g.Jmp(next)
+		g.Bind(next)
+	}
+}
+
+// clampWords bounds a data footprint to [lo, hi] and rounds down to a
+// multiple of 8 words for clean striding.
+func clampWords(w, lo, hi int64) int64 {
+	if w < lo {
+		w = lo
+	}
+	if w > hi {
+		w = hi
+	}
+	return w &^ 7
+}
+
+// pow2Floor rounds x down to the nearest power of two (x must be >= 1).
+func pow2Floor(x int64) int64 {
+	p := int64(1)
+	for p*2 <= x {
+		p *= 2
+	}
+	return p
+}
+
+// permCycleBytes builds a single-cycle random permutation over n nodes of
+// `stride` words each, starting at word base, and returns the words to
+// install: word i*stride holds the byte address of the next node.
+func permCycleBytes(rng *xrand.RNG, base, n, stride int64) []int64 {
+	order := make([]int64, n)
+	for i := range order {
+		order[i] = int64(i)
+	}
+	rng.Shuffle(int(n), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	words := make([]int64, n*stride)
+	for k := int64(0); k < n; k++ {
+		from := order[k]
+		to := order[(k+1)%n]
+		words[from*stride] = (base + to*stride) * 8 // byte address of next node
+		for f := int64(1); f < stride; f++ {
+			words[from*stride+f] = rng.Int63() % 1000
+		}
+	}
+	return words
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildMcf models 181.mcf: network-simplex-like optimization dominated by
+// pointer chasing over a data structure far larger than any cache, so the
+// reference input is bound by main-memory latency. Each node is two words
+// (next pointer, value); nodes are linked in a random single cycle, so
+// successive loads have no spatial locality. A short sequential relaxation
+// pass follows each chase burst, as mcf's arc scans do.
+//
+// Reduced inputs shrink the node array until it becomes cache resident,
+// reproducing the paper's observation that mcf's reduced inputs grossly
+// underestimate the memory-hierarchy bottleneck (§5.1).
+func buildMcf(spec Spec, target uint64) *program.Program {
+	const (
+		base     = int64(64) // first node word
+		stride   = int64(2)  // words per node
+		chaseLen = 128
+		scanLen  = 64
+	)
+	nodes := clampWords(int64(target)/20, 2048, 1<<19)
+
+	g := newGen("mcf-"+string(spec.Input), int(base+nodes*stride+64), 0x6d6366)
+	g.Data(int(base), permCycleBytes(g.rng, base, nodes, stride))
+
+	// Cost per outer iteration: chase 128*(3+2) + scan 64*(5+2) + ~15.
+	perOuter := int64(chaseLen*5 + scanLen*7 + 15)
+	outer := int64(target) / perOuter
+	if outer < 1 {
+		outer = 1
+	}
+
+	endByte := (base + nodes*stride) * 8
+
+	g.lcgInit(17)
+	g.Li(isa.R(10), base*8) // chase cursor (byte address)
+	g.Li(isa.R(13), base*8) // scan cursor (byte address)
+	g.Li(isa.R(15), endByte)
+	g.Li(isa.R(16), base*8)
+	g.Li(isa.R(12), 0) // accumulator
+
+	g.loop(isa.R(1), isa.R(2), outer, func() {
+		// Chase burst: dependent loads with no locality.
+		g.loop(isa.R(3), isa.R(4), chaseLen, func() {
+			g.Ld(isa.R(11), isa.R(10), 8) // node value
+			g.Op3(isa.ADD, isa.R(12), isa.R(12), isa.R(11))
+			g.Ld(isa.R(10), isa.R(10), 0) // follow next pointer
+		})
+		// Relaxation scan: sequential read-modify-write with wraparound.
+		g.loop(isa.R(5), isa.R(6), scanLen, func() {
+			g.Ld(isa.R(14), isa.R(13), 8)
+			g.OpI(isa.ADDI, isa.R(14), isa.R(14), 1)
+			g.St(isa.R(14), isa.R(13), 8)
+			g.OpI(isa.ADDI, isa.R(13), isa.R(13), stride*8)
+			skip := g.NewLabel()
+			g.Branch(isa.BLT, isa.R(13), isa.R(15), skip)
+			g.Op3(isa.ADD, isa.R(13), isa.R(16), isa.R(0))
+			g.Bind(skip)
+		})
+	})
+	// Publish the checksum so the computation is observable.
+	g.St(isa.R(12), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildPerlbmk models 253.perlbmk: a bytecode interpreter. The main loop
+// fetches an opcode from a program tape and dispatches through a branch
+// tree to one of eight handlers, each implemented as a called subroutine
+// (exercising the RAS) doing distinct small work on a cache-resident
+// operand stack. The opcode sequence is data-dependent and skewed, so the
+// dispatch branches are the benchmark's bottleneck — perlbmk's classic
+// front-end-bound profile with a small data working set.
+func buildPerlbmk(spec Spec, target uint64) *program.Program {
+	const (
+		base      = int64(64)
+		stackSize = int64(256)
+	)
+	tape := clampWords(int64(target)/40, 1024, 1<<15)
+
+	g := newGen("perlbmk-"+string(spec.Input), int(base+tape+stackSize+64), 0x7065726c)
+	// Skewed opcode distribution over 8 opcodes.
+	ops := make([]int64, tape)
+	for i := range ops {
+		r := g.rng.Intn(16)
+		switch {
+		case r < 5:
+			ops[i] = 0 // push
+		case r < 9:
+			ops[i] = 1 // add
+		case r < 11:
+			ops[i] = 2 // pop
+		default:
+			ops[i] = int64(3 + g.rng.Intn(5))
+		}
+	}
+	g.Data(int(base), ops)
+
+	tapeByte := base * 8
+	stackByte := (base + tape) * 8
+
+	// Dispatch + handler ~17 dynamic instructions per opcode (measured).
+	perPass := tape * 17
+	outer := (int64(target) + perPass/2) / perPass
+	if outer < 1 {
+		outer = 1
+	}
+
+	// Handler labels.
+	var handlers [8]program.Label
+	for i := range handlers {
+		handlers[i] = g.NewLabel()
+	}
+	start := g.NewLabel()
+	g.Jmp(start)
+
+	// r24 = stack pointer (byte address), r25 = hash accumulator.
+	emitHandler := func(i int, body func()) {
+		g.fn(handlers[i], body)
+	}
+	emitHandler(0, func() { // push counter value, wrapping near the top
+		g.St(isa.R(3), isa.R(24), 0)
+		g.OpI(isa.ADDI, isa.R(24), isa.R(24), 8)
+		ok := g.NewLabel()
+		g.Li(isa.R(10), stackByte+(stackSize-8)*8)
+		g.Branch(isa.BLT, isa.R(24), isa.R(10), ok)
+		g.Li(isa.R(24), stackByte+128)
+		g.Bind(ok)
+	})
+	emitHandler(1, func() { // add top two
+		g.Ld(isa.R(10), isa.R(24), -8)
+		g.Ld(isa.R(11), isa.R(24), -16)
+		g.Op3(isa.ADD, isa.R(10), isa.R(10), isa.R(11))
+		g.St(isa.R(10), isa.R(24), -8)
+	})
+	emitHandler(2, func() { // pop, wrapping near the bottom
+		g.OpI(isa.ADDI, isa.R(24), isa.R(24), -8)
+		ok := g.NewLabel()
+		g.Li(isa.R(10), stackByte+16)
+		g.Branch(isa.BGE, isa.R(24), isa.R(10), ok)
+		g.Li(isa.R(24), stackByte+128)
+		g.Bind(ok)
+	})
+	emitHandler(3, func() { // string-hash step
+		g.OpI(isa.SHLI, isa.R(10), isa.R(25), 5)
+		g.Op3(isa.ADD, isa.R(25), isa.R(25), isa.R(10))
+		g.Op3(isa.XOR, isa.R(25), isa.R(25), isa.R(3))
+	})
+	emitHandler(4, func() { // multiply-accumulate
+		g.Op3(isa.MUL, isa.R(10), isa.R(25), isa.R(3))
+		g.Op3(isa.ADD, isa.R(26), isa.R(26), isa.R(10))
+	})
+	emitHandler(5, func() { // conditional negate (data-dependent branch)
+		skip := g.NewLabel()
+		g.OpI(isa.ANDI, isa.R(10), isa.R(25), 1)
+		g.Branch(isa.BEQ, isa.R(10), isa.R(0), skip)
+		g.Op3(isa.SUB, isa.R(26), isa.R(0), isa.R(26))
+		g.Bind(skip)
+	})
+	emitHandler(6, func() { // store to the scratch slot
+		g.St(isa.R(26), isa.R(24), 0)
+	})
+	emitHandler(7, func() { // load from the scratch slot
+		g.Ld(isa.R(26), isa.R(24), 0)
+	})
+
+	g.Bind(start)
+	g.loop(isa.R(1), isa.R(2), outer, func() {
+		g.Li(isa.R(20), tapeByte)
+		g.Li(isa.R(24), stackByte+128) // stack pointer, mid-stack
+		g.loop(isa.R(3), isa.R(4), tape, func() {
+			g.Ld(isa.R(21), isa.R(20), 0) // opcode
+			// Binary dispatch tree over the 3 opcode bits.
+			var leaf [8]program.Label
+			for i := range leaf {
+				leaf[i] = g.NewLabel()
+			}
+			after := g.NewLabel()
+			l4 := g.NewLabel()
+			l2, l6 := g.NewLabel(), g.NewLabel()
+			g.Li(isa.R(22), 4)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), l4)
+			g.Li(isa.R(22), 2)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), l2)
+			g.Li(isa.R(22), 1)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), leaf[1])
+			g.Jmp(leaf[0])
+			g.Bind(l2)
+			g.Li(isa.R(22), 3)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), leaf[3])
+			g.Jmp(leaf[2])
+			g.Bind(l4)
+			g.Li(isa.R(22), 6)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), l6)
+			g.Li(isa.R(22), 5)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), leaf[5])
+			g.Jmp(leaf[4])
+			g.Bind(l6)
+			g.Li(isa.R(22), 7)
+			g.Branch(isa.BGE, isa.R(21), isa.R(22), leaf[7])
+			g.Jmp(leaf[6])
+			for i := 0; i < 8; i++ {
+				g.Bind(leaf[i])
+				g.Jal(isa.R(31), handlers[i])
+				if i != 7 {
+					g.Jmp(after)
+				}
+			}
+			g.Bind(after)
+			g.OpI(isa.ADDI, isa.R(20), isa.R(20), 8)
+		})
+	})
+	g.St(isa.R(26), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildVortex models 255.vortex: an object-oriented in-memory database.
+// The driver loop issues a pseudo-random mix of insert, lookup, and delete
+// transactions against a record store with a hash index; every transaction
+// is a subroutine call (vortex is famously call-dense), record bodies are
+// copied word by word on insert, and lookups walk linear-probe chains —
+// a mixed integer workload with a mid-size working set.
+func buildVortex(spec Spec, target uint64) *program.Program {
+	const (
+		base     = int64(64)
+		recWords = int64(8)
+		hashBits = 11
+		hashSize = int64(1) << hashBits
+	)
+	slots := clampWords(int64(target)/60, 1024, 1<<15)
+	slots = pow2Floor(slots)
+	mask := slots - 1
+
+	g := newGen("vortex-"+string(spec.Input), int(base+slots*recWords+hashSize+64), 0x767478)
+
+	recByte := base * 8
+	idxByte := (base + slots*recWords) * 8
+
+	// ~23 dynamic instructions per transaction on the measured op mix.
+	txns := int64(target) / 23
+	if txns < 8 {
+		txns = 8
+	}
+
+	insert := g.NewLabel()
+	lookup := g.NewLabel()
+	remove := g.NewLabel()
+	start := g.NewLabel()
+	g.Jmp(start)
+
+	// r10 = key (input), r20 = record base, r21 = index base.
+	// insert: slot = key & mask; copy 8 words; index[hash] = slot address.
+	g.fn(insert, func() {
+		g.OpI(isa.ANDI, isa.R(11), isa.R(10), mask)
+		g.Li(isa.R(12), recWords*8)
+		g.Op3(isa.MUL, isa.R(11), isa.R(11), isa.R(12))
+		g.Op3(isa.ADD, isa.R(11), isa.R(11), isa.R(20)) // record byte address
+		// Copy the key into every field (memcpy-like burst of stores).
+		g.loop(isa.R(5), isa.R(6), recWords, func() {
+			g.OpI(isa.SHLI, isa.R(13), isa.R(5), 3)
+			g.Op3(isa.ADD, isa.R(13), isa.R(13), isa.R(11))
+			g.St(isa.R(10), isa.R(13), 0)
+		})
+		// Install in the hash index.
+		g.OpI(isa.ANDI, isa.R(14), isa.R(10), hashSize-1)
+		g.OpI(isa.SHLI, isa.R(14), isa.R(14), 3)
+		g.Op3(isa.ADD, isa.R(14), isa.R(14), isa.R(21))
+		g.St(isa.R(11), isa.R(14), 0)
+	})
+
+	// lookup: probe the index, then verify up to 3 fields of the record.
+	g.fn(lookup, func() {
+		g.OpI(isa.ANDI, isa.R(14), isa.R(10), hashSize-1)
+		g.OpI(isa.SHLI, isa.R(14), isa.R(14), 3)
+		g.Op3(isa.ADD, isa.R(14), isa.R(14), isa.R(21))
+		g.Ld(isa.R(15), isa.R(14), 0) // record byte address or 0
+		miss := g.NewLabel()
+		g.Branch(isa.BEQ, isa.R(15), isa.R(0), miss)
+		g.loop(isa.R(5), isa.R(6), 3, func() {
+			g.OpI(isa.SHLI, isa.R(16), isa.R(5), 3)
+			g.Op3(isa.ADD, isa.R(16), isa.R(16), isa.R(15))
+			g.Ld(isa.R(17), isa.R(16), 0)
+			g.Op3(isa.ADD, isa.R(26), isa.R(26), isa.R(17))
+		})
+		g.Bind(miss)
+	})
+
+	// remove: clear the index entry.
+	g.fn(remove, func() {
+		g.OpI(isa.ANDI, isa.R(14), isa.R(10), hashSize-1)
+		g.OpI(isa.SHLI, isa.R(14), isa.R(14), 3)
+		g.Op3(isa.ADD, isa.R(14), isa.R(14), isa.R(21))
+		g.St(isa.R(0), isa.R(14), 0)
+	})
+
+	g.Bind(start)
+	g.lcgInit(1234)
+	g.Li(isa.R(20), recByte)
+	g.Li(isa.R(21), idxByte)
+	g.loop(isa.R(1), isa.R(2), txns, func() {
+		g.lcgNext(isa.R(10)) // key
+		g.OpI(isa.ANDI, isa.R(18), isa.R(10), 7)
+		doLookup := g.NewLabel()
+		doRemove := g.NewLabel()
+		after := g.NewLabel()
+		g.Li(isa.R(19), 3)
+		g.Branch(isa.BGE, isa.R(18), isa.R(19), doLookup) // 5/8 lookups
+		g.Li(isa.R(19), 1)
+		g.Branch(isa.BGE, isa.R(18), isa.R(19), doRemove) // 2/8 removes
+		g.Jal(isa.R(31), insert)                          // 1/8 inserts
+		g.Jmp(after)
+		g.Bind(doRemove)
+		g.Jal(isa.R(31), remove)
+		g.Jmp(after)
+		g.Bind(doLookup)
+		g.Jal(isa.R(31), lookup)
+		g.Bind(after)
+	})
+	g.St(isa.R(26), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildVprPlace models 175.vpr's placement phase: simulated annealing over
+// a grid of cells. Each move picks two pseudo-random cells, evaluates a
+// neighborhood cost delta, and accepts or rejects against a cooling
+// threshold. Early in the run almost every move is accepted and late in
+// the run almost none is, so branch behaviour drifts across the run —
+// vpr-place's signature phase structure (and the reason the paper finds
+// truncated execution comparatively less bad for it: its bottlenecks are
+// core-side, not memory-side).
+func buildVprPlace(spec Spec, target uint64) *program.Program {
+	const base = int64(64)
+	cells := clampWords(int64(target)/40, 1024, 1<<16)
+	cells = pow2Floor(cells)
+	mask := cells - 1
+
+	g := newGen("vpr-place-"+string(spec.Input), int(base+cells+64), 0x767072)
+	vals := make([]int64, cells)
+	for i := range vals {
+		vals[i] = g.rng.Int63() % 4096
+	}
+	g.Data(int(base), vals)
+
+	// Per move ~27 dynamic instructions.
+	moves := int64(target) / 27
+	if moves < 8 {
+		moves = 8
+	}
+	// The acceptance threshold starts high and decreases every chunk of
+	// moves, emulating the cooling schedule in 16 temperature steps.
+	steps := int64(16)
+	movesPerStep := moves / steps
+	if movesPerStep < 1 {
+		movesPerStep = 1
+	}
+
+	gridByte := base * 8
+
+	g.lcgInit(99)
+	g.Li(isa.R(20), gridByte)
+	g.Li(isa.R(21), 8192) // threshold (temperature), halves every step
+	g.loop(isa.R(1), isa.R(2), steps, func() {
+		g.loop(isa.R(3), isa.R(4), movesPerStep, func() {
+			// Pick two cells.
+			g.lcgMasked(isa.R(10), mask)
+			g.lcgMasked(isa.R(11), mask)
+			g.OpI(isa.SHLI, isa.R(10), isa.R(10), 3)
+			g.OpI(isa.SHLI, isa.R(11), isa.R(11), 3)
+			g.Op3(isa.ADD, isa.R(10), isa.R(10), isa.R(20))
+			g.Op3(isa.ADD, isa.R(11), isa.R(11), isa.R(20))
+			g.Ld(isa.R(12), isa.R(10), 0)
+			g.Ld(isa.R(13), isa.R(11), 0)
+			// Neighborhood cost: two adjacent cells of the first pick.
+			g.Ld(isa.R(14), isa.R(10), 8)
+			g.Ld(isa.R(15), isa.R(10), 16)
+			g.Op3(isa.SUB, isa.R(16), isa.R(12), isa.R(13))
+			g.Op3(isa.ADD, isa.R(16), isa.R(16), isa.R(14))
+			g.Op3(isa.SUB, isa.R(16), isa.R(16), isa.R(15))
+			// Take |delta| via conditional negate.
+			pos := g.NewLabel()
+			g.Branch(isa.BGE, isa.R(16), isa.R(0), pos)
+			g.Op3(isa.SUB, isa.R(16), isa.R(0), isa.R(16))
+			g.Bind(pos)
+			// Accept if |delta| < threshold: swap the two cells.
+			reject := g.NewLabel()
+			g.Branch(isa.BGE, isa.R(16), isa.R(21), reject)
+			g.St(isa.R(13), isa.R(10), 0)
+			g.St(isa.R(12), isa.R(11), 0)
+			g.OpI(isa.ADDI, isa.R(22), isa.R(22), 1) // accepted-move count
+			g.Bind(reject)
+		})
+		// Cool: threshold /= 2 (never reaching zero).
+		g.OpI(isa.SHRI, isa.R(21), isa.R(21), 1)
+		g.OpI(isa.ORI, isa.R(21), isa.R(21), 1)
+	})
+	g.St(isa.R(22), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}
+
+// buildVprRoute models 175.vpr's routing phase: wavefront (maze router)
+// expansion over the placed grid. Each net expands a frontier whose
+// neighbors are visited with data-dependent branches and short-stride
+// loads, giving irregular but spatially local access patterns.
+func buildVprRoute(spec Spec, target uint64) *program.Program {
+	const base = int64(64)
+	cells := clampWords(int64(target)/35, 1024, 1<<16)
+	cells = pow2Floor(cells)
+	mask := cells - 1
+
+	g := newGen("vpr-route-"+string(spec.Input), int(base+2*cells+64), 0x727465)
+	cost := make([]int64, cells)
+	for i := range cost {
+		cost[i] = g.rng.Int63()%64 + 1
+	}
+	g.Data(int(base), cost)
+
+	costByte := base * 8
+	distByte := (base + cells) * 8
+
+	// Each net expansion visits expandLen cells at ~24 instructions each.
+	const expandLen = 96
+	nets := int64(target) / (expandLen * 24)
+	if nets < 4 {
+		nets = 4
+	}
+
+	g.lcgInit(7)
+	g.Li(isa.R(20), costByte)
+	g.Li(isa.R(21), distByte)
+	g.loop(isa.R(1), isa.R(2), nets, func() {
+		// Pick a pseudo-random source cell for this net.
+		g.lcgMasked(isa.R(10), mask)
+		g.Li(isa.R(12), 0) // accumulated path cost
+		g.loop(isa.R(3), isa.R(4), expandLen, func() {
+			// Load the cell's cost and its two neighbors' costs.
+			g.OpI(isa.SHLI, isa.R(13), isa.R(10), 3)
+			g.Op3(isa.ADD, isa.R(13), isa.R(13), isa.R(20))
+			g.Ld(isa.R(14), isa.R(13), 0)
+			g.Ld(isa.R(15), isa.R(13), 8)
+			g.Op3(isa.ADD, isa.R(12), isa.R(12), isa.R(14))
+			// Move to the cheaper neighbor: +1 or +17 cells (wrapping).
+			right := g.NewLabel()
+			done := g.NewLabel()
+			g.Branch(isa.BLT, isa.R(15), isa.R(14), right)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 17)
+			g.Jmp(done)
+			g.Bind(right)
+			g.OpI(isa.ADDI, isa.R(10), isa.R(10), 1)
+			g.Bind(done)
+			g.OpI(isa.ANDI, isa.R(10), isa.R(10), mask)
+			// Record the running distance.
+			g.OpI(isa.SHLI, isa.R(16), isa.R(10), 3)
+			g.Op3(isa.ADD, isa.R(16), isa.R(16), isa.R(21))
+			g.St(isa.R(12), isa.R(16), 0)
+		})
+	})
+	g.St(isa.R(12), isa.R(0), 8)
+	g.Halt()
+	return g.MustBuild()
+}

@@ -1,0 +1,234 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictorKinds(t *testing.T) {
+	for _, kind := range []PredictorKind{Bimodal, GShare, Combined} {
+		p, err := NewPredictor(Config{Kind: kind, BHTEntries: 256})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// An always-taken branch must become predictable once the global
+		// history saturates (gshare needs log2(BHT) warm-up updates).
+		pc := uint64(0x40)
+		for i := 0; i < 64; i++ {
+			p.Update(pc, true)
+		}
+		if !p.Lookup(pc) {
+			t.Errorf("%v: always-taken branch not learned", kind)
+		}
+		if p.Accuracy() <= 0.5 {
+			t.Errorf("%v: accuracy %.2f too low for a monotone branch", kind, p.Accuracy())
+		}
+	}
+}
+
+func TestPredictorRejectsBadConfig(t *testing.T) {
+	if _, err := NewPredictor(Config{Kind: Bimodal, BHTEntries: 100}); err == nil {
+		t.Error("non-power-of-two BHT should be rejected")
+	}
+	if _, err := NewPredictor(Config{Kind: Bimodal, BHTEntries: 0}); err == nil {
+		t.Error("zero BHT should be rejected")
+	}
+}
+
+func TestGShareLearnsAlternatingPattern(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is perfectly
+	// predictable from one bit of history.
+	bi, _ := NewPredictor(Config{Kind: Bimodal, BHTEntries: 1024})
+	gs, _ := NewPredictor(Config{Kind: GShare, BHTEntries: 1024})
+	pc := uint64(0x80)
+	for i := 0; i < 1000; i++ {
+		taken := i%2 == 0
+		bi.Update(pc, taken)
+		gs.Update(pc, taken)
+	}
+	if gs.Accuracy() < 0.95 {
+		t.Errorf("gshare accuracy %.3f on alternating branch, want >= 0.95", gs.Accuracy())
+	}
+	if bi.Accuracy() > 0.75 {
+		t.Errorf("bimodal accuracy %.3f unexpectedly high on alternating branch", bi.Accuracy())
+	}
+}
+
+func TestCombinedAtLeastCloseToBestComponent(t *testing.T) {
+	// The tournament predictor should track the better component on a mix
+	// of biased and alternating branches.
+	train := func(p *Predictor) float64 {
+		for i := 0; i < 4000; i++ {
+			p.Update(0x100, i%2 == 0) // alternating
+			p.Update(0x200, true)     // always taken
+			p.Update(0x300, i%8 != 0) // mostly taken
+		}
+		return p.Accuracy()
+	}
+	co, _ := NewPredictor(Config{Kind: Combined, BHTEntries: 4096})
+	bi, _ := NewPredictor(Config{Kind: Bimodal, BHTEntries: 4096})
+	accCo, accBi := train(co), train(bi)
+	if accCo < accBi-0.02 {
+		t.Errorf("combined accuracy %.3f worse than bimodal %.3f", accCo, accBi)
+	}
+}
+
+func TestPredictorReset(t *testing.T) {
+	p, _ := NewPredictor(Config{Kind: Combined, BHTEntries: 64})
+	for i := 0; i < 100; i++ {
+		p.Update(uint64(i*8), i%3 == 0)
+	}
+	p.Reset()
+	if p.Lookups != 0 || p.Mispredict != 0 {
+		t.Error("reset should clear statistics")
+	}
+	if p.Lookup(0x123) {
+		t.Error("reset predictor should predict not-taken (weak) on a cold branch")
+	}
+}
+
+// Property: mispredictions never exceed lookups, for any update sequence.
+func TestPredictorStatsInvariant(t *testing.T) {
+	f := func(pcs []uint8, takens []bool) bool {
+		p, _ := NewPredictor(Config{Kind: Combined, BHTEntries: 128})
+		n := len(pcs)
+		if len(takens) < n {
+			n = len(takens)
+		}
+		for i := 0; i < n; i++ {
+			p.Update(uint64(pcs[i])*8, takens[i])
+		}
+		return p.Mispredict <= p.Lookups && p.Lookups == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b, err := NewBTB(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := b.Lookup(0x40); hit {
+		t.Error("cold BTB should miss")
+	}
+	b.Update(0x40, 123)
+	if tgt, hit := b.Lookup(0x40); !hit || tgt != 123 {
+		t.Errorf("lookup = (%d,%v), want (123,true)", tgt, hit)
+	}
+	b.Update(0x40, 456) // retarget
+	if tgt, _ := b.Lookup(0x40); tgt != 456 {
+		t.Errorf("retargeted lookup = %d, want 456", tgt)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	b, _ := NewBTB(4, 1) // direct-mapped, 4 sets
+	b.Update(0x0, 1)
+	b.Update(4*8, 2) // pc 4 sets? set index = pc & 3; use pcs 0 and 4 -> sets 0 and 0? pc&3: 0 and 0? 4*8=32 -> 32&3=0. conflicts with 0.
+	if _, hit := b.Lookup(0x0); hit {
+		t.Error("conflicting entry should have evicted pc 0")
+	}
+	if tgt, hit := b.Lookup(32); !hit || tgt != 2 {
+		t.Errorf("lookup(32) = (%d,%v), want (2,true)", tgt, hit)
+	}
+}
+
+func TestBTBRejectsBadConfig(t *testing.T) {
+	if _, err := NewBTB(100, 4); err == nil {
+		t.Error("non-power-of-two entries should be rejected")
+	}
+	if _, err := NewBTB(64, 3); err == nil {
+		t.Error("assoc not dividing entries should be rejected")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r, err := NewRAS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pop(10) {
+		t.Error("empty RAS pop should mispredict")
+	}
+	r.Push(100)
+	r.Push(200)
+	if !r.Pop(200) || !r.Pop(100) {
+		t.Error("RAS should predict matched call/return pairs")
+	}
+	if r.Pop(1) {
+		t.Error("RAS should be empty again")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r, _ := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // overwrites 1
+	if !r.Pop(3) || !r.Pop(2) {
+		t.Error("RAS should return the two most recent pushes")
+	}
+	if r.Pop(1) {
+		t.Error("the oldest entry was overwritten and must not match")
+	}
+}
+
+// Property: a RAS of depth >= call depth predicts balanced call/return
+// sequences perfectly.
+func TestRASBalancedSequences(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth%16) + 1
+		r, _ := NewRAS(16)
+		for i := 0; i < d; i++ {
+			r.Push(int32(i))
+		}
+		for i := d - 1; i >= 0; i-- {
+			if !r.Pop(int32(i)) {
+				return false
+			}
+		}
+		return r.PopMisses == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalPredictorLearnsPerBranchPatterns(t *testing.T) {
+	// Two interleaved branches with different periodic patterns defeat a
+	// global-history predictor of the same size but are trivial for a
+	// per-branch (local) history predictor.
+	local, err := NewPredictor(Config{Kind: Local, BHTEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		local.Update(0x100, i%3 == 0) // period-3 pattern
+		local.Update(0x200, i%4 == 0) // period-4 pattern
+	}
+	if local.Accuracy() < 0.9 {
+		t.Errorf("local predictor accuracy %.3f on periodic branches, want >= 0.9", local.Accuracy())
+	}
+}
+
+func TestLocalPredictorInKindList(t *testing.T) {
+	p, err := NewPredictor(Config{Kind: Local, BHTEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		p.Update(8, true)
+	}
+	if !p.Lookup(8) {
+		t.Error("local predictor did not learn an always-taken branch")
+	}
+	p.Reset()
+	if p.Lookups != 0 {
+		t.Error("reset did not clear local predictor stats")
+	}
+	if Local.String() != "local" {
+		t.Error("kind name wrong")
+	}
+}

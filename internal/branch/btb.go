@@ -1,0 +1,148 @@
+package branch
+
+import "fmt"
+
+// BTB is a set-associative branch target buffer mapping branch PCs to their
+// most recent taken targets. A taken branch that misses in the BTB costs a
+// fetch redirect even when its direction was predicted correctly.
+type BTB struct {
+	entries int
+	assoc   int
+	sets    int
+	setMask uint64
+	tags    []uint64
+	targets []int32
+	stamps  []uint64
+	clock   uint64
+
+	Lookups uint64
+	Misses  uint64
+}
+
+// NewBTB builds a BTB with the given total entries and associativity.
+func NewBTB(entries, assoc int) (*BTB, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("branch: BTB entries %d not a positive power of two", entries)
+	}
+	if assoc <= 0 || entries%assoc != 0 {
+		return nil, fmt.Errorf("branch: BTB assoc %d does not divide %d entries", assoc, entries)
+	}
+	sets := entries / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("branch: BTB set count %d not a power of two", sets)
+	}
+	return &BTB{
+		entries: entries,
+		assoc:   assoc,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, entries),
+		targets: make([]int32, entries),
+		stamps:  make([]uint64, entries),
+	}, nil
+}
+
+// Reset clears the BTB.
+func (b *BTB) Reset() {
+	for i := range b.tags {
+		b.tags[i] = 0
+		b.stamps[i] = 0
+		b.targets[i] = 0
+	}
+	b.clock = 0
+	b.Lookups = 0
+	b.Misses = 0
+}
+
+// Lookup returns the predicted target for the branch at pc, and whether the
+// BTB held an entry for it.
+func (b *BTB) Lookup(pc uint64) (target int32, hit bool) {
+	b.Lookups++
+	base := int(pc&b.setMask) * b.assoc
+	key := pc | 1 // tag 0 means invalid; bias all keys odd-or-set
+	for i := base; i < base+b.assoc; i++ {
+		if b.tags[i] == key {
+			b.clock++
+			b.stamps[i] = b.clock
+			return b.targets[i], true
+		}
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update installs or refreshes the target for a taken branch at pc.
+func (b *BTB) Update(pc uint64, target int32) {
+	base := int(pc&b.setMask) * b.assoc
+	key := pc | 1
+	b.clock++
+	lru := base
+	oldest := ^uint64(0)
+	for i := base; i < base+b.assoc; i++ {
+		if b.tags[i] == key {
+			b.targets[i] = target
+			b.stamps[i] = b.clock
+			return
+		}
+		if b.stamps[i] < oldest {
+			oldest = b.stamps[i]
+			lru = i
+		}
+	}
+	b.tags[lru] = key
+	b.targets[lru] = target
+	b.stamps[lru] = b.clock
+}
+
+// RAS is a return-address stack predicting the targets of JR returns.
+// It wraps on overflow (overwriting the oldest entry) as real hardware does.
+type RAS struct {
+	stack []int32
+	top   int // index of next push slot
+	depth int // live entries, capped at len(stack)
+
+	Pops      uint64
+	PopMisses uint64
+}
+
+// NewRAS builds a return-address stack with the given number of entries.
+func NewRAS(entries int) (*RAS, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("branch: RAS needs at least one entry, got %d", entries)
+	}
+	return &RAS{stack: make([]int32, entries)}, nil
+}
+
+// Reset empties the stack.
+func (r *RAS) Reset() {
+	r.top = 0
+	r.depth = 0
+	r.Pops = 0
+	r.PopMisses = 0
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(ret int32) {
+	r.stack[r.top] = ret
+	r.top = (r.top + 1) % len(r.stack)
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return, and reports whether the prediction
+// matched the actual target. An empty stack always mispredicts.
+func (r *RAS) Pop(actual int32) bool {
+	r.Pops++
+	if r.depth == 0 {
+		r.PopMisses++
+		return false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	if r.stack[r.top] != actual {
+		r.PopMisses++
+		return false
+	}
+	return true
+}

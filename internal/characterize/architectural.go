@@ -1,0 +1,64 @@
+package characterize
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ArchResult is one technique's architecture-level characterization (§4.3):
+// the four architectural metrics (IPC, branch prediction accuracy, L1
+// D-cache hit rate, L2 cache hit rate) collected on each of the Table 3
+// configurations, normalized metric-by-metric to the reference technique's
+// values, and reduced to a Euclidean distance.
+type ArchResult struct {
+	// Metrics[c] is the raw metric vector on configuration c.
+	Metrics [][4]float64
+	// Normalized is the flattened vector of metric ratios vs reference.
+	Normalized []float64
+	// Distance is the Euclidean distance from the reference's (all-ones)
+	// normalized vector.
+	Distance float64
+}
+
+// ArchMetrics runs the technique on each configuration and collects the
+// metric vectors.
+func ArchMetrics(b bench.Name, tech core.Technique, configs []sim.Config, run RunFunc) ([][4]float64, error) {
+	out := make([][4]float64, len(configs))
+	for i, cfg := range configs {
+		res, err := run(b, tech, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("characterize: %s on %s config %s: %w", tech.Name(), b, cfg.Name, err)
+		}
+		out[i] = res.Stats.MetricVector()
+	}
+	return out, nil
+}
+
+// Architectural compares a technique's metric vectors to the reference's.
+// Both must have been collected over the same configuration list.
+func Architectural(refMetrics, techMetrics [][4]float64) (ArchResult, error) {
+	if len(refMetrics) != len(techMetrics) || len(refMetrics) == 0 {
+		return ArchResult{}, fmt.Errorf("characterize: metric sets differ in length (%d vs %d)",
+			len(refMetrics), len(techMetrics))
+	}
+	flatRef := make([]float64, 0, 4*len(refMetrics))
+	flatTech := make([]float64, 0, 4*len(techMetrics))
+	for i := range refMetrics {
+		flatRef = append(flatRef, refMetrics[i][:]...)
+		flatTech = append(flatTech, techMetrics[i][:]...)
+	}
+	norm := stats.Normalize(flatTech, flatRef)
+	ones := make([]float64, len(norm))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return ArchResult{
+		Metrics:    techMetrics,
+		Normalized: norm,
+		Distance:   stats.Euclidean(norm, ones),
+	}, nil
+}

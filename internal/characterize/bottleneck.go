@@ -1,0 +1,99 @@
+// Package characterize implements the paper's three characterization
+// methods (§4): the Plackett-Burman processor-bottleneck characterization,
+// the execution-profile (BBEF/BBV) characterization, and the
+// architecture-level characterization. Each method measures how close a
+// simulation technique's view of the machine is to the view obtained by
+// simulating the reference input set to completion.
+package characterize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/pb"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RunFunc executes a technique for a benchmark under a configuration and
+// returns its result. The experiments package supplies a caching
+// implementation; tests supply stubs.
+type RunFunc func(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error)
+
+// DirectRun returns a RunFunc that executes techniques directly (no cache).
+func DirectRun(scale sim.Scale, profile bool) RunFunc {
+	return func(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+		return tech.Run(core.Context{Bench: b, Config: cfg, Scale: scale, CollectProfile: profile})
+	}
+}
+
+// BottleneckResult holds one technique's bottleneck characterization.
+type BottleneckResult struct {
+	Effects []float64 // PB main effect of each parameter on CPI
+	Ranks   []float64 // 1 = largest magnitude
+}
+
+// Bottleneck runs the Plackett-Burman design for one benchmark/technique:
+// the technique simulates the benchmark once per design row (each row is
+// one extreme machine configuration), the per-row CPIs feed the effect
+// computation, and the effect magnitudes are ranked (§4.1).
+func Bottleneck(b bench.Name, tech core.Technique, design *pb.Design, run RunFunc) (BottleneckResult, error) {
+	if design.Factors != sim.NumParams {
+		return BottleneckResult{}, fmt.Errorf("characterize: design has %d factors, want %d", design.Factors, sim.NumParams)
+	}
+	responses := make([]float64, design.Runs())
+	for i, row := range design.Rows {
+		cfg, err := sim.PBConfig(row)
+		if err != nil {
+			return BottleneckResult{}, err
+		}
+		cfg.Name = fmt.Sprintf("pb-row-%02d", i)
+		res, err := run(b, tech, cfg)
+		if err != nil {
+			return BottleneckResult{}, fmt.Errorf("characterize: %s on %s row %d: %w", tech.Name(), b, i, err)
+		}
+		responses[i] = res.CPI()
+	}
+	effects, err := design.Effects(responses)
+	if err != nil {
+		return BottleneckResult{}, err
+	}
+	return BottleneckResult{Effects: effects, Ranks: stats.Ranks(effects)}, nil
+}
+
+// RankDistance returns the Euclidean distance between two techniques' rank
+// vectors, normalized to the maximum possible distance and scaled to 100,
+// the metric of Figure 1.
+func RankDistance(a, b BottleneckResult) float64 {
+	d := stats.Euclidean(a.Ranks, b.Ranks)
+	return 100 * d / stats.MaxRankDistance(len(a.Ranks))
+}
+
+// TopNDistance returns the Euclidean distance between the rank vectors of
+// ref and tech computed over only the N parameters most significant to ref
+// (ascending reference rank), for N = 1..len — the construction behind
+// Figure 2.
+func TopNDistance(ref, tech BottleneckResult) []float64 {
+	n := len(ref.Ranks)
+	// Parameter indices in ascending order of reference rank (most
+	// significant first).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: n is 43
+		for j := i; j > 0 && ref.Ranks[order[j]] < ref.Ranks[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]float64, n)
+	var sum float64
+	for k, idx := range order {
+		d := ref.Ranks[idx] - tech.Ranks[idx]
+		sum += d * d
+		out[k] = math.Sqrt(sum)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/pb"
+	"repro/internal/sim"
+)
+
+var testScale = sim.Scale{Unit: 100}
+
+func TestRankDistanceBounds(t *testing.T) {
+	n := 5
+	asc := BottleneckResult{Ranks: []float64{1, 2, 3, 4, 5}}
+	desc := BottleneckResult{Ranks: []float64{5, 4, 3, 2, 1}}
+	if d := RankDistance(asc, asc); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := RankDistance(asc, desc); math.Abs(d-100) > 1e-9 {
+		t.Errorf("out-of-phase distance = %v, want 100", d)
+	}
+	_ = n
+}
+
+func TestTopNDistanceMonotone(t *testing.T) {
+	ref := BottleneckResult{Ranks: []float64{1, 2, 3, 4}}
+	tech := BottleneckResult{Ranks: []float64{2, 1, 4, 3}}
+	top := TopNDistance(ref, tech)
+	if len(top) != 4 {
+		t.Fatalf("len = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i] < top[i-1]-1e-12 {
+			t.Errorf("cumulative distance decreased at N=%d", i+1)
+		}
+	}
+	// Full-N distance equals the plain Euclidean distance of the ranks.
+	want := math.Sqrt(1 + 1 + 1 + 1)
+	if math.Abs(top[3]-want) > 1e-9 {
+		t.Errorf("top-4 = %v, want %v", top[3], want)
+	}
+}
+
+func TestBottleneckOnTinyDesign(t *testing.T) {
+	// A full 44-run PB bottleneck characterization on the smallest
+	// benchmark input, with a short technique: slow-ish but the core
+	// integration path of Figure 1.
+	design, err := pb.New(sim.NumParams, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := DirectRun(testScale, false)
+	res, err := Bottleneck(bench.VprRoute, core.RunZ{Z: 500}, design, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Effects) != sim.NumParams || len(res.Ranks) != sim.NumParams {
+		t.Fatalf("wrong sizes: %d effects", len(res.Effects))
+	}
+	// Some parameter must matter.
+	var maxAbs float64
+	for _, e := range res.Effects {
+		if a := math.Abs(e); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		t.Error("no parameter had any effect on CPI")
+	}
+	// Ranks are a valid assignment.
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if want := float64(sim.NumParams*(sim.NumParams+1)) / 2; math.Abs(sum-want) > 1e-6 {
+		t.Errorf("rank sum = %v, want %v", sum, want)
+	}
+}
+
+func TestBottleneckRejectsWrongDesign(t *testing.T) {
+	design, err := pb.New(7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bottleneck(bench.VprRoute, core.RunZ{Z: 100}, design, DirectRun(testScale, false)); err == nil {
+		t.Error("design with wrong factor count accepted")
+	}
+}
+
+func TestProfileComparison(t *testing.T) {
+	ref := &cpu.Profile{Entries: []int64{100, 200, 300}, Instrs: []int64{1000, 2000, 3000}, Total: 6000}
+	same := &cpu.Profile{Entries: []int64{10, 20, 30}, Instrs: []int64{100, 200, 300}, Total: 600}
+	res, err := Profile(ref, same, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BBEF.Similar || !res.BBV.Similar {
+		t.Errorf("scaled profile judged dissimilar: %+v", res)
+	}
+	diff := &cpu.Profile{Entries: []int64{300, 0, 0}, Instrs: []int64{3000, 0, 0}, Total: 3000}
+	res, err = Profile(ref, diff, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BBV.Similar {
+		t.Errorf("disjoint profile judged similar: %+v", res)
+	}
+	if _, err := Profile(ref, &cpu.Profile{Entries: []int64{1}, Instrs: []int64{1}}, 0.05); err == nil {
+		t.Error("mismatched block counts accepted")
+	}
+	if _, err := Profile(nil, ref, 0.05); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestCodeCoverage(t *testing.T) {
+	p := &cpu.Profile{Entries: []int64{5, 0, 3, 0}, Instrs: []int64{50, 0, 30, 0}}
+	if c := CodeCoverage(p); c != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", c)
+	}
+	if CodeCoverage(&cpu.Profile{}) != 0 {
+		t.Error("empty profile coverage should be 0")
+	}
+}
+
+func TestArchitectural(t *testing.T) {
+	ref := [][4]float64{{1, 0.9, 0.95, 0.8}, {2, 0.95, 0.9, 0.7}}
+	// Identical metrics: zero distance.
+	res, err := Architectural(ref, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance > 1e-12 {
+		t.Errorf("self distance = %v", res.Distance)
+	}
+	// Half the IPC on both configs: distance = sqrt(2*0.25).
+	tech := [][4]float64{{0.5, 0.9, 0.95, 0.8}, {1, 0.95, 0.9, 0.7}}
+	res, err = Architectural(ref, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(0.5); math.Abs(res.Distance-want) > 1e-9 {
+		t.Errorf("distance = %v, want %v", res.Distance, want)
+	}
+	if _, err := Architectural(ref, tech[:1]); err == nil {
+		t.Error("mismatched config counts accepted")
+	}
+}
+
+func TestArchMetricsEndToEnd(t *testing.T) {
+	cfgs := []sim.Config{sim.BaseConfig()}
+	run := DirectRun(testScale, false)
+	m, err := ArchMetrics(bench.VprRoute, core.RunZ{Z: 500}, cfgs, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[0][0] <= 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}

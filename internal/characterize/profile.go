@@ -1,0 +1,61 @@
+package characterize
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// ProfileResult compares a technique's measured execution profile against
+// the reference profile with chi-squared tests on both the basic-block
+// execution frequencies (BBEF) and the instruction-weighted basic-block
+// vectors (BBV), per §4.2. The chi-squared test value doubles as a
+// distance: similar distributions have small values.
+type ProfileResult struct {
+	BBEF stats.ChiSquareResult
+	BBV  stats.ChiSquareResult
+}
+
+// Profile compares tech's profile to ref's at significance alpha.
+func Profile(ref, tech *cpu.Profile, alpha float64) (ProfileResult, error) {
+	if ref == nil || tech == nil {
+		return ProfileResult{}, fmt.Errorf("characterize: nil profile")
+	}
+	if len(ref.Entries) != len(tech.Entries) {
+		return ProfileResult{}, fmt.Errorf("characterize: profiles over different programs (%d vs %d blocks)",
+			len(ref.Entries), len(tech.Entries))
+	}
+	toF := func(xs []int64) []float64 {
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = float64(x)
+		}
+		return out
+	}
+	bbef, err := stats.ChiSquare(toF(tech.Entries), toF(ref.Entries), alpha)
+	if err != nil {
+		return ProfileResult{}, fmt.Errorf("characterize: BBEF: %w", err)
+	}
+	bbv, err := stats.ChiSquare(toF(tech.Instrs), toF(ref.Instrs), alpha)
+	if err != nil {
+		return ProfileResult{}, fmt.Errorf("characterize: BBV: %w", err)
+	}
+	return ProfileResult{BBEF: bbef, BBV: bbv}, nil
+}
+
+// CodeCoverage returns the fraction of static basic blocks a profile
+// touches, a secondary code-coverage measure the paper discusses for
+// reduced inputs.
+func CodeCoverage(p *cpu.Profile) float64 {
+	if len(p.Entries) == 0 {
+		return 0
+	}
+	touched := 0
+	for i := range p.Entries {
+		if p.Entries[i] > 0 || p.Instrs[i] > 0 {
+			touched++
+		}
+	}
+	return float64(touched) / float64(len(p.Entries))
+}

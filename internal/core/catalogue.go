@@ -1,0 +1,104 @@
+package core
+
+import (
+	"repro/internal/bench"
+)
+
+// Table1RunZ returns the four Run Z permutations of Table 1.
+func Table1RunZ() []Technique {
+	var ts []Technique
+	for _, z := range []float64{500, 1000, 1500, 2000} {
+		ts = append(ts, RunZ{Z: z})
+	}
+	return ts
+}
+
+// Table1FFRun returns the twelve FF X + Run Z permutations of Table 1
+// (X in {1000, 2000, 4000} x Z in {100, 500, 1000, 2000}).
+func Table1FFRun() []Technique {
+	var ts []Technique
+	for _, x := range []float64{1000, 2000, 4000} {
+		for _, z := range []float64{100, 500, 1000, 2000} {
+			ts = append(ts, FFRun{X: x, Z: z})
+		}
+	}
+	return ts
+}
+
+// Table1FFWURun returns the 36 FF X + WU Y + Run Z permutations of
+// Table 1: X+Y lands on a 1000M multiple (the table's rule X+Y mod 100M=0,
+// at the superset values 1000/2000/4000), with warm-ups of 1M, 10M or 100M
+// and the four Run lengths.
+func Table1FFWURun() []Technique {
+	var ts []Technique
+	bases := []float64{1000, 2000, 4000}
+	warmups := []float64{1, 10, 100}
+	zs := []float64{100, 500, 1000, 2000}
+	for _, y := range warmups {
+		for _, b := range bases {
+			for _, z := range zs {
+				ts = append(ts, FFWURun{X: b - y, Y: y, Z: z})
+			}
+		}
+	}
+	return ts
+}
+
+// Table1Reduced returns the reduced-input-set permutations available for
+// the benchmark (3 to 5 depending on Table 2's N/A holes).
+func Table1Reduced(b bench.Name) []Technique {
+	var ts []Technique
+	for _, in := range bench.ReducedSets() {
+		if bench.Has(b, in) {
+			ts = append(ts, Reduced{Input: in})
+		}
+	}
+	return ts
+}
+
+// Catalogue returns the full Table 1 candidate set for a benchmark: 64
+// input-independent permutations plus the benchmark's reduced input sets
+// (69 for benchmarks with all five reduced inputs).
+func Catalogue(b bench.Name) []Technique {
+	var ts []Technique
+	ts = append(ts, Table1SimPoints()...)
+	ts = append(ts, Table1SMARTS()...)
+	ts = append(ts, Table1Reduced(b)...)
+	ts = append(ts, Table1RunZ()...)
+	ts = append(ts, Table1FFRun()...)
+	ts = append(ts, Table1FFWURun()...)
+	return ts
+}
+
+// RepresentativeCatalogue returns a budget-friendly subset with one to
+// three permutations per family, used by default experiment runs; the full
+// Catalogue remains available behind the experiment drivers' -full flag.
+func RepresentativeCatalogue(b bench.Name) []Technique {
+	ts := []Technique{
+		SimPoint{IntervalM: 10, MaxK: 100, WarmupM: 1},
+		SimPoint{IntervalM: 100, MaxK: 10, WarmupM: 0},
+		SMARTS{U: 1000, W: 2000},
+		SMARTS{U: 10000, W: 20000},
+		RunZ{Z: 500},
+		RunZ{Z: 2000},
+		FFRun{X: 1000, Z: 1000},
+		FFRun{X: 4000, Z: 1000},
+		FFWURun{X: 999, Y: 1, Z: 1000},
+		FFWURun{X: 3900, Y: 100, Z: 1000},
+	}
+	for _, in := range []bench.InputSet{bench.Small, bench.Large, bench.Train} {
+		if bench.Has(b, in) {
+			ts = append(ts, Reduced{Input: in})
+		}
+	}
+	return ts
+}
+
+// ByFamily groups techniques by family, preserving order.
+func ByFamily(ts []Technique) map[Family][]Technique {
+	m := make(map[Family][]Technique)
+	for _, t := range ts {
+		m[t.Family()] = append(m[t.Family()], t)
+	}
+	return m
+}

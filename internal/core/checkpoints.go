@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/simpoint"
+)
+
+// ckptBudgetBytes caps the memory spent on cached SimPoint checkpoints per
+// benchmark plan; programs whose footprint would blow the budget simply
+// fall back to fast-forwarding.
+const ckptBudgetBytes = 128 << 20
+
+// ckptCache memoizes architectural checkpoints across technique runs. The
+// key identifies the program (name + code size covers benchmark, input and
+// scale) and the instruction position.
+var ckptCache sync.Map // ckptKey -> *cpu.Checkpoint
+
+type ckptKey struct {
+	prog string
+	pos  uint64
+}
+
+// ckptStore is the per-run view: enabled only when the plan's points fit
+// the budget.
+type ckptStore struct {
+	prog    string
+	enabled bool
+}
+
+func checkpointStore(r *sim.Runner, plan *simpoint.Plan, points int) ckptStore {
+	footprint := int64(r.Prog.MemWords) * 8 * int64(points)
+	return ckptStore{
+		prog:    fmt.Sprintf("%s/%d", r.Prog.Name, len(r.Prog.Code)),
+		enabled: footprint <= ckptBudgetBytes,
+	}
+}
+
+func (s ckptStore) load(pos uint64) *cpu.Checkpoint {
+	if !s.enabled {
+		return nil
+	}
+	if v, ok := ckptCache.Load(ckptKey{s.prog, pos}); ok {
+		return v.(*cpu.Checkpoint)
+	}
+	return nil
+}
+
+func (s ckptStore) save(pos uint64, r *sim.Runner) {
+	if !s.enabled {
+		return
+	}
+	cp, err := r.Checkpoint()
+	if err != nil {
+		return
+	}
+	ckptCache.Store(ckptKey{s.prog, pos}, cp)
+}
+
+// ResetCheckpointCache drops all cached checkpoints (tests and the memory
+// ablation use this).
+func ResetCheckpointCache() {
+	ckptCache = sync.Map{}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// TestCheckpointsDoNotChangeResults: a SimPoint run that restores cached
+// architectural checkpoints must produce the same statistics as the run
+// that built them with fast-forwarding (and as a run with the cache
+// disabled entirely).
+func TestCheckpointsDoNotChangeResults(t *testing.T) {
+	ResetCheckpointCache()
+	ctx := testCtx(bench.Gzip)
+	tech := SimPoint{IntervalM: 100, MaxK: 6, Seeds: 2, MaxIter: 20}
+
+	first, err := tech.Run(ctx) // builds checkpoints
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tech.Run(ctx) // restores them
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Cycles != second.Stats.Cycles ||
+		first.Stats.Instructions != second.Stats.Instructions {
+		t.Errorf("checkpointed run diverges: %d/%d cycles, %d/%d instructions",
+			first.Stats.Cycles, second.Stats.Cycles,
+			first.Stats.Instructions, second.Stats.Instructions)
+	}
+	// The restored run must do strictly less functional work.
+	if second.FunctionalInstr >= first.FunctionalInstr {
+		t.Errorf("checkpoints saved no work: %d vs %d functional instructions",
+			second.FunctionalInstr, first.FunctionalInstr)
+	}
+	ResetCheckpointCache()
+}
+
+func TestEmuCheckpointRoundTrip(t *testing.T) {
+	p := bench.MustBuild(bench.VprRoute, bench.Reference, sim.Scale{Unit: 100})
+	e := cpu.NewEmu(p)
+	e.Run(5000)
+	cp := e.Snapshot()
+
+	e.Run(5000) // move past the checkpoint
+	pcAfter := e.PC
+	if err := e.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count != 5000 {
+		t.Errorf("restored count = %d, want 5000", e.Count)
+	}
+	// Re-running from the checkpoint reproduces the same trajectory.
+	e.Run(5000)
+	if e.PC != pcAfter {
+		t.Error("replay after restore diverged")
+	}
+
+	// Restoring a checkpoint from a different program fails.
+	other := cpu.NewEmu(bench.MustBuild(bench.Mcf, bench.Small, sim.Scale{Unit: 100}))
+	if err := other.Restore(cp); err == nil {
+		t.Error("cross-program restore accepted")
+	}
+}
+
+func TestRunnerCheckpointRequiresEmptyPipeline(t *testing.T) {
+	p := bench.MustBuild(bench.VprRoute, bench.Reference, sim.Scale{Unit: 100})
+	r, err := sim.NewRunner(p, sim.BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Detailed(1000) // leaves instructions in flight
+	if r.Core.InFlight() == 0 {
+		t.Skip("pipeline happened to be empty")
+	}
+	if _, err := r.Checkpoint(); err == nil {
+		t.Error("checkpoint with in-flight instructions accepted")
+	}
+	r.Drain()
+	if _, err := r.Checkpoint(); err != nil {
+		t.Errorf("checkpoint after drain failed: %v", err)
+	}
+}

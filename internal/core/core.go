@@ -1,0 +1,186 @@
+// Package core is the paper's primary contribution rebuilt as a library:
+// a framework for running and comparing simulation techniques. It defines
+// the Technique abstraction, implements the six techniques the paper
+// characterizes — full reference simulation, reduced input sets, the three
+// truncated-execution variants (Run Z, FF X + Run Z, FF X + WU Y + Run Z),
+// SimPoint, and SMARTS — and provides the Table 1 catalogue of the 69
+// technique permutations the study evaluates.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Family classifies techniques the way the paper's figures do.
+type Family string
+
+// The technique families of §2.
+const (
+	FamilyReference Family = "reference"
+	FamilySimPoint  Family = "SimPoint"
+	FamilySMARTS    Family = "SMARTS"
+	FamilyReduced   Family = "Reduced"
+	FamilyRunZ      Family = "Run Z"
+	FamilyFFRun     Family = "FF+Run"
+	FamilyFFWURun   Family = "FF+WU+Run"
+)
+
+// Families lists the six alternative families in the paper's plotting
+// order (reference excluded).
+func Families() []Family {
+	return []Family{FamilySimPoint, FamilySMARTS, FamilyReduced, FamilyRunZ, FamilyFFRun, FamilyFFWURun}
+}
+
+// Context names one experiment: a benchmark simulated under a machine
+// configuration at a given scale.
+type Context struct {
+	Bench  bench.Name
+	Config sim.Config
+	Scale  sim.Scale
+
+	// CollectProfile requests the technique's measured execution profile
+	// (BBEF/BBV) for the execution-profile characterization; it costs an
+	// extra functional pass for some techniques.
+	CollectProfile bool
+}
+
+// Result is the outcome of applying a technique.
+type Result struct {
+	// Stats are the technique's estimated architectural statistics — the
+	// numbers an architect would report from this technique.
+	Stats sim.Stats
+
+	// Profile is the measured execution profile (nil unless requested).
+	Profile *cpu.Profile
+
+	// DetailedInstr and FunctionalInstr decompose the simulation work.
+	DetailedInstr   uint64
+	FunctionalInstr uint64
+
+	// Wall is the technique's own execution time, the basis of the
+	// speed-versus-accuracy analysis. SetupWall is one-time cost
+	// attributable to technique preparation (SimPoint's profiling and
+	// clustering), reported separately as the paper does.
+	Wall      time.Duration
+	SetupWall time.Duration
+
+	// Simulations counts the passes SMARTS needed (1 for everything else).
+	Simulations int
+}
+
+// CPI is shorthand for the estimated cycles per instruction.
+func (r Result) CPI() float64 { return r.Stats.CPI() }
+
+// Technique is one simulation technique permutation.
+type Technique interface {
+	// Name returns the permutation label using the paper's units, e.g.
+	// "FF 4000M + WU 10M + Run 1000M".
+	Name() string
+	Family() Family
+	Run(ctx Context) (Result, error)
+}
+
+// newRunner builds the simulated machine for a context over the given
+// input set.
+func newRunner(ctx Context, input bench.InputSet) (*sim.Runner, error) {
+	p, err := bench.Build(ctx.Bench, input, ctx.Scale)
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.NewRunner(p, ctx.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s: %w", ctx.Bench, input, err)
+	}
+	return r, nil
+}
+
+// profileWindow functionally profiles the dynamic window [skip, skip+n) of
+// a benchmark/input pair — the measured profile of a truncated technique.
+func profileWindow(ctx Context, input bench.InputSet, skip, n uint64) (*cpu.Profile, error) {
+	p, err := bench.Build(ctx.Bench, input, ctx.Scale)
+	if err != nil {
+		return nil, err
+	}
+	e := cpu.NewEmu(p)
+	if skip > 0 {
+		e.Run(skip)
+	}
+	prof := cpu.NewProfile(p)
+	e.RunProfile(n, prof)
+	return prof, nil
+}
+
+// Reference simulates the reference input set to completion in detail —
+// the ground truth every technique is compared against.
+type Reference struct{}
+
+// Name implements Technique.
+func (Reference) Name() string { return "reference" }
+
+// Family implements Technique.
+func (Reference) Family() Family { return FamilyReference }
+
+// Run implements Technique.
+func (Reference) Run(ctx Context) (Result, error) {
+	start := time.Now()
+	r, err := newRunner(ctx, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	st := r.RunToCompletion()
+	res := Result{
+		Stats:         st,
+		DetailedInstr: st.Instructions,
+		Wall:          time.Since(start),
+		Simulations:   1,
+	}
+	if ctx.CollectProfile {
+		prof, err := profileWindow(ctx, bench.Reference, 0, ^uint64(0)>>1)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}
+
+// Reduced simulates a reduced input set (MinneSPEC small/medium/large or
+// SPEC test/train) to completion in detail.
+type Reduced struct {
+	Input bench.InputSet
+}
+
+// Name implements Technique.
+func (t Reduced) Name() string { return "reduced " + string(t.Input) }
+
+// Family implements Technique.
+func (Reduced) Family() Family { return FamilyReduced }
+
+// Run implements Technique.
+func (t Reduced) Run(ctx Context) (Result, error) {
+	start := time.Now()
+	r, err := newRunner(ctx, t.Input)
+	if err != nil {
+		return Result{}, err
+	}
+	st := r.RunToCompletion()
+	res := Result{
+		Stats:         st,
+		DetailedInstr: st.Instructions,
+		Wall:          time.Since(start),
+		Simulations:   1,
+	}
+	if ctx.CollectProfile {
+		prof, err := profileWindow(ctx, t.Input, 0, ^uint64(0)>>1)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}

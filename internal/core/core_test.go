@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+var testScale = sim.Scale{Unit: 200}
+
+func testCtx(b bench.Name) Context {
+	return Context{Bench: b, Config: sim.BaseConfig(), Scale: testScale}
+}
+
+func TestCatalogueCounts(t *testing.T) {
+	// Table 1: 3 SimPoint + 9 SMARTS + 4 Run Z + 12 FF+Run + 36 FF+WU+Run
+	// = 64 input-independent permutations, plus 3-5 reduced input sets.
+	cases := []struct {
+		b    bench.Name
+		want int
+	}{
+		{bench.Gzip, 69},   // all five reduced inputs
+		{bench.Vortex, 69}, // all five
+		{bench.Art, 67},    // large, test, train only
+		{bench.Mcf, 68},    // small, large, test, train
+	}
+	for _, c := range cases {
+		if got := len(Catalogue(c.b)); got != c.want {
+			t.Errorf("Catalogue(%s) = %d permutations, want %d", c.b, got, c.want)
+		}
+	}
+	if n := len(Table1FFWURun()); n != 36 {
+		t.Errorf("FF+WU+Run permutations = %d, want 36", n)
+	}
+	if n := len(Table1SMARTS()); n != 9 {
+		t.Errorf("SMARTS permutations = %d, want 9", n)
+	}
+}
+
+func TestTable1FFWURunSumsToRoundBases(t *testing.T) {
+	for _, tc := range Table1FFWURun() {
+		f := tc.(FFWURun)
+		sum := f.X + f.Y
+		if sum != 1000 && sum != 2000 && sum != 4000 {
+			t.Errorf("%s: X+Y = %.0f, want a Table 1 base", tc.Name(), sum)
+		}
+	}
+}
+
+func TestTechniqueNames(t *testing.T) {
+	cases := []struct {
+		tech Technique
+		want string
+	}{
+		{RunZ{Z: 500}, "Run 500M"},
+		{FFRun{X: 1000, Z: 100}, "FF 1000M + Run 100M"},
+		{FFWURun{X: 999, Y: 1, Z: 100}, "FF 999M + WU 1M + Run 100M"},
+		{Reduced{Input: bench.Small}, "reduced small"},
+		{SimPoint{IntervalM: 10, MaxK: 100}, "SimPoint multiple 10M (max_k 100)"},
+		{SimPoint{IntervalM: 100, MaxK: 1}, "SimPoint single 100M"},
+		{SMARTS{U: 1000, W: 2000}, "SMARTS U=1000 W=2000"},
+		{Reference{}, "reference"},
+	}
+	for _, c := range cases {
+		if got := c.tech.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestReferenceRun(t *testing.T) {
+	res, err := Reference{}.Run(testCtx(bench.VprRoute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions == 0 || res.Stats.Cycles == 0 {
+		t.Fatal("reference run produced no work")
+	}
+	cpi := res.CPI()
+	if cpi < 0.2 || cpi > 60 {
+		t.Errorf("reference CPI %.3f implausible", cpi)
+	}
+	if res.DetailedInstr != res.Stats.Instructions {
+		t.Errorf("detailed instr %d != measured %d", res.DetailedInstr, res.Stats.Instructions)
+	}
+}
+
+func TestRunZMeasuresExactWindow(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	res, err := RunZ{Z: 500}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testScale.Instr(500)
+	if res.Stats.Instructions != want {
+		t.Errorf("measured %d instructions, want %d", res.Stats.Instructions, want)
+	}
+}
+
+func TestFFRunSkipsAndMeasures(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	res, err := FFRun{X: 1000, Z: 500}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FunctionalInstr != testScale.Instr(1000) {
+		t.Errorf("fast-forwarded %d, want %d", res.FunctionalInstr, testScale.Instr(1000))
+	}
+	if res.Stats.Instructions != testScale.Instr(500) {
+		t.Errorf("measured %d, want %d", res.Stats.Instructions, testScale.Instr(500))
+	}
+}
+
+func TestFFWURunWarmupNotMeasured(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	res, err := FFWURun{X: 990, Y: 10, Z: 500}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions != testScale.Instr(500) {
+		t.Errorf("measured %d, want %d", res.Stats.Instructions, testScale.Instr(500))
+	}
+	// Warm-up instructions count as detailed work but not measured work.
+	if res.DetailedInstr != testScale.Instr(510) {
+		t.Errorf("detailed %d, want %d", res.DetailedInstr, testScale.Instr(510))
+	}
+}
+
+func TestWarmupImprovesOverCold(t *testing.T) {
+	// FF+WU+Run must report CPI no worse than FF+Run over the same window
+	// (the warm-up exists to remove the cold-start bias).
+	ctx := testCtx(bench.Gzip)
+	cold, err := FFRun{X: 1000, Z: 200}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := FFWURun{X: 900, Y: 100, Z: 200}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CPI() > cold.CPI()*1.02 {
+		t.Errorf("warmed CPI %.3f worse than cold CPI %.3f", warm.CPI(), cold.CPI())
+	}
+}
+
+func TestSMARTSAccuracy(t *testing.T) {
+	// The paper's headline: SMARTS CPI is within a few percent of the
+	// reference CPI. At our scale allow 10%.
+	for _, b := range []bench.Name{bench.VprRoute, bench.Gzip} {
+		ctx := testCtx(b)
+		ref, err := Reference{}.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := (SMARTS{U: 1000, W: 2000}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(sm.CPI()-ref.CPI()) / ref.CPI()
+		if relErr > 0.10 {
+			t.Errorf("%s: SMARTS CPI %.3f vs reference %.3f (%.1f%% error)",
+				b, sm.CPI(), ref.CPI(), 100*relErr)
+		}
+		if sm.DetailedInstr >= ref.DetailedInstr/2 {
+			t.Errorf("%s: SMARTS simulated %d detailed instructions of %d — no speedup",
+				b, sm.DetailedInstr, ref.DetailedInstr)
+		}
+		if sm.Simulations < 1 {
+			t.Errorf("Simulations = %d", sm.Simulations)
+		}
+	}
+}
+
+func TestSimPointAccuracy(t *testing.T) {
+	ctx := testCtx(bench.Gzip)
+	ref, err := Reference{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := (SimPoint{IntervalM: 10, MaxK: 30, WarmupM: 1, Seeds: 2, MaxIter: 25}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(sp.CPI()-ref.CPI()) / ref.CPI()
+	if relErr > 0.25 {
+		t.Errorf("SimPoint CPI %.3f vs reference %.3f (%.1f%% error)", sp.CPI(), ref.CPI(), 100*relErr)
+	}
+	if sp.DetailedInstr >= ref.DetailedInstr {
+		t.Error("SimPoint did not reduce detailed simulation")
+	}
+}
+
+func TestReducedRunsDifferentProgram(t *testing.T) {
+	ctx := testCtx(bench.Mcf)
+	ref, err := Reference{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := (Reduced{Input: bench.Small}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Stats.Instructions >= ref.Stats.Instructions {
+		t.Error("reduced input should be much shorter than reference")
+	}
+	// mcf's signature: the reduced input is cache-resident, the reference
+	// is not, so L2 behaviour differs dramatically.
+	refMiss := float64(ref.Stats.L2.Misses) / float64(ref.Stats.L2.Accesses+1)
+	redMiss := float64(red.Stats.L2.Misses) / float64(red.Stats.L2.Accesses+1)
+	if redMiss >= refMiss {
+		t.Errorf("mcf small L2 miss ratio %.3f not below reference %.3f", redMiss, refMiss)
+	}
+}
+
+func TestProfileCollection(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	ctx.CollectProfile = true
+	for _, tech := range []Technique{
+		Reference{}, RunZ{Z: 500}, FFRun{X: 1000, Z: 200},
+		SMARTS{U: 1000, W: 2000},
+		SimPoint{IntervalM: 100, MaxK: 5, Seeds: 2, MaxIter: 20},
+	} {
+		res, err := tech.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name(), err)
+		}
+		if res.Profile == nil || res.Profile.Total == 0 {
+			t.Errorf("%s: no profile collected", tech.Name())
+		}
+	}
+}
+
+func TestResultsDeterministic(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	a, err := (FFRun{X: 1000, Z: 500}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (FFRun{X: 1000, Z: 500}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles || a.Stats.Instructions != b.Stats.Instructions {
+		t.Error("technique results are not deterministic")
+	}
+}
+
+func TestByFamily(t *testing.T) {
+	m := ByFamily(Catalogue(bench.Gzip))
+	if len(m[FamilySMARTS]) != 9 || len(m[FamilyFFWURun]) != 36 {
+		t.Errorf("ByFamily sizes wrong: %d SMARTS, %d FF+WU+Run",
+			len(m[FamilySMARTS]), len(m[FamilyFFWURun]))
+	}
+}

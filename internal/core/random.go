@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RandomSample is the third sampling technique §2 describes — random
+// sampling after Conte et al. [Conte96]: the results of N randomly chosen
+// and distributed intervals are combined into the overall estimate, with
+// W instructions of detailed warm-up before each sample to reduce the
+// cold-start error (Conte's remedy, quoted by the paper). The paper
+// excluded random sampling from its study because it was rarely used;
+// this implementation is provided as an extension so the exclusion itself
+// can be examined (see the ablation benches).
+type RandomSample struct {
+	N uint64 // number of samples
+	U uint64 // detailed length per sample, instructions
+	W uint64 // detailed warm-up per sample, instructions
+
+	// FuncWarm is the trailing portion of each inter-sample gap executed
+	// with functional warming instead of a cold fast-forward, in
+	// instructions (Conte's "increase the warm-up before each sample",
+	// applied at the cache level). Zero uses 10*(U+W); negative values are
+	// not representable, so use 1 for the fully-cold ablation.
+	FuncWarm uint64
+
+	// Seed makes runs reproducible; zero uses a fixed default.
+	Seed uint64
+}
+
+// Name implements Technique.
+func (t RandomSample) Name() string {
+	return fmt.Sprintf("Random N=%d U=%d W=%d", t.N, t.U, t.W)
+}
+
+// Family implements Technique. Random sampling is its own family (it is
+// not part of the paper's six, so it never appears in Table 1 catalogues).
+func (RandomSample) Family() Family { return Family("Random") }
+
+// Run implements Technique.
+func (t RandomSample) Run(ctx Context) (Result, error) {
+	if t.N == 0 || t.U == 0 {
+		return Result{}, fmt.Errorf("core: random sampling needs N and U")
+	}
+	start := time.Now()
+	spec, err := bench.Lookup(ctx.Bench, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	total := ctx.Scale.Instr(spec.LengthPaperM)
+	span := t.U + t.W
+	if total <= span {
+		return Result{}, fmt.Errorf("core: program too short for random samples")
+	}
+
+	seed := t.Seed
+	if seed == 0 {
+		seed = 0x636f6e7465 // "conte"
+	}
+	rng := xrand.New(seed)
+	starts := make([]uint64, t.N)
+	for i := range starts {
+		starts[i] = rng.Uint64() % (total - span)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	r, err := newRunner(ctx, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	funcWarm := t.FuncWarm
+	if funcWarm == 0 {
+		funcWarm = 10 * span
+	}
+	var agg sim.Stats
+	var detailed, functional uint64
+	measured := 0
+	for _, s := range starts {
+		pos := r.Emu.Count
+		if s < pos {
+			continue // overlapping sample; skip (random starts may collide)
+		}
+		gap := s - pos
+		if gap > funcWarm {
+			functional += r.FastForward(gap - funcWarm)
+			gap = funcWarm
+		}
+		functional += r.FunctionalWarm(gap)
+		if t.W > 0 {
+			detailed += r.Detailed(t.W)
+		}
+		r.Mark()
+		got := r.Detailed(t.U)
+		win := r.Window()
+		r.Drain()
+		detailed += got
+		if got == 0 {
+			break
+		}
+		agg.Add(win)
+		measured++
+	}
+	if measured == 0 {
+		return Result{}, fmt.Errorf("core: no random samples measured")
+	}
+	res := Result{
+		Stats:           agg,
+		DetailedInstr:   detailed,
+		FunctionalInstr: functional,
+		Wall:            time.Since(start),
+		Simulations:     1,
+	}
+	if ctx.CollectProfile {
+		prof, err := t.sampledProfile(ctx, starts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}
+
+func (t RandomSample) sampledProfile(ctx Context, starts []uint64) (*cpu.Profile, error) {
+	p, err := bench.Build(ctx.Bench, bench.Reference, ctx.Scale)
+	if err != nil {
+		return nil, err
+	}
+	e := cpu.NewEmu(p)
+	prof := cpu.NewProfile(p)
+	for _, s := range starts {
+		target := s + t.W
+		if target < e.Count {
+			continue
+		}
+		e.Run(target - e.Count)
+		e.RunProfile(t.U, prof)
+		if e.Halted {
+			break
+		}
+	}
+	return prof, nil
+}

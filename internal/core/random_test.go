@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestRandomSampleAccuracy(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	ref, err := Reference{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := (RandomSample{N: 40, U: 1000, W: 2000}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr := math.Abs(rs.CPI()-ref.CPI()) / ref.CPI()
+	if relErr > 0.15 {
+		t.Errorf("random sampling CPI %.3f vs reference %.3f (%.1f%% error)",
+			rs.CPI(), ref.CPI(), 100*relErr)
+	}
+	if rs.DetailedInstr >= ref.DetailedInstr/2 {
+		t.Error("random sampling did not reduce detailed work")
+	}
+}
+
+func TestRandomSampleWarmupHelps(t *testing.T) {
+	// Conte's point: more warm-up before each sample reduces the error.
+	ctx := testCtx(bench.Gzip)
+	ref, err := Reference{}.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errFor := func(w uint64) float64 {
+		rs, err := (RandomSample{N: 30, U: 500, W: w}).Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(rs.CPI()-ref.CPI()) / ref.CPI()
+	}
+	none, lots := errFor(0), errFor(4000)
+	if lots > none+0.02 {
+		t.Errorf("warm-up increased error: none=%.3f lots=%.3f", none, lots)
+	}
+}
+
+func TestRandomSampleDeterministic(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	a, err := (RandomSample{N: 10, U: 500, W: 500}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (RandomSample{N: 10, U: 500, W: 500}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Cycles != b.Stats.Cycles {
+		t.Error("random sampling not deterministic for a fixed seed")
+	}
+	c, err := (RandomSample{N: 10, U: 500, W: 500, Seed: 99}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Cycles == a.Stats.Cycles {
+		t.Log("note: different seed produced identical cycles (possible but unlikely)")
+	}
+}
+
+func TestRandomSampleErrors(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	if _, err := (RandomSample{N: 0, U: 100}).Run(ctx); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := (RandomSample{N: 10, U: 0}).Run(ctx); err == nil {
+		t.Error("U=0 accepted")
+	}
+	if (RandomSample{N: 1, U: 1, W: 1}).Family() == FamilySMARTS {
+		t.Error("random sampling must not masquerade as SMARTS")
+	}
+}
+
+func TestRandomSampleProfile(t *testing.T) {
+	ctx := testCtx(bench.VprRoute)
+	ctx.CollectProfile = true
+	rs, err := (RandomSample{N: 20, U: 500, W: 500}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Profile == nil || rs.Profile.Total == 0 {
+		t.Error("no profile collected")
+	}
+}

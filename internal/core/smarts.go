@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/smarts"
+	"repro/internal/xrand"
+)
+
+// SMARTS is the systematic-sampling technique of [Wunderlich03] with the
+// Table 1 parameters: detailed sample unit U and detailed warm-up W, both
+// in instructions (SMARTS units are small absolute counts, not paper-M),
+// functional warming between samples, and statistical resimulation when
+// the CPI confidence interval misses the 99.7% / ±3% target.
+type SMARTS struct {
+	U uint64 // detailed-simulation length per sample, instructions
+	W uint64 // detailed warm-up per sample, instructions
+}
+
+// Table1SMARTS returns the paper's nine SMARTS permutations
+// (U x W over {100, 1000, 10000} x {200, 2000, 20000}).
+func Table1SMARTS() []Technique {
+	var ts []Technique
+	for _, u := range []uint64{100, 1000, 10000} {
+		for _, w := range []uint64{200, 2000, 20000} {
+			ts = append(ts, SMARTS{U: u, W: w})
+		}
+	}
+	return ts
+}
+
+// Name implements Technique.
+func (t SMARTS) Name() string { return fmt.Sprintf("SMARTS U=%d W=%d", t.U, t.W) }
+
+// Family implements Technique.
+func (SMARTS) Family() Family { return FamilySMARTS }
+
+// smartsMachine adapts a fresh machine per sampled pass to smarts.Runner.
+type smartsMachine struct {
+	ctx   Context
+	total uint64
+}
+
+// SampledPass implements smarts.Runner: a full sampled pass with n units
+// over a freshly reset machine. Units are placed one per period with a
+// deterministic stratified offset inside the period: the original SMARTS
+// is strictly systematic but relies on n=10,000 units to wash out
+// aliasing against program periodicity; at repository scale the sample
+// counts are small enough that pure systematic placement resonates with
+// loop structure, so stratified placement (a standard sampling variant
+// analyzed in the same literature) is used instead and documented in
+// EXPERIMENTS.md.
+func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, uint64, uint64, error) {
+	r, err := newRunner(m.ctx, bench.Reference)
+	if err != nil {
+		return nil, sim.Stats{}, 0, 0, err
+	}
+	period := m.total / uint64(n)
+	if period < 4*(u+w) {
+		period = 4 * (u + w)
+	}
+	rng := xrand.New(0x534d54) // fixed: passes are deterministic
+	var cpis []float64
+	var agg sim.Stats
+	var detailed, functional uint64
+	// The nominal program length is approximate; keep sampling at the same
+	// period past the planned n until the program actually completes, so
+	// the tail of the execution is covered (capped defensively).
+	for i := 0; i < 4*n && !r.Done(); i++ {
+		// Place the detailed span at a stratified offset in this period.
+		slack := period - u - w
+		offset := uint64(0)
+		if slack > 0 {
+			offset = rng.Uint64() % slack
+		}
+		start := uint64(i)*period + offset
+		if pos := r.Emu.Count; start > pos {
+			functional += r.FunctionalWarm(start - pos)
+		}
+		if w > 0 {
+			detailed += r.Detailed(w) // detailed warm-up, unmeasured
+		}
+		r.Mark()
+		got := r.Detailed(u)
+		win := r.Window()
+		r.Drain() // finish in-flight work before returning to warming
+		detailed += got
+		if got == 0 {
+			break
+		}
+		cpis = append(cpis, win.CPI())
+		agg.Add(win)
+	}
+	if len(cpis) == 0 {
+		return nil, sim.Stats{}, 0, 0, fmt.Errorf("core: SMARTS measured no units (program too short)")
+	}
+	return cpis, agg, detailed, functional, nil
+}
+
+// Run implements Technique.
+func (t SMARTS) Run(ctx Context) (Result, error) {
+	start := time.Now()
+	spec, err := bench.Lookup(ctx.Bench, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	total := ctx.Scale.Instr(spec.LengthPaperM)
+	cfg := smarts.DefaultConfig(t.U, t.W)
+	m := &smartsMachine{ctx: ctx, total: total}
+	out, err := smarts.Run(m, total, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Stats:           out.Stats,
+		DetailedInstr:   out.DetailedInstr,
+		FunctionalInstr: out.FunctionalInstr,
+		Wall:            time.Since(start),
+		Simulations:     out.Simulations,
+	}
+	if ctx.CollectProfile {
+		// The measured profile is the sampled units' profile, collected
+		// with the same systematic schedule.
+		prof, err := t.sampledProfile(ctx, total, cfg.EffectiveSamples(total))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}
+
+// sampledProfile collects the BBEF/BBV of the measured units only.
+func (t SMARTS) sampledProfile(ctx Context, total uint64, n int) (*cpu.Profile, error) {
+	p, err := bench.Build(ctx.Bench, bench.Reference, ctx.Scale)
+	if err != nil {
+		return nil, err
+	}
+	e := cpu.NewEmu(p)
+	prof := cpu.NewProfile(p)
+	period := total / uint64(n)
+	if period < 4*(t.U+t.W) {
+		period = 4 * (t.U + t.W)
+	}
+	rng := xrand.New(0x534d54) // same placement as the measurement pass
+	for i := 0; i < 4*n && !e.Halted; i++ {
+		slack := period - t.U - t.W
+		offset := uint64(0)
+		if slack > 0 {
+			offset = rng.Uint64() % slack
+		}
+		start := uint64(i)*period + offset + t.W
+		if start > e.Count {
+			e.Run(start - e.Count)
+		}
+		e.RunProfile(t.U, prof)
+	}
+	return prof, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// RunZ simulates only the first Z paper-M instructions of the reference
+// input in detail (§2, "Run Z").
+type RunZ struct {
+	Z float64 // paper-M
+}
+
+// Name implements Technique.
+func (t RunZ) Name() string { return fmt.Sprintf("Run %.0fM", t.Z) }
+
+// Family implements Technique.
+func (RunZ) Family() Family { return FamilyRunZ }
+
+// Run implements Technique.
+func (t RunZ) Run(ctx Context) (Result, error) {
+	start := time.Now()
+	r, err := newRunner(ctx, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
+	res := Result{
+		Stats:         st,
+		DetailedInstr: st.Instructions,
+		Wall:          time.Since(start),
+		Simulations:   1,
+	}
+	if ctx.CollectProfile {
+		prof, err := profileWindow(ctx, bench.Reference, 0, ctx.Scale.Instr(t.Z))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}
+
+// FFRun fast-forwards X paper-M instructions (leaving all
+// micro-architectural state cold) and then simulates the next Z paper-M in
+// detail (§2, "FF X + Run Z").
+type FFRun struct {
+	X float64 // fast-forward length, paper-M
+	Z float64 // detailed length, paper-M
+}
+
+// Name implements Technique.
+func (t FFRun) Name() string { return fmt.Sprintf("FF %.0fM + Run %.0fM", t.X, t.Z) }
+
+// Family implements Technique.
+func (FFRun) Family() Family { return FamilyFFRun }
+
+// Run implements Technique.
+func (t FFRun) Run(ctx Context) (Result, error) {
+	start := time.Now()
+	r, err := newRunner(ctx, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	ff := r.FastForward(ctx.Scale.Instr(t.X))
+	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
+	res := Result{
+		Stats:           st,
+		DetailedInstr:   st.Instructions,
+		FunctionalInstr: ff,
+		Wall:            time.Since(start),
+		Simulations:     1,
+	}
+	if ctx.CollectProfile {
+		prof, err := profileWindow(ctx, bench.Reference, ctx.Scale.Instr(t.X), ctx.Scale.Instr(t.Z))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}
+
+// FFWURun fast-forwards X paper-M instructions, warms the machine with Y
+// paper-M of detailed (but unmeasured) execution, and then measures the
+// next Z paper-M (§2, "FF X + WU Y + Run Z"). Table 1 keeps X+Y a round
+// number of 100M multiples.
+type FFWURun struct {
+	X float64
+	Y float64
+	Z float64
+}
+
+// Name implements Technique.
+func (t FFWURun) Name() string {
+	return fmt.Sprintf("FF %.0fM + WU %.0fM + Run %.0fM", t.X, t.Y, t.Z)
+}
+
+// Family implements Technique.
+func (FFWURun) Family() Family { return FamilyFFWURun }
+
+// Run implements Technique.
+func (t FFWURun) Run(ctx Context) (Result, error) {
+	start := time.Now()
+	r, err := newRunner(ctx, bench.Reference)
+	if err != nil {
+		return Result{}, err
+	}
+	ff := r.FastForward(ctx.Scale.Instr(t.X))
+	wu := r.Detailed(ctx.Scale.Instr(t.Y)) // warm-up: detailed, unmeasured
+	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
+	res := Result{
+		Stats:           st,
+		DetailedInstr:   st.Instructions + wu,
+		FunctionalInstr: ff,
+		Wall:            time.Since(start),
+		Simulations:     1,
+	}
+	if ctx.CollectProfile {
+		skip := ctx.Scale.Instr(t.X) + ctx.Scale.Instr(t.Y)
+		prof, err := profileWindow(ctx, bench.Reference, skip, ctx.Scale.Instr(t.Z))
+		if err != nil {
+			return Result{}, err
+		}
+		res.Profile = prof
+	}
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Checkpoint is a snapshot of architectural state: registers, memory, PC,
+// and instruction count. SimPoint users store checkpoints at simulation
+// points so successive configuration runs skip the fast-forward; the paper
+// counts checkpoint generation in SimPoint's one-time cost and notes it is
+// "amortized by successive runs" (§6.1).
+type Checkpoint struct {
+	R      [isa.NumIntRegs]int64
+	F      [isa.NumFPRegs]float64
+	Mem    []int64
+	PC     int32
+	Halted bool
+	Count  uint64
+}
+
+// Snapshot captures the emulator's architectural state.
+func (e *Emu) Snapshot() *Checkpoint {
+	cp := &Checkpoint{
+		R:      e.R,
+		F:      e.F,
+		Mem:    make([]int64, len(e.Mem)),
+		PC:     e.PC,
+		Halted: e.Halted,
+		Count:  e.Count,
+	}
+	copy(cp.Mem, e.Mem)
+	return cp
+}
+
+// Restore rewinds the emulator to a checkpoint taken on the same program.
+func (e *Emu) Restore(cp *Checkpoint) error {
+	if len(cp.Mem) != len(e.Mem) {
+		return fmt.Errorf("cpu: checkpoint memory size %d != program memory %d (different program?)",
+			len(cp.Mem), len(e.Mem))
+	}
+	e.R = cp.R
+	e.F = cp.F
+	copy(e.Mem, cp.Mem)
+	e.PC = cp.PC
+	e.Halted = cp.Halted
+	e.Count = cp.Count
+	return nil
+}

@@ -1,0 +1,710 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TCMode selects the trivial-computation enhancement level [Yi02].
+type TCMode uint8
+
+// Trivial-computation modes.
+const (
+	TCOff TCMode = iota
+	// TCSimplify executes trivial computations on a single-cycle integer
+	// ALU instead of their normal (long-latency) functional unit.
+	TCSimplify
+	// TCEliminate additionally bypasses identity/constant computations
+	// entirely: they complete at issue with zero execution latency.
+	TCEliminate
+)
+
+// String names the mode.
+func (m TCMode) String() string {
+	switch m {
+	case TCOff:
+		return "off"
+	case TCSimplify:
+		return "simplify"
+	case TCEliminate:
+		return "eliminate"
+	default:
+		return fmt.Sprintf("tc(%d)", uint8(m))
+	}
+}
+
+// CoreConfig holds the pipeline parameters of the out-of-order core. Cache,
+// TLB and memory parameters live in mem.HierarchyConfig; branch predictor
+// parameters in branch.Config. Together they form the 43 Plackett-Burman
+// parameters assembled by package sim.
+type CoreConfig struct {
+	FetchWidth     int
+	FetchQueue     int
+	DecodeWidth    int
+	IssueWidth     int
+	CommitWidth    int
+	ROBEntries     int
+	IQEntries      int
+	LSQEntries     int
+	IntALUs        int
+	IntALULat      int
+	IntMultUnits   int
+	IntMultLat     int
+	IntDivLat      int
+	FPALUs         int
+	FPALULat       int
+	FPMultUnits    int
+	FPMultLat      int
+	FPDivLat       int
+	DMemPorts      int
+	MispredPenalty int // extra redirect cycles beyond branch resolution
+	StoreForward   int // store-to-load forwarding latency
+
+	TC TCMode
+}
+
+// Validate reports configuration errors.
+func (c CoreConfig) Validate() error {
+	pos := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth}, {"FetchQueue", c.FetchQueue},
+		{"DecodeWidth", c.DecodeWidth}, {"IssueWidth", c.IssueWidth},
+		{"CommitWidth", c.CommitWidth}, {"ROBEntries", c.ROBEntries},
+		{"IQEntries", c.IQEntries}, {"LSQEntries", c.LSQEntries},
+		{"IntALUs", c.IntALUs}, {"IntALULat", c.IntALULat},
+		{"IntMultUnits", c.IntMultUnits}, {"IntMultLat", c.IntMultLat},
+		{"IntDivLat", c.IntDivLat}, {"FPALUs", c.FPALUs},
+		{"FPALULat", c.FPALULat}, {"FPMultUnits", c.FPMultUnits},
+		{"FPMultLat", c.FPMultLat}, {"FPDivLat", c.FPDivLat},
+		{"DMemPorts", c.DMemPorts}, {"StoreForward", c.StoreForward},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("cpu: %s must be positive, got %d", p.name, p.v)
+		}
+	}
+	if c.MispredPenalty < 0 {
+		return fmt.Errorf("cpu: MispredPenalty must be non-negative, got %d", c.MispredPenalty)
+	}
+	return nil
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	di        DynInst
+	seq       int64 // global fetch order; also identifies the ROB slot
+	depA      int64 // producer seqs; -1 when the operand was ready at dispatch
+	depB      int64
+	issued    bool
+	done      bool
+	doneCycle uint64
+}
+
+// CoreStats counts events observed by the core itself; predictor and memory
+// statistics live in their own structures.
+type CoreStats struct {
+	Cycles    uint64
+	Committed uint64
+
+	ClassCounts [isa.NumClasses]uint64
+
+	TrivialSeen       uint64 // dynamic trivial computations observed
+	TrivialSimplified uint64
+	TrivialEliminated uint64
+	LoadsForwarded    uint64
+
+	FetchStallCycles uint64 // cycles the frontend was blocked on a branch or I-miss
+	ROBFullStalls    uint64 // dispatch stalls due to a full ROB
+	IQFullStalls     uint64
+	LSQFullStalls    uint64
+}
+
+// Sub returns s - t for measurement-window deltas.
+func (s CoreStats) Sub(t CoreStats) CoreStats {
+	r := s
+	r.Cycles -= t.Cycles
+	r.Committed -= t.Committed
+	for i := range r.ClassCounts {
+		r.ClassCounts[i] -= t.ClassCounts[i]
+	}
+	r.TrivialSeen -= t.TrivialSeen
+	r.TrivialSimplified -= t.TrivialSimplified
+	r.TrivialEliminated -= t.TrivialEliminated
+	r.LoadsForwarded -= t.LoadsForwarded
+	r.FetchStallCycles -= t.FetchStallCycles
+	r.ROBFullStalls -= t.ROBFullStalls
+	r.IQFullStalls -= t.IQFullStalls
+	r.LSQFullStalls -= t.LSQFullStalls
+	return r
+}
+
+// IPC returns committed instructions per cycle for the window.
+func (s CoreStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// CPI returns cycles per committed instruction for the window.
+func (s CoreStats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// Core is the cycle-level out-of-order superscalar engine. It consumes the
+// correct-path dynamic instruction stream from the functional emulator and
+// models fetch, dispatch, issue, execute, and commit timing.
+type Core struct {
+	cfg  CoreConfig
+	emu  *Emu
+	hier *mem.Hierarchy
+	pred *branch.Predictor
+	btb  *branch.BTB
+	ras  *branch.RAS
+
+	cycle uint64
+
+	// Reorder buffer as a seq-indexed ring: entry for seq s lives in
+	// rob[s&robMask]; occupied range is [headSeq, nextSeq). The ring is
+	// sized to the next power of two above ROBEntries so slot lookup is a
+	// mask; the architectural capacity check still uses ROBEntries.
+	rob     []robEntry
+	robMask int64
+	headSeq int64
+	nextSeq int64
+
+	// issueScan is the oldest possibly-unissued seq, advanced lazily so
+	// the per-cycle issue scan skips the already-issued prefix.
+	issueScan int64
+
+	// fetchQ holds fetched, not yet dispatched instructions.
+	fetchQ  []robEntry
+	fqHead  int
+	fqCount int
+
+	iqCount  int // dispatched, not yet issued
+	lsqCount int // memory ops dispatched, not yet committed
+
+	lastWriter [64]int64 // register -> seq of most recent in-flight writer, -1 none
+
+	// Functional-unit pools: next-free cycle per unit.
+	fuIntALU  []uint64
+	fuIntMult []uint64
+	fuFPALU   []uint64
+	fuFPMult  []uint64
+	dports    []uint64
+
+	// Frontend control.
+	fetchResume    uint64 // fetch blocked until this cycle
+	waitBranchSeq  int64  // seq of the unresolved branch the frontend waits on, -1 none
+	pendingRefill  uint64 // extra cycles to add when that branch resolves
+	lastFetchBlock uint64 // last I-cache block fetched (+1, so 0 = none)
+	traceDone      bool
+	runTarget      uint64 // commit ceiling for the current Run/Drain call
+
+	l1iHitLat int
+
+	Stats CoreStats
+}
+
+// NewCore builds a core over the shared functional emulator and
+// micro-architectural state. All structures must be non-nil.
+func NewCore(cfg CoreConfig, emu *Emu, hier *mem.Hierarchy, pred *branch.Predictor, btb *branch.BTB, ras *branch.RAS) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	robCap := 1
+	for robCap < cfg.ROBEntries {
+		robCap <<= 1
+	}
+	c := &Core{
+		cfg:  cfg,
+		emu:  emu,
+		hier: hier,
+		pred: pred,
+		btb:  btb,
+		ras:  ras,
+
+		rob:       make([]robEntry, robCap),
+		robMask:   int64(robCap - 1),
+		fetchQ:    make([]robEntry, cfg.FetchQueue),
+		fuIntALU:  make([]uint64, cfg.IntALUs),
+		fuIntMult: make([]uint64, cfg.IntMultUnits),
+		fuFPALU:   make([]uint64, cfg.FPALUs),
+		fuFPMult:  make([]uint64, cfg.FPMultUnits),
+		dports:    make([]uint64, cfg.DMemPorts),
+
+		waitBranchSeq: -1,
+		l1iHitLat:     hier.L1I.Latency(),
+	}
+	for i := range c.lastWriter {
+		c.lastWriter[i] = -1
+	}
+	return c, nil
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() CoreConfig { return c.cfg }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// robAt returns the entry holding seq; seq must be in [headSeq, nextSeq).
+func (c *Core) robAt(seq int64) *robEntry {
+	return &c.rob[seq&c.robMask]
+}
+
+func (c *Core) robCount() int { return int(c.nextSeq - c.headSeq) }
+
+// depReady reports whether the operand produced by seq is available at the
+// current cycle.
+func (c *Core) depReady(seq int64) bool {
+	if seq < c.headSeq {
+		return true // producer committed; value in the register file
+	}
+	e := c.robAt(seq)
+	return e.done && e.doneCycle <= c.cycle
+}
+
+// freeUnit finds a functional unit free this cycle and marks it busy for
+// busyFor cycles, returning false when none is available.
+func freeUnit(pool []uint64, cycle uint64, busyFor int) bool {
+	for i, free := range pool {
+		if free <= cycle {
+			pool[i] = cycle + uint64(busyFor)
+			return true
+		}
+	}
+	return false
+}
+
+// execLatency returns the execution latency and FU pool for a dynamic
+// instruction, applying the trivial-computation enhancement.
+func (c *Core) execLatency(e *robEntry) (lat int, pool []uint64, eliminated bool) {
+	di := &e.di
+	if c.cfg.TC != TCOff && di.Trivial != isa.NotTrivial {
+		if c.cfg.TC == TCEliminate &&
+			(di.Trivial == isa.TrivialIdentity || di.Trivial == isa.TrivialConstant) {
+			return 0, nil, true
+		}
+		// Simplify: route to a single-cycle integer ALU.
+		return 1, c.fuIntALU, false
+	}
+	switch di.Class {
+	case isa.ClassIntALU:
+		return c.cfg.IntALULat, c.fuIntALU, false
+	case isa.ClassIntMult:
+		if di.Op == isa.MUL {
+			return c.cfg.IntMultLat, c.fuIntMult, false
+		}
+		return c.cfg.IntDivLat, c.fuIntMult, false
+	case isa.ClassFPALU:
+		return c.cfg.FPALULat, c.fuFPALU, false
+	case isa.ClassFPMult:
+		if di.Op == isa.FMUL {
+			return c.cfg.FPMultLat, c.fuFPMult, false
+		}
+		return c.cfg.FPDivLat, c.fuFPMult, false
+	case isa.ClassBranch, isa.ClassStore:
+		// Branch resolution and store address generation use an integer ALU.
+		return c.cfg.IntALULat, c.fuIntALU, false
+	default: // ClassNop
+		return 1, c.fuIntALU, false
+	}
+}
+
+// nonPipelined reports whether the op monopolizes its unit for the full
+// latency (divides) rather than being pipelined.
+func nonPipelined(op isa.Op) bool {
+	switch op {
+	case isa.DIV, isa.REM, isa.FDIV:
+		return true
+	}
+	return false
+}
+
+// commit retires up to CommitWidth completed instructions in order, never
+// exceeding the current run target so measurement windows are exact.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.headSeq < c.nextSeq && c.Stats.Committed < c.runTarget; n++ {
+		e := c.robAt(c.headSeq)
+		if !e.done || e.doneCycle > c.cycle {
+			return
+		}
+		if e.di.Class == isa.ClassStore {
+			// Stores access the D-cache at commit through a shared port;
+			// commit stalls when no port is free this cycle.
+			if !freeUnit(c.dports, c.cycle, 1) {
+				return
+			}
+			c.hier.AccessD(e.di.Addr, true)
+		}
+		if e.di.Class == isa.ClassLoad || e.di.Class == isa.ClassStore {
+			c.lsqCount--
+		}
+		if w := writesReg(&e.di); w != isa.RegNone {
+			if c.lastWriter[w] == e.seq {
+				c.lastWriter[w] = -1
+			}
+		}
+		c.Stats.Committed++
+		c.Stats.ClassCounts[e.di.Class]++
+		c.headSeq++
+	}
+}
+
+// writesReg returns the destination register written by di, or RegNone.
+// Writes to the hardwired integer R0 create no dependences.
+func writesReg(di *DynInst) isa.Reg {
+	w := isa.RegNone
+	switch di.Class {
+	case isa.ClassStore, isa.ClassNop:
+	case isa.ClassBranch:
+		if di.Op == isa.JAL {
+			w = di.Dst
+		}
+	default:
+		w = di.Dst
+	}
+	if w == 0 { // integer R0
+		return isa.RegNone
+	}
+	return w
+}
+
+// issue selects up to IssueWidth ready instructions oldest-first.
+func (c *Core) issue() {
+	if c.issueScan < c.headSeq {
+		c.issueScan = c.headSeq
+	}
+	for c.issueScan < c.nextSeq && c.robAt(c.issueScan).issued {
+		c.issueScan++
+	}
+	issued := 0
+	for seq := c.issueScan; seq < c.nextSeq && issued < c.cfg.IssueWidth; seq++ {
+		e := c.robAt(seq)
+		if e.issued {
+			continue
+		}
+		if !(e.depA == -1 || c.depReady(e.depA)) || !(e.depB == -1 || c.depReady(e.depB)) {
+			continue
+		}
+		switch e.di.Class {
+		case isa.ClassLoad:
+			if !c.issueLoad(e) {
+				continue
+			}
+		case isa.ClassNop:
+			e.issued = true
+			e.done = true
+			e.doneCycle = c.cycle + 1
+			c.iqCount--
+			issued++
+			continue
+		default:
+			lat, pool, eliminated := c.execLatency(e)
+			if eliminated {
+				e.issued = true
+				e.done = true
+				e.doneCycle = c.cycle // bypassed: result known immediately
+				c.Stats.TrivialEliminated++
+				c.iqCount--
+				issued++
+				c.resolveBranchWait(e)
+				continue
+			}
+			busy := 1
+			if nonPipelined(e.di.Op) && lat > 1 {
+				busy = lat // divides monopolize their unit unless simplified
+			}
+			if !freeUnit(pool, c.cycle, busy) {
+				continue
+			}
+			if c.cfg.TC != TCOff && e.di.Trivial != isa.NotTrivial {
+				c.Stats.TrivialSimplified++
+			}
+			e.issued = true
+			e.done = true
+			e.doneCycle = c.cycle + uint64(lat)
+			c.iqCount--
+			issued++
+			c.resolveBranchWait(e)
+			continue
+		}
+		// Loads reach here after successful issueLoad.
+		c.iqCount--
+		issued++
+	}
+}
+
+// issueLoad handles memory disambiguation, forwarding, ports, and the cache
+// access for a load. It returns false when the load cannot issue this cycle.
+func (c *Core) issueLoad(e *robEntry) bool {
+	// Memory disambiguation is oracle-based (addresses are exact from the
+	// functional stream): only older stores to the same word matter.
+	word := e.di.Addr >> 3
+	var forwardFrom *robEntry
+	for s := e.seq - 1; s >= c.headSeq; s-- {
+		p := c.robAt(s)
+		if p.di.Class == isa.ClassStore && p.di.Addr>>3 == word {
+			forwardFrom = p
+			break
+		}
+	}
+	if forwardFrom != nil {
+		// The youngest older store to this word must have produced its data.
+		if !forwardFrom.done || forwardFrom.doneCycle > c.cycle {
+			return false
+		}
+		e.issued = true
+		e.done = true
+		e.doneCycle = c.cycle + uint64(c.cfg.StoreForward)
+		c.Stats.LoadsForwarded++
+		return true
+	}
+	if !freeUnit(c.dports, c.cycle, 1) {
+		return false
+	}
+	lat := c.hier.AccessD(e.di.Addr, false)
+	e.issued = true
+	e.done = true
+	e.doneCycle = c.cycle + uint64(lat)
+	return true
+}
+
+// resolveBranchWait releases the frontend if it was waiting on this entry.
+func (c *Core) resolveBranchWait(e *robEntry) {
+	if c.waitBranchSeq == e.seq {
+		c.waitBranchSeq = -1
+		r := e.doneCycle + 1 + c.pendingRefill
+		if r > c.fetchResume {
+			c.fetchResume = r
+		}
+	}
+}
+
+// dispatch moves instructions from the fetch queue into the ROB.
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.DecodeWidth && c.fqCount > 0; n++ {
+		if c.robCount() >= c.cfg.ROBEntries {
+			c.Stats.ROBFullStalls++
+			return
+		}
+		if c.iqCount >= c.cfg.IQEntries {
+			c.Stats.IQFullStalls++
+			return
+		}
+		fe := &c.fetchQ[c.fqHead]
+		isMem := fe.di.Class == isa.ClassLoad || fe.di.Class == isa.ClassStore
+		if isMem && c.lsqCount >= c.cfg.LSQEntries {
+			c.Stats.LSQFullStalls++
+			return
+		}
+
+		seq := c.nextSeq
+		e := c.robAt(seq)
+		*e = robEntry{di: fe.di, seq: seq, depA: -1, depB: -1}
+
+		// Record data dependences on in-flight producers.
+		dep := func(r isa.Reg) int64 {
+			if r == isa.RegNone || r == 0 { // R0 always ready
+				return -1
+			}
+			return c.lastWriter[r]
+		}
+		switch e.di.Op {
+		case isa.NOP, isa.HALT, isa.LI, isa.FMOVI, isa.JMP, isa.JAL:
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SLTI,
+			isa.LD, isa.FLD, isa.JR, isa.FNEG, isa.ITOF, isa.FTOI:
+			e.depA = dep(e.di.SrcA)
+		default:
+			e.depA = dep(e.di.SrcA)
+			e.depB = dep(e.di.SrcB)
+		}
+
+		if c.cfg.TC != TCOff && e.di.Trivial != isa.NotTrivial {
+			c.Stats.TrivialSeen++
+		}
+		if w := writesReg(&e.di); w != isa.RegNone {
+			c.lastWriter[w] = seq
+		}
+		if isMem {
+			c.lsqCount++
+		}
+		c.iqCount++
+		c.nextSeq++
+		c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+		c.fqCount--
+	}
+}
+
+// fetch pulls instructions from the functional emulator through the I-cache
+// and branch predictors into the fetch queue.
+func (c *Core) fetch() {
+	if c.traceDone {
+		return
+	}
+	if c.waitBranchSeq != -1 || c.cycle < c.fetchResume {
+		c.Stats.FetchStallCycles++
+		return
+	}
+	blockMask := ^uint64(c.hier.L1I.BlockBytes() - 1)
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if c.fqCount >= len(c.fetchQ) {
+			return
+		}
+		if c.emu.Halted {
+			c.traceDone = true
+			return
+		}
+		pc := c.emu.PC
+		faddr := uint64(pc) * isa.InstBytes
+		blk := (faddr & blockMask) + 1 // +1 so zero means "none yet"
+		if blk != c.lastFetchBlock {
+			lat := c.hier.AccessI(faddr)
+			c.lastFetchBlock = blk
+			if lat > c.l1iHitLat {
+				// Miss: the block arrives after the excess latency; stop
+				// fetching until then.
+				c.fetchResume = c.cycle + uint64(lat-c.l1iHitLat)
+				return
+			}
+		}
+
+		slot := &c.fetchQ[(c.fqHead+c.fqCount)%len(c.fetchQ)]
+		if !c.emu.Step(&slot.di) {
+			c.traceDone = true
+			return
+		}
+		slot.seq = 0 // assigned at dispatch
+		c.fqCount++
+		di := &slot.di
+
+		if di.Op == isa.HALT {
+			c.traceDone = true
+			return
+		}
+		if di.Class != isa.ClassBranch {
+			continue
+		}
+
+		// Branch prediction: determine whether the frontend can keep
+		// fetching, must simply redirect (one-group bubble), or must wait
+		// for the branch to resolve.
+		seqOfThis := c.nextSeq + int64(c.fqCount) - 1 // seq it will get at dispatch
+		switch {
+		case isa.IsCondBranch(di.Op):
+			correct := c.pred.Update(faddr, di.Taken)
+			if di.Taken {
+				_, btbHit := c.btb.Lookup(faddr)
+				c.btb.Update(faddr, di.Next)
+				if !correct {
+					c.stallOnBranch(seqOfThis, c.mispredRefill())
+					return
+				}
+				if !btbHit {
+					c.stallOnBranch(seqOfThis, c.btbMissRefill())
+					return
+				}
+				return // predicted taken: redirect, end fetch group
+			}
+			if !correct {
+				c.stallOnBranch(seqOfThis, c.mispredRefill())
+				return
+			}
+			// correctly predicted not-taken: fall through, keep fetching
+		case di.Op == isa.JMP, di.Op == isa.JAL:
+			if di.Op == isa.JAL {
+				c.ras.Push(di.PC + 1)
+			}
+			_, btbHit := c.btb.Lookup(faddr)
+			c.btb.Update(faddr, di.Next)
+			if !btbHit {
+				c.stallOnBranch(seqOfThis, c.btbMissRefill())
+				return
+			}
+			return // redirect, end group
+		case di.Op == isa.JR:
+			if c.ras.Pop(di.Next) {
+				return // correctly predicted return: redirect, end group
+			}
+			c.stallOnBranch(seqOfThis, c.mispredRefill())
+			return
+		}
+	}
+}
+
+// mispredRefill is the extra redirect latency after a mispredicted branch
+// resolves: the configured penalty plus the frontend refill through the
+// L1 I-cache.
+func (c *Core) mispredRefill() uint64 {
+	return uint64(c.cfg.MispredPenalty + c.l1iHitLat - 1)
+}
+
+// btbMissRefill is the redirect latency when direction was right but the
+// target was unknown (BTB miss): just the frontend refill.
+func (c *Core) btbMissRefill() uint64 {
+	return uint64(c.l1iHitLat - 1)
+}
+
+func (c *Core) stallOnBranch(seq int64, refill uint64) {
+	c.waitBranchSeq = seq
+	c.pendingRefill = refill
+}
+
+// step advances the machine one cycle.
+func (c *Core) step() {
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.cycle++
+	c.Stats.Cycles++
+}
+
+// Run commits up to n further instructions, returning the number committed.
+// It returns early (with fewer) only when the program halts and the
+// pipeline drains.
+func (c *Core) Run(n uint64) uint64 {
+	target := c.Stats.Committed + n
+	c.runTarget = target
+	for c.Stats.Committed < target {
+		if c.traceDone && c.robCount() == 0 && c.fqCount == 0 {
+			break
+		}
+		c.step()
+	}
+	return n - (target - c.Stats.Committed)
+}
+
+// Drain runs the pipeline until every in-flight instruction has committed,
+// without fetching further (used at the end of a SMARTS detailed sample
+// before switching back to functional warming). Fetching is suppressed by
+// temporarily marking the trace done.
+func (c *Core) Drain() {
+	saved := c.traceDone
+	c.traceDone = true
+	c.runTarget = ^uint64(0)
+	for c.robCount() > 0 || c.fqCount > 0 {
+		c.step()
+	}
+	c.traceDone = saved
+	// The frontend must re-fetch the next block after a drain.
+	c.lastFetchBlock = 0
+}
+
+// Done reports whether the program has halted and fully committed.
+func (c *Core) Done() bool {
+	return c.traceDone && c.robCount() == 0 && c.fqCount == 0 && c.emu.Halted
+}
+
+// InFlight returns the number of fetched-but-uncommitted instructions.
+func (c *Core) InFlight() int { return c.robCount() + c.fqCount }

@@ -1,0 +1,40 @@
+// Package cpu contains the two execution engines: a fast functional
+// emulator (used for fast-forwarding, functional warming, and profiling)
+// and a cycle-level out-of-order superscalar core (the detailed timing
+// model). The detailed core is execution-driven off the functional
+// emulator: the emulator supplies the exact correct-path dynamic
+// instruction stream (with resolved addresses and branch outcomes) and the
+// core models its timing, which is the organization used by trace-driven
+// academic simulators.
+package cpu
+
+import "repro/internal/isa"
+
+// DynInst is one dynamic (executed) instruction as produced by the
+// functional emulator: the static instruction plus its resolved effective
+// address, branch outcome, and trivial-computation classification.
+type DynInst struct {
+	PC    int32
+	Block int32
+	Op    isa.Op
+	Class isa.Class
+	Dst   isa.Reg
+	SrcA  isa.Reg
+	SrcB  isa.Reg
+
+	// Addr is the byte effective address for loads and stores.
+	Addr uint64
+
+	// Taken and Next describe the control-flow outcome of branches:
+	// Next is the PC of the dynamically following instruction.
+	Taken bool
+	Next  int32
+
+	// Trivial is the trivial-computation classification of this dynamic
+	// instruction, computed only when the emulator's DetectTrivial flag is
+	// set (the TC enhancement).
+	Trivial isa.TrivialKind
+}
+
+// FetchAddr returns the instruction-fetch byte address.
+func (d *DynInst) FetchAddr() uint64 { return uint64(d.PC) * isa.InstBytes }

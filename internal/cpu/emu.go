@@ -1,0 +1,408 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/branch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Emu is the functional emulator: it executes the architectural semantics
+// of a program with no notion of time. It is the single source of truth for
+// architectural state; the detailed core replays its instruction stream for
+// timing only, so functional and detailed execution can never diverge.
+type Emu struct {
+	Prog *program.Program
+
+	R [isa.NumIntRegs]int64
+	F [isa.NumFPRegs]float64
+
+	// Mem is the data memory as 64-bit words; effective addresses are byte
+	// addresses masked into it.
+	Mem      []int64
+	wordMask uint64
+	byteMask uint64
+
+	PC     int32
+	Halted bool
+
+	// Count is the number of dynamic instructions executed so far.
+	Count uint64
+
+	// DetectTrivial enables trivial-computation classification on each
+	// executed instruction (needed only by the TC enhancement study).
+	DetectTrivial bool
+}
+
+// NewEmu creates an emulator with freshly initialized architectural state.
+func NewEmu(p *program.Program) *Emu {
+	e := &Emu{Prog: p}
+	e.Reset()
+	return e
+}
+
+// Reset restores the power-on architectural state: zero registers, initial
+// data image, entry PC.
+func (e *Emu) Reset() {
+	p := e.Prog
+	e.R = [isa.NumIntRegs]int64{}
+	e.F = [isa.NumFPRegs]float64{}
+	if len(e.Mem) != p.MemWords {
+		e.Mem = make([]int64, p.MemWords)
+	} else {
+		for i := range e.Mem {
+			e.Mem[i] = 0
+		}
+	}
+	for _, seg := range p.DataInit {
+		copy(e.Mem[seg.WordAddr:], seg.Words)
+	}
+	e.wordMask = uint64(p.MemWords - 1)
+	e.byteMask = uint64(p.MemWords*8 - 1)
+	e.PC = int32(p.Entry)
+	e.Halted = false
+	e.Count = 0
+}
+
+// ea computes the effective byte address of a memory operation.
+func (e *Emu) ea(base isa.Reg, imm int64) uint64 {
+	return uint64(e.R[base]+imm) & e.byteMask
+}
+
+// Step executes one instruction, filling di with its dynamic record.
+// It returns false when the machine has halted (di is then invalid).
+func (e *Emu) Step(di *DynInst) bool {
+	if e.Halted {
+		return false
+	}
+	p := e.Prog
+	pc := e.PC
+	in := &p.Code[pc]
+
+	di.PC = pc
+	di.Block = p.BlockOf[pc]
+	di.Op = in.Op
+	di.Class = isa.ClassOf(in.Op)
+	di.Dst = in.Dst
+	di.SrcA = in.SrcA
+	di.SrcB = in.SrcB
+	di.Addr = 0
+	di.Taken = false
+	di.Trivial = isa.NotTrivial
+
+	next := pc + 1
+	setInt := func(r isa.Reg, v int64) {
+		if r != 0 { // R0 is hardwired to zero
+			e.R[r] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SLT,
+		isa.MUL, isa.DIV, isa.REM:
+		a, b := e.R[in.SrcA], e.R[in.SrcB]
+		if e.DetectTrivial {
+			di.Trivial, _ = isa.TrivialInt(in.Op, a, b)
+		}
+		setInt(in.Dst, intALU(in.Op, a, b))
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SLTI:
+		a := e.R[in.SrcA]
+		if e.DetectTrivial {
+			di.Trivial, _ = isa.TrivialInt(immBaseOp(in.Op), a, in.Imm)
+		}
+		setInt(in.Dst, intALU(immBaseOp(in.Op), a, in.Imm))
+	case isa.LI:
+		setInt(in.Dst, in.Imm)
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		a, b := e.F[in.SrcA-isa.FPBase], e.F[in.SrcB-isa.FPBase]
+		if e.DetectTrivial {
+			di.Trivial, _ = isa.TrivialFP(in.Op, a, b)
+		}
+		e.F[in.Dst-isa.FPBase] = fpALU(in.Op, a, b)
+	case isa.FNEG:
+		e.F[in.Dst-isa.FPBase] = -e.F[in.SrcA-isa.FPBase]
+	case isa.FSLT:
+		v := int64(0)
+		if e.F[in.SrcA-isa.FPBase] < e.F[in.SrcB-isa.FPBase] {
+			v = 1
+		}
+		setInt(in.Dst, v)
+	case isa.ITOF:
+		e.F[in.Dst-isa.FPBase] = float64(e.R[in.SrcA])
+	case isa.FTOI:
+		f := e.F[in.SrcA-isa.FPBase]
+		switch {
+		case math.IsNaN(f):
+			setInt(in.Dst, 0)
+		case f >= math.MaxInt64:
+			setInt(in.Dst, math.MaxInt64)
+		case f <= math.MinInt64:
+			setInt(in.Dst, math.MinInt64)
+		default:
+			setInt(in.Dst, int64(f))
+		}
+	case isa.FMOVI:
+		e.F[in.Dst-isa.FPBase] = math.Float64frombits(uint64(in.Imm))
+	case isa.LD:
+		addr := e.ea(in.SrcA, in.Imm)
+		di.Addr = addr
+		setInt(in.Dst, e.Mem[(addr>>3)&e.wordMask])
+	case isa.ST:
+		addr := e.ea(in.SrcA, in.Imm)
+		di.Addr = addr
+		e.Mem[(addr>>3)&e.wordMask] = e.R[in.SrcB]
+	case isa.FLD:
+		addr := e.ea(in.SrcA, in.Imm)
+		di.Addr = addr
+		e.F[in.Dst-isa.FPBase] = math.Float64frombits(uint64(e.Mem[(addr>>3)&e.wordMask]))
+	case isa.FST:
+		addr := e.ea(in.SrcA, in.Imm)
+		di.Addr = addr
+		e.Mem[(addr>>3)&e.wordMask] = int64(math.Float64bits(e.F[in.SrcB-isa.FPBase]))
+	case isa.BEQ:
+		if e.R[in.SrcA] == e.R[in.SrcB] {
+			di.Taken = true
+			next = in.Target
+		}
+	case isa.BNE:
+		if e.R[in.SrcA] != e.R[in.SrcB] {
+			di.Taken = true
+			next = in.Target
+		}
+	case isa.BLT:
+		if e.R[in.SrcA] < e.R[in.SrcB] {
+			di.Taken = true
+			next = in.Target
+		}
+	case isa.BGE:
+		if e.R[in.SrcA] >= e.R[in.SrcB] {
+			di.Taken = true
+			next = in.Target
+		}
+	case isa.JMP:
+		di.Taken = true
+		next = in.Target
+	case isa.JAL:
+		setInt(in.Dst, int64(pc+1))
+		di.Taken = true
+		next = in.Target
+	case isa.JR:
+		di.Taken = true
+		t := e.R[in.SrcA]
+		if t < 0 || t >= int64(len(p.Code)) {
+			panic(fmt.Sprintf("cpu: %s: jr through r%d to out-of-range pc %d at pc %d",
+				p.Name, in.SrcA, t, pc))
+		}
+		next = int32(t)
+	case isa.HALT:
+		e.Halted = true
+		e.Count++
+		di.Next = pc
+		return true
+	default:
+		panic(fmt.Sprintf("cpu: unimplemented opcode %v at pc %d", in.Op, pc))
+	}
+
+	di.Next = next
+	e.PC = next
+	e.Count++
+	return true
+}
+
+func intALU(op isa.Op, a, b int64) int64 {
+	switch op {
+	case isa.ADD:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.AND:
+		return a & b
+	case isa.OR:
+		return a | b
+	case isa.XOR:
+		return a ^ b
+	case isa.SHL:
+		return a << (uint64(b) & 63)
+	case isa.SHR:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case isa.SLT:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.MUL:
+		return a * b
+	case isa.DIV:
+		if b == 0 {
+			return 0
+		}
+		if a == math.MinInt64 && b == -1 {
+			return math.MinInt64 // architecturally defined overflow result
+		}
+		return a / b
+	case isa.REM:
+		if b == 0 {
+			return 0
+		}
+		if a == math.MinInt64 && b == -1 {
+			return 0
+		}
+		return a % b
+	default:
+		panic("cpu: intALU on non-ALU op " + op.String())
+	}
+}
+
+func fpALU(op isa.Op, a, b float64) float64 {
+	switch op {
+	case isa.FADD:
+		return a + b
+	case isa.FSUB:
+		return a - b
+	case isa.FMUL:
+		return a * b
+	case isa.FDIV:
+		return a / b
+	default:
+		panic("cpu: fpALU on non-FP op " + op.String())
+	}
+}
+
+// immBaseOp maps a register-immediate opcode to its register-register
+// equivalent for shared ALU evaluation.
+func immBaseOp(op isa.Op) isa.Op {
+	switch op {
+	case isa.ADDI:
+		return isa.ADD
+	case isa.ANDI:
+		return isa.AND
+	case isa.ORI:
+		return isa.OR
+	case isa.XORI:
+		return isa.XOR
+	case isa.SHLI:
+		return isa.SHL
+	case isa.SHRI:
+		return isa.SHR
+	case isa.SLTI:
+		return isa.SLT
+	default:
+		panic("cpu: immBaseOp on " + op.String())
+	}
+}
+
+// Run executes up to n instructions with no side observation (pure
+// fast-forwarding). It returns the number actually executed, which is less
+// than n only if the program halted.
+func (e *Emu) Run(n uint64) uint64 {
+	var di DynInst
+	var done uint64
+	for done < n && e.Step(&di) {
+		done++
+	}
+	return done
+}
+
+// Warmer is the micro-architectural state functionally warmed by RunWarm:
+// the memory hierarchy and the branch prediction structures. Any field may
+// be nil to skip warming that structure.
+type Warmer struct {
+	Hier *mem.Hierarchy
+	Pred *branch.Predictor
+	BTB  *branch.BTB
+	RAS  *branch.RAS
+}
+
+// RunWarm executes up to n instructions while functionally warming caches,
+// TLBs and branch prediction state, as SMARTS does between detailed samples.
+func (e *Emu) RunWarm(n uint64, w Warmer) uint64 {
+	var di DynInst
+	var done uint64
+	for done < n && e.Step(&di) {
+		done++
+		if w.Hier != nil {
+			w.Hier.WarmI(di.FetchAddr())
+			if di.Class == isa.ClassLoad {
+				w.Hier.WarmD(di.Addr, false)
+			} else if di.Class == isa.ClassStore {
+				w.Hier.WarmD(di.Addr, true)
+			}
+		}
+		if di.Class == isa.ClassBranch {
+			if isa.IsCondBranch(di.Op) && w.Pred != nil {
+				w.Pred.Update(di.FetchAddr(), di.Taken)
+			}
+			if di.Taken && w.BTB != nil && di.Op != isa.JR {
+				w.BTB.Update(di.FetchAddr(), di.Next)
+			}
+			if w.RAS != nil {
+				switch di.Op {
+				case isa.JAL:
+					w.RAS.Push(di.PC + 1)
+				case isa.JR:
+					w.RAS.Pop(di.Next)
+				}
+			}
+		}
+	}
+	return done
+}
+
+// Profile accumulates execution-profile counters: Entries[b] counts the
+// times basic block b was entered (BBEF) and Instrs[b] counts instructions
+// executed in it (BBV).
+type Profile struct {
+	Entries []int64
+	Instrs  []int64
+	Total   uint64
+}
+
+// NewProfile allocates a profile sized for the program.
+func NewProfile(p *program.Program) *Profile {
+	return &Profile{
+		Entries: make([]int64, p.NumBlocks()),
+		Instrs:  make([]int64, p.NumBlocks()),
+	}
+}
+
+// Add accumulates other into p.
+func (p *Profile) Add(other *Profile) {
+	for i := range p.Entries {
+		p.Entries[i] += other.Entries[i]
+		p.Instrs[i] += other.Instrs[i]
+	}
+	p.Total += other.Total
+}
+
+// AddWeighted accumulates other into p with the given weight applied to all
+// counts (used for SimPoint's weighted simulation points). Weights are
+// applied in floating point and rounded.
+func (p *Profile) AddWeighted(other *Profile, weight float64) {
+	for i := range p.Entries {
+		p.Entries[i] += int64(weight*float64(other.Entries[i]) + 0.5)
+		p.Instrs[i] += int64(weight*float64(other.Instrs[i]) + 0.5)
+	}
+	p.Total += uint64(weight*float64(other.Total) + 0.5)
+}
+
+// RunProfile executes up to n instructions while accumulating the
+// execution profile.
+func (e *Emu) RunProfile(n uint64, prof *Profile) uint64 {
+	var di DynInst
+	var done uint64
+	blocks := e.Prog.Blocks
+	for done < n && e.Step(&di) {
+		done++
+		b := di.Block
+		prof.Instrs[b]++
+		if int(di.PC) == blocks[b].Start {
+			prof.Entries[b]++
+		}
+	}
+	prof.Total += done
+	return done
+}

@@ -1,0 +1,128 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/branch"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// TestRandomProgramEquivalence is the repository's strongest end-to-end
+// property: for any random (but valid) program and a sampled machine
+// configuration, the detailed out-of-order core commits exactly the
+// instructions the functional emulator executes and leaves identical
+// architectural state.
+func TestRandomProgramEquivalence(t *testing.T) {
+	f := func(seed uint64, sizeSel, cfgSel uint8) bool {
+		p := program.Random(seed, int(sizeSel%40)+8)
+
+		ref := NewEmu(p)
+		ref.Run(1 << 30)
+		if !ref.Halted {
+			t.Logf("seed %d: random program did not halt", seed)
+			return false
+		}
+
+		cfg := defaultCoreConfig()
+		// Vary the machine shape with the property inputs.
+		switch cfgSel % 4 {
+		case 1:
+			cfg.FetchWidth, cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth = 1, 1, 1, 1
+			cfg.ROBEntries, cfg.IQEntries, cfg.LSQEntries = 8, 4, 4
+			cfg.IntALUs = 1
+		case 2:
+			cfg.ROBEntries, cfg.IQEntries, cfg.LSQEntries = 256, 128, 128
+			cfg.FetchWidth, cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth = 8, 8, 8, 8
+		case 3:
+			cfg.TC = TCEliminate
+		}
+
+		h, err := mem.NewHierarchy(mem.HierarchyConfig{
+			L1I:           mem.CacheConfig{SizeKB: 4, Assoc: 2, BlockBytes: 32, Latency: 1},
+			L1D:           mem.CacheConfig{SizeKB: 4, Assoc: 2, BlockBytes: 32, Latency: 1},
+			L2:            mem.CacheConfig{SizeKB: 64, Assoc: 4, BlockBytes: 64, Latency: 6},
+			MemFirst:      80,
+			MemFollow:     4,
+			ITLBEntries:   8,
+			DTLBEntries:   8,
+			TLBMissCycles: 20,
+		})
+		if err != nil {
+			return false
+		}
+		pred, _ := branch.NewPredictor(branch.Config{Kind: branch.Combined, BHTEntries: 256})
+		btb, _ := branch.NewBTB(64, 2)
+		ras, _ := branch.NewRAS(4)
+		emu := NewEmu(p)
+		emu.DetectTrivial = cfg.TC != TCOff
+		core, err := NewCore(cfg, emu, h, pred, btb, ras)
+		if err != nil {
+			return false
+		}
+		for !core.Done() {
+			core.Run(1 << 16)
+		}
+		if core.Stats.Committed != ref.Count {
+			t.Logf("seed %d cfg %d: committed %d != executed %d", seed, cfgSel%4, core.Stats.Committed, ref.Count)
+			return false
+		}
+		if emu.R != ref.R || emu.F != ref.F {
+			t.Logf("seed %d: register state diverged", seed)
+			return false
+		}
+		for i := range ref.Mem {
+			if emu.Mem[i] != ref.Mem[i] {
+				t.Logf("seed %d: memory diverged at word %d", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomProgramSamplingConsistency: interleaving functional warming,
+// detailed windows, and drains (the SMARTS execution pattern) must still
+// execute the exact program.
+func TestRandomProgramSamplingConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := program.Random(seed, 24)
+		ref := NewEmu(p)
+		ref.Run(1 << 30)
+
+		h, _ := mem.NewHierarchy(mem.HierarchyConfig{
+			L1I:           mem.CacheConfig{SizeKB: 4, Assoc: 2, BlockBytes: 32, Latency: 1},
+			L1D:           mem.CacheConfig{SizeKB: 4, Assoc: 2, BlockBytes: 32, Latency: 1},
+			L2:            mem.CacheConfig{SizeKB: 64, Assoc: 4, BlockBytes: 64, Latency: 6},
+			MemFirst:      80,
+			MemFollow:     4,
+			ITLBEntries:   8,
+			DTLBEntries:   8,
+			TLBMissCycles: 20,
+		})
+		pred, _ := branch.NewPredictor(branch.Config{Kind: branch.Bimodal, BHTEntries: 128})
+		btb, _ := branch.NewBTB(64, 2)
+		ras, _ := branch.NewRAS(4)
+		emu := NewEmu(p)
+		core, _ := NewCore(defaultCoreConfig(), emu, h, pred, btb, ras)
+
+		warmer := Warmer{Hier: h, Pred: pred, BTB: btb, RAS: ras}
+		for !core.Done() && !emu.Halted {
+			emu.RunWarm(257, warmer) // functional stretch
+			core.Run(97)             // detailed stretch
+			core.Drain()
+		}
+		for !core.Done() {
+			core.Run(1 << 16)
+		}
+		total := emu.Count
+		return total == ref.Count && emu.R == ref.R
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

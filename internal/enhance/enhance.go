@@ -1,0 +1,59 @@
+// Package enhance defines the two micro-architectural enhancements the
+// paper uses to quantify technique-induced error on speedup results (§7):
+// simplifying and eliminating trivial computations (TC) [Yi02], a
+// non-speculative processor-core enhancement, and next-line prefetching
+// (NLP) [Jouppi90], a speculative memory-hierarchy enhancement.
+package enhance
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Enhancement is a named configuration transformation.
+type Enhancement struct {
+	Name  string
+	Apply func(*sim.Config)
+}
+
+// TC returns the trivial-computation enhancement at the given level.
+func TC(mode cpu.TCMode) Enhancement {
+	return Enhancement{
+		Name: "TC-" + mode.String(),
+		Apply: func(c *sim.Config) {
+			c.Core.TC = mode
+			c.Name += "+tc-" + mode.String()
+		},
+	}
+}
+
+// NLP returns the next-line prefetching enhancement.
+func NLP() Enhancement {
+	return Enhancement{
+		Name: "NLP",
+		Apply: func(c *sim.Config) {
+			c.Mem.Prefetch = mem.PrefetchNextLine
+			c.Name += "+nlp"
+		},
+	}
+}
+
+// Both lists the paper's two enhancements, TC at its strongest
+// (eliminate) level as in [Yi02].
+func Both() []Enhancement {
+	return []Enhancement{TC(cpu.TCEliminate), NLP()}
+}
+
+// Speedup returns base CPI divided by enhanced CPI: >1 means the
+// enhancement helps. The two stats need not cover identical instruction
+// counts (techniques measure fixed windows), since CPI is intensive.
+func Speedup(base, enhanced sim.Stats) (float64, error) {
+	bc, ec := base.CPI(), enhanced.CPI()
+	if bc == 0 || ec == 0 {
+		return 0, fmt.Errorf("enhance: empty measurement (base CPI %v, enhanced CPI %v)", bc, ec)
+	}
+	return bc / ec, nil
+}

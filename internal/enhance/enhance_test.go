@@ -1,0 +1,106 @@
+package enhance
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestApplyTC(t *testing.T) {
+	cfg := sim.BaseConfig()
+	e := TC(cpu.TCEliminate)
+	e.Apply(&cfg)
+	if cfg.Core.TC != cpu.TCEliminate {
+		t.Error("TC mode not applied")
+	}
+	if cfg.Name == "base" {
+		t.Error("config name not annotated")
+	}
+}
+
+func TestApplyNLP(t *testing.T) {
+	cfg := sim.BaseConfig()
+	NLP().Apply(&cfg)
+	if cfg.Mem.Prefetch != mem.PrefetchNextLine {
+		t.Error("prefetch policy not applied")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := sim.Stats{Cycles: 2000, Instructions: 1000}
+	enh := sim.Stats{Cycles: 1000, Instructions: 1000}
+	s, err := Speedup(base, enh)
+	if err != nil || s != 2 {
+		t.Errorf("speedup = %v (%v), want 2", s, err)
+	}
+	if _, err := Speedup(sim.Stats{}, enh); err == nil {
+		t.Error("empty base accepted")
+	}
+}
+
+func TestBothListsTwoEnhancements(t *testing.T) {
+	es := Both()
+	if len(es) != 2 || es[0].Name != "TC-eliminate" || es[1].Name != "NLP" {
+		t.Errorf("Both() = %+v", es)
+	}
+}
+
+// TestNLPSpeedsUpStreaming is the end-to-end check: next-line prefetching
+// must help a streaming workload (art) under the real simulator.
+func TestNLPSpeedsUpStreaming(t *testing.T) {
+	scale := sim.Scale{Unit: 100}
+	p := bench.MustBuild(bench.Art, bench.Reference, scale)
+
+	run := func(cfg sim.Config) sim.Stats {
+		r, err := sim.NewRunner(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RunToCompletion()
+	}
+	base := sim.BaseConfig()
+	enh := sim.BaseConfig()
+	NLP().Apply(&enh)
+	sBase, sEnh := run(base), run(enh)
+	sp, err := Speedup(sBase, sEnh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1.0 {
+		t.Errorf("NLP speedup on art = %.4f, want > 1 for a streaming workload", sp)
+	}
+	if sEnh.L1D.Prefetches == 0 {
+		t.Error("no prefetches issued")
+	}
+}
+
+// TestTCSpeedsUpTrivialHeavyWorkload: gcc's constant-folding phase emits
+// trivial multiplies/divides, so TC must help (if modestly).
+func TestTCSpeedsUpTrivialHeavyWorkload(t *testing.T) {
+	scale := sim.Scale{Unit: 100}
+	p := bench.MustBuild(bench.Gcc, bench.Reference, scale)
+	run := func(cfg sim.Config) sim.Stats {
+		r, err := sim.NewRunner(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RunToCompletion()
+	}
+	base := sim.BaseConfig()
+	enh := sim.BaseConfig()
+	TC(cpu.TCEliminate).Apply(&enh)
+	sBase, sEnh := run(base), run(enh)
+	sp, err := Speedup(sBase, sEnh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1.0 {
+		t.Errorf("TC speedup on gcc = %.4f, must not slow down", sp)
+	}
+	if sEnh.Core.TrivialSeen == 0 {
+		t.Error("no trivial computations observed")
+	}
+}

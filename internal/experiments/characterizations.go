@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ProfileCharRow is one technique's execution-profile comparison for a
+// benchmark (§5.2): the chi-squared test values against the reference's
+// BBEF and BBV distributions, the similarity verdicts, and code coverage.
+type ProfileCharRow struct {
+	Bench     bench.Name
+	Technique string
+	Family    core.Family
+
+	BBEFValue   float64
+	BBVValue    float64
+	BBEFSimilar bool
+	BBVSimilar  bool
+	Coverage    float64 // fraction of static blocks touched
+}
+
+// ProfileCharacterization compares every technique's measured execution
+// profile to the reference's. Profiles are configuration-independent, so
+// the base configuration is used once per technique.
+func ProfileCharacterization(o *Options, alpha float64) ([]ProfileCharRow, error) {
+	eng := NewEngine(o.Scale) // dedicated engine: profiles enabled
+	eng.Profile = true
+	eng.Log = o.Engine().Log
+	cfg := sim.BaseConfig()
+
+	var rows []ProfileCharRow
+	for _, b := range o.Benches {
+		ref, err := eng.Run(b, core.Reference{}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, tech := range o.Techniques(b) {
+			res, err := eng.Run(b, tech, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := tech.(core.Reduced); ok {
+				// A reduced input runs different code volumes; its profile
+				// is over the same static program only when code images
+				// match, which they do not in general — compare coverage
+				// only, with the chi-squared fields marked dissimilar, as
+				// the paper treats reduced inputs as different programs.
+				rows = append(rows, ProfileCharRow{
+					Bench: b, Technique: tech.Name(), Family: tech.Family(),
+					BBEFValue: -1, BBVValue: -1,
+					Coverage: characterize.CodeCoverage(res.Profile),
+				})
+				continue
+			}
+			pr, err := characterize.Profile(ref.Profile, res.Profile, alpha)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: profile of %s on %s: %w", tech.Name(), b, err)
+			}
+			rows = append(rows, ProfileCharRow{
+				Bench: b, Technique: tech.Name(), Family: tech.Family(),
+				BBEFValue: pr.BBEF.Statistic, BBVValue: pr.BBV.Statistic,
+				BBEFSimilar: pr.BBEF.Similar, BBVSimilar: pr.BBV.Similar,
+				Coverage: characterize.CodeCoverage(res.Profile),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderProfileChar formats the §5.2 execution-profile comparison.
+func RenderProfileChar(rows []ProfileCharRow) string {
+	var sb strings.Builder
+	sb.WriteString("Execution-profile characterization (§5.2): chi-squared test values vs reference\n")
+	sb.WriteString("(smaller = more similar; 'similar' = below the critical value; reduced inputs are\n")
+	sb.WriteString("different programs, so only their code coverage is reported)\n\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-36s %12s %12s %8s %8s %9s\n",
+		"benchmark", "technique", "BBEF chi2", "BBV chi2", "BBEFsim", "BBVsim", "coverage"))
+	for _, r := range rows {
+		bbef, bbv := fmt.Sprintf("%.1f", r.BBEFValue), fmt.Sprintf("%.1f", r.BBVValue)
+		sim1, sim2 := fmt.Sprint(r.BBEFSimilar), fmt.Sprint(r.BBVSimilar)
+		if r.BBEFValue < 0 {
+			bbef, bbv, sim1, sim2 = "-", "-", "-", "-"
+		}
+		sb.WriteString(fmt.Sprintf("%-10s %-36s %12s %12s %8s %8s %8.1f%%\n",
+			r.Bench, r.Technique, bbef, bbv, sim1, sim2, 100*r.Coverage))
+	}
+	return sb.String()
+}
+
+// ArchCharRow is one technique's architecture-level characterization for a
+// benchmark (§5.2): the Euclidean distance of its normalized metric vector
+// (IPC, branch accuracy, L1D and L2 hit rates over the Table 3 configs)
+// from the reference's.
+type ArchCharRow struct {
+	Bench     bench.Name
+	Technique string
+	Family    core.Family
+	Distance  float64
+}
+
+// ArchCharacterization runs the architecture-level characterization over
+// the Table 3 configurations.
+func ArchCharacterization(o *Options) ([]ArchCharRow, error) {
+	eng := o.Engine()
+	cfgs := sim.ArchConfigs()
+	configs := cfgs[:]
+
+	var rows []ArchCharRow
+	for _, b := range o.Benches {
+		refM, err := characterize.ArchMetrics(b, core.Reference{}, configs, eng.Run)
+		if err != nil {
+			return nil, err
+		}
+		for _, tech := range o.Techniques(b) {
+			tm, err := characterize.ArchMetrics(b, tech, configs, eng.Run)
+			if err != nil {
+				return nil, err
+			}
+			ar, err := characterize.Architectural(refM, tm)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ArchCharRow{
+				Bench: b, Technique: tech.Name(), Family: tech.Family(),
+				Distance: ar.Distance,
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Bench != rows[j].Bench {
+			return rows[i].Bench < rows[j].Bench
+		}
+		if rows[i].Family != rows[j].Family {
+			return familyOrder[rows[i].Family] < familyOrder[rows[j].Family]
+		}
+		return rows[i].Technique < rows[j].Technique
+	})
+	return rows, nil
+}
+
+// RenderArchChar formats the architecture-level characterization.
+func RenderArchChar(rows []ArchCharRow) string {
+	var sb strings.Builder
+	sb.WriteString("Architecture-level characterization (§5.2): Euclidean distance of normalized\n")
+	sb.WriteString("metric vectors (IPC, branch accuracy, L1D/L2 hit rates over Table 3 configs)\n\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-36s %-10s %9s\n", "benchmark", "technique", "family", "distance"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %-36s %-10s %9.4f\n", r.Bench, r.Technique, r.Family, r.Distance))
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Criterion is one axis of the Figure 7 decision tree.
+type Criterion string
+
+// The decision criteria of Figure 7 and §9.
+const (
+	CriterionAccuracy      Criterion = "accuracy"
+	CriterionSpeedAccuracy Criterion = "speed-vs-accuracy"
+	CriterionConfigDep     Criterion = "configuration-independence"
+	CriterionComplexity    Criterion = "complexity-to-use"
+	CriterionCostGenerate  Criterion = "cost-to-generate"
+)
+
+// Criteria lists the decision axes in presentation order.
+func Criteria() []Criterion {
+	return []Criterion{
+		CriterionAccuracy, CriterionSpeedAccuracy, CriterionConfigDep,
+		CriterionComplexity, CriterionCostGenerate,
+	}
+}
+
+// DecisionTree encodes Figure 7: for each criterion, the ordering of the
+// six techniques from most to least suitable, with the rationale from §9.
+type DecisionTree struct {
+	Orderings map[Criterion][]core.Family
+	Rationale map[Criterion]string
+}
+
+// NewDecisionTree returns the paper's tree. The technical-factor orderings
+// follow the characterization, SvAT, and configuration-dependence results;
+// the complexity and cost orderings follow §9's discussion.
+func NewDecisionTree() *DecisionTree {
+	return &DecisionTree{
+		Orderings: map[Criterion][]core.Family{
+			CriterionAccuracy: {
+				core.FamilySMARTS, core.FamilySimPoint, core.FamilyFFWURun,
+				core.FamilyFFRun, core.FamilyRunZ, core.FamilyReduced,
+			},
+			CriterionSpeedAccuracy: {
+				core.FamilySimPoint, core.FamilySMARTS, core.FamilyFFRun,
+				core.FamilyFFWURun, core.FamilyRunZ, core.FamilyReduced,
+			},
+			CriterionConfigDep: {
+				core.FamilySMARTS, core.FamilySimPoint, core.FamilyFFWURun,
+				core.FamilyFFRun, core.FamilyRunZ, core.FamilyReduced,
+			},
+			CriterionComplexity: {
+				core.FamilyReduced, core.FamilyRunZ, core.FamilyFFRun,
+				core.FamilyFFWURun, core.FamilySimPoint, core.FamilySMARTS,
+			},
+			CriterionCostGenerate: {
+				core.FamilySimPoint, core.FamilyRunZ, core.FamilyFFRun,
+				core.FamilyFFWURun, core.FamilyReduced, core.FamilySMARTS,
+			},
+		},
+		Rationale: map[Criterion]string{
+			CriterionAccuracy:      "all three characterizations rank the sampling techniques far ahead; SMARTS's CPI error is almost perfect (§5, §6.2)",
+			CriterionSpeedAccuracy: "SimPoint trades a little accuracy for a large speed gain even after point-generation costs (§6.1)",
+			CriterionConfigDep:     "SMARTS keeps ~98% of configurations within 3% CPI error in its best permutation; reduced inputs and truncated execution have severe, untrending error (§6.2)",
+			CriterionComplexity:    "reduced inputs need no simulator changes; SMARTS needs periodic sampling, functional warming and statistics support (§9)",
+			CriterionCostGenerate:  "SimPoint points are computed once with minimal intervention (or downloaded); SMARTS and reduced inputs need new work per benchmark or study (§9)",
+		},
+	}
+}
+
+// Recommend returns the best technique family for a ranked list of
+// criteria: the family with the lowest total position across the given
+// criteria (earlier criteria weighted heavier).
+func (d *DecisionTree) Recommend(prefs []Criterion) (core.Family, error) {
+	if len(prefs) == 0 {
+		return "", fmt.Errorf("experiments: no criteria given")
+	}
+	score := map[core.Family]float64{}
+	for w, c := range prefs {
+		order, ok := d.Orderings[c]
+		if !ok {
+			return "", fmt.Errorf("experiments: unknown criterion %q", c)
+		}
+		weight := float64(len(prefs) - w)
+		for pos, f := range order {
+			score[f] += weight * float64(pos)
+		}
+	}
+	best := core.Family("")
+	for f, s := range score {
+		if best == "" || s < score[best] {
+			best = f
+		}
+	}
+	return best, nil
+}
+
+// Render formats the tree as Figure 7's branches.
+func (d *DecisionTree) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: Decision tree for the selection of a simulation technique\n\n")
+	for _, c := range Criteria() {
+		sb.WriteString(fmt.Sprintf("If the dominant concern is %s:\n", c))
+		for i, f := range d.Orderings[c] {
+			sb.WriteString(fmt.Sprintf("  %d. %s\n", i+1, f))
+		}
+		sb.WriteString("  why: " + d.Rationale[c] + "\n\n")
+	}
+	return sb.String()
+}

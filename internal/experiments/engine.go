@@ -1,0 +1,164 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md §4): each driver regenerates the rows
+// or series the paper reports, on top of a caching execution engine so
+// that figures sharing simulations (the PB configurations feed Figures 1,
+// 2, 3, 4 and 5) pay for each run once.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/pb"
+	"repro/internal/sim"
+)
+
+// Engine executes technique runs with memoization.
+type Engine struct {
+	Scale   sim.Scale
+	Profile bool // collect execution profiles on every run
+
+	// Log, when set, receives one line per fresh (uncached) run.
+	Log func(string)
+
+	mu    sync.Mutex
+	cache map[string]core.Result
+	runs  int
+	hits  int
+}
+
+// NewEngine creates an engine at the given scale.
+func NewEngine(scale sim.Scale) *Engine {
+	return &Engine{Scale: scale, cache: make(map[string]core.Result)}
+}
+
+// Stats reports fresh runs and cache hits.
+func (e *Engine) Stats() (runs, hits int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runs, e.hits
+}
+
+func (e *Engine) key(b bench.Name, tech core.Technique, cfg sim.Config) string {
+	return fmt.Sprintf("%s|%s|%+v|p=%v", b, tech.Name(), cfg, e.Profile)
+}
+
+// Run executes (or recalls) one technique run.
+func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	k := e.key(b, tech, cfg)
+	e.mu.Lock()
+	if r, ok := e.cache[k]; ok {
+		e.hits++
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+
+	res, err := tech.Run(core.Context{
+		Bench:          b,
+		Config:         cfg,
+		Scale:          e.Scale,
+		CollectProfile: e.Profile,
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.mu.Lock()
+	e.cache[k] = res
+	e.runs++
+	n := e.runs
+	e.mu.Unlock()
+	if e.Log != nil && n%25 == 0 {
+		e.Log(fmt.Sprintf("engine: %d runs completed (last: %s on %s/%s)", n, tech.Name(), b, cfg.Name))
+	}
+	return res, nil
+}
+
+// Options selects the experiment corpus. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	Scale    sim.Scale
+	Benches  []bench.Name
+	Full     bool // full Table 1 catalogue instead of the representative subset
+	Foldover bool // fold the PB design (doubles the configuration count)
+
+	// SvATBench overrides the benchmark for the speed-versus-accuracy
+	// figures (gcc for Figure 3, mcf for Figure 4).
+	SvATBench bench.Name
+
+	// TechniquesFn overrides the technique catalogue per benchmark
+	// (tests and ablations shrink the corpus this way).
+	TechniquesFn func(bench.Name) []core.Technique
+
+	engine *Engine
+	design *pb.Design
+}
+
+// DefaultOptions returns the default corpus: every benchmark, the
+// representative catalogue, the unfolded 44-run design, CLI scale.
+func DefaultOptions() *Options {
+	return &Options{
+		Scale:   sim.ScaleCLI,
+		Benches: bench.All(),
+	}
+}
+
+// Engine returns the option set's shared engine, creating it on first use.
+func (o *Options) Engine() *Engine {
+	if o.engine == nil {
+		o.engine = NewEngine(o.Scale)
+	}
+	return o.engine
+}
+
+// Design returns the PB design, creating it on first use.
+func (o *Options) Design() (*pb.Design, error) {
+	if o.design == nil {
+		d, err := pb.New(sim.NumParams, o.Foldover)
+		if err != nil {
+			return nil, err
+		}
+		o.design = d
+	}
+	return o.design, nil
+}
+
+// Techniques returns the catalogue for a benchmark under the options.
+func (o *Options) Techniques(b bench.Name) []core.Technique {
+	if o.TechniquesFn != nil {
+		return o.TechniquesFn(b)
+	}
+	if o.Full {
+		return core.Catalogue(b)
+	}
+	return core.RepresentativeCatalogue(b)
+}
+
+// pbConfig builds the machine for one PB design row with the same naming
+// used by characterize.Bottleneck, so runs are shared through the engine
+// cache across figures.
+func pbConfig(row []bool, i int) (sim.Config, error) {
+	cfg, err := sim.PBConfig(row)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Name = fmt.Sprintf("pb-row-%02d", i)
+	return cfg, nil
+}
+
+// familyOrder fixes the presentation order of families in every report.
+var familyOrder = map[core.Family]int{
+	core.FamilySimPoint: 0,
+	core.FamilySMARTS:   1,
+	core.FamilyReduced:  2,
+	core.FamilyRunZ:     3,
+	core.FamilyFFRun:    4,
+	core.FamilyFFWURun:  5,
+}
+
+func sortFamilies(fams []core.Family) {
+	sort.Slice(fams, func(i, j int) bool { return familyOrder[fams[i]] < familyOrder[fams[j]] })
+}

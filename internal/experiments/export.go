@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Artifact pairs an artifact identifier (T1..T3, F1..F7, PROFILE, ARCH,
+// SURVEY) with its structured result, for machine-readable export.
+type Artifact struct {
+	ID   string `json:"id"`
+	Data any    `json:"data"`
+}
+
+// WriteJSON streams artifacts as a JSON array with stable indentation, so
+// downstream tooling (plotters, regression checks) can consume experiment
+// outputs without parsing the rendered text.
+func WriteJSON(w io.Writer, artifacts []Artifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(artifacts); err != nil {
+		return fmt.Errorf("experiments: encoding artifacts: %w", err)
+	}
+	return nil
+}
+
+// Figure1JSON is the export shape of Figure 1 (rows only; the per-
+// permutation detail is exported separately by Figure2's series).
+type Figure1JSON struct {
+	Rows []Figure1Row `json:"rows"`
+	// Distances maps benchmark -> permutation -> normalized distance.
+	Distances map[string]map[string]float64 `json:"distances"`
+}
+
+// Export converts the Figure 1 result to its JSON shape.
+func (r *Figure1Result) Export() Figure1JSON {
+	out := Figure1JSON{Rows: r.Rows, Distances: map[string]map[string]float64{}}
+	for b, m := range r.Dist {
+		inner := map[string]float64{}
+		for tech, d := range m {
+			inner[tech] = d
+		}
+		out.Distances[string(b)] = inner
+	}
+	return out
+}

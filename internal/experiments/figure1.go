@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/characterize"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Figure1Row is one bar of Figure 1: for a benchmark and technique family,
+// the mean/min/max normalized Euclidean distance of the family's
+// permutations' bottleneck rank vectors from the reference's.
+type Figure1Row struct {
+	Bench          bench.Name
+	Family         core.Family
+	Mean, Min, Max float64
+	Permutations   int
+}
+
+// Figure1Result also retains the per-permutation bottleneck results so
+// Figure 2 (and the fidelity analysis) can reuse them.
+type Figure1Result struct {
+	Rows []Figure1Row
+
+	// Ref[b] is the reference bottleneck characterization of benchmark b.
+	Ref map[bench.Name]characterize.BottleneckResult
+	// PerTech[b][techName] is each permutation's characterization.
+	PerTech map[bench.Name]map[string]characterize.BottleneckResult
+	// Dist[b][techName] is the normalized distance of each permutation.
+	Dist map[bench.Name]map[string]float64
+	// FamilyOf[techName] records the family of each permutation.
+	FamilyOf map[string]core.Family
+}
+
+// Figure1 runs the processor-bottleneck characterization (§5.1): a
+// Plackett-Burman design per benchmark and technique, rank vectors, and
+// normalized distances from the reference input set.
+func Figure1(o *Options) (*Figure1Result, error) {
+	design, err := o.Design()
+	if err != nil {
+		return nil, err
+	}
+	eng := o.Engine()
+	out := &Figure1Result{
+		Ref:      map[bench.Name]characterize.BottleneckResult{},
+		PerTech:  map[bench.Name]map[string]characterize.BottleneckResult{},
+		Dist:     map[bench.Name]map[string]float64{},
+		FamilyOf: map[string]core.Family{},
+	}
+	for _, b := range o.Benches {
+		ref, err := characterize.Bottleneck(b, core.Reference{}, design, eng.Run)
+		if err != nil {
+			return nil, err
+		}
+		out.Ref[b] = ref
+		out.PerTech[b] = map[string]characterize.BottleneckResult{}
+		out.Dist[b] = map[string]float64{}
+
+		perFamily := map[core.Family][]float64{}
+		famPerms := map[core.Family]int{}
+		for _, tech := range o.Techniques(b) {
+			br, err := characterize.Bottleneck(b, tech, design, eng.Run)
+			if err != nil {
+				return nil, err
+			}
+			d := characterize.RankDistance(ref, br)
+			out.PerTech[b][tech.Name()] = br
+			out.Dist[b][tech.Name()] = d
+			out.FamilyOf[tech.Name()] = tech.Family()
+			perFamily[tech.Family()] = append(perFamily[tech.Family()], d)
+			famPerms[tech.Family()]++
+		}
+		fams := make([]core.Family, 0, len(perFamily))
+		for f := range perFamily {
+			fams = append(fams, f)
+		}
+		sortFamilies(fams)
+		for _, f := range fams {
+			ds := perFamily[f]
+			lo, hi := stats.MinMax(ds)
+			out.Rows = append(out.Rows, Figure1Row{
+				Bench: b, Family: f,
+				Mean: stats.Mean(ds), Min: lo, Max: hi,
+				Permutations: famPerms[f],
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render formats the figure as the paper's series: one line per benchmark
+// and family with mean distance and min/max error bars.
+func (r *Figure1Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: Normalized Euclidean distance of PB rank vectors from the reference input set\n")
+	sb.WriteString("(0 = identical bottlenecks, 100 = maximally different; mean [min..max] over permutations)\n\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-10s %6s %7s %7s %5s\n", "benchmark", "family", "mean", "min", "max", "perms"))
+	for _, row := range r.Rows {
+		sb.WriteString(fmt.Sprintf("%-10s %-10s %6.2f %7.2f %7.2f %5d\n",
+			row.Bench, row.Family, row.Mean, row.Min, row.Max, row.Permutations))
+	}
+	return sb.String()
+}
+
+// BestPermutation returns the name of the family's permutation with the
+// smallest distance on the benchmark (used by Figure 2's "most accurate
+// permutation of each technique").
+func (r *Figure1Result) BestPermutation(b bench.Name, fam core.Family) (string, bool) {
+	best := ""
+	bd := 0.0
+	for name, d := range r.Dist[b] {
+		if r.FamilyOf[name] != fam {
+			continue
+		}
+		if best == "" || d < bd {
+			best, bd = name, d
+		}
+	}
+	return best, best != ""
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/characterize"
+	"repro/internal/core"
+)
+
+// Figure2Series is one benchmark's curve in Figure 2: the difference
+// between the most accurate SimPoint permutation's and the most accurate
+// SMARTS permutation's Euclidean distances from the reference, as a
+// function of how many of the reference's most significant parameters are
+// included (SimPoint − SMARTS; positive means SMARTS is closer).
+type Figure2Series struct {
+	Bench      bench.Name
+	SimPoint   string // permutation used
+	SMARTS     string
+	Difference []float64 // index N-1: distance over top-N parameters
+}
+
+// Figure2 derives its data entirely from Figure 1's bottleneck results.
+func Figure2(f1 *Figure1Result, benches []bench.Name) ([]Figure2Series, error) {
+	var out []Figure2Series
+	for _, b := range benches {
+		spName, ok1 := f1.BestPermutation(b, core.FamilySimPoint)
+		smName, ok2 := f1.BestPermutation(b, core.FamilySMARTS)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("experiments: figure 2 needs SimPoint and SMARTS results for %s", b)
+		}
+		ref := f1.Ref[b]
+		spTop := characterize.TopNDistance(ref, f1.PerTech[b][spName])
+		smTop := characterize.TopNDistance(ref, f1.PerTech[b][smName])
+		diff := make([]float64, len(spTop))
+		for i := range diff {
+			diff[i] = spTop[i] - smTop[i]
+		}
+		out = append(out, Figure2Series{
+			Bench: b, SimPoint: spName, SMARTS: smName, Difference: diff,
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure2 formats the per-benchmark difference curves.
+func RenderFigure2(series []Figure2Series) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: Difference in SimPoint and SMARTS Euclidean distances\n")
+	sb.WriteString("(over the top-N reference-significant parameters; positive = SMARTS closer to reference)\n\n")
+	for _, s := range series {
+		sb.WriteString(fmt.Sprintf("%s (SimPoint: %s; SMARTS: %s)\n", s.Bench, s.SimPoint, s.SMARTS))
+		sb.WriteString("  N:    ")
+		for n := 1; n <= len(s.Difference); n += 6 {
+			sb.WriteString(fmt.Sprintf("%8d", n))
+		}
+		sb.WriteString("\n  diff: ")
+		for n := 1; n <= len(s.Difference); n += 6 {
+			sb.WriteString(fmt.Sprintf("%8.2f", s.Difference[n-1]))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

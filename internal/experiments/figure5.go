@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// CPIErrorBins are the Figure 5 histogram bin edges, in percent: 0-3,
+// 3-6, ..., 27-30, >30.
+var CPIErrorBins = []float64{0, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30}
+
+// Histogram is the share of configurations falling into each |CPI error|
+// range; index len(CPIErrorBins)-1.. holds the >30% bucket last.
+type Histogram struct {
+	Shares []float64 // len(CPIErrorBins) entries: [0-3), [3-6), ..., [27-30), >30
+	Count  int
+}
+
+func histogram(errsPct []float64) Histogram {
+	h := Histogram{Shares: make([]float64, len(CPIErrorBins)), Count: len(errsPct)}
+	if len(errsPct) == 0 {
+		return h
+	}
+	for _, e := range errsPct {
+		a := math.Abs(e)
+		idx := len(CPIErrorBins) - 1 // >30 bucket
+		for i := 0; i+1 < len(CPIErrorBins); i++ {
+			if a >= CPIErrorBins[i] && a < CPIErrorBins[i+1] {
+				idx = i
+				break
+			}
+		}
+		h.Shares[idx]++
+	}
+	for i := range h.Shares {
+		h.Shares[i] /= float64(len(errsPct))
+	}
+	return h
+}
+
+// Within3 returns the share of configurations with |CPI error| < 3%.
+func (h Histogram) Within3() float64 {
+	if len(h.Shares) == 0 {
+		return 0
+	}
+	return h.Shares[0]
+}
+
+// Figure5Entry is one column of Figure 5: a technique permutation's CPI
+// error histogram over all benchmarks and envelope configurations, plus
+// whether the error trends (is consistently signed), the §6.2 relative-
+// accuracy question.
+type Figure5Entry struct {
+	Technique string
+	Family    core.Family
+	Hist      Histogram
+	// SignConsistency is the share of configurations whose CPI error has
+	// the technique's majority sign; 1.0 means the error always trends the
+	// same way.
+	SignConsistency float64
+}
+
+// Figure5Result is the configuration-dependence analysis output: every
+// permutation's histogram, plus per family the worst and best permutation
+// (by the share of configurations within 0-3% error), as the paper plots.
+type Figure5Result struct {
+	// All lists every permutation's histogram.
+	All []Figure5Entry
+	// WorstBest maps each family to its worst and best permutations.
+	WorstBest map[core.Family][2]Figure5Entry
+}
+
+// Figure5 computes the CPI error of each technique permutation relative to
+// the reference on every (benchmark, envelope configuration) pair and
+// histograms the errors (§6.2). It reuses the engine cache shared with
+// Figures 1-4.
+func Figure5(o *Options) (*Figure5Result, error) {
+	design, err := o.Design()
+	if err != nil {
+		return nil, err
+	}
+	eng := o.Engine()
+
+	// Collect CPI errors per technique name across benches x configs.
+	errs := map[string][]float64{}
+	fams := map[string]core.Family{}
+	for _, b := range o.Benches {
+		for i, row := range design.Rows {
+			cfg, err := pbConfig(row, i)
+			if err != nil {
+				return nil, err
+			}
+			ref, err := eng.Run(b, core.Reference{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, tech := range o.Techniques(b) {
+				res, err := eng.Run(b, tech, cfg)
+				if err != nil {
+					return nil, err
+				}
+				errs[tech.Name()] = append(errs[tech.Name()], stats.PercentError(res.CPI(), ref.CPI()))
+				fams[tech.Name()] = tech.Family()
+			}
+		}
+	}
+
+	out := &Figure5Result{WorstBest: map[core.Family][2]Figure5Entry{}}
+	for name, es := range errs {
+		pos := 0
+		for _, e := range es {
+			if e >= 0 {
+				pos++
+			}
+		}
+		consistency := float64(pos) / float64(len(es))
+		if consistency < 0.5 {
+			consistency = 1 - consistency
+		}
+		out.All = append(out.All, Figure5Entry{
+			Technique:       name,
+			Family:          fams[name],
+			Hist:            histogram(es),
+			SignConsistency: consistency,
+		})
+	}
+	sort.Slice(out.All, func(i, j int) bool {
+		if out.All[i].Family != out.All[j].Family {
+			return familyOrder[out.All[i].Family] < familyOrder[out.All[j].Family]
+		}
+		return out.All[i].Technique < out.All[j].Technique
+	})
+
+	// Worst (lowest within-3% share) and best per family.
+	perFam := map[core.Family][]Figure5Entry{}
+	for _, e := range out.All {
+		perFam[e.Family] = append(perFam[e.Family], e)
+	}
+	for f, es := range perFam {
+		worst, best := es[0], es[0]
+		for _, e := range es[1:] {
+			if e.Hist.Within3() < worst.Hist.Within3() {
+				worst = e
+			}
+			if e.Hist.Within3() > best.Hist.Within3() {
+				best = e
+			}
+		}
+		out.WorstBest[f] = [2]Figure5Entry{worst, best}
+	}
+	return out, nil
+}
+
+// Render formats the worst/best histograms per family like Figure 5's
+// stacked columns.
+func (r *Figure5Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Configuration dependence — histogram of |CPI error| vs reference\n")
+	sb.WriteString("(worst and best permutation per family; shares of all benchmark x configuration pairs)\n\n")
+	header := fmt.Sprintf("%-10s %-5s %-36s", "family", "which", "permutation")
+	for i := 0; i+1 < len(CPIErrorBins); i++ {
+		header += fmt.Sprintf(" %5.0f-%-2.0f", CPIErrorBins[i], CPIErrorBins[i+1])
+	}
+	header += "    >30  sign"
+	sb.WriteString(header + "\n")
+	fams := make([]core.Family, 0, len(r.WorstBest))
+	for f := range r.WorstBest {
+		fams = append(fams, f)
+	}
+	sortFamilies(fams)
+	for _, f := range fams {
+		wb := r.WorstBest[f]
+		for i, which := range []string{"worst", "best"} {
+			e := wb[i]
+			line := fmt.Sprintf("%-10s %-5s %-36s", f, which, e.Technique)
+			for _, s := range e.Hist.Shares {
+				line += fmt.Sprintf(" %7.1f%%", 100*s)
+			}
+			line += fmt.Sprintf(" %5.2f", e.SignConsistency)
+			sb.WriteString(line + "\n")
+		}
+	}
+	return sb.String()
+}

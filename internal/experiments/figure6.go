@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/enhance"
+	"repro/internal/sim"
+)
+
+// Figure6Row is one bar of Figure 6: the difference between the apparent
+// speedup a technique reports for an enhancement and the true speedup the
+// reference simulation reports, in percentage points
+// (Speedup_technique − Speedup_reference).
+type Figure6Row struct {
+	Technique string
+	Family    core.Family
+
+	Enhancement string
+	TechSpeedup float64
+	RefSpeedup  float64
+	ErrorPoints float64 // 100*(TechSpeedup - RefSpeedup)
+}
+
+// Figure6Result holds the enhancement-error study for one benchmark and
+// configuration (the paper uses gcc with processor configuration #2).
+type Figure6Result struct {
+	Bench  bench.Name
+	Config string
+	Rows   []Figure6Row
+}
+
+// Figure6 quantifies the error each technique induces in the apparent
+// speedup of the two enhancements (§7). The configuration defaults to
+// Table 3's config #2 when cfg is nil.
+func Figure6(o *Options, b bench.Name, cfg *sim.Config) (*Figure6Result, error) {
+	if cfg == nil {
+		c := sim.ArchConfigs()[1]
+		cfg = &c
+	}
+	eng := o.Engine()
+
+	enhancements := enhance.Both()
+	techs := append([]core.Technique{}, o.Techniques(b)...)
+
+	// Reference speedups per enhancement.
+	refBase, err := eng.Run(b, core.Reference{}, *cfg)
+	if err != nil {
+		return nil, err
+	}
+	refSpeedup := map[string]float64{}
+	for _, e := range enhancements {
+		ecfg := *cfg
+		e.Apply(&ecfg)
+		refEnh, err := eng.Run(b, core.Reference{}, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := enhance.Speedup(refBase.Stats, refEnh.Stats)
+		if err != nil {
+			return nil, err
+		}
+		refSpeedup[e.Name] = s
+	}
+
+	out := &Figure6Result{Bench: b, Config: cfg.Name}
+	for _, tech := range techs {
+		base, err := eng.Run(b, tech, *cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range enhancements {
+			ecfg := *cfg
+			e.Apply(&ecfg)
+			enh, err := eng.Run(b, tech, ecfg)
+			if err != nil {
+				return nil, err
+			}
+			s, err := enhance.Speedup(base.Stats, enh.Stats)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s with %s: %w", tech.Name(), e.Name, err)
+			}
+			out.Rows = append(out.Rows, Figure6Row{
+				Technique:   tech.Name(),
+				Family:      tech.Family(),
+				Enhancement: e.Name,
+				TechSpeedup: s,
+				RefSpeedup:  refSpeedup[e.Name],
+				ErrorPoints: 100 * (s - refSpeedup[e.Name]),
+			})
+		}
+	}
+	sort.SliceStable(out.Rows, func(i, j int) bool {
+		if out.Rows[i].Enhancement != out.Rows[j].Enhancement {
+			return out.Rows[i].Enhancement < out.Rows[j].Enhancement
+		}
+		if out.Rows[i].Family != out.Rows[j].Family {
+			return familyOrder[out.Rows[i].Family] < familyOrder[out.Rows[j].Family]
+		}
+		return out.Rows[i].Technique < out.Rows[j].Technique
+	})
+	return out, nil
+}
+
+// Render formats the speedup-difference bars.
+func (r *Figure6Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("Figure 6: Speedup(technique) - Speedup(reference), %s on %s\n", r.Bench, r.Config))
+	sb.WriteString("(percentage points; 0 = the technique reports the true speedup)\n\n")
+	sb.WriteString(fmt.Sprintf("%-14s %-36s %-10s %9s %9s %9s\n",
+		"enhancement", "technique", "family", "tech", "ref", "err(pp)"))
+	for _, row := range r.Rows {
+		sb.WriteString(fmt.Sprintf("%-14s %-36s %-10s %9.4f %9.4f %+9.2f\n",
+			row.Enhancement, row.Technique, row.Family, row.TechSpeedup, row.RefSpeedup, row.ErrorPoints))
+	}
+	return sb.String()
+}

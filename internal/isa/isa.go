@@ -1,0 +1,291 @@
+// Package isa defines the synthetic RISC instruction set executed by the
+// simulators in this repository.
+//
+// The ISA is a small load/store architecture in the spirit of SimpleScalar's
+// PISA: 32 integer registers (R0 hardwired to zero), 32 floating-point
+// registers, 64-bit integer and floating-point data, byte-addressed memory
+// accessed in 8-byte words, and absolute branch targets expressed as
+// instruction indices. Program counters are instruction indices; the
+// instruction-fetch byte address of PC p is p*InstBytes.
+package isa
+
+import "fmt"
+
+// InstBytes is the architectural size of one encoded instruction, used to
+// form instruction-fetch addresses for the I-cache and BTB.
+const InstBytes = 8
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+)
+
+// Reg names a register operand. Integer registers are 0..31; floating-point
+// registers are FPBase..FPBase+31. RegNone marks an absent operand.
+type Reg int8
+
+// FPBase is the offset of the floating-point register space within the
+// unified operand numbering used by the pipeline's dependence tracking.
+const FPBase Reg = 32
+
+// RegNone marks an unused operand slot.
+const RegNone Reg = -1
+
+// R returns the integer register with the given index.
+func R(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// F returns the floating-point register with the given index.
+func F(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register %d out of range", i))
+	}
+	return FPBase + Reg(i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= FPBase }
+
+// String renders the register in assembly syntax.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r-FPBase))
+	default:
+		return fmt.Sprintf("r%d", int(r))
+	}
+}
+
+// Op is an operation code.
+type Op uint8
+
+// The instruction set. Immediate forms carry the immediate in Inst.Imm.
+const (
+	NOP Op = iota
+
+	// Integer ALU, register-register.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SLT // set dst=1 if a<b else 0
+
+	// Integer ALU, register-immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	SLTI
+	LI // load immediate: dst = imm
+
+	// Integer multiply/divide.
+	MUL
+	DIV // divide-by-zero yields 0 (architecturally defined, keeps programs total)
+	REM
+
+	// Floating point.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FSLT  // integer dst = 1 if fa < fb
+	ITOF  // fp dst = float(int src)
+	FTOI  // int dst = int(fp src)
+	FMOVI // fp dst = float64 immediate carried in Imm's bit pattern
+
+	// Memory. Effective address = intReg(base) + Imm.
+	LD  // int dst = mem[ea]
+	ST  // mem[ea] = int src
+	FLD // fp dst = mem[ea]
+	FST // mem[ea] = fp src
+
+	// Control. Conditional branches compare two integer registers and jump
+	// to Target when the condition holds.
+	BEQ
+	BNE
+	BLT
+	BGE
+	JMP // unconditional direct jump to Target
+	JAL // jump and link: dst = PC+1, jump to Target
+	JR  // jump register: PC = intReg(src); predicted by the RAS when it is a return
+
+	HALT
+
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", SLT: "slt",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SHLI: "shli",
+	SHRI: "shri", SLTI: "slti", LI: "li",
+	MUL: "mul", DIV: "div", REM: "rem",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FNEG: "fneg",
+	FSLT: "fslt", ITOF: "itof", FTOI: "ftoi", FMOVI: "fmovi",
+	LD: "ld", ST: "st", FLD: "fld", FST: "fst",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	JMP: "jmp", JAL: "jal", JR: "jr",
+	HALT: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class partitions opcodes by the functional unit that executes them and by
+// the pipeline resources they occupy.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMult // multiply/divide/remainder
+	ClassFPALU
+	ClassFPMult // fp multiply/divide
+	ClassLoad
+	ClassStore
+	ClassBranch // all control transfers
+	NumClasses
+)
+
+var classNames = [...]string{
+	ClassNop: "nop", ClassIntALU: "int-alu", ClassIntMult: "int-mult",
+	ClassFPALU: "fp-alu", ClassFPMult: "fp-mult", ClassLoad: "load",
+	ClassStore: "store", ClassBranch: "branch",
+}
+
+// String returns a readable class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+var opClass [numOps]Class
+
+func init() {
+	set := func(c Class, ops ...Op) {
+		for _, o := range ops {
+			opClass[o] = c
+		}
+	}
+	set(ClassNop, NOP, HALT)
+	set(ClassIntALU, ADD, SUB, AND, OR, XOR, SHL, SHR, SLT,
+		ADDI, ANDI, ORI, XORI, SHLI, SHRI, SLTI, LI, FSLT, FTOI)
+	set(ClassIntMult, MUL, DIV, REM)
+	set(ClassFPALU, FADD, FSUB, FNEG, ITOF, FMOVI)
+	set(ClassFPMult, FMUL, FDIV)
+	set(ClassLoad, LD, FLD)
+	set(ClassStore, ST, FST)
+	set(ClassBranch, BEQ, BNE, BLT, BGE, JMP, JAL, JR)
+}
+
+// ClassOf returns the functional-unit class of the opcode.
+func ClassOf(o Op) Class { return opClass[o] }
+
+// IsBranch reports whether the opcode transfers control.
+func IsBranch(o Op) bool { return opClass[o] == ClassBranch }
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func IsCondBranch(o Op) bool { return o >= BEQ && o <= BGE }
+
+// IsMem reports whether the opcode accesses data memory.
+func IsMem(o Op) bool { c := opClass[o]; return c == ClassLoad || c == ClassStore }
+
+// Inst is one decoded instruction. Target is an absolute instruction index
+// for direct control transfers; Imm is a 64-bit immediate (for FMOVI it holds
+// a float64 bit pattern).
+type Inst struct {
+	Op     Op
+	Dst    Reg
+	SrcA   Reg
+	SrcB   Reg
+	Imm    int64
+	Target int32
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case LI:
+		return fmt.Sprintf("li %s, %d", in.Dst, in.Imm)
+	case FMOVI:
+		return fmt.Sprintf("fmovi %s, %#x", in.Dst, uint64(in.Imm))
+	case ADDI, ANDI, ORI, XORI, SHLI, SHRI, SLTI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.SrcA, in.Imm)
+	case LD, FLD:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Dst, in.Imm, in.SrcA)
+	case ST, FST:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.SrcB, in.Imm, in.SrcA)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.SrcA, in.SrcB, in.Target)
+	case JMP:
+		return fmt.Sprintf("jmp @%d", in.Target)
+	case JAL:
+		return fmt.Sprintf("jal %s, @%d", in.Dst, in.Target)
+	case JR:
+		return fmt.Sprintf("jr %s", in.SrcA)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.SrcA, in.SrcB)
+	}
+}
+
+// Writes reports the register written by the instruction, or RegNone.
+func (in Inst) Writes() Reg {
+	switch ClassOf(in.Op) {
+	case ClassStore, ClassBranch:
+		if in.Op == JAL {
+			return in.Dst
+		}
+		return RegNone
+	case ClassNop:
+		return RegNone
+	default:
+		return in.Dst
+	}
+}
+
+// Reads appends the registers read by the instruction to dst and returns it.
+func (in Inst) Reads(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != RegNone && !(r >= 0 && r < FPBase && r == 0) { // R0 reads never create deps
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case NOP, HALT, LI, FMOVI, JMP, JAL:
+	case ADDI, ANDI, ORI, XORI, SHLI, SHRI, SLTI, LD, FLD, JR, FNEG, ITOF, FTOI:
+		add(in.SrcA)
+	case ST, FST:
+		add(in.SrcA)
+		add(in.SrcB)
+	default:
+		add(in.SrcA)
+		add(in.SrcB)
+	}
+	return dst
+}

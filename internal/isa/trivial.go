@@ -1,0 +1,188 @@
+package isa
+
+import "math"
+
+// TrivialKind classifies a dynamic instruction as a trivial computation in
+// the sense of Yi & Lilja [Yi02], "Improving Processor Performance by
+// Simplifying and Bypassing Trivial Computations". A computation is trivial
+// when one of its operand values makes the result either equal to the other
+// operand, or a constant, so the operation can be simplified (executed with
+// single-cycle latency) or eliminated entirely (bypassed with a known
+// result).
+type TrivialKind uint8
+
+// Trivial computation kinds.
+const (
+	NotTrivial TrivialKind = iota
+	// TrivialIdentity: the result equals one operand unchanged (x+0, x*1,
+	// x/1, x|0, x^0, x<<0, ...). Eliminable: result is forwarded.
+	TrivialIdentity
+	// TrivialConstant: the result is a constant independent of the other
+	// operand (x*0, 0/x, x-x, x^x, x&0, x/x, ...). Eliminable.
+	TrivialConstant
+	// TrivialSimple: the operation collapses to a cheaper one but still needs
+	// an ALU cycle (e.g. multiply by a power of two becomes a shift, divide
+	// by a power of two becomes a shift). Simplifiable, not eliminable.
+	TrivialSimple
+)
+
+// String names the kind.
+func (k TrivialKind) String() string {
+	switch k {
+	case NotTrivial:
+		return "not-trivial"
+	case TrivialIdentity:
+		return "identity"
+	case TrivialConstant:
+		return "constant"
+	case TrivialSimple:
+		return "simplifiable"
+	default:
+		return "trivial(?)"
+	}
+}
+
+func isPow2(x int64) bool { return x > 0 && x&(x-1) == 0 }
+
+// TrivialInt classifies an integer operation on operand values a and b.
+// It returns the kind and, for eliminable kinds, the known result.
+func TrivialInt(op Op, a, b int64) (TrivialKind, int64) {
+	switch op {
+	case ADD:
+		if a == 0 {
+			return TrivialIdentity, b
+		}
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+	case SUB:
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+		if a == b {
+			return TrivialConstant, 0
+		}
+	case MUL:
+		if a == 0 || b == 0 {
+			return TrivialConstant, 0
+		}
+		if a == 1 {
+			return TrivialIdentity, b
+		}
+		if b == 1 {
+			return TrivialIdentity, a
+		}
+		if isPow2(a) || isPow2(b) {
+			return TrivialSimple, a * b
+		}
+	case DIV:
+		if b == 0 { // architecturally defined result
+			return TrivialConstant, 0
+		}
+		if a == 0 {
+			return TrivialConstant, 0
+		}
+		if b == 1 {
+			return TrivialIdentity, a
+		}
+		if a == b {
+			return TrivialConstant, 1
+		}
+		if isPow2(b) && a >= 0 {
+			return TrivialSimple, a / b
+		}
+	case REM:
+		if b == 0 {
+			return TrivialConstant, 0
+		}
+		if b == 1 || a == b {
+			return TrivialConstant, 0
+		}
+		if a == 0 {
+			return TrivialConstant, 0
+		}
+	case AND:
+		if a == 0 || b == 0 {
+			return TrivialConstant, 0
+		}
+		if a == -1 {
+			return TrivialIdentity, b
+		}
+		if b == -1 {
+			return TrivialIdentity, a
+		}
+	case OR:
+		if a == 0 {
+			return TrivialIdentity, b
+		}
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+		if a == -1 || b == -1 {
+			return TrivialConstant, -1
+		}
+	case XOR:
+		if a == 0 {
+			return TrivialIdentity, b
+		}
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+		if a == b {
+			return TrivialConstant, 0
+		}
+	case SHL, SHR:
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+		if a == 0 {
+			return TrivialConstant, 0
+		}
+	}
+	return NotTrivial, 0
+}
+
+// TrivialFP classifies a floating-point operation on operand values a and b.
+func TrivialFP(op Op, a, b float64) (TrivialKind, float64) {
+	// NaN operands are never trivial: identities such as x+0 do not hold.
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return NotTrivial, 0
+	}
+	switch op {
+	case FADD:
+		if a == 0 {
+			return TrivialIdentity, b
+		}
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+	case FSUB:
+		if b == 0 {
+			return TrivialIdentity, a
+		}
+	case FMUL:
+		if a == 0 || b == 0 {
+			return TrivialConstant, 0
+		}
+		if a == 1 {
+			return TrivialIdentity, b
+		}
+		if b == 1 {
+			return TrivialIdentity, a
+		}
+		if a == 2 || b == 2 || a == 0.5 || b == 0.5 {
+			return TrivialSimple, a * b
+		}
+	case FDIV:
+		if a == 0 && b != 0 {
+			return TrivialConstant, 0
+		}
+		if b == 1 {
+			return TrivialIdentity, a
+		}
+		if b == 2 || b == 0.5 {
+			return TrivialSimple, a / b
+		}
+	}
+	return NotTrivial, 0
+}

@@ -1,0 +1,260 @@
+// Package kmeans implements Lloyd's k-means clustering with multiple random
+// restarts and the Bayesian Information Criterion model-selection rule used
+// by SimPoint [Sherwood02] to pick the number of program phases, plus the
+// random linear projection SimPoint applies to basic-block vectors before
+// clustering.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Result is one clustering of the data.
+type Result struct {
+	K          int
+	Assignment []int       // point -> cluster
+	Centroids  [][]float64 // K x dim
+	Sizes      []int       // points per cluster
+	SSE        float64     // total within-cluster sum of squared distances
+	BIC        float64
+}
+
+// Project reduces each vector to dim dimensions with a random projection
+// matrix derived deterministically from seed (SimPoint's "seedproj").
+// Entries are uniform in [-1, 1].
+func Project(vecs [][]float64, dim int, seed uint64) [][]float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	in := len(vecs[0])
+	if dim >= in {
+		// Nothing to gain; return copies so callers may mutate freely.
+		out := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			out[i] = append([]float64(nil), v...)
+		}
+		return out
+	}
+	rng := xrand.New(seed)
+	mat := make([]float64, in*dim)
+	for i := range mat {
+		mat[i] = 2*rng.Float64() - 1
+	}
+	out := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		p := make([]float64, dim)
+		for j := 0; j < in; j++ {
+			x := v[j]
+			if x == 0 {
+				continue
+			}
+			row := mat[j*dim : (j+1)*dim]
+			for d := 0; d < dim; d++ {
+				p[d] += x * row[d]
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cluster runs Lloyd's algorithm once from a random initialization drawn
+// from rng, for at most maxIter iterations. Empty clusters are re-seeded
+// with the point farthest from its centroid.
+func Cluster(points [][]float64, k, maxIter int, rng *xrand.RNG) (Result, error) {
+	n := len(points)
+	if n == 0 {
+		return Result{}, fmt.Errorf("kmeans: no points")
+	}
+	if k <= 0 || k > n {
+		return Result{}, fmt.Errorf("kmeans: k=%d out of range for %d points", k, n)
+	}
+	dim := len(points[0])
+
+	// Forgy initialization from distinct points.
+	centroids := make([][]float64, k)
+	perm := rng.Perm(n)
+	for i := 0; i < k; i++ {
+		centroids[i] = append([]float64(nil), points[perm[i]]...)
+	}
+
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = 0
+			}
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			for d := 0; d < dim; d++ {
+				centroids[c][d] += p[d]
+			}
+		}
+		for c := range centroids {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster with a random point.
+				copy(centroids[c], points[rng.Intn(n)])
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for d := 0; d < dim; d++ {
+				centroids[c][d] *= inv
+			}
+		}
+	}
+
+	// Final assignment, sizes and SSE.
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	var sse float64
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c := range centroids {
+			if d := sqDist(p, centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		sizes[best]++
+		sse += bestD
+	}
+	r := Result{K: k, Assignment: assign, Centroids: centroids, Sizes: sizes, SSE: sse}
+	r.BIC = bic(n, dim, k, sse)
+	return r, nil
+}
+
+// bic computes the spherical-Gaussian BIC score used by SimPoint: the model
+// log-likelihood penalized by the parameter count times log(n)/2. Larger is
+// better.
+func bic(n, dim, k int, sse float64) float64 {
+	if n <= k {
+		return math.Inf(-1)
+	}
+	variance := sse / float64(n-k)
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	nf := float64(n)
+	logLik := -nf / 2 * (math.Log(2*math.Pi*variance)*float64(dim) + 1)
+	params := float64(k * (dim + 1)) // centroids + mixing proportions
+	return logLik - params/2*math.Log(nf)
+}
+
+// KSchedule returns the k values searched for a given maxK: exhaustive up
+// to 8, then geometric steps (~1.3x). SimPoint 1.0 searched every k, which
+// is quadratic in maxK; the later SimPoint releases search a sparse
+// schedule, which is what large maxK values use here.
+func KSchedule(maxK int) []int {
+	var ks []int
+	for k := 1; k <= maxK && k <= 8; k++ {
+		ks = append(ks, k)
+	}
+	k := 8
+	for k < maxK {
+		k = k*13/10 + 1
+		if k > maxK {
+			k = maxK
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Best clusters with k over KSchedule(maxK), trying `seeds` random restarts
+// for each k (SimPoint 1.0 uses multiple random seeds), and returns the
+// result chosen by the SimPoint rule: the smallest k whose best BIC reaches
+// at least bicThreshold (e.g. 0.9) of the way from the worst to the best
+// BIC observed.
+func Best(points [][]float64, maxK, seeds, maxIter int, bicThreshold float64, seed uint64) (Result, error) {
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	if maxK < 1 {
+		return Result{}, fmt.Errorf("kmeans: no points")
+	}
+	schedule := KSchedule(maxK)
+	results := make([]Result, 0, len(schedule))
+	bestBIC, worstBIC := math.Inf(-1), math.Inf(1)
+	for _, k := range schedule {
+		var best Result
+		bestSSE := math.Inf(1)
+		for s := 0; s < seeds; s++ {
+			rng := xrand.New(seed + uint64(k)*1e6 + uint64(s))
+			r, err := Cluster(points, k, maxIter, rng)
+			if err != nil {
+				return Result{}, err
+			}
+			if r.SSE < bestSSE {
+				bestSSE = r.SSE
+				best = r
+			}
+		}
+		results = append(results, best)
+		if best.BIC > bestBIC {
+			bestBIC = best.BIC
+		}
+		if best.BIC < worstBIC {
+			worstBIC = best.BIC
+		}
+	}
+	span := bestBIC - worstBIC
+	for _, r := range results {
+		if span == 0 || r.BIC >= worstBIC+bicThreshold*span {
+			return r, nil
+		}
+	}
+	return results[len(results)-1], nil
+}
+
+// Representative returns, for each cluster, the index of the point closest
+// to its centroid (SimPoint's simulation-point selection rule).
+func Representative(points [][]float64, r Result) []int {
+	reps := make([]int, r.K)
+	bestD := make([]float64, r.K)
+	for c := range reps {
+		reps[c] = -1
+		bestD[c] = math.Inf(1)
+	}
+	for i, p := range points {
+		c := r.Assignment[i]
+		if d := sqDist(p, r.Centroids[c]); d < bestD[c] {
+			bestD[c] = d
+			reps[c] = i
+		}
+	}
+	return reps
+}

@@ -1,0 +1,277 @@
+// Package mem models the memory hierarchy: set-associative write-back
+// caches with LRU replacement, translation lookaside buffers, and a main
+// memory with distinct first/following-word latencies, matching the memory
+// system parameters characterized by the paper's Plackett-Burman design.
+package mem
+
+import "fmt"
+
+// Replacement selects a cache replacement policy.
+type Replacement uint8
+
+// Replacement policies. LRU is the default (and what the paper's
+// configurations use); FIFO and Random exist for the replacement ablation.
+const (
+	ReplaceLRU Replacement = iota
+	ReplaceFIFO
+	ReplaceRandom
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case ReplaceLRU:
+		return "lru"
+	case ReplaceFIFO:
+		return "fifo"
+	case ReplaceRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("replace(%d)", uint8(r))
+	}
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeKB     int // total capacity in kilobytes
+	Assoc      int // ways per set
+	BlockBytes int // line size in bytes (power of two)
+	Latency    int // access (hit) latency in cycles
+
+	// Replace selects the replacement policy; the zero value is LRU.
+	Replace Replacement
+}
+
+// Validate reports configuration errors.
+func (c CacheConfig) Validate(name string) error {
+	if c.SizeKB <= 0 || c.Assoc <= 0 || c.BlockBytes <= 0 || c.Latency <= 0 {
+		return fmt.Errorf("mem: %s: all of size/assoc/block/latency must be positive: %+v", name, c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("mem: %s: block size %d not a power of two", name, c.BlockBytes)
+	}
+	bytes := c.SizeKB * 1024
+	if bytes%(c.BlockBytes*c.Assoc) != 0 {
+		return fmt.Errorf("mem: %s: size %dKB not divisible into %d-way sets of %dB blocks",
+			name, c.SizeKB, c.Assoc, c.BlockBytes)
+	}
+	sets := bytes / (c.BlockBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d not a power of two", name, sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	stamp uint64 // LRU timestamp; 0 means invalid
+	dirty bool
+}
+
+// CacheStats counts cache events. Reads of these fields are cheap, so the
+// measurement windows snapshot and subtract them.
+type CacheStats struct {
+	Accesses    uint64
+	Misses      uint64
+	Writebacks  uint64
+	Prefetches  uint64
+	AssumedHits uint64 // cold-start misses converted to hits by the assume-hit policy
+}
+
+// HitRate returns the fraction of accesses that hit, or 1 when idle.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+// Sub returns s - t, used to extract the deltas of a measurement window.
+func (s CacheStats) Sub(t CacheStats) CacheStats {
+	return CacheStats{
+		Accesses:    s.Accesses - t.Accesses,
+		Misses:      s.Misses - t.Misses,
+		Writebacks:  s.Writebacks - t.Writebacks,
+		Prefetches:  s.Prefetches - t.Prefetches,
+		AssumedHits: s.AssumedHits - t.AssumedHits,
+	}
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with true LRU
+// replacement.
+type Cache struct {
+	cfg        CacheConfig
+	lines      []line // sets*assoc entries, flattened
+	sets       int
+	assoc      int
+	blockShift uint
+	setMask    uint64
+	clock      uint64
+	rngState   uint64 // deterministic stream for random replacement
+
+	// AssumeHit implements the paper's SimPoint cold-start policy
+	// ("Warm-Up: assume cache hit"): while enabled, a miss whose victim
+	// way is still invalid (i.e. the access is to genuinely unknown cold
+	// state rather than a capacity/conflict miss) is installed but reported
+	// as a hit, modelling an optimistically warm cache after fast-forwarding.
+	AssumeHit bool
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache; the configuration must be valid.
+func NewCache(cfg CacheConfig, name string) (*Cache, error) {
+	if err := cfg.Validate(name); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeKB * 1024 / (cfg.BlockBytes * cfg.Assoc)
+	shift := uint(0)
+	for 1<<shift < cfg.BlockBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:        cfg,
+		lines:      make([]line, sets*cfg.Assoc),
+		sets:       sets,
+		assoc:      cfg.Assoc,
+		blockShift: shift,
+		setMask:    uint64(sets - 1),
+		rngState:   0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// victimIdx selects the way to replace in the set starting at base,
+// honouring the replacement policy. Invalid ways are always used first.
+func (c *Cache) victimIdx(base int) int {
+	idx := base
+	oldest := ^uint64(0)
+	for i := base; i < base+c.assoc; i++ {
+		if c.lines[i].stamp == 0 {
+			return i // invalid way: free slot
+		}
+		if c.lines[i].stamp < oldest {
+			oldest = c.lines[i].stamp
+			idx = i
+		}
+	}
+	if c.cfg.Replace == ReplaceRandom {
+		// xorshift64 step; deterministic per cache instance.
+		c.rngState ^= c.rngState << 13
+		c.rngState ^= c.rngState >> 7
+		c.rngState ^= c.rngState << 17
+		return base + int(c.rngState%uint64(c.assoc))
+	}
+	return idx // LRU and FIFO both evict the smallest stamp
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Latency returns the hit latency.
+func (c *Cache) Latency() int { return c.cfg.Latency }
+
+// BlockBytes returns the line size.
+func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.Stats = CacheStats{}
+}
+
+// Access looks up the block containing addr, installing it on a miss.
+// It returns hit=false when the block had to be fetched from below and
+// writeback=true when the installation evicted a dirty line (whose block
+// address is then evicted). The write flag sets the dirty bit.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, evicted uint64) {
+	c.Stats.Accesses++
+	c.clock++
+	blk := addr >> c.blockShift
+	set := blk & c.setMask
+	tag := blk >> 0 // full block address as tag; set bits redundant but harmless
+	base := int(set) * c.assoc
+
+	for i := base; i < base+c.assoc; i++ {
+		ln := &c.lines[i]
+		if ln.stamp != 0 && ln.tag == tag {
+			if c.cfg.Replace == ReplaceLRU {
+				ln.stamp = c.clock // FIFO/random keep the insertion stamp
+			}
+			if write {
+				ln.dirty = true
+			}
+			return true, false, 0
+		}
+	}
+	// Miss: install in the policy-selected victim way.
+	c.Stats.Misses++
+	victim := &c.lines[c.victimIdx(base)]
+	coldVictim := victim.stamp == 0
+	if victim.stamp != 0 && victim.dirty {
+		writeback = true
+		evicted = victim.tag << c.blockShift
+		c.Stats.Writebacks++
+	}
+	victim.tag = tag
+	victim.stamp = c.clock
+	victim.dirty = write
+	if c.AssumeHit && coldVictim {
+		c.Stats.AssumedHits++
+		return true, writeback, evicted
+	}
+	return false, writeback, evicted
+}
+
+// Probe reports whether the block containing addr is present, without
+// modifying any state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	blk := addr >> c.blockShift
+	set := blk & c.setMask
+	base := int(set) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		if c.lines[i].stamp != 0 && c.lines[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefetch installs the block containing addr if absent, counting it as a
+// prefetch rather than a demand access. It returns true when the block was
+// absent (i.e. the prefetch was useful work).
+func (c *Cache) Prefetch(addr uint64) bool {
+	if c.Probe(addr) {
+		return false
+	}
+	c.clock++
+	blk := addr >> c.blockShift
+	set := blk & c.setMask
+	base := int(set) * c.assoc
+	victim := &c.lines[c.victimIdx(base)]
+	if victim.stamp != 0 && victim.dirty {
+		c.Stats.Writebacks++
+	}
+	victim.tag = blk
+	// Install prefetched blocks at LRU-friendly (oldest live) position so a
+	// useless prefetch is the next victim; stamp 1 would collide with the
+	// invalid sentinel after Reset, so use the smallest live stamp.
+	victim.stamp = c.clock
+	victim.dirty = false
+	c.Stats.Prefetches++
+	return true
+}
+
+// Utilization returns the fraction of lines currently valid, used by tests
+// and the example tooling.
+func (c *Cache) Utilization() float64 {
+	valid := 0
+	for i := range c.lines {
+		if c.lines[i].stamp != 0 {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(c.lines))
+}

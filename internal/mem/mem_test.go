@@ -1,0 +1,334 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg CacheConfig) *Cache {
+	t.Helper()
+	c, err := NewCache(cfg, "test")
+	if err != nil {
+		t.Fatalf("NewCache: %v", err)
+	}
+	return c
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  CacheConfig
+		ok   bool
+	}{
+		{"valid", CacheConfig{SizeKB: 32, Assoc: 2, BlockBytes: 64, Latency: 1}, true},
+		{"zero size", CacheConfig{SizeKB: 0, Assoc: 2, BlockBytes: 64, Latency: 1}, false},
+		{"non-pow2 block", CacheConfig{SizeKB: 32, Assoc: 2, BlockBytes: 48, Latency: 1}, false},
+		{"zero latency", CacheConfig{SizeKB: 32, Assoc: 2, BlockBytes: 64, Latency: 0}, false},
+		{"indivisible", CacheConfig{SizeKB: 3, Assoc: 2, BlockBytes: 64, Latency: 1}, false},
+		{"fully assoc small", CacheConfig{SizeKB: 1, Assoc: 16, BlockBytes: 64, Latency: 2}, true},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate(c.name)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 2, BlockBytes: 64, Latency: 1})
+	if hit, _, _ := c.Access(0x1000, false); hit {
+		t.Fatal("first access should miss")
+	}
+	if hit, _, _ := c.Access(0x1000, false); !hit {
+		t.Fatal("second access to same address should hit")
+	}
+	if hit, _, _ := c.Access(0x1038, false); !hit {
+		t.Fatal("access within the same 64B block should hit")
+	}
+	if hit, _, _ := c.Access(0x1040, false); hit {
+		t.Fatal("access to the next block should miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v, want 4 accesses / 2 misses", c.Stats)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way, 64B blocks, 8 sets => addresses 64*8 apart map to the same set.
+	c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 2, BlockBytes: 64, Latency: 1})
+	setStride := uint64(64 * 8)
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU, b is LRU
+	c.Access(d, false) // evicts b
+	if hit, _, _ := c.Access(a, false); !hit {
+		t.Error("a should still be resident (was MRU)")
+	}
+	if hit, _, _ := c.Access(b, false); hit {
+		t.Error("b should have been evicted (was LRU)")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 1, BlockBytes: 64, Latency: 1})
+	setStride := uint64(64 * 16) // direct mapped, 16 sets
+	c.Access(0, true)            // dirty
+	_, wb, evicted := c.Access(setStride, false)
+	if !wb || evicted != 0 {
+		t.Errorf("expected writeback of block 0, got wb=%v evicted=%#x", wb, evicted)
+	}
+	c.Access(2*setStride, false) // clean eviction
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestCacheAssumeHit(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 2, BlockBytes: 64, Latency: 1})
+	c.AssumeHit = true
+	if hit, _, _ := c.Access(0x2000, false); !hit {
+		t.Fatal("assume-hit should report a hit on a cold miss")
+	}
+	if c.Stats.Misses != 1 || c.Stats.AssumedHits != 1 {
+		t.Fatalf("stats = %+v; assume-hit should still count the miss", c.Stats)
+	}
+	c.AssumeHit = false
+	if hit, _, _ := c.Access(0x2000, false); !hit {
+		t.Fatal("line must have been installed by the assumed hit")
+	}
+	// Once a set is full, conflict misses are real even under assume-hit:
+	// only genuinely cold state is assumed warm.
+	c.AssumeHit = true
+	setStride := uint64(64 * 8)
+	c.Access(0x2000+setStride, false) // fills the second way (assumed)
+	if hit, _, _ := c.Access(0x2000+2*setStride, false); hit {
+		t.Error("conflict miss in a full set must not be assumed a hit")
+	}
+}
+
+func TestCachePrefetchInstallsLine(t *testing.T) {
+	c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 2, BlockBytes: 64, Latency: 1})
+	if !c.Prefetch(0x400) {
+		t.Fatal("prefetch of absent block should report useful")
+	}
+	if c.Prefetch(0x400) {
+		t.Fatal("prefetch of resident block should be a no-op")
+	}
+	if hit, _, _ := c.Access(0x400, false); !hit {
+		t.Fatal("prefetched block should hit")
+	}
+	if c.Stats.Prefetches != 1 {
+		t.Errorf("prefetches = %d, want 1", c.Stats.Prefetches)
+	}
+}
+
+// TestCacheProbeNeverMutates is a property test: Probe must not change hit
+// behaviour or statistics regardless of the access sequence.
+func TestCacheProbeNeverMutates(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 2, BlockBytes: 32, Latency: 1})
+		for _, a := range addrs {
+			c.Access(uint64(a), a%3 == 0)
+		}
+		before := c.Stats
+		for _, a := range addrs {
+			c.Probe(uint64(a))
+		}
+		// After accessing every address, each must probe resident or not,
+		// but stats must be untouched.
+		return c.Stats == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheInclusionOfRecentBlock is a property: the most recently accessed
+// block is always resident immediately afterwards.
+func TestCacheInclusionOfRecentBlock(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := mustCache(t, CacheConfig{SizeKB: 2, Assoc: 4, BlockBytes: 64, Latency: 1})
+		for _, a := range addrs {
+			c.Access(uint64(a), false)
+			if !c.Probe(uint64(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLB(t *testing.T) {
+	tlb, err := NewTLB(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Access(0) {
+		t.Error("cold TLB should miss")
+	}
+	if !tlb.Access(8) {
+		t.Error("same page should hit")
+	}
+	tlb.Access(PageBytes)     // second page
+	tlb.Access(2 * PageBytes) // third page evicts page 0 (LRU)
+	if tlb.Access(0) {
+		t.Error("page 0 should have been evicted")
+	}
+	if tlb.Misses != 4 {
+		t.Errorf("misses = %d, want 4", tlb.Misses)
+	}
+}
+
+func TestTLBRejectsZeroEntries(t *testing.T) {
+	if _, err := NewTLB(0); err == nil {
+		t.Error("NewTLB(0) should fail")
+	}
+}
+
+func testHierarchy(t *testing.T, pf PrefetchPolicy) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(HierarchyConfig{
+		L1I:           CacheConfig{SizeKB: 4, Assoc: 2, BlockBytes: 64, Latency: 1},
+		L1D:           CacheConfig{SizeKB: 4, Assoc: 2, BlockBytes: 64, Latency: 2},
+		L2:            CacheConfig{SizeKB: 64, Assoc: 4, BlockBytes: 128, Latency: 8},
+		MemFirst:      100,
+		MemFollow:     4,
+		ITLBEntries:   16,
+		DTLBEntries:   16,
+		TLBMissCycles: 30,
+		Prefetch:      pf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := testHierarchy(t, PrefetchNone)
+	// Cold access: L1D lat + L2 lat + mem fill + TLB miss.
+	fill := 100 + (128/8-1)*4
+	want := 2 + 8 + fill + 30
+	if lat := h.AccessD(0x10000, false); lat != want {
+		t.Errorf("cold AccessD latency = %d, want %d", lat, want)
+	}
+	// Warm hit: just L1D latency.
+	if lat := h.AccessD(0x10000, false); lat != 2 {
+		t.Errorf("warm AccessD latency = %d, want 2", lat)
+	}
+	// L2 hit: new L1 block, same L2 block resident.
+	if lat := h.AccessD(0x10040, false); lat != 2+8 {
+		t.Errorf("L2-hit AccessD latency = %d, want %d", lat, 2+8)
+	}
+}
+
+func TestHierarchyNextLinePrefetch(t *testing.T) {
+	h := testHierarchy(t, PrefetchNextLine)
+	h.AccessD(0, false) // miss; prefetches L1 block 1 and L2 block 1
+	if !h.L1D.Probe(64) {
+		t.Error("next L1 line should have been prefetched")
+	}
+	if !h.L2.Probe(128) {
+		t.Error("next L2 line should have been prefetched")
+	}
+	// The prefetched line hits at L1 latency.
+	if lat := h.AccessD(64, false); lat != 2 {
+		t.Errorf("prefetched line latency = %d, want 2", lat)
+	}
+}
+
+func TestHierarchyWarmMatchesAccessState(t *testing.T) {
+	// Functional warming must leave the same cache contents as timed access.
+	ha := testHierarchy(t, PrefetchNone)
+	hb := testHierarchy(t, PrefetchNone)
+	addrs := []uint64{0, 64, 4096, 0, 128, 1 << 16, 64, 9000}
+	for _, a := range addrs {
+		ha.AccessD(a, a%2 == 0)
+		hb.WarmD(a, a%2 == 0)
+	}
+	for _, a := range addrs {
+		if ha.L1D.Probe(a) != hb.L1D.Probe(a) {
+			t.Errorf("L1D contents diverge at %#x", a)
+		}
+		if ha.L2.Probe(a) != hb.L2.Probe(a) {
+			t.Errorf("L2 contents diverge at %#x", a)
+		}
+	}
+	if ha.L1D.Stats != hb.L1D.Stats {
+		t.Errorf("L1D stats diverge: %+v vs %+v", ha.L1D.Stats, hb.L1D.Stats)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	h := testHierarchy(t, PrefetchNone)
+	h.AccessD(0, false)
+	snap := h.Snap()
+	h.AccessD(64, false)
+	h.AccessD(64, false)
+	d := h.Delta(snap)
+	if d.L1D.Accesses != 2 || d.L1D.Misses != 1 {
+		t.Errorf("delta = %+v, want 2 accesses / 1 miss", d.L1D)
+	}
+}
+
+func TestFIFOReplacementIgnoresRecency(t *testing.T) {
+	// FIFO evicts the oldest-inserted line even if it was just reused.
+	cfg := CacheConfig{SizeKB: 1, Assoc: 2, BlockBytes: 64, Latency: 1, Replace: ReplaceFIFO}
+	c := mustCache(t, cfg)
+	setStride := uint64(64 * 8)
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(a, false) // inserted first
+	c.Access(b, false)
+	c.Access(a, false) // reuse does not refresh FIFO order
+	c.Access(d, false) // evicts a (oldest insertion)
+	if c.Probe(a) {
+		t.Error("FIFO should have evicted the oldest insertion despite reuse")
+	}
+	if !c.Probe(b) {
+		t.Error("b should still be resident under FIFO")
+	}
+}
+
+func TestRandomReplacementStaysInSet(t *testing.T) {
+	cfg := CacheConfig{SizeKB: 1, Assoc: 4, BlockBytes: 64, Latency: 1, Replace: ReplaceRandom}
+	c := mustCache(t, cfg)
+	// Hammer one set far beyond its capacity; the most recent access must
+	// always be resident and the cache must never lose other sets' lines.
+	otherSet := uint64(64) // set 1
+	c.Access(otherSet, false)
+	setStride := uint64(64 * 4) // 4 sets
+	for i := uint64(0); i < 64; i++ {
+		addr := i * setStride // all map to set 0
+		c.Access(addr, false)
+		if !c.Probe(addr) {
+			t.Fatalf("just-accessed block %#x not resident", addr)
+		}
+	}
+	if !c.Probe(otherSet) {
+		t.Error("random replacement evicted a line from a different set")
+	}
+}
+
+func TestReplacementPolicyAffectsMissRate(t *testing.T) {
+	// A cyclic access pattern one block larger than the set thrashes LRU
+	// completely; random replacement keeps some lines and must miss less.
+	run := func(rep Replacement) uint64 {
+		c := mustCache(t, CacheConfig{SizeKB: 1, Assoc: 4, BlockBytes: 64, Latency: 1, Replace: rep})
+		setStride := uint64(64 * 4)
+		for round := 0; round < 200; round++ {
+			for i := uint64(0); i < 5; i++ { // 5 blocks into a 4-way set
+				c.Access(i*setStride, false)
+			}
+		}
+		return c.Stats.Misses
+	}
+	lru, random := run(ReplaceLRU), run(ReplaceRandom)
+	if random >= lru {
+		t.Errorf("random misses %d not below thrashing LRU %d", random, lru)
+	}
+}

@@ -1,0 +1,82 @@
+package mem
+
+import "fmt"
+
+// PageBytes is the architectural page size used by the TLBs.
+const PageBytes = 4096
+
+// TLB is a fully-associative translation lookaside buffer with true LRU
+// replacement. Entry counts are small (8..512), and misses are rare, so a
+// simple map plus an LRU scan on miss is both clear and fast enough.
+type TLB struct {
+	entries  int
+	pages    map[uint64]uint64 // page number -> LRU stamp
+	clock    uint64
+	lastPage uint64 // MRU filter: most accesses hit the same page repeatedly
+	lastOK   bool
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB creates a TLB with the given number of entries.
+func NewTLB(entries int) (*TLB, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("mem: TLB needs at least one entry, got %d", entries)
+	}
+	return &TLB{entries: entries, pages: make(map[uint64]uint64, entries)}, nil
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return t.entries }
+
+// Reset clears all translations and statistics.
+func (t *TLB) Reset() {
+	t.pages = make(map[uint64]uint64, t.entries)
+	t.clock = 0
+	t.lastOK = false
+	t.Accesses = 0
+	t.Misses = 0
+}
+
+// Access translates addr, returning true on a TLB hit. Misses install the
+// page, evicting the least recently used translation when full.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	t.clock++
+	page := addr / PageBytes
+	if t.lastOK && page == t.lastPage {
+		t.pages[page] = t.clock
+		return true
+	}
+	if _, ok := t.pages[page]; ok {
+		t.pages[page] = t.clock
+		t.lastPage, t.lastOK = page, true
+		return true
+	}
+	t.Misses++
+	if len(t.pages) >= t.entries {
+		var victim uint64
+		oldest := ^uint64(0)
+		for p, stamp := range t.pages {
+			if stamp < oldest {
+				oldest = stamp
+				victim = p
+			}
+		}
+		delete(t.pages, victim)
+		if victim == t.lastPage {
+			t.lastOK = false
+		}
+	}
+	t.pages[page] = t.clock
+	t.lastPage, t.lastOK = page, true
+	return false
+}
+
+// MissRate returns the miss ratio, or 0 when idle.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}

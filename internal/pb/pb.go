@@ -1,0 +1,232 @@
+// Package pb constructs Plackett-Burman experimental designs [Plackett46]
+// and computes factor effects from them, the machinery behind the paper's
+// processor-bottleneck characterization (§4.1, following [Yi03]).
+//
+// Designs are built from Hadamard matrices obtained by the Sylvester
+// doubling and Paley (quadratic-residue) constructions, which together
+// cover every run size needed for up to 43 factors. A foldover (appending
+// the sign-reversed matrix) removes the confounding of main effects with
+// two-factor interactions, which is how [Yi03] ran their design.
+package pb
+
+import "fmt"
+
+// Design is a two-level experimental design: Runs x Factors entries of
+// +1/-1 (true = high).
+type Design struct {
+	Rows    [][]bool
+	Factors int
+}
+
+// Runs returns the number of experiment rows.
+func (d *Design) Runs() int { return len(d.Rows) }
+
+// New builds a Plackett-Burman design for the given number of factors,
+// optionally folded over. The run count is the smallest constructible
+// Hadamard order >= factors+1.
+func New(factors int, foldover bool) (*Design, error) {
+	if factors < 1 {
+		return nil, fmt.Errorf("pb: need at least one factor")
+	}
+	n := factors + 1
+	// Round up to a multiple of 4.
+	if n%4 != 0 {
+		n += 4 - n%4
+	}
+	var h [][]int8
+	for {
+		var err error
+		h, err = hadamard(n)
+		if err == nil {
+			break
+		}
+		n += 4
+		if n > 4*(factors+8) {
+			return nil, fmt.Errorf("pb: no constructible Hadamard order found for %d factors", factors)
+		}
+	}
+	// Normalize so the first column is all ones (negating a row preserves
+	// the Hadamard property), then drop it; the remaining n-1 columns are
+	// balanced, pairwise-orthogonal factor columns. Use the first `factors`.
+	for i := 0; i < n; i++ {
+		if h[i][0] < 0 {
+			for j := 0; j < n; j++ {
+				h[i][j] = -h[i][j]
+			}
+		}
+	}
+	rows := make([][]bool, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]bool, factors)
+		for j := 0; j < factors; j++ {
+			row[j] = h[i][j+1] > 0
+		}
+		rows = append(rows, row)
+	}
+	if foldover {
+		for i := 0; i < n; i++ {
+			row := make([]bool, factors)
+			for j := 0; j < factors; j++ {
+				row[j] = !rows[i][j]
+			}
+			rows = append(rows, row)
+		}
+	}
+	return &Design{Rows: rows, Factors: factors}, nil
+}
+
+// hadamard constructs a Hadamard matrix of order n (entries +1/-1) using
+// Sylvester doubling over Paley/base constructions.
+func hadamard(n int) ([][]int8, error) {
+	switch {
+	case n == 1:
+		return [][]int8{{1}}, nil
+	case n == 2:
+		return [][]int8{{1, 1}, {1, -1}}, nil
+	case n%2 != 0:
+		return nil, fmt.Errorf("pb: Hadamard order %d not even", n)
+	}
+	// Try Paley construction directly: n = q+1 with q prime, q ≡ 3 mod 4.
+	if isPrime(n-1) && (n-1)%4 == 3 {
+		return paley(n), nil
+	}
+	// Sylvester doubling.
+	if n%2 == 0 {
+		half, err := hadamard(n / 2)
+		if err == nil {
+			return double(half), nil
+		}
+	}
+	return nil, fmt.Errorf("pb: cannot construct Hadamard order %d", n)
+}
+
+func double(h [][]int8) [][]int8 {
+	n := len(h)
+	out := make([][]int8, 2*n)
+	for i := range out {
+		out[i] = make([]int8, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := h[i][j]
+			out[i][j] = v
+			out[i][j+n] = v
+			out[i+n][j] = v
+			out[i+n][j+n] = -v
+		}
+	}
+	return out
+}
+
+// paley builds the order-(q+1) Hadamard matrix from the quadratic residues
+// of GF(q), for prime q ≡ 3 (mod 4).
+func paley(n int) [][]int8 {
+	q := n - 1
+	chi := make([]int8, q) // Legendre symbol
+	for x := 1; x < q; x++ {
+		chi[x*x%q] = 1
+	}
+	for x := 1; x < q; x++ {
+		if chi[x] == 0 {
+			chi[x] = -1
+		}
+	}
+	// Jacobsthal matrix Q[i][j] = chi(i-j).
+	h := make([][]int8, n)
+	for i := range h {
+		h[i] = make([]int8, n)
+	}
+	for j := 0; j < n; j++ {
+		h[0][j] = 1
+	}
+	for i := 1; i < n; i++ {
+		h[i][0] = -1
+	}
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			if i == j {
+				h[i+1][j+1] = 1 // Q + I with -1 border gives Hadamard for q ≡ 3 mod 4
+			} else {
+				h[i+1][j+1] = chi[((i-j)%q+q)%q]
+			}
+		}
+	}
+	return h
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Effects computes the main effect of each factor from the per-run
+// responses: effect[j] = mean(response | factor j high) - mean(response |
+// factor j low). The magnitudes of these effects are the paper's bottleneck
+// measure.
+func (d *Design) Effects(responses []float64) ([]float64, error) {
+	if len(responses) != d.Runs() {
+		return nil, fmt.Errorf("pb: %d responses for %d runs", len(responses), d.Runs())
+	}
+	eff := make([]float64, d.Factors)
+	for j := 0; j < d.Factors; j++ {
+		var hi, lo float64
+		var nh, nl int
+		for i, row := range d.Rows {
+			if row[j] {
+				hi += responses[i]
+				nh++
+			} else {
+				lo += responses[i]
+				nl++
+			}
+		}
+		if nh == 0 || nl == 0 {
+			return nil, fmt.Errorf("pb: factor %d never varies", j)
+		}
+		eff[j] = hi/float64(nh) - lo/float64(nl)
+	}
+	return eff, nil
+}
+
+// Orthogonal verifies the defining property of a PB design: every pair of
+// factor columns is balanced and orthogonal. It is exported for tests and
+// for the design ablation bench.
+func (d *Design) Orthogonal() bool {
+	for a := 0; a < d.Factors; a++ {
+		var sum int
+		for _, row := range d.Rows {
+			if row[a] {
+				sum++
+			} else {
+				sum--
+			}
+		}
+		if sum != 0 {
+			return false
+		}
+		for b := a + 1; b < d.Factors; b++ {
+			var dot int
+			for _, row := range d.Rows {
+				va, vb := 1, 1
+				if !row[a] {
+					va = -1
+				}
+				if !row[b] {
+					vb = -1
+				}
+				dot += va * vb
+			}
+			if dot != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

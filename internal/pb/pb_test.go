@@ -1,0 +1,144 @@
+package pb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDesignSizes(t *testing.T) {
+	cases := []struct {
+		factors  int
+		foldover bool
+		wantRuns int
+	}{
+		{3, false, 4},
+		{7, false, 8},
+		{11, false, 12},
+		{43, false, 44}, // the paper's design: 43 parameters in 44 runs
+		{43, true, 88},  // with foldover, as in [Yi03]
+	}
+	for _, c := range cases {
+		d, err := New(c.factors, c.foldover)
+		if err != nil {
+			t.Fatalf("New(%d,%v): %v", c.factors, c.foldover, err)
+		}
+		if d.Runs() != c.wantRuns {
+			t.Errorf("New(%d,%v) runs = %d, want %d", c.factors, c.foldover, d.Runs(), c.wantRuns)
+		}
+		if d.Factors != c.factors {
+			t.Errorf("factors = %d, want %d", d.Factors, c.factors)
+		}
+	}
+}
+
+func TestDesignOrthogonality(t *testing.T) {
+	for _, factors := range []int{3, 7, 11, 19, 23, 43} {
+		d, err := New(factors, false)
+		if err != nil {
+			t.Fatalf("New(%d): %v", factors, err)
+		}
+		if !d.Orthogonal() {
+			t.Errorf("design for %d factors not orthogonal", factors)
+		}
+	}
+}
+
+func TestFoldoverPairsAreComplements(t *testing.T) {
+	d, err := New(43, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Runs() / 2
+	for i := 0; i < n; i++ {
+		for j := 0; j < d.Factors; j++ {
+			if d.Rows[i][j] == d.Rows[i+n][j] {
+				t.Fatalf("row %d not complemented at factor %d", i, j)
+			}
+		}
+	}
+	if !d.Orthogonal() {
+		t.Error("folded design must remain orthogonal")
+	}
+}
+
+func TestEffectsRecoverPlantedModel(t *testing.T) {
+	// Response depends strongly on factor 2, weakly on factor 5, and not at
+	// all on the others; effects must reflect that ordering exactly.
+	d, err := New(11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := make([]float64, d.Runs())
+	for i, row := range d.Rows {
+		v := 10.0
+		if row[2] {
+			v += 8
+		}
+		if row[5] {
+			v += 2
+		}
+		resp[i] = v
+	}
+	eff, err := d.Effects(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff[2] < 7.9 || eff[2] > 8.1 {
+		t.Errorf("effect[2] = %v, want ~8", eff[2])
+	}
+	if eff[5] < 1.9 || eff[5] > 2.1 {
+		t.Errorf("effect[5] = %v, want ~2", eff[5])
+	}
+	for j, e := range eff {
+		if j != 2 && j != 5 && (e > 0.01 || e < -0.01) {
+			t.Errorf("effect[%d] = %v, want ~0", j, e)
+		}
+	}
+}
+
+func TestEffectsErrors(t *testing.T) {
+	d, _ := New(7, false)
+	if _, err := d.Effects(make([]float64, 3)); err == nil {
+		t.Error("wrong response count accepted")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, false); err == nil {
+		t.Error("zero factors accepted")
+	}
+}
+
+// Property: for any additive model over any subset of factors, a folded PB
+// design recovers each planted main effect to within numerical noise.
+func TestEffectsAdditiveModelProperty(t *testing.T) {
+	d, err := New(19, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(coeffs [19]int8) bool {
+		resp := make([]float64, d.Runs())
+		for i, row := range d.Rows {
+			v := 0.0
+			for j := 0; j < 19; j++ {
+				if row[j] {
+					v += float64(coeffs[j])
+				}
+			}
+			resp[i] = v
+		}
+		eff, err := d.Effects(resp)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < 19; j++ {
+			if diff := eff[j] - float64(coeffs[j]); diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package power provides a wattch-style activity-based energy model
+// [Brooks00]: each micro-architectural event (instruction commit by class,
+// cache access and miss per level, predictor lookup, TLB access) carries a
+// per-event energy derived from the configured structure sizes, and a run's
+// energy is the dot product of its event counts with those costs. The
+// paper's base simulator is wattch, so the energy view is part of the
+// substrate; the repository uses it for the power ablation bench.
+package power
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Model holds per-event energies in picojoules.
+type Model struct {
+	PerClass [isa.NumClasses]float64 // execution energy per committed instruction
+
+	L1IAccess, L1DAccess, L2Access float64
+	MissOverhead                   float64 // extra per miss (fill + tag churn)
+	PredictorLookup                float64
+	TLBAccess                      float64
+	CyclePJ                        float64 // static/clock energy per cycle
+}
+
+// NewModel derives a model from a machine configuration: array energies
+// scale with the square root of capacity (bitline/wordline scaling), and
+// wider machines pay more per cycle in clock power.
+func NewModel(cfg sim.Config) Model {
+	arr := func(kb int) float64 { return 2 * math.Sqrt(float64(kb)) }
+	var m Model
+	m.PerClass[isa.ClassNop] = 1
+	m.PerClass[isa.ClassIntALU] = 4
+	m.PerClass[isa.ClassIntMult] = 12
+	m.PerClass[isa.ClassFPALU] = 8
+	m.PerClass[isa.ClassFPMult] = 16
+	m.PerClass[isa.ClassLoad] = 6
+	m.PerClass[isa.ClassStore] = 6
+	m.PerClass[isa.ClassBranch] = 3
+
+	m.L1IAccess = arr(cfg.Mem.L1I.SizeKB)
+	m.L1DAccess = arr(cfg.Mem.L1D.SizeKB)
+	m.L2Access = arr(cfg.Mem.L2.SizeKB)
+	m.MissOverhead = 20
+	m.PredictorLookup = 0.5 * math.Sqrt(float64(cfg.Pred.BHTEntries)/1024)
+	m.TLBAccess = 0.3
+	m.CyclePJ = 2 * float64(cfg.Core.IssueWidth)
+	return m
+}
+
+// Breakdown is a run's estimated energy by component, in picojoules.
+type Breakdown struct {
+	Execution float64
+	L1I       float64
+	L1D       float64
+	L2        float64
+	Predictor float64
+	TLB       float64
+	Clock     float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.Execution + b.L1I + b.L1D + b.L2 + b.Predictor + b.TLB + b.Clock
+}
+
+// EnergyPerInstr returns total picojoules per committed instruction.
+func EnergyPerInstr(b Breakdown, s sim.Stats) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return b.Total() / float64(s.Instructions)
+}
+
+// Estimate computes the energy breakdown of a measurement window.
+func Estimate(m Model, s sim.Stats) Breakdown {
+	var b Breakdown
+	for c, n := range s.Core.ClassCounts {
+		b.Execution += m.PerClass[c] * float64(n)
+	}
+	b.L1I = m.L1IAccess*float64(s.L1I.Accesses) + m.MissOverhead*float64(s.L1I.Misses)
+	b.L1D = m.L1DAccess*float64(s.L1D.Accesses) + m.MissOverhead*float64(s.L1D.Misses)
+	b.L2 = m.L2Access*float64(s.L2.Accesses) + m.MissOverhead*float64(s.L2.Misses)
+	b.Predictor = m.PredictorLookup * float64(s.BranchLookups)
+	b.TLB = m.TLBAccess * float64(s.L1I.Accesses+s.L1D.Accesses)
+	b.Clock = m.CyclePJ * float64(s.Cycles)
+	return b
+}

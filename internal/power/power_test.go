@@ -1,0 +1,71 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+func TestModelScalesWithStructureSizes(t *testing.T) {
+	small := sim.BaseConfig()
+	big := sim.BaseConfig()
+	big.Mem.L1D.SizeKB *= 4
+	big.Pred.BHTEntries *= 4
+	big.Core.IssueWidth *= 2
+	ms, mb := NewModel(small), NewModel(big)
+	if mb.L1DAccess <= ms.L1DAccess {
+		t.Error("bigger L1D should cost more per access")
+	}
+	if mb.PredictorLookup <= ms.PredictorLookup {
+		t.Error("bigger BHT should cost more per lookup")
+	}
+	if mb.CyclePJ <= ms.CyclePJ {
+		t.Error("wider machine should burn more clock power")
+	}
+}
+
+func TestEstimateBreakdown(t *testing.T) {
+	m := NewModel(sim.BaseConfig())
+	var s sim.Stats
+	s.Cycles = 1000
+	s.Instructions = 800
+	s.Core.ClassCounts[isa.ClassIntALU] = 500
+	s.Core.ClassCounts[isa.ClassLoad] = 300
+	s.L1D.Accesses = 300
+	s.L1D.Misses = 30
+	s.BranchLookups = 100
+	b := Estimate(m, s)
+	if b.Execution <= 0 || b.L1D <= 0 || b.Clock <= 0 || b.Predictor <= 0 {
+		t.Errorf("breakdown has empty components: %+v", b)
+	}
+	if b.Total() <= b.Execution {
+		t.Error("total must exceed any single component")
+	}
+	if EnergyPerInstr(b, s) <= 0 {
+		t.Error("energy per instruction must be positive")
+	}
+	if EnergyPerInstr(b, sim.Stats{}) != 0 {
+		t.Error("empty window energy-per-instr should be 0")
+	}
+}
+
+func TestEndToEndEnergyOrdering(t *testing.T) {
+	// A memory-bound run (mcf) must burn more energy per instruction in
+	// the L2 component than a compute-bound run (vpr-route)
+	scale := sim.Scale{Unit: 100}
+	perL2 := func(b bench.Name) float64 {
+		p := bench.MustBuild(b, bench.Reference, scale)
+		r, err := sim.NewRunner(p, sim.BaseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.RunToCompletion()
+		br := Estimate(NewModel(sim.BaseConfig()), s)
+		return br.L2 / float64(s.Instructions)
+	}
+	if mcf, vpr := perL2(bench.Mcf), perL2(bench.VprRoute); mcf <= vpr {
+		t.Errorf("mcf L2 energy/instr %.3f not above vpr-route %.3f", mcf, vpr)
+	}
+}

@@ -1,0 +1,233 @@
+package program
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Label identifies a forward- or backward-referenced code position during
+// program construction.
+type Label int
+
+// Builder assembles a Program. Methods panic on misuse (benchmark generators
+// are static code, so construction errors are programming bugs, not runtime
+// conditions); Build returns an error after full validation.
+type Builder struct {
+	name     string
+	code     []isa.Inst
+	labels   []int         // label -> pc, -1 if unbound
+	patches  map[int]Label // pc of instruction whose Target awaits a label
+	memWords int
+	data     []DataSegment
+}
+
+// NewBuilder creates a builder for a program with the given name and data
+// memory size in words (rounded up to a power of two).
+func NewBuilder(name string, memWords int) *Builder {
+	if memWords < 1 {
+		memWords = 1
+	}
+	w := 1
+	for w < memWords {
+		w <<= 1
+	}
+	return &Builder{
+		name:     name,
+		patches:  make(map[int]Label),
+		memWords: w,
+	}
+}
+
+// NewLabel allocates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	return Label(len(b.labels) - 1)
+}
+
+// Bind binds the label to the current code position.
+func (b *Builder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic(fmt.Sprintf("program: label %d bound twice", l))
+	}
+	b.labels[l] = len(b.code)
+}
+
+// Here returns a new label bound to the current position.
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+// PC returns the current code position.
+func (b *Builder) PC() int { return len(b.code) }
+
+// Data installs initial memory contents at the given word address.
+func (b *Builder) Data(wordAddr int, words []int64) {
+	if wordAddr < 0 || wordAddr+len(words) > b.memWords {
+		panic(fmt.Sprintf("program: data segment [%d,%d) outside %d words",
+			wordAddr, wordAddr+len(words), b.memWords))
+	}
+	b.data = append(b.data, DataSegment{WordAddr: wordAddr, Words: words})
+}
+
+// DataFloats installs initial floating-point memory contents.
+func (b *Builder) DataFloats(wordAddr int, vals []float64) {
+	words := make([]int64, len(vals))
+	for i, v := range vals {
+		words[i] = int64(math.Float64bits(v))
+	}
+	b.Data(wordAddr, words)
+}
+
+func (b *Builder) emit(in isa.Inst) {
+	b.code = append(b.code, in)
+}
+
+func (b *Builder) emitBranch(in isa.Inst, target Label) {
+	b.patches[len(b.code)] = target
+	b.emit(in)
+}
+
+// --- three-register ALU ops ---
+
+// Op3 emits a register-register operation dst = a OP b.
+func (b *Builder) Op3(op isa.Op, dst, a, rb isa.Reg) {
+	b.emit(isa.Inst{Op: op, Dst: dst, SrcA: a, SrcB: rb})
+}
+
+// OpI emits a register-immediate operation dst = a OP imm.
+func (b *Builder) OpI(op isa.Op, dst, a isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: op, Dst: dst, SrcA: a, Imm: imm})
+}
+
+// Li emits dst = imm.
+func (b *Builder) Li(dst isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.LI, Dst: dst, Imm: imm})
+}
+
+// Fmovi emits fp dst = value.
+func (b *Builder) Fmovi(dst isa.Reg, v float64) {
+	b.emit(isa.Inst{Op: isa.FMOVI, Dst: dst, Imm: int64(math.Float64bits(v))})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.NOP}) }
+
+// --- memory ---
+
+// Ld emits int dst = mem[base+off].
+func (b *Builder) Ld(dst, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.LD, Dst: dst, SrcA: base, Imm: off})
+}
+
+// St emits mem[base+off] = src.
+func (b *Builder) St(src, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.ST, SrcA: base, SrcB: src, Imm: off})
+}
+
+// Fld emits fp dst = mem[base+off].
+func (b *Builder) Fld(dst, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.FLD, Dst: dst, SrcA: base, Imm: off})
+}
+
+// Fst emits mem[base+off] = fp src.
+func (b *Builder) Fst(src, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.FST, SrcA: base, SrcB: src, Imm: off})
+}
+
+// --- control ---
+
+// Branch emits a conditional branch comparing a and rb.
+func (b *Builder) Branch(op isa.Op, a, rb isa.Reg, target Label) {
+	if !isa.IsCondBranch(op) {
+		panic("program: Branch with non-branch opcode " + op.String())
+	}
+	b.emitBranch(isa.Inst{Op: op, SrcA: a, SrcB: rb}, target)
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(target Label) {
+	b.emitBranch(isa.Inst{Op: isa.JMP}, target)
+}
+
+// Jal emits a call: dst = return PC, jump to target.
+func (b *Builder) Jal(dst isa.Reg, target Label) {
+	b.emitBranch(isa.Inst{Op: isa.JAL, Dst: dst}, target)
+}
+
+// Jr emits an indirect jump through a register (function return).
+func (b *Builder) Jr(a isa.Reg) {
+	b.emit(isa.Inst{Op: isa.JR, SrcA: a})
+}
+
+// Halt emits program termination.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.HALT}) }
+
+// Build resolves labels, derives basic blocks, validates, and returns the
+// immutable program.
+func (b *Builder) Build() (*Program, error) {
+	code := make([]isa.Inst, len(b.code))
+	copy(code, b.code)
+	for pc, l := range b.patches {
+		t := b.labels[l]
+		if t == -1 {
+			return nil, fmt.Errorf("program %q: pc %d references unbound label %d", b.name, pc, l)
+		}
+		code[pc].Target = int32(t)
+	}
+
+	// Derive basic blocks: leaders are the entry, every branch target, and
+	// every instruction following a branch.
+	leader := make([]bool, len(code)+1)
+	leader[0] = true
+	for pc, in := range code {
+		if isa.IsBranch(in.Op) {
+			leader[pc+1] = true
+			switch in.Op {
+			case isa.JR:
+				// target unknown statically
+			default:
+				leader[in.Target] = true
+			}
+		}
+	}
+	var blocks []Block
+	blockOf := make([]int32, len(code))
+	start := 0
+	for pc := 1; pc <= len(code); pc++ {
+		if pc == len(code) || leader[pc] {
+			blocks = append(blocks, Block{Start: start, End: pc})
+			for i := start; i < pc; i++ {
+				blockOf[i] = int32(len(blocks) - 1)
+			}
+			start = pc
+		}
+	}
+
+	p := &Program{
+		Name:     b.name,
+		Code:     code,
+		Blocks:   blocks,
+		BlockOf:  blockOf,
+		Entry:    0,
+		MemWords: b.memWords,
+		DataInit: b.data,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for use by the static benchmark
+// generators whose construction is exercised by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,176 @@
+// Package program represents executable program images for the synthetic
+// ISA: a flat instruction array partitioned into basic blocks, plus initial
+// data-memory contents. Programs are built with Builder, which provides an
+// assembler-like API with labels and resolves control-flow targets.
+//
+// A basic block, following the paper's definition (§4.2), is "the group of
+// instructions between a branch target (taken or not taken) up to the next
+// branch". Basic-block identities are the unit of the execution-profile
+// characterization (BBEF and BBV) and of SimPoint's interval vectors.
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Block describes a basic block as a half-open instruction index range.
+type Block struct {
+	Start int // index of first instruction
+	End   int // one past the last instruction
+}
+
+// Len returns the number of instructions in the block.
+func (b Block) Len() int { return b.End - b.Start }
+
+// Program is an immutable executable image.
+type Program struct {
+	Name string
+
+	// Code is the flat instruction array; PC values index it.
+	Code []isa.Inst
+
+	// Blocks lists the basic blocks in ascending address order.
+	Blocks []Block
+
+	// BlockOf maps each instruction index to its basic block index.
+	BlockOf []int32
+
+	// Entry is the initial PC.
+	Entry int
+
+	// MemWords is the data-memory size in 8-byte words; it is always a
+	// power of two so effective addresses can be masked rather than
+	// bounds-checked.
+	MemWords int
+
+	// DataInit holds initial memory words, applied at reset.
+	DataInit []DataSegment
+}
+
+// DataSegment is a run of initial data-memory words starting at WordAddr.
+type DataSegment struct {
+	WordAddr int
+	Words    []int64
+}
+
+// NumBlocks returns the number of static basic blocks.
+func (p *Program) NumBlocks() int { return len(p.Blocks) }
+
+// Validate checks structural invariants: every control-transfer target is in
+// range and lands on a block leader, every register is valid, memory size is
+// a power of two, and the block map is consistent.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %q: empty code", p.Name)
+	}
+	if p.MemWords <= 0 || p.MemWords&(p.MemWords-1) != 0 {
+		return fmt.Errorf("program %q: MemWords %d is not a positive power of two", p.Name, p.MemWords)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Code) {
+		return fmt.Errorf("program %q: entry %d out of range", p.Name, p.Entry)
+	}
+	if len(p.BlockOf) != len(p.Code) {
+		return fmt.Errorf("program %q: BlockOf has %d entries for %d instructions", p.Name, len(p.BlockOf), len(p.Code))
+	}
+	leaders := make(map[int]bool, len(p.Blocks))
+	prevEnd := 0
+	for i, b := range p.Blocks {
+		if b.Start != prevEnd || b.End <= b.Start || b.End > len(p.Code) {
+			return fmt.Errorf("program %q: block %d [%d,%d) malformed", p.Name, i, b.Start, b.End)
+		}
+		leaders[b.Start] = true
+		prevEnd = b.End
+		for pc := b.Start; pc < b.End; pc++ {
+			if int(p.BlockOf[pc]) != i {
+				return fmt.Errorf("program %q: BlockOf[%d]=%d, want %d", p.Name, pc, p.BlockOf[pc], i)
+			}
+		}
+	}
+	if prevEnd != len(p.Code) {
+		return fmt.Errorf("program %q: blocks cover [0,%d) of %d instructions", p.Name, prevEnd, len(p.Code))
+	}
+	checkReg := func(pc int, r isa.Reg, what string) error {
+		if r == isa.RegNone {
+			return nil
+		}
+		if r < 0 || r >= isa.FPBase+isa.NumFPRegs {
+			return fmt.Errorf("program %q: pc %d: bad %s register %d", p.Name, pc, what, r)
+		}
+		return nil
+	}
+	sawHalt := false
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("program %q: pc %d: invalid opcode %d", p.Name, pc, in.Op)
+		}
+		if in.Op == isa.HALT {
+			sawHalt = true
+		}
+		if err := checkReg(pc, in.Dst, "dst"); err != nil {
+			return err
+		}
+		if err := checkReg(pc, in.SrcA, "srcA"); err != nil {
+			return err
+		}
+		if err := checkReg(pc, in.SrcB, "srcB"); err != nil {
+			return err
+		}
+		switch in.Op {
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.JMP, isa.JAL:
+			t := int(in.Target)
+			if t < 0 || t >= len(p.Code) {
+				return fmt.Errorf("program %q: pc %d: target %d out of range", p.Name, pc, t)
+			}
+			if !leaders[t] {
+				return fmt.Errorf("program %q: pc %d: target %d is not a block leader", p.Name, pc, t)
+			}
+		}
+		if isa.IsBranch(in.Op) && pc+1 < len(p.Code) && !leaders[pc+1] {
+			return fmt.Errorf("program %q: pc %d: branch not at end of block", p.Name, pc)
+		}
+	}
+	if !sawHalt {
+		return fmt.Errorf("program %q: no HALT instruction", p.Name)
+	}
+	for _, seg := range p.DataInit {
+		if seg.WordAddr < 0 || seg.WordAddr+len(seg.Words) > p.MemWords {
+			return fmt.Errorf("program %q: data segment [%d,%d) outside memory of %d words",
+				p.Name, seg.WordAddr, seg.WordAddr+len(seg.Words), p.MemWords)
+		}
+	}
+	return nil
+}
+
+// StaticStats summarizes the static properties of a program.
+type StaticStats struct {
+	Instructions int
+	Blocks       int
+	Branches     int
+	Loads        int
+	Stores       int
+	FPOps        int
+	MeanBlockLen float64
+}
+
+// Stats computes static statistics over the code image.
+func (p *Program) Stats() StaticStats {
+	s := StaticStats{Instructions: len(p.Code), Blocks: len(p.Blocks)}
+	for _, in := range p.Code {
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassBranch:
+			s.Branches++
+		case isa.ClassLoad:
+			s.Loads++
+		case isa.ClassStore:
+			s.Stores++
+		case isa.ClassFPALU, isa.ClassFPMult:
+			s.FPOps++
+		}
+	}
+	if s.Blocks > 0 {
+		s.MeanBlockLen = float64(s.Instructions) / float64(s.Blocks)
+	}
+	return s
+}

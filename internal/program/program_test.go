@@ -1,0 +1,158 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// buildLoop builds a small counted loop program used by several tests.
+func buildLoop(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("loop", 64)
+	b.Li(isa.R(1), 0)  // i = 0
+	b.Li(isa.R(2), 10) // n = 10
+	top := b.Here()
+	b.OpI(isa.ADDI, isa.R(1), isa.R(1), 1)
+	b.Branch(isa.BLT, isa.R(1), isa.R(2), top)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderBasicBlocks(t *testing.T) {
+	p := buildLoop(t)
+	// Expected blocks: [li,li], [addi,blt], [halt]
+	if p.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3 (%v)", p.NumBlocks(), p.Blocks)
+	}
+	if p.Blocks[1].Start != 2 || p.Blocks[1].End != 4 {
+		t.Errorf("loop block = %+v, want [2,4)", p.Blocks[1])
+	}
+	for pc := range p.Code {
+		b := p.Blocks[p.BlockOf[pc]]
+		if pc < b.Start || pc >= b.End {
+			t.Errorf("BlockOf[%d] inconsistent", pc)
+		}
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	b := NewBuilder("bad", 64)
+	l := b.NewLabel()
+	b.Jmp(l)
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build should fail with an unbound label")
+	}
+}
+
+func TestBuilderDoubleBindPanics(t *testing.T) {
+	b := NewBuilder("bad", 64)
+	l := b.Here()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double bind")
+		}
+	}()
+	b.Bind(l)
+}
+
+func TestValidateCatchesMissingHalt(t *testing.T) {
+	b := NewBuilder("nohalt", 64)
+	b.Li(isa.R(1), 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("Build should fail without HALT")
+	}
+}
+
+func TestMemWordsRoundedToPowerOfTwo(t *testing.T) {
+	b := NewBuilder("mem", 1000)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemWords != 1024 {
+		t.Errorf("MemWords = %d, want 1024", p.MemWords)
+	}
+}
+
+func TestDataSegments(t *testing.T) {
+	b := NewBuilder("data", 128)
+	b.Data(10, []int64{1, 2, 3})
+	b.DataFloats(20, []float64{1.5})
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DataInit) != 2 || p.DataInit[0].WordAddr != 10 {
+		t.Errorf("DataInit = %+v", p.DataInit)
+	}
+}
+
+func TestDataOutOfRangePanics(t *testing.T) {
+	b := NewBuilder("data", 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range data")
+		}
+	}()
+	b.Data(15, []int64{1, 2, 3})
+}
+
+func TestStaticStats(t *testing.T) {
+	p := buildLoop(t)
+	s := p.Stats()
+	if s.Instructions != 5 || s.Branches != 1 || s.Blocks != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCallReturnStructure(t *testing.T) {
+	b := NewBuilder("call", 64)
+	fn := b.NewLabel()
+	b.Jal(isa.R(31), fn) // call
+	b.Halt()
+	b.Bind(fn)
+	b.OpI(isa.ADDI, isa.R(1), isa.R(1), 1)
+	b.Jr(isa.R(31)) // return
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: [jal], [halt], [addi, jr]
+	if p.NumBlocks() != 3 {
+		t.Errorf("blocks = %d, want 3", p.NumBlocks())
+	}
+}
+
+// Property: for any loop trip count, the builder produces a program whose
+// blocks exactly tile the code and whose every branch target is a leader.
+func TestBuilderInvariants(t *testing.T) {
+	f := func(trips uint8, extraOps uint8) bool {
+		b := NewBuilder("prop", 64)
+		b.Li(isa.R(1), 0)
+		b.Li(isa.R(2), int64(trips))
+		top := b.Here()
+		for i := 0; i <= int(extraOps%7); i++ {
+			b.OpI(isa.ADDI, isa.R(3), isa.R(3), int64(i))
+		}
+		b.OpI(isa.ADDI, isa.R(1), isa.R(1), 1)
+		b.Branch(isa.BLT, isa.R(1), isa.R(2), top)
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

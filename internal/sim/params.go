@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+)
+
+// Param is one factor of the Plackett-Burman bottleneck characterization:
+// a named processor or memory parameter with a low and a high value, and a
+// setter that applies a chosen value to a Config. The paper (following
+// [Yi03]) characterizes 43 such parameters; Params returns exactly that set.
+type Param struct {
+	Name string
+	Low  int
+	High int
+	Set  func(*Config, int)
+}
+
+// Apply sets the parameter to its low or high value.
+func (p Param) Apply(c *Config, high bool) {
+	if high {
+		p.Set(c, p.High)
+	} else {
+		p.Set(c, p.Low)
+	}
+}
+
+// NumParams is the number of Plackett-Burman factors, matching the paper's
+// 43-element rank vectors (§5.1).
+const NumParams = 43
+
+// Params returns the 43 Plackett-Burman parameters. The low/high values
+// span the envelope of realistic configurations, like the value ranges of
+// [Yi03]. The returned slice is freshly allocated and safe to modify.
+func Params() []Param {
+	ps := []Param{
+		{"fetch-width", 2, 8, func(c *Config, v int) { c.Core.FetchWidth = v }},
+		{"fetch-queue", 4, 32, func(c *Config, v int) { c.Core.FetchQueue = v }},
+		{"bpred-type", 0, 1, func(c *Config, v int) {
+			if v == 0 {
+				c.Pred.Kind = branch.Bimodal
+			} else {
+				c.Pred.Kind = branch.Combined
+			}
+		}},
+		{"bht-entries", 1024, 16384, func(c *Config, v int) { c.Pred.BHTEntries = v }},
+		{"btb-entries", 512, 8192, func(c *Config, v int) { c.BTBEntries = v }},
+		{"btb-assoc", 1, 8, func(c *Config, v int) { c.BTBAssoc = v }},
+		{"ras-entries", 4, 64, func(c *Config, v int) { c.RASEntries = v }},
+		{"mispred-penalty", 1, 10, func(c *Config, v int) { c.Core.MispredPenalty = v }},
+		{"decode-width", 2, 8, func(c *Config, v int) { c.Core.DecodeWidth = v }},
+		{"issue-width", 2, 8, func(c *Config, v int) { c.Core.IssueWidth = v }},
+		{"commit-width", 2, 8, func(c *Config, v int) { c.Core.CommitWidth = v }},
+		{"rob-entries", 16, 256, func(c *Config, v int) { c.Core.ROBEntries = v }},
+		{"iq-entries", 8, 128, func(c *Config, v int) { c.Core.IQEntries = v }},
+		{"lsq-entries", 8, 128, func(c *Config, v int) { c.Core.LSQEntries = v }},
+		{"int-alus", 1, 4, func(c *Config, v int) { c.Core.IntALUs = v }},
+		{"int-alu-lat", 1, 2, func(c *Config, v int) { c.Core.IntALULat = v }},
+		{"int-mult-units", 1, 4, func(c *Config, v int) { c.Core.IntMultUnits = v }},
+		{"int-mult-lat", 2, 10, func(c *Config, v int) { c.Core.IntMultLat = v }},
+		{"int-div-lat", 10, 40, func(c *Config, v int) { c.Core.IntDivLat = v }},
+		{"fp-alus", 1, 4, func(c *Config, v int) { c.Core.FPALUs = v }},
+		{"fp-alu-lat", 1, 6, func(c *Config, v int) { c.Core.FPALULat = v }},
+		{"fp-mult-units", 1, 4, func(c *Config, v int) { c.Core.FPMultUnits = v }},
+		{"fp-mult-lat", 2, 10, func(c *Config, v int) { c.Core.FPMultLat = v }},
+		{"fp-div-lat", 10, 40, func(c *Config, v int) { c.Core.FPDivLat = v }},
+		{"l1i-size-kb", 8, 128, func(c *Config, v int) { c.Mem.L1I.SizeKB = v }},
+		{"l1i-assoc", 1, 8, func(c *Config, v int) { c.Mem.L1I.Assoc = v }},
+		{"l1i-block", 16, 128, func(c *Config, v int) { c.Mem.L1I.BlockBytes = v }},
+		{"l1i-lat", 1, 4, func(c *Config, v int) { c.Mem.L1I.Latency = v }},
+		{"itlb-entries", 16, 256, func(c *Config, v int) { c.Mem.ITLBEntries = v }},
+		{"l1d-size-kb", 8, 128, func(c *Config, v int) { c.Mem.L1D.SizeKB = v }},
+		{"l1d-assoc", 1, 8, func(c *Config, v int) { c.Mem.L1D.Assoc = v }},
+		{"l1d-block", 16, 128, func(c *Config, v int) { c.Mem.L1D.BlockBytes = v }},
+		{"l1d-lat", 1, 4, func(c *Config, v int) { c.Mem.L1D.Latency = v }},
+		{"dmem-ports", 1, 4, func(c *Config, v int) { c.Core.DMemPorts = v }},
+		{"dtlb-entries", 16, 512, func(c *Config, v int) { c.Mem.DTLBEntries = v }},
+		{"tlb-miss-lat", 20, 80, func(c *Config, v int) { c.Mem.TLBMissCycles = v }},
+		{"l2-size-kb", 128, 2048, func(c *Config, v int) { c.Mem.L2.SizeKB = v }},
+		{"l2-assoc", 1, 16, func(c *Config, v int) { c.Mem.L2.Assoc = v }},
+		{"l2-block", 32, 256, func(c *Config, v int) { c.Mem.L2.BlockBytes = v }},
+		{"l2-lat", 5, 20, func(c *Config, v int) { c.Mem.L2.Latency = v }},
+		{"mem-first-lat", 50, 400, func(c *Config, v int) { c.Mem.MemFirst = v }},
+		{"mem-follow-lat", 1, 10, func(c *Config, v int) { c.Mem.MemFollow = v }},
+		{"store-forward-lat", 1, 4, func(c *Config, v int) { c.Core.StoreForward = v }},
+	}
+	if len(ps) != NumParams {
+		panic(fmt.Sprintf("sim: expected %d PB parameters, have %d", NumParams, len(ps)))
+	}
+	return ps
+}
+
+// PBConfig builds the machine configuration for one row of a
+// Plackett-Burman design matrix: levels[i] selects the high (+1, true) or
+// low (-1, false) value of parameter i. The result is validated.
+func PBConfig(levels []bool) (Config, error) {
+	ps := Params()
+	if len(levels) < len(ps) {
+		return Config{}, fmt.Errorf("sim: %d levels for %d parameters", len(levels), len(ps))
+	}
+	c := BaseConfig()
+	c.Name = "pb"
+	for i, p := range ps {
+		p.Apply(&c, levels[i])
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("sim: PB config invalid: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Stats is the aggregate outcome of a measurement window: the architectural
+// metrics the paper reports (CPI/IPC, branch prediction accuracy, cache hit
+// rates) plus the raw event counts they derive from.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64
+
+	BranchLookups    uint64
+	BranchMispredict uint64
+	RASPops          uint64
+	RASMisses        uint64
+	BTBLookups       uint64
+	BTBMisses        uint64
+
+	L1I mem.CacheStats
+	L1D mem.CacheStats
+	L2  mem.CacheStats
+
+	ITLBMisses uint64
+	DTLBMisses uint64
+
+	Core cpu.CoreStats
+}
+
+// CPI returns cycles per instruction (0 when the window is empty).
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// IPC returns instructions per cycle (0 when the window is empty).
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// BranchAccuracy returns the conditional-branch direction prediction
+// accuracy, or 1 when no branches executed.
+func (s Stats) BranchAccuracy() float64 {
+	if s.BranchLookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.BranchMispredict)/float64(s.BranchLookups)
+}
+
+// MetricVector returns the four architectural metrics of the paper's
+// architecture-level characterization (§4.3): IPC, branch prediction
+// accuracy, L1 D-cache hit rate, and L2 cache hit rate.
+func (s Stats) MetricVector() [4]float64 {
+	return [4]float64{
+		s.IPC(),
+		s.BranchAccuracy(),
+		s.L1D.HitRate(),
+		s.L2.HitRate(),
+	}
+}
+
+// Add accumulates o into s (used to combine SimPoint / SMARTS windows).
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.Instructions += o.Instructions
+	s.BranchLookups += o.BranchLookups
+	s.BranchMispredict += o.BranchMispredict
+	s.RASPops += o.RASPops
+	s.RASMisses += o.RASMisses
+	s.BTBLookups += o.BTBLookups
+	s.BTBMisses += o.BTBMisses
+	addCache := func(d *mem.CacheStats, c mem.CacheStats) {
+		d.Accesses += c.Accesses
+		d.Misses += c.Misses
+		d.Writebacks += c.Writebacks
+		d.Prefetches += c.Prefetches
+		d.AssumedHits += c.AssumedHits
+	}
+	addCache(&s.L1I, o.L1I)
+	addCache(&s.L1D, o.L1D)
+	addCache(&s.L2, o.L2)
+	s.ITLBMisses += o.ITLBMisses
+	s.DTLBMisses += o.DTLBMisses
+	cs := &s.Core
+	os := o.Core
+	cs.Cycles += os.Cycles
+	cs.Committed += os.Committed
+	for i := range cs.ClassCounts {
+		cs.ClassCounts[i] += os.ClassCounts[i]
+	}
+	cs.TrivialSeen += os.TrivialSeen
+	cs.TrivialSimplified += os.TrivialSimplified
+	cs.TrivialEliminated += os.TrivialEliminated
+	cs.LoadsForwarded += os.LoadsForwarded
+	cs.FetchStallCycles += os.FetchStallCycles
+	cs.ROBFullStalls += os.ROBFullStalls
+	cs.IQFullStalls += os.IQFullStalls
+	cs.LSQFullStalls += os.LSQFullStalls
+}
+
+// AddWeighted accumulates o scaled by w, for SimPoint's weighted points.
+// Counts are scaled and rounded; ratios derived from them stay consistent.
+func (s *Stats) AddWeighted(o Stats, w float64) {
+	scale := func(v uint64) uint64 { return uint64(w*float64(v) + 0.5) }
+	t := Stats{
+		Cycles:           scale(o.Cycles),
+		Instructions:     scale(o.Instructions),
+		BranchLookups:    scale(o.BranchLookups),
+		BranchMispredict: scale(o.BranchMispredict),
+		RASPops:          scale(o.RASPops),
+		RASMisses:        scale(o.RASMisses),
+		BTBLookups:       scale(o.BTBLookups),
+		BTBMisses:        scale(o.BTBMisses),
+		ITLBMisses:       scale(o.ITLBMisses),
+		DTLBMisses:       scale(o.DTLBMisses),
+	}
+	sc := func(c mem.CacheStats) mem.CacheStats {
+		return mem.CacheStats{
+			Accesses:    scale(c.Accesses),
+			Misses:      scale(c.Misses),
+			Writebacks:  scale(c.Writebacks),
+			Prefetches:  scale(c.Prefetches),
+			AssumedHits: scale(c.AssumedHits),
+		}
+	}
+	t.L1I = sc(o.L1I)
+	t.L1D = sc(o.L1D)
+	t.L2 = sc(o.L2)
+	t.Core.Cycles = scale(o.Core.Cycles)
+	t.Core.Committed = scale(o.Core.Committed)
+	for i := range t.Core.ClassCounts {
+		t.Core.ClassCounts[i] = scale(o.Core.ClassCounts[i])
+	}
+	t.Core.TrivialSeen = scale(o.Core.TrivialSeen)
+	t.Core.TrivialSimplified = scale(o.Core.TrivialSimplified)
+	t.Core.TrivialEliminated = scale(o.Core.TrivialEliminated)
+	t.Core.LoadsForwarded = scale(o.Core.LoadsForwarded)
+	s.Add(t)
+}
+
+// Runner owns one configured machine executing one program. It exposes the
+// execution modes that the simulation techniques compose: pure functional
+// fast-forwarding, functional warming, detailed (timed) execution, and
+// measurement windows with delta statistics.
+type Runner struct {
+	Prog *program.Program
+	Cfg  Config
+
+	Emu  *cpu.Emu
+	Core *cpu.Core
+	Hier *mem.Hierarchy
+	Pred *branch.Predictor
+	BTB  *branch.BTB
+	RAS  *branch.RAS
+
+	markCore cpu.CoreStats
+	markHier mem.Snapshot
+	markPred struct{ lookups, miss uint64 }
+	markBTB  struct{ lookups, miss uint64 }
+	markRAS  struct{ pops, miss uint64 }
+}
+
+// NewRunner builds a machine for the program under the configuration.
+func NewRunner(p *program.Program, cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := branch.NewPredictor(cfg.Pred)
+	if err != nil {
+		return nil, err
+	}
+	btb, err := branch.NewBTB(cfg.BTBEntries, cfg.BTBAssoc)
+	if err != nil {
+		return nil, err
+	}
+	ras, err := branch.NewRAS(cfg.RASEntries)
+	if err != nil {
+		return nil, err
+	}
+	emu := cpu.NewEmu(p)
+	// The trivial-computation enhancement needs operand-level
+	// classification from the functional stream.
+	emu.DetectTrivial = cfg.Core.TC != cpu.TCOff
+	core, err := cpu.NewCore(cfg.Core, emu, hier, pred, btb, ras)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Prog: p, Cfg: cfg,
+		Emu: emu, Core: core, Hier: hier, Pred: pred, BTB: btb, RAS: ras,
+	}, nil
+}
+
+// FastForward functionally executes n instructions with cold
+// micro-architectural state (the FF phase of the truncated-execution
+// techniques). It returns the number actually executed.
+func (r *Runner) FastForward(n uint64) uint64 {
+	return r.Emu.Run(n)
+}
+
+// FunctionalWarm functionally executes n instructions while warming caches,
+// TLBs, and branch prediction structures (the SMARTS warming mode).
+func (r *Runner) FunctionalWarm(n uint64) uint64 {
+	return r.Emu.RunWarm(n, cpu.Warmer{Hier: r.Hier, Pred: r.Pred, BTB: r.BTB, RAS: r.RAS})
+}
+
+// Detailed runs the cycle-level model until n further instructions commit.
+func (r *Runner) Detailed(n uint64) uint64 {
+	return r.Core.Run(n)
+}
+
+// Drain completes all in-flight instructions without fetching new ones.
+func (r *Runner) Drain() { r.Core.Drain() }
+
+// Done reports whether the program has halted and committed completely.
+func (r *Runner) Done() bool { return r.Core.Done() }
+
+// Mark begins a measurement window.
+func (r *Runner) Mark() {
+	r.markCore = r.Core.Stats
+	r.markHier = r.Hier.Snap()
+	r.markPred.lookups, r.markPred.miss = r.Pred.Lookups, r.Pred.Mispredict
+	r.markBTB.lookups, r.markBTB.miss = r.BTB.Lookups, r.BTB.Misses
+	r.markRAS.pops, r.markRAS.miss = r.RAS.Pops, r.RAS.PopMisses
+}
+
+// Window returns the statistics accumulated since the last Mark.
+func (r *Runner) Window() Stats {
+	core := r.Core.Stats.Sub(r.markCore)
+	hd := r.Hier.Delta(r.markHier)
+	return Stats{
+		Cycles:           core.Cycles,
+		Instructions:     core.Committed,
+		BranchLookups:    r.Pred.Lookups - r.markPred.lookups,
+		BranchMispredict: r.Pred.Mispredict - r.markPred.miss,
+		BTBLookups:       r.BTB.Lookups - r.markBTB.lookups,
+		BTBMisses:        r.BTB.Misses - r.markBTB.miss,
+		RASPops:          r.RAS.Pops - r.markRAS.pops,
+		RASMisses:        r.RAS.PopMisses - r.markRAS.miss,
+		L1I:              hd.L1I,
+		L1D:              hd.L1D,
+		L2:               hd.L2,
+		ITLBMisses:       hd.ITLBMisses,
+		DTLBMisses:       hd.DTLBMisses,
+		Core:             core,
+	}
+}
+
+// MeasureDetailed is the common "Mark, run detailed for n, Window" pattern.
+func (r *Runner) MeasureDetailed(n uint64) Stats {
+	r.Mark()
+	r.Detailed(n)
+	return r.Window()
+}
+
+// RunToCompletion executes the whole remaining program in detailed mode and
+// returns the statistics of that window (the reference simulation).
+func (r *Runner) RunToCompletion() Stats {
+	r.Mark()
+	for !r.Core.Done() {
+		r.Core.Run(1 << 20)
+	}
+	return r.Window()
+}
+
+// SetAssumeHit toggles the assume-hit cold-start policy across the memory
+// hierarchy (the paper's SimPoint warm-up option "assume cache hit").
+func (r *Runner) SetAssumeHit(on bool) { r.Hier.SetAssumeHit(on) }
+
+// Checkpoint snapshots the architectural state (see cpu.Checkpoint). The
+// pipeline must be empty: take checkpoints only between detailed windows,
+// after a Drain.
+func (r *Runner) Checkpoint() (*cpu.Checkpoint, error) {
+	if n := r.Core.InFlight(); n != 0 {
+		return nil, fmt.Errorf("sim: checkpoint with %d instructions in flight", n)
+	}
+	return r.Emu.Snapshot(), nil
+}
+
+// RestoreCheckpoint rewinds the architectural state to a checkpoint taken
+// on the same program. Micro-architectural state (caches, predictors) is
+// left untouched — the caller re-warms it, exactly as a SimPoint user
+// restores an architectural checkpoint and then applies warm-up.
+func (r *Runner) RestoreCheckpoint(cp *cpu.Checkpoint) error {
+	if n := r.Core.InFlight(); n != 0 {
+		return fmt.Errorf("sim: restore with %d instructions in flight", n)
+	}
+	return r.Emu.Restore(cp)
+}
+
+// String summarizes the runner for diagnostics.
+func (r *Runner) String() string {
+	return fmt.Sprintf("runner(%s on %s)", r.Prog.Name, r.Cfg.Name)
+}

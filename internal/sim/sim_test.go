@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// tinyProgram is a short loop with loads, stores, FP and branches.
+func tinyProgram(t testing.TB, iters int64) *program.Program {
+	t.Helper()
+	b := program.NewBuilder("tiny", 1024)
+	b.Li(isa.R(1), 0)
+	b.Li(isa.R(2), iters)
+	b.Fmovi(isa.F(1), 1.5)
+	top := b.Here()
+	b.OpI(isa.ANDI, isa.R(3), isa.R(1), 255)
+	b.OpI(isa.SHLI, isa.R(3), isa.R(3), 3)
+	b.Ld(isa.R(4), isa.R(3), 0)
+	b.Op3(isa.ADD, isa.R(4), isa.R(4), isa.R(1))
+	b.St(isa.R(4), isa.R(3), 0)
+	b.Op3(isa.FMUL, isa.F(2), isa.F(1), isa.F(1))
+	b.OpI(isa.ADDI, isa.R(1), isa.R(1), 1)
+	b.Branch(isa.BLT, isa.R(1), isa.R(2), top)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestBaseConfigValid(t *testing.T) {
+	if err := BaseConfig().Validate(); err != nil {
+		t.Fatalf("base config invalid: %v", err)
+	}
+	for _, c := range ArchConfigs() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestArchConfigsMatchTable3(t *testing.T) {
+	cfgs := ArchConfigs()
+	// Monotone growth of the key resources across configs 1..4.
+	for i := 1; i < 4; i++ {
+		if cfgs[i].Core.ROBEntries <= cfgs[i-1].Core.ROBEntries {
+			t.Errorf("ROB not growing at config %d", i+1)
+		}
+		if cfgs[i].Pred.BHTEntries <= cfgs[i-1].Pred.BHTEntries {
+			t.Errorf("BHT not growing at config %d", i+1)
+		}
+		if cfgs[i].Mem.L2.SizeKB <= cfgs[i-1].Mem.L2.SizeKB {
+			t.Errorf("L2 not growing at config %d", i+1)
+		}
+		if cfgs[i].Mem.MemFirst <= cfgs[i-1].Mem.MemFirst {
+			t.Errorf("memory latency not growing at config %d", i+1)
+		}
+	}
+	// The table values spot-checked.
+	if cfgs[0].Core.ROBEntries != 32 || cfgs[3].Core.ROBEntries != 256 {
+		t.Error("ROB endpoints wrong")
+	}
+	if cfgs[0].Mem.L2.SizeKB != 256 || cfgs[3].Mem.L2.SizeKB != 2048 {
+		t.Error("L2 endpoints wrong")
+	}
+	if cfgs[2].Core.IssueWidth != 8 || cfgs[1].Core.IssueWidth != 4 {
+		t.Error("width split wrong")
+	}
+}
+
+func TestParamsCount(t *testing.T) {
+	ps := Params()
+	if len(ps) != NumParams || NumParams != 43 {
+		t.Fatalf("got %d params, want 43", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if names[p.Name] {
+			t.Errorf("duplicate parameter %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.Low >= p.High {
+			t.Errorf("%s: low %d >= high %d", p.Name, p.Low, p.High)
+		}
+	}
+}
+
+// Property: every combination of PB levels yields a valid machine.
+func TestPBConfigAlwaysValid(t *testing.T) {
+	f := func(bits [43]bool) bool {
+		cfg, err := PBConfig(bits[:])
+		if err != nil {
+			t.Logf("PBConfig: %v", err)
+			return false
+		}
+		return cfg.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPBConfigAppliesLevels(t *testing.T) {
+	all := make([]bool, NumParams)
+	lo, err := PBConfig(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		all[i] = true
+	}
+	hi, err := PBConfig(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Core.ROBEntries != 16 || hi.Core.ROBEntries != 256 {
+		t.Errorf("ROB low/high = %d/%d", lo.Core.ROBEntries, hi.Core.ROBEntries)
+	}
+	if lo.Mem.MemFirst != 50 || hi.Mem.MemFirst != 400 {
+		t.Errorf("memory latency low/high = %d/%d", lo.Mem.MemFirst, hi.Mem.MemFirst)
+	}
+	if _, err := PBConfig(make([]bool, 5)); err == nil {
+		t.Error("short level vector accepted")
+	}
+}
+
+func TestScaleRoundTrip(t *testing.T) {
+	s := Scale{Unit: 1000}
+	if s.Instr(100) != 100000 {
+		t.Errorf("Instr(100) = %d", s.Instr(100))
+	}
+	if s.PaperM(100000) != 100 {
+		t.Errorf("PaperM(100000) = %v", s.PaperM(100000))
+	}
+	if s.Instr(0) != 0 || s.Instr(-5) != 0 {
+		t.Error("non-positive paper-M should give zero instructions")
+	}
+}
+
+func TestRunnerWindowAccounting(t *testing.T) {
+	p := tinyProgram(t, 5000)
+	r, err := NewRunner(p, BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Detailed(1000)
+	r.Mark()
+	r.Detailed(2000)
+	w := r.Window()
+	if w.Instructions != 2000 {
+		t.Errorf("window instructions = %d, want 2000", w.Instructions)
+	}
+	if w.Cycles == 0 || w.L1D.Accesses == 0 {
+		t.Errorf("window missing activity: %+v", w)
+	}
+	// Consecutive windows telescope: total equals the sum.
+	r2, _ := NewRunner(p, BaseConfig())
+	var sum uint64
+	for !r2.Done() {
+		r2.Mark()
+		r2.Detailed(1500)
+		sum += r2.Window().Cycles
+	}
+	r3, _ := NewRunner(p, BaseConfig())
+	total := r3.RunToCompletion()
+	if sum != total.Cycles {
+		t.Errorf("windows sum to %d cycles, full run %d", sum, total.Cycles)
+	}
+}
+
+func TestRunnerModesProgress(t *testing.T) {
+	p := tinyProgram(t, 5000)
+	r, err := NewRunner(p, BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.FastForward(1000); n != 1000 {
+		t.Errorf("FastForward = %d", n)
+	}
+	// Fast-forwarding is architecturally visible but micro-architecturally
+	// cold: no cache state.
+	if r.Hier.L1D.Stats.Accesses != 0 {
+		t.Error("fast-forward touched the caches")
+	}
+	if n := r.FunctionalWarm(1000); n != 1000 {
+		t.Errorf("FunctionalWarm = %d", n)
+	}
+	if r.Hier.L1D.Stats.Accesses == 0 {
+		t.Error("functional warming did not touch the caches")
+	}
+	if n := r.Detailed(1000); n != 1000 {
+		t.Errorf("Detailed = %d", n)
+	}
+	if r.Done() {
+		t.Error("not done yet")
+	}
+}
+
+func TestStatsAddWeighted(t *testing.T) {
+	var a Stats
+	b := Stats{Cycles: 1000, Instructions: 500}
+	b.L1D.Accesses = 100
+	a.AddWeighted(b, 0.5)
+	if a.Cycles != 500 || a.Instructions != 250 || a.L1D.Accesses != 50 {
+		t.Errorf("weighted add wrong: %+v", a)
+	}
+	if a.CPI() != 2 {
+		t.Errorf("CPI = %v", a.CPI())
+	}
+}
+
+func TestMetricVector(t *testing.T) {
+	s := Stats{Cycles: 100, Instructions: 200, BranchLookups: 10, BranchMispredict: 1}
+	s.L1D.Accesses = 100
+	s.L1D.Misses = 10
+	s.L2.Accesses = 10
+	s.L2.Misses = 5
+	v := s.MetricVector()
+	if v[0] != 2 || v[1] != 0.9 || v[2] != 0.9 || v[3] != 0.5 {
+		t.Errorf("metric vector = %v", v)
+	}
+}

@@ -1,0 +1,164 @@
+// Package smarts implements SMARTS [Wunderlich03]: systematic
+// (periodic) sampling of micro-architectural simulation. The dynamic
+// instruction stream is divided into sampling units of U instructions; one
+// unit out of every k is measured in detail, preceded by W instructions of
+// detailed warm-up, while the instructions in between run under functional
+// warming (caches, TLBs and branch predictors stay warm, but no timing is
+// modelled). Afterwards, the coefficient of variation of the per-unit CPI
+// drives the statistical check: if the achieved confidence interval is
+// wider than requested, SMARTS recommends rerunning at a higher sampling
+// frequency.
+package smarts
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config holds SMARTS sampling parameters (Table 1).
+type Config struct {
+	// U is the detailed-simulation length per sample, in instructions.
+	U uint64
+	// W is the detailed warm-up length before each sample, in instructions.
+	W uint64
+	// InitialSamples is n, the number of sampling units measured on the
+	// first pass (the paper used 10,000 on full SPEC runs; the harness
+	// scales it to the program length via EffectiveSamples).
+	InitialSamples int
+	// Confidence and Interval define the target: Confidence level (e.g.
+	// 0.997) that the CPI estimate is within +/-Interval (e.g. 0.03).
+	Confidence float64
+	Interval   float64
+	// MaxAttempts bounds the resimulation loop.
+	MaxAttempts int
+}
+
+// DefaultConfig returns the paper's settings for a given U and W:
+// n = 10,000 initial samples, 99.7% confidence, +/-3% interval.
+func DefaultConfig(u, w uint64) Config {
+	return Config{
+		U:              u,
+		W:              w,
+		InitialSamples: 10000,
+		Confidence:     0.997,
+		Interval:       0.03,
+		MaxAttempts:    6,
+	}
+}
+
+// EffectiveSamples adapts the requested sample count to the program
+// length: the sampling period must be at least 4x the detailed span
+// (U+W) so that the bulk of execution stays under fast functional warming
+// — the property that gives SMARTS its speed. On full SPEC runs the
+// paper's n=10,000 passes through unchanged; on scaled-down programs the
+// count shrinks proportionally.
+func (c Config) EffectiveSamples(totalInstr uint64) int {
+	period := 4 * (c.U + c.W)
+	maxN := int(totalInstr / period)
+	n := c.InitialSamples
+	if n > maxN {
+		n = maxN
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Estimate is the statistical outcome of one sampled simulation pass.
+type Estimate struct {
+	Samples    int
+	MeanCPI    float64
+	CV         float64 // coefficient of variation of per-unit CPI
+	RequiredN  int     // samples needed for the target confidence interval
+	Sufficient bool
+}
+
+// Analyze computes the SMARTS error estimate from per-unit CPIs.
+func Analyze(cpis []float64, cfg Config) Estimate {
+	mean := stats.Mean(cpis)
+	cv := 0.0
+	if mean > 0 {
+		cv = stats.StdDev(cpis) / mean
+	}
+	req := stats.RequiredSamples(cv, cfg.Interval, cfg.Confidence)
+	return Estimate{
+		Samples:    len(cpis),
+		MeanCPI:    mean,
+		CV:         cv,
+		RequiredN:  req,
+		Sufficient: len(cpis) >= req,
+	}
+}
+
+// Result is the outcome of a full SMARTS run, possibly after
+// resimulation at higher sampling frequencies.
+type Result struct {
+	Stats           sim.Stats // aggregate over all measured units (final pass)
+	Estimate        Estimate
+	Simulations     int // passes run (1 = no resimulation needed)
+	DetailedInstr   uint64
+	FunctionalInstr uint64
+}
+
+// Runner abstracts the single pass so the core package can supply the
+// machine; it must execute one full sampled pass with n units and return
+// the per-unit CPIs plus aggregate measured statistics.
+type Runner interface {
+	SampledPass(n int, u, w uint64) (cpis []float64, agg sim.Stats, detailed, functional uint64, err error)
+}
+
+// Run executes the SMARTS procedure: sample, check the confidence
+// interval, and resimulate with the recommended larger n until sufficient
+// or MaxAttempts is reached.
+func Run(r Runner, totalInstr uint64, cfg Config) (Result, error) {
+	if cfg.U == 0 {
+		return Result{}, fmt.Errorf("smarts: zero unit size")
+	}
+	n := cfg.EffectiveSamples(totalInstr)
+	var out Result
+	for attempt := 1; ; attempt++ {
+		cpis, agg, det, fun, err := r.SampledPass(n, cfg.U, cfg.W)
+		if err != nil {
+			return Result{}, err
+		}
+		est := Analyze(cpis, cfg)
+		out.Stats = agg
+		out.Estimate = est
+		out.Simulations = attempt
+		out.DetailedInstr += det
+		out.FunctionalInstr += fun
+		if est.Sufficient || attempt >= cfg.MaxAttempts {
+			return out, nil
+		}
+		// Recommend a higher sampling frequency: rerun with the required n,
+		// bounded by the physical maximum the program can supply (not by
+		// the initial n — resimulation exists precisely to exceed it).
+		next := est.RequiredN
+		maxN := int(totalInstr / (4 * (cfg.U + cfg.W)))
+		if maxN < 1 {
+			maxN = 1
+		}
+		if maxN < next {
+			next = maxN
+		}
+		if next <= n {
+			// The program cannot supply more samples; accept the estimate.
+			return out, nil
+		}
+		n = next
+	}
+}
+
+// CPIConfidenceHalfWidth returns the relative half-width of the CPI
+// confidence interval achieved by the estimate at the configured level.
+func (e Estimate) CPIConfidenceHalfWidth(cfg Config) float64 {
+	if e.Samples == 0 {
+		return math.Inf(1)
+	}
+	z := stats.ZForConfidence(cfg.Confidence)
+	return z * e.CV / math.Sqrt(float64(e.Samples))
+}

@@ -1,0 +1,146 @@
+package smarts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(1000, 2000)
+	if c.U != 1000 || c.W != 2000 || c.InitialSamples != 10000 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if c.Confidence != 0.997 || c.Interval != 0.03 {
+		t.Errorf("target wrong: %+v", c)
+	}
+}
+
+func TestEffectiveSamplesScales(t *testing.T) {
+	c := DefaultConfig(1000, 2000)
+	// Huge program: the paper's n passes through.
+	if n := c.EffectiveSamples(1 << 40); n != 10000 {
+		t.Errorf("huge program n = %d, want 10000", n)
+	}
+	// Small program: n shrinks so the period stays >= 4*(U+W).
+	n := c.EffectiveSamples(120000)
+	if n != 10 {
+		t.Errorf("small program n = %d, want 10", n)
+	}
+	// Degenerate program still yields one sample.
+	if n := c.EffectiveSamples(100); n != 1 {
+		t.Errorf("tiny program n = %d, want 1", n)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	// Identical CPIs: zero CV, one sample suffices.
+	est := Analyze([]float64{2, 2, 2, 2}, DefaultConfig(1000, 2000))
+	if est.CV != 0 || !est.Sufficient || est.RequiredN != 1 {
+		t.Errorf("constant CPIs: %+v", est)
+	}
+	// Highly variable CPIs demand many samples.
+	est = Analyze([]float64{1, 3, 1, 3, 1, 3}, DefaultConfig(1000, 2000))
+	if est.Sufficient {
+		t.Errorf("variable CPIs judged sufficient with %d samples (need %d)", est.Samples, est.RequiredN)
+	}
+	if est.MeanCPI != 2 {
+		t.Errorf("mean = %v", est.MeanCPI)
+	}
+}
+
+// fakeRunner synthesizes per-unit CPIs from a noisy population so the
+// resimulation logic can be tested without a machine.
+type fakeRunner struct {
+	rng    *xrand.RNG
+	noise  float64
+	passes int
+}
+
+func (f *fakeRunner) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, uint64, uint64, error) {
+	f.passes++
+	cpis := make([]float64, n)
+	var agg sim.Stats
+	for i := range cpis {
+		cpis[i] = 1.5 + f.noise*f.rng.NormFloat64()
+		agg.Cycles += uint64(cpis[i] * float64(u))
+		agg.Instructions += u
+	}
+	return cpis, agg, uint64(n) * (u + w), uint64(n) * 10 * u, nil
+}
+
+func TestRunResimulatesUntilSufficient(t *testing.T) {
+	cfg := DefaultConfig(1000, 2000)
+	cfg.InitialSamples = 20 // deliberately too few for the noise level
+	r := &fakeRunner{rng: xrand.New(1), noise: 0.3}
+	out, err := Run(r, 1<<40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Simulations < 2 {
+		t.Errorf("expected resimulation, got %d passes", out.Simulations)
+	}
+	if out.Simulations != r.passes {
+		t.Errorf("Simulations=%d but runner saw %d passes", out.Simulations, r.passes)
+	}
+	if !out.Estimate.Sufficient && out.Simulations < cfg.MaxAttempts {
+		t.Errorf("stopped early while insufficient: %+v", out.Estimate)
+	}
+	if math.Abs(out.Estimate.MeanCPI-1.5) > 0.05 {
+		t.Errorf("mean CPI = %v, want ~1.5", out.Estimate.MeanCPI)
+	}
+}
+
+func TestRunAcceptsWhenProgramCannotSupplyMore(t *testing.T) {
+	cfg := DefaultConfig(1000, 2000)
+	cfg.InitialSamples = 50
+	r := &fakeRunner{rng: xrand.New(2), noise: 0.5}
+	// Program so short that EffectiveSamples caps below the required n.
+	out, err := Run(r, 50*4*(cfg.U+cfg.W), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Simulations != 1 {
+		t.Errorf("expected a single pass when no more samples exist, got %d", out.Simulations)
+	}
+}
+
+func TestRunRejectsZeroUnit(t *testing.T) {
+	if _, err := Run(&fakeRunner{rng: xrand.New(3)}, 1000, Config{U: 0}); err == nil {
+		t.Error("zero unit accepted")
+	}
+}
+
+func TestConfidenceHalfWidthShrinksWithSamples(t *testing.T) {
+	cfg := DefaultConfig(1000, 2000)
+	small := Estimate{Samples: 10, CV: 0.3}
+	big := Estimate{Samples: 1000, CV: 0.3}
+	if small.CPIConfidenceHalfWidth(cfg) <= big.CPIConfidenceHalfWidth(cfg) {
+		t.Error("confidence interval did not shrink with more samples")
+	}
+	none := Estimate{}
+	if !math.IsInf(none.CPIConfidenceHalfWidth(cfg), 1) {
+		t.Error("zero samples should give infinite half-width")
+	}
+}
+
+// Property: Analyze's required n is monotone in CV.
+func TestRequiredNMonotoneInCV(t *testing.T) {
+	cfg := DefaultConfig(1000, 2000)
+	f := func(a, b uint8) bool {
+		cvA := float64(a) / 255
+		cvB := float64(b) / 255
+		if cvA > cvB {
+			cvA, cvB = cvB, cvA
+		}
+		estA := Analyze([]float64{1 - cvA, 1 + cvA}, cfg)
+		estB := Analyze([]float64{1 - cvB, 1 + cvB}, cfg)
+		return estA.RequiredN <= estB.RequiredN
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

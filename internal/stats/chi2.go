@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareResult is the outcome of the execution-profile comparison test
+// (§4.2): the test statistic, degrees of freedom, the critical value at the
+// chosen significance, and whether the two distributions are statistically
+// similar (statistic below the critical value).
+type ChiSquareResult struct {
+	Statistic float64
+	DF        int
+	Critical  float64
+	Alpha     float64
+	Similar   bool
+}
+
+// ChiSquare compares an observed count distribution against an expected one
+// with a chi-squared goodness-of-fit test at significance alpha. Bins where
+// the expected distribution is zero are handled by adding the observed mass
+// directly (a conservative penalty), and both distributions are first
+// rescaled to the observed total so only shape is compared, which is what
+// the paper's BBEF/BBV comparison needs.
+func ChiSquare(observed, expected []float64, alpha float64) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi2 length mismatch %d vs %d", len(observed), len(expected))
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi2 alpha %v out of (0,1)", alpha)
+	}
+	var obsTotal, expTotal float64
+	for i := range observed {
+		if observed[i] < 0 || expected[i] < 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: chi2 negative count at bin %d", i)
+		}
+		obsTotal += observed[i]
+		expTotal += expected[i]
+	}
+	if obsTotal == 0 || expTotal == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi2 empty distribution")
+	}
+	scale := obsTotal / expTotal
+	var stat float64
+	df := -1 // one constraint: totals match
+	for i := range observed {
+		e := expected[i] * scale
+		o := observed[i]
+		if e == 0 {
+			if o > 0 {
+				stat += o // conservative: unexpected mass penalized linearly
+				df++
+			}
+			continue
+		}
+		d := o - e
+		stat += d * d / e
+		df++
+	}
+	if df < 1 {
+		df = 1
+	}
+	crit := ChiSquareCritical(df, alpha)
+	return ChiSquareResult{
+		Statistic: stat,
+		DF:        df,
+		Critical:  crit,
+		Alpha:     alpha,
+		Similar:   stat < crit,
+	}, nil
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-squared distribution with df
+// degrees of freedom, via the regularized lower incomplete gamma function.
+func ChiSquareCDF(x float64, df int) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(float64(df)/2, x/2)
+}
+
+// ChiSquareCritical returns the value c with P(X > c) = alpha for df
+// degrees of freedom, by bisection on the CDF.
+func ChiSquareCritical(df int, alpha float64) float64 {
+	target := 1 - alpha
+	lo, hi := 0.0, float64(df)+10
+	for ChiSquareCDF(hi, df) < target {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ChiSquareCDF(mid, df) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-10*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regularizedGammaP computes P(a,x), the regularized lower incomplete gamma
+// function, using the series expansion for x < a+1 and the continued
+// fraction for x >= a+1 (Numerical Recipes' gser/gcf).
+func regularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

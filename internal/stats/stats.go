@@ -1,0 +1,206 @@
+// Package stats provides the statistical machinery the paper's three
+// characterization methods are built on: vector distances, rank vectors,
+// normalization, descriptive statistics, confidence intervals, and the
+// chi-squared goodness-of-fit test (implemented from the regularized
+// incomplete gamma function, since only the standard library is available).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Euclidean returns the Euclidean (L2) distance between two equal-length
+// vectors. It panics on length mismatch: every caller constructs both
+// vectors from the same parameter list, so a mismatch is a programming bug.
+func Euclidean(a, b []float64) float64 {
+	mustSameLen(a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Manhattan returns the L1 distance between two equal-length vectors (used
+// by the paper's speed-versus-accuracy analysis, §6.1).
+func Manhattan(a, b []float64) float64 {
+	mustSameLen(a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+func mustSameLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: vector length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+// Ranks converts magnitudes into ranks, where the largest magnitude gets
+// rank 1 (the paper's convention: "1 = largest magnitude"). Ties share the
+// mean of their rank positions.
+func Ranks(magnitudes []float64) []float64 {
+	n := len(magnitudes)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(magnitudes[idx[a]]) > math.Abs(magnitudes[idx[b]])
+	})
+	ranks := make([]float64, n)
+	for pos := 0; pos < n; {
+		end := pos
+		v := math.Abs(magnitudes[idx[pos]])
+		for end < n && math.Abs(magnitudes[idx[end]]) == v {
+			end++
+		}
+		mean := float64(pos+1+end) / 2 // mean of ranks pos+1 .. end
+		for k := pos; k < end; k++ {
+			ranks[idx[k]] = mean
+		}
+		pos = end
+	}
+	return ranks
+}
+
+// MaxRankDistance returns the largest possible Euclidean distance between
+// two rank vectors of n elements: reached when the vectors are completely
+// out of phase, e.g. <n,...,1> versus <1,...,n> (§5.1; ~162.75 for n=43).
+func MaxRankDistance(n int) float64 {
+	var s float64
+	for i := 1; i <= n; i++ {
+		d := float64(n + 1 - 2*i)
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales each element of v by the matching element of ref,
+// yielding dimensionless ratios for cross-metric comparison (§4.3).
+// Reference elements equal to zero map to ratio 1 when the value is also
+// zero, else to the value itself.
+func Normalize(v, ref []float64) []float64 {
+	mustSameLen(v, ref)
+	out := make([]float64, len(v))
+	for i := range v {
+		switch {
+		case ref[i] != 0:
+			out[i] = v[i] / ref[i]
+		case v[i] == 0:
+			out[i] = 1
+		default:
+			out[i] = v[i]
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extrema of a non-empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// PercentError returns 100*(got-want)/want, the CPI error metric of the
+// configuration-dependence analysis (§6.2).
+func PercentError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (got - want) / want
+}
+
+// ZForConfidence returns the two-sided standard normal quantile for common
+// confidence levels; it falls back to a rational approximation of the
+// inverse error function for arbitrary levels.
+func ZForConfidence(level float64) float64 {
+	switch level {
+	case 0.90:
+		return 1.6449
+	case 0.95:
+		return 1.9600
+	case 0.99:
+		return 2.5758
+	case 0.997:
+		return 3.0 // the "three sigma" convention used by SMARTS
+	}
+	return math.Sqrt2 * erfInv(level)
+}
+
+// erfInv approximates the inverse error function (Winitzki's method),
+// accurate to ~2e-3 over (-1, 1), ample for sampling-size estimation.
+func erfInv(x float64) float64 {
+	if x <= -1 || x >= 1 {
+		return math.Inf(int(math.Copysign(1, x)))
+	}
+	const a = 0.147
+	ln := math.Log(1 - x*x)
+	t1 := 2/(math.Pi*a) + ln/2
+	return math.Copysign(math.Sqrt(math.Sqrt(t1*t1-ln/a)-t1), x)
+}
+
+// RequiredSamples returns the number of samples needed so that the
+// confidence interval at the given level and coefficient of variation cv
+// stays within +/-epsilon (relative), the SMARTS sample-size rule:
+// n >= (z*cv/epsilon)^2.
+func RequiredSamples(cv, epsilon, level float64) int {
+	if epsilon <= 0 {
+		panic("stats: epsilon must be positive")
+	}
+	z := ZForConfidence(level)
+	n := math.Ceil((z * cv / epsilon) * (z * cv / epsilon))
+	if n < 1 {
+		return 1
+	}
+	return int(n)
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (+/- %v)", what, got, want, tol)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	approx(t, Euclidean(a, b), 5, 1e-12, "Euclidean")
+	approx(t, Manhattan(a, b), 7, 1e-12, "Manhattan")
+	approx(t, Euclidean(a, a), 0, 0, "Euclidean self")
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+// Metric properties: symmetry, non-negativity, triangle inequality.
+func TestEuclideanMetricProperties(t *testing.T) {
+	f := func(a, b, c [5]float64) bool {
+		x, y, z := a[:], b[:], c[:]
+		dxy := Euclidean(x, y)
+		dyx := Euclidean(y, x)
+		if math.Abs(dxy-dyx) > 1e-9 {
+			return false
+		}
+		if dxy < 0 {
+			return false
+		}
+		return Euclidean(x, z) <= dxy+Euclidean(y, z)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	// Largest magnitude gets rank 1.
+	r := Ranks([]float64{0.5, -10, 3})
+	want := []float64{3, 1, 2}
+	for i := range r {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", r, want)
+		}
+	}
+	// Ties share the mean rank.
+	r = Ranks([]float64{5, 5, 1})
+	if r[0] != 1.5 || r[1] != 1.5 || r[2] != 3 {
+		t.Errorf("tied Ranks = %v, want [1.5 1.5 3]", r)
+	}
+}
+
+// Property: ranks are a permutation-like assignment — their sum equals
+// n(n+1)/2 regardless of ties.
+func TestRanksSumInvariant(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 0
+			}
+		}
+		r := Ranks(xs)
+		var s float64
+		for _, v := range r {
+			s += v
+		}
+		n := float64(len(xs))
+		return math.Abs(s-n*(n+1)/2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRankDistance(t *testing.T) {
+	// n=43: sum of squared differences is 8*sum(1..21 squared) = 26488.
+	d := MaxRankDistance(43)
+	approx(t, d, math.Sqrt(26488), 1e-9, "MaxRankDistance(43)")
+	// And by construction it must equal the distance between the two
+	// fully out-of-phase rank vectors.
+	a := make([]float64, 43)
+	b := make([]float64, 43)
+	for i := range a {
+		a[i] = float64(i + 1)
+		b[i] = float64(43 - i)
+	}
+	approx(t, d, Euclidean(a, b), 1e-9, "out-of-phase distance")
+}
+
+func TestNormalize(t *testing.T) {
+	v := Normalize([]float64{2, 0, 5}, []float64{4, 0, 0})
+	if v[0] != 0.5 || v[1] != 1 || v[2] != 5 {
+		t.Errorf("Normalize = %v", v)
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, Variance(xs), 32.0/7, 1e-12, "Variance")
+	lo, hi := MinMax(xs)
+	if lo != 2 || hi != 9 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	approx(t, PercentError(1.1, 1.0), 10, 1e-9, "PercentError")
+	approx(t, PercentError(0.9, 1.0), -10, 1e-9, "PercentError")
+	if PercentError(0, 0) != 0 {
+		t.Error("0/0 error should be 0")
+	}
+}
+
+func TestZForConfidence(t *testing.T) {
+	approx(t, ZForConfidence(0.95), 1.96, 1e-3, "z(0.95)")
+	approx(t, ZForConfidence(0.997), 3.0, 1e-9, "z(0.997)")
+	// Fallback path.
+	approx(t, ZForConfidence(0.954499), 2.0, 0.02, "z(0.9545)")
+}
+
+func TestRequiredSamples(t *testing.T) {
+	// SMARTS rule: n = (z*cv/eps)^2. cv=0.3, eps=0.03, 99.7% -> (3*10)^2=900.
+	n := RequiredSamples(0.3, 0.03, 0.997)
+	if n != 900 {
+		t.Errorf("RequiredSamples = %d, want 900", n)
+	}
+	if RequiredSamples(0, 0.03, 0.997) != 1 {
+		t.Error("zero variance should need one sample")
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// chi2 with 1 df: P(X <= 3.841) ~ 0.95
+	approx(t, ChiSquareCDF(3.841, 1), 0.95, 1e-3, "CDF(3.841,1)")
+	// chi2 with 10 df: P(X <= 18.307) ~ 0.95
+	approx(t, ChiSquareCDF(18.307, 10), 0.95, 1e-3, "CDF(18.307,10)")
+	// Median of chi2(2) is 2*ln2.
+	approx(t, ChiSquareCDF(2*math.Ln2, 2), 0.5, 1e-9, "CDF(median,2)")
+}
+
+func TestChiSquareCriticalInvertsCDF(t *testing.T) {
+	for _, df := range []int{1, 5, 30, 100} {
+		for _, alpha := range []float64{0.05, 0.01} {
+			c := ChiSquareCritical(df, alpha)
+			approx(t, ChiSquareCDF(c, df), 1-alpha, 1e-6, "CDF(critical)")
+		}
+	}
+	// Spot-check a textbook value: chi2(0.05, 5) = 11.0705.
+	approx(t, ChiSquareCritical(5, 0.05), 11.0705, 1e-3, "critical(5,0.05)")
+}
+
+func TestChiSquareTestSimilarAndDifferent(t *testing.T) {
+	// Identical distributions: statistic 0, similar.
+	obs := []float64{100, 200, 300}
+	res, err := ChiSquare(obs, obs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Similar || res.Statistic != 0 {
+		t.Errorf("identical distributions: %+v", res)
+	}
+	// Wildly different distributions must be dissimilar.
+	res, err = ChiSquare([]float64{1000, 0, 0}, []float64{0, 0, 1000}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Similar {
+		t.Errorf("disjoint distributions judged similar: %+v", res)
+	}
+	// Scale invariance: comparing x against 10x is similar.
+	res, err = ChiSquare([]float64{10, 20, 30}, []float64{100, 200, 300}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Similar {
+		t.Errorf("scaled distribution judged dissimilar: %+v", res)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquare([]float64{1}, []float64{1, 2}, 0.05); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquare([]float64{0}, []float64{0}, 0.05); err == nil {
+		t.Error("empty distributions accepted")
+	}
+	if _, err := ChiSquare([]float64{1}, []float64{1}, 1.5); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	if _, err := ChiSquare([]float64{-1, 2}, []float64{1, 2}, 0.05); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+// Property: the chi-square statistic is zero iff shapes match exactly, and
+// always non-negative.
+func TestChiSquareNonNegative(t *testing.T) {
+	f := func(obs, exp [6]uint8) bool {
+		o := make([]float64, 6)
+		e := make([]float64, 6)
+		var ot, et float64
+		for i := range o {
+			o[i] = float64(obs[i])
+			e[i] = float64(exp[i]) + 1 // avoid all-zero expected
+			ot += o[i]
+			et += e[i]
+		}
+		if ot == 0 {
+			return true
+		}
+		res, err := ChiSquare(o, e, 0.05)
+		if err != nil {
+			return false
+		}
+		return res.Statistic >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
