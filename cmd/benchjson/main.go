@@ -1,0 +1,102 @@
+// Command benchjson measures the reference technique at the test scale
+// and writes a machine-readable baseline (ns per simulated instruction and
+// host MIPS per benchmark) so performance regressions can be diffed by CI
+// or scripts. The checked-in BENCH_obs.json at the repo root was produced
+// by this command.
+//
+// Usage:
+//
+//	benchjson [-benches gcc,mcf] [-iters 3] [-out BENCH_obs.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Baseline is the file-level envelope: one entry per benchmark plus
+// enough host context to judge whether a comparison is apples-to-apples.
+type Baseline struct {
+	Technique string  `json:"technique"`
+	Scale     string  `json:"scale"`
+	GoVersion string  `json:"go_version"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Iters     int     `json:"iters"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Entry records the best-of-N run for one benchmark.
+type Entry struct {
+	Bench          string  `json:"bench"`
+	SimulatedInstr uint64  `json:"simulated_instr"`
+	WallNS         int64   `json:"wall_ns"`
+	NSPerInstr     float64 `json:"ns_per_instr"`
+	HostMIPS       float64 `json:"host_mips"`
+	CPI            float64 `json:"cpi"`
+}
+
+func main() {
+	benchFlag := flag.String("benches", "gcc,mcf", "comma-separated benchmarks to baseline")
+	itersFlag := flag.Int("iters", 3, "iterations per benchmark (best is kept)")
+	outFlag := flag.String("out", "BENCH_obs.json", "output file")
+	flag.Parse()
+
+	base := Baseline{
+		Technique: core.Reference{}.Name(),
+		Scale:     "test",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Iters:     *itersFlag,
+	}
+	for _, name := range strings.Split(*benchFlag, ",") {
+		b := bench.Name(strings.TrimSpace(name))
+		ctx := core.Context{Bench: b, Config: sim.BaseConfig(), Scale: sim.ScaleTest}
+		var best Entry
+		for i := 0; i < *itersFlag; i++ {
+			res, err := core.Reference{}.Run(ctx)
+			die(err)
+			tel := res.Telemetry()
+			e := Entry{
+				Bench:          string(b),
+				SimulatedInstr: tel.SimulatedInstr,
+				WallNS:         tel.Wall.Nanoseconds(),
+				NSPerInstr:     float64(tel.Wall.Nanoseconds()) / float64(tel.SimulatedInstr),
+				HostMIPS:       tel.HostMIPS,
+				CPI:            res.Stats.CPI(),
+			}
+			if i == 0 || e.WallNS < best.WallNS {
+				best = e
+			}
+		}
+		base.Entries = append(base.Entries, best)
+		fmt.Fprintf(os.Stderr, "%-8s %d instr in %v (%.1f ns/instr, %.1f host-MIPS)\n",
+			best.Bench, best.SimulatedInstr, time.Duration(best.WallNS).Round(time.Microsecond),
+			best.NSPerInstr, best.HostMIPS)
+	}
+
+	f, err := os.Create(*outFlag)
+	die(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	die(enc.Encode(base))
+	die(f.Close())
+	fmt.Fprintln(os.Stderr, "wrote", *outFlag)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

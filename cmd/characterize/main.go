@@ -12,8 +12,8 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -21,22 +21,17 @@ func main() {
 	benchFlag := flag.String("bench", "mcf", "benchmark")
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
-	switch *scaleFlag {
-	case "test":
-		o.Scale = sim.ScaleTest
-	case "cli":
-		o.Scale = sim.ScaleCLI
-	case "full":
-		o.Scale = sim.ScaleFull
-	default:
-		die(fmt.Errorf("unknown scale %q", *scaleFlag))
-	}
+	scale, err := cliutil.ParseScale(*scaleFlag)
+	die(err)
+	o.Scale = scale
 	o.Full = *fullFlag
 	o.Benches = []bench.Name{bench.Name(*benchFlag)}
-	o.Engine().Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	die(cliutil.ServeMetrics(*metricsAddr))
+	defer func() { fmt.Fprintln(os.Stderr, o.Engine().Telemetry()) }()
 
 	switch *methodFlag {
 	case "bottleneck":

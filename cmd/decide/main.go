@@ -10,15 +10,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	flag.Parse()
+	if err := cliutil.ServeMetrics(*metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "decide:", err)
+		os.Exit(1)
+	}
+
 	tree := experiments.NewDecisionTree()
-	if len(os.Args) < 2 {
+	if flag.NArg() == 0 {
 		fmt.Print(tree.Render())
 		fmt.Println("Pass one or more criteria (most important first) for a recommendation:")
 		for _, c := range experiments.Criteria() {
@@ -27,7 +36,7 @@ func main() {
 		return
 	}
 	var prefs []experiments.Criterion
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		prefs = append(prefs, experiments.Criterion(a))
 	}
 	fam, err := tree.Recommend(prefs)

@@ -17,8 +17,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -28,20 +28,13 @@ func main() {
 	foldFlag := flag.Bool("foldover", false, "fold the PB design (88 configurations instead of 44)")
 	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH)")
 	jsonFlag := flag.String("json", "", "also write machine-readable results to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
-	switch *scaleFlag {
-	case "test":
-		o.Scale = sim.ScaleTest
-	case "cli":
-		o.Scale = sim.ScaleCLI
-	case "full":
-		o.Scale = sim.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
-	}
+	scale, err := cliutil.ParseScale(*scaleFlag)
+	die(err)
+	o.Scale = scale
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
 	if *benchFlag != "" {
@@ -50,7 +43,7 @@ func main() {
 			o.Benches = append(o.Benches, bench.Name(strings.TrimSpace(s)))
 		}
 	}
-	o.Engine().Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	die(cliutil.ServeMetrics(*metricsAddr))
 
 	want := map[string]bool{}
 	if *onlyFlag != "" {
@@ -143,9 +136,8 @@ func main() {
 		die(experiments.WriteJSON(f, artifacts))
 		die(f.Close())
 	}
-	runs, hits := o.Engine().Stats()
-	fmt.Fprintf(os.Stderr, "done in %v (%d simulations, %d cache hits)\n",
-		time.Since(start).Round(time.Millisecond), runs, hits)
+	fmt.Fprintf(os.Stderr, "done in %v; %s\n",
+		time.Since(start).Round(time.Millisecond), o.Engine().Telemetry())
 }
 
 func pickBench(o *experiments.Options, preferred bench.Name) bench.Name {

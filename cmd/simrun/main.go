@@ -6,15 +6,24 @@
 //
 //	simrun -bench mcf [-input reference] [-tech reference|smarts|simpoint|runz|ffrun|ffwurun]
 //	       [-scale test|cli|full] [-config base|1|2|3|4] [-z 1000] [-x 2000] [-y 10] [-u 1000] [-w 2000]
+//	       [-trace] [-metrics] [-metrics-addr :8080]
+//
+// -trace prints the run's nested phase trace (fast-forward → warm-up →
+// measure, with wall-clock, instruction counts, and host MIPS per phase);
+// -metrics dumps the metrics registry in Prometheus text and JSON forms;
+// -metrics-addr serves the registry over HTTP for the process lifetime.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,19 +40,13 @@ func main() {
 	wFlag := flag.Uint64("w", 2000, "SMARTS warm-up (instructions)")
 	intervalFlag := flag.Float64("interval", 10, "SimPoint interval (paper-M)")
 	maxkFlag := flag.Int("maxk", 100, "SimPoint max_k")
+	traceFlag := flag.Bool("trace", false, "print the nested phase trace of the run")
+	metricsFlag := flag.Bool("metrics", false, "dump the metrics registry (Prometheus text and JSON)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	flag.Parse()
 
-	var scale sim.Scale
-	switch *scaleFlag {
-	case "test":
-		scale = sim.ScaleTest
-	case "cli":
-		scale = sim.ScaleCLI
-	case "full":
-		scale = sim.ScaleFull
-	default:
-		die(fmt.Errorf("unknown scale %q", *scaleFlag))
-	}
+	scale, err := cliutil.ParseScale(*scaleFlag)
+	die(err)
 
 	cfg := sim.BaseConfig()
 	switch *cfgFlag {
@@ -74,11 +77,20 @@ func main() {
 		die(fmt.Errorf("unknown technique %q", *techFlag))
 	}
 
+	die(cliutil.ServeMetrics(*metricsAddr))
+
 	ctx := core.Context{Bench: bench.Name(*benchFlag), Config: cfg, Scale: scale}
+	if *traceFlag {
+		ctx.Trace = obs.NewTracer()
+	}
+	if *metricsFlag || *metricsAddr != "" {
+		ctx.Metrics = obs.Default
+	}
 	res, err := tech.Run(ctx)
 	die(err)
 
 	s := res.Stats
+	tel := res.Telemetry()
 	fmt.Printf("technique:        %s\n", tech.Name())
 	fmt.Printf("benchmark:        %s (%s input)\n", *benchFlag, *inputFlag)
 	fmt.Printf("configuration:    %s\n", cfg.Name)
@@ -88,10 +100,25 @@ func main() {
 	fmt.Printf("branch accuracy:  %.4f\n", s.BranchAccuracy())
 	fmt.Printf("L1D hit rate:     %.4f (%d accesses)\n", s.L1D.HitRate(), s.L1D.Accesses)
 	fmt.Printf("L2 hit rate:      %.4f (%d accesses)\n", s.L2.HitRate(), s.L2.Accesses)
-	fmt.Printf("detailed instr:   %d\n", res.DetailedInstr)
-	fmt.Printf("functional instr: %d\n", res.FunctionalInstr)
-	fmt.Printf("simulations:      %d\n", res.Simulations)
-	fmt.Printf("wall time:        %v (+%v setup)\n", res.Wall, res.SetupWall)
+	fmt.Printf("detailed instr:   %d\n", tel.DetailedInstr)
+	fmt.Printf("functional instr: %d\n", tel.FunctionalInstr)
+	fmt.Printf("detailed frac:    %.4f\n", tel.DetailedFrac)
+	fmt.Printf("host MIPS:        %.1f\n", tel.HostMIPS)
+	fmt.Printf("simulations:      %d\n", tel.Simulations)
+	fmt.Printf("wall time:        %v (+%v setup)\n", tel.Wall, tel.SetupWall)
+
+	if *traceFlag {
+		fmt.Printf("\n--- phase trace ---\n%s", ctx.Trace.Render())
+		fmt.Println("\n--- phase summary ---")
+		for _, p := range ctx.Trace.Summarize() {
+			fmt.Printf("%-20s ×%-5d wall=%-12v instr=%-10d host-MIPS=%.1f\n",
+				p.Name, p.Count, p.Wall.Round(time.Microsecond), p.Instr, p.HostMIPS)
+		}
+	}
+	if *metricsFlag {
+		fmt.Println()
+		die(cliutil.DumpMetrics(os.Stdout))
+	}
 }
 
 func die(err error) {

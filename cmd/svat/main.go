@@ -12,8 +12,8 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -21,29 +21,19 @@ func main() {
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
 	foldFlag := flag.Bool("foldover", false, "fold the PB configuration envelope")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
-	switch *scaleFlag {
-	case "test":
-		o.Scale = sim.ScaleTest
-	case "cli":
-		o.Scale = sim.ScaleCLI
-	case "full":
-		o.Scale = sim.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "svat: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
-	}
+	scale, err := cliutil.ParseScale(*scaleFlag)
+	die(err)
+	o.Scale = scale
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
-	o.Engine().Log = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	die(cliutil.ServeMetrics(*metricsAddr))
 
 	res, err := experiments.SvAT(o, bench.Name(*benchFlag))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "svat:", err)
-		os.Exit(1)
-	}
+	die(err)
 	fmt.Print(res.Render())
 	fmt.Print("\nFamily ordering (best trade-off first): ")
 	for i, f := range res.FamilyOrdering() {
@@ -53,4 +43,12 @@ func main() {
 		fmt.Print(f)
 	}
 	fmt.Println()
+	fmt.Fprintln(os.Stderr, o.Engine().Telemetry())
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svat:", err)
+		os.Exit(1)
+	}
 }

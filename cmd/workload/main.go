@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliutil"
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/sim"
@@ -24,19 +25,17 @@ func main() {
 	benchFlag := flag.String("bench", "mcf", "benchmark")
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	allFlag := flag.Bool("all", false, "characterize every benchmark's reference input")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	flag.Parse()
 
-	var scale sim.Scale
-	switch *scaleFlag {
-	case "test":
-		scale = sim.ScaleTest
-	case "cli":
-		scale = sim.ScaleCLI
-	case "full":
-		scale = sim.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "workload: unknown scale %q\n", *scaleFlag)
+	scale, err := cliutil.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
 		os.Exit(2)
+	}
+	if err := cliutil.ServeMetrics(*metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("%-10s %-10s %10s %7s %7s %6s %6s %6s %6s %8s %8s\n",

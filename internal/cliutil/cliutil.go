@@ -1,0 +1,54 @@
+// Package cliutil holds the flag plumbing shared by the cmd/ mains: scale
+// parsing and the opt-in observability surface (metrics HTTP exposition
+// and registry dumps), so every CLI exposes the same -scale and
+// -metrics-addr vocabulary.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ParseScale maps the CLI scale names onto sim scales.
+func ParseScale(name string) (sim.Scale, error) {
+	switch name {
+	case "test":
+		return sim.ScaleTest, nil
+	case "cli":
+		return sim.ScaleCLI, nil
+	case "full":
+		return sim.ScaleFull, nil
+	default:
+		return sim.Scale{}, fmt.Errorf("unknown scale %q (want test, cli, or full)", name)
+	}
+}
+
+// ServeMetrics starts HTTP exposition of the default registry on addr
+// (/metrics Prometheus text, /metrics.json snapshot) for the remainder of
+// the process. An empty addr is a no-op. The bound address is announced on
+// stderr so long experiment runs can be watched live.
+func ServeMetrics(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	bound, err := obs.Default.Serve(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics and /metrics.json\n", bound)
+	return nil
+}
+
+// DumpMetrics writes the default registry in both exposition formats.
+func DumpMetrics(w io.Writer) error {
+	fmt.Fprintln(w, "--- metrics (prometheus text) ---")
+	if err := obs.Default.WritePrometheus(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "--- metrics (json) ---")
+	return obs.Default.WriteJSON(w)
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -47,6 +48,28 @@ type Context struct {
 	// (BBEF/BBV) for the execution-profile characterization; it costs an
 	// extra functional pass for some techniques.
 	CollectProfile bool
+
+	// Trace, when set, receives a nested span tree of the run: one root
+	// span per technique with its fast-forward / warm-up / measure phases
+	// as children (the runner emits the leaf phases). One tracer describes
+	// one logical thread; concurrent runs should each own a tracer.
+	Trace *obs.Tracer
+
+	// Metrics, when set, accumulates the runner's per-phase instruction
+	// counters and wall-clock histograms.
+	Metrics *obs.Registry
+}
+
+// startSpan opens a technique-level span on the context's tracer (a no-op
+// without one).
+func (ctx Context) startSpan(name string, attrs ...obs.Attr) *obs.Span {
+	return ctx.Trace.StartSpan(name, attrs...)
+}
+
+// rootSpan opens the technique's root span, labeled with the experiment.
+func (ctx Context) rootSpan(tech Technique) *obs.Span {
+	return ctx.Trace.StartSpan("technique "+tech.Name(),
+		obs.Str("bench", string(ctx.Bench)), obs.Str("config", ctx.Config.Name))
 }
 
 // Result is the outcome of applying a technique.
@@ -76,6 +99,57 @@ type Result struct {
 // CPI is shorthand for the estimated cycles per instruction.
 func (r Result) CPI() float64 { return r.Stats.CPI() }
 
+// Telemetry is the run-cost block of a Result: what the technique spent to
+// produce its estimate, the raw material of every speed-versus-accuracy
+// analysis (§5).
+type Telemetry struct {
+	Wall      time.Duration `json:"wall_ns"`
+	SetupWall time.Duration `json:"setup_wall_ns"`
+
+	// Instruction-count decomposition of the simulation work.
+	DetailedInstr   uint64 `json:"detailed_instr"`
+	FunctionalInstr uint64 `json:"functional_instr"`
+	SimulatedInstr  uint64 `json:"simulated_instr"` // detailed + functional
+
+	// DetailedFrac is the fraction of simulated instructions executed in
+	// the (slow) cycle-level model; the rest were fast-forwarded or
+	// functionally warmed.
+	DetailedFrac float64 `json:"detailed_frac"`
+
+	// HostMIPS is millions of simulated instructions per host second of
+	// the technique's own wall-clock (setup excluded).
+	HostMIPS float64 `json:"host_mips"`
+
+	Simulations int `json:"simulations"`
+}
+
+// Telemetry derives the run's telemetry block from the result's cost
+// fields.
+func (r Result) Telemetry() Telemetry {
+	t := Telemetry{
+		Wall:            r.Wall,
+		SetupWall:       r.SetupWall,
+		DetailedInstr:   r.DetailedInstr,
+		FunctionalInstr: r.FunctionalInstr,
+		SimulatedInstr:  r.DetailedInstr + r.FunctionalInstr,
+		Simulations:     r.Simulations,
+	}
+	if t.SimulatedInstr > 0 {
+		t.DetailedFrac = float64(t.DetailedInstr) / float64(t.SimulatedInstr)
+	}
+	if r.Wall > 0 {
+		t.HostMIPS = float64(t.SimulatedInstr) / r.Wall.Seconds() / 1e6
+	}
+	return t
+}
+
+// String formats the telemetry as a one-line summary.
+func (t Telemetry) String() string {
+	return fmt.Sprintf("wall %v (+%v setup), %d instr simulated (%.1f%% detailed), %.1f host-MIPS, %d simulation(s)",
+		t.Wall.Round(time.Microsecond), t.SetupWall.Round(time.Microsecond),
+		t.SimulatedInstr, 100*t.DetailedFrac, t.HostMIPS, t.Simulations)
+}
+
 // Technique is one simulation technique permutation.
 type Technique interface {
 	// Name returns the permutation label using the paper's units, e.g.
@@ -96,6 +170,8 @@ func newRunner(ctx Context, input bench.InputSet) (*sim.Runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s: %w", ctx.Bench, input, err)
 	}
+	r.Trace = ctx.Trace
+	r.Metrics = ctx.Metrics
 	return r, nil
 }
 
@@ -126,7 +202,9 @@ func (Reference) Name() string { return "reference" }
 func (Reference) Family() Family { return FamilyReference }
 
 // Run implements Technique.
-func (Reference) Run(ctx Context) (Result, error) {
+func (t Reference) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
@@ -163,6 +241,8 @@ func (Reduced) Family() Family { return FamilyReduced }
 
 // Run implements Technique.
 func (t Reduced) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
 	start := time.Now()
 	r, err := newRunner(ctx, t.Input)
 	if err != nil {

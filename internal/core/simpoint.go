@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simpoint"
 )
@@ -86,10 +87,16 @@ func (t SimPoint) plan(ctx Context) (*simpoint.Plan, time.Duration, error) {
 
 // Run implements Technique.
 func (t SimPoint) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
+	planSpan := ctx.startSpan("clustering-plan")
 	plan, setup, err := t.plan(ctx)
 	if err != nil {
+		planSpan.End()
 		return Result{}, err
 	}
+	planSpan.SetAttr(obs.Int("k", int64(plan.K)))
+	planSpan.End()
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
@@ -151,12 +158,16 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 			r.SetAssumeHit(true)
 		}
 		if pt.Start > pos {
+			wuSpan := ctx.startSpan("warm-up")
 			detailed += r.Detailed(pt.Start - pos) // detailed warm-up, unmeasured
+			wuSpan.End()
 			pos = pt.Start
 		}
+		mSpan := ctx.startSpan("measure", obs.Float("weight", pt.Weight))
 		r.Mark()
 		n := r.Detailed(plan.Cfg.IntervalInstr)
 		w := r.Window()
+		mSpan.End()
 		if t.UseAssumeHit {
 			r.SetAssumeHit(false)
 		}

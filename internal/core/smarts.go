@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/smarts"
 	"repro/internal/xrand"
@@ -55,6 +56,9 @@ type smartsMachine struct {
 // analyzed in the same literature) is used instead and documented in
 // EXPERIMENTS.md.
 func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, uint64, uint64, error) {
+	pass := m.ctx.startSpan("sampled-pass",
+		obs.Int("units", int64(n)), obs.Int("u", int64(u)), obs.Int("w", int64(w)))
+	defer pass.End()
 	r, err := newRunner(m.ctx, bench.Reference)
 	if err != nil {
 		return nil, sim.Stats{}, 0, 0, err
@@ -82,11 +86,15 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 			functional += r.FunctionalWarm(start - pos)
 		}
 		if w > 0 {
+			wuSpan := m.ctx.startSpan("warm-up")
 			detailed += r.Detailed(w) // detailed warm-up, unmeasured
+			wuSpan.End()
 		}
+		mSpan := m.ctx.startSpan("measure")
 		r.Mark()
 		got := r.Detailed(u)
 		win := r.Window()
+		mSpan.End()
 		r.Drain() // finish in-flight work before returning to warming
 		detailed += got
 		if got == 0 {
@@ -103,6 +111,8 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 
 // Run implements Technique.
 func (t SMARTS) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
 	start := time.Now()
 	spec, err := bench.Lookup(ctx.Bench, bench.Reference)
 	if err != nil {

@@ -21,6 +21,8 @@ func (RunZ) Family() Family { return FamilyRunZ }
 
 // Run implements Technique.
 func (t RunZ) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
@@ -59,6 +61,8 @@ func (FFRun) Family() Family { return FamilyFFRun }
 
 // Run implements Technique.
 func (t FFRun) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
@@ -103,13 +107,17 @@ func (FFWURun) Family() Family { return FamilyFFWURun }
 
 // Run implements Technique.
 func (t FFWURun) Run(ctx Context) (Result, error) {
+	root := ctx.rootSpan(t)
+	defer root.End()
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
 		return Result{}, err
 	}
 	ff := r.FastForward(ctx.Scale.Instr(t.X))
+	wuSpan := ctx.startSpan("warm-up")
 	wu := r.Detailed(ctx.Scale.Instr(t.Y)) // warm-up: detailed, unmeasured
+	wuSpan.End()
 	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
 	res := Result{
 		Stats:           st,

@@ -32,7 +32,7 @@ type ProfileCharRow struct {
 func ProfileCharacterization(o *Options, alpha float64) ([]ProfileCharRow, error) {
 	eng := NewEngine(o.Scale) // dedicated engine: profiles enabled
 	eng.Profile = true
-	eng.Log = o.Engine().Log
+	eng.Obs = o.Engine().Obs // share the instrumentation sink
 	cfg := sim.BaseConfig()
 
 	var rows []ProfileCharRow

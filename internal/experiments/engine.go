@@ -8,31 +8,87 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sim"
 )
 
-// Engine executes technique runs with memoization.
+// Engine executes technique runs with memoization and single-flight
+// deduplication: concurrent requests for the same (benchmark, technique,
+// configuration) key share one fresh run. Every run is instrumented into a
+// metrics registry — cache hits/misses/evictions, a fresh-run latency
+// histogram, and an in-flight gauge — replacing the old ad-hoc Log hook.
 type Engine struct {
 	Scale   sim.Scale
 	Profile bool // collect execution profiles on every run
 
-	// Log, when set, receives one line per fresh (uncached) run.
-	Log func(string)
+	// Obs is the registry receiving the engine's instrumentation
+	// (engine_runs_total, engine_cache_hits_total,
+	// engine_cache_evictions_total, engine_inflight_runs,
+	// engine_fresh_run_seconds). Nil uses obs.Default. Set before the
+	// first Run.
+	Obs *obs.Registry
 
-	mu    sync.Mutex
-	cache map[string]core.Result
-	runs  int
-	hits  int
+	// MaxEntries bounds the result cache (0 = unbounded). When the bound
+	// is exceeded the oldest entry is evicted, FIFO: long experiment
+	// sweeps can cap their memory while the per-figure sharing window
+	// stays warm.
+	MaxEntries int
+
+	mu        sync.Mutex
+	cache     map[string]core.Result
+	order     []string // insertion order, for FIFO eviction
+	inflight  map[string]*inflightRun
+	runs      int
+	hits      int
+	evictions int
+	freshWall time.Duration
+
+	metricsOnce sync.Once
+	mRuns       *obs.Counter
+	mHits       *obs.Counter
+	mEvictions  *obs.Counter
+	mInFlight   *obs.Gauge
+	mLatency    *obs.Histogram
+}
+
+// inflightRun is one fresh run in progress; waiters block on done and read
+// res/err afterwards.
+type inflightRun struct {
+	done chan struct{}
+	res  core.Result
+	err  error
 }
 
 // NewEngine creates an engine at the given scale.
 func NewEngine(scale sim.Scale) *Engine {
-	return &Engine{Scale: scale, cache: make(map[string]core.Result)}
+	return &Engine{
+		Scale:    scale,
+		cache:    make(map[string]core.Result),
+		inflight: make(map[string]*inflightRun),
+	}
+}
+
+// initMetrics binds the registry series (lazily, so Obs can be assigned
+// after construction).
+func (e *Engine) initMetrics() {
+	e.metricsOnce.Do(func() {
+		r := e.Obs
+		if r == nil {
+			r = obs.Default
+		}
+		e.mRuns = r.Counter("engine_runs_total")
+		e.mHits = r.Counter("engine_cache_hits_total")
+		e.mEvictions = r.Counter("engine_cache_evictions_total")
+		e.mInFlight = r.Gauge("engine_inflight_runs")
+		e.mLatency = r.Histogram("engine_fresh_run_seconds", obs.LatencyBuckets)
+	})
 }
 
 // Stats reports fresh runs and cache hits.
@@ -42,37 +98,115 @@ func (e *Engine) Stats() (runs, hits int) {
 	return e.runs, e.hits
 }
 
-func (e *Engine) key(b bench.Name, tech core.Technique, cfg sim.Config) string {
-	return fmt.Sprintf("%s|%s|%+v|p=%v", b, tech.Name(), cfg, e.Profile)
+// EngineTelemetry is a point-in-time summary of the engine's bookkeeping.
+type EngineTelemetry struct {
+	Runs      int           `json:"runs"`
+	Hits      int           `json:"hits"`
+	Evictions int           `json:"evictions"`
+	InFlight  int           `json:"in_flight"`
+	FreshWall time.Duration `json:"fresh_wall_ns"`
 }
 
-// Run executes (or recalls) one technique run.
+// HitRate returns the cache hit fraction over all requests.
+func (t EngineTelemetry) HitRate() float64 {
+	total := t.Runs + t.Hits
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Hits) / float64(total)
+}
+
+// String formats the telemetry as a one-line CLI summary.
+func (t EngineTelemetry) String() string {
+	mean := time.Duration(0)
+	if t.Runs > 0 {
+		mean = t.FreshWall / time.Duration(t.Runs)
+	}
+	return fmt.Sprintf("engine: %d fresh runs (wall %v, mean %v), %d cache hits (%.1f%% hit rate), %d evictions",
+		t.Runs, t.FreshWall.Round(time.Millisecond), mean.Round(time.Millisecond),
+		t.Hits, 100*t.HitRate(), t.Evictions)
+}
+
+// Telemetry snapshots the engine's counters.
+func (e *Engine) Telemetry() EngineTelemetry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineTelemetry{
+		Runs: e.runs, Hits: e.hits, Evictions: e.evictions,
+		InFlight: len(e.inflight), FreshWall: e.freshWall,
+	}
+}
+
+// key fingerprints one run request. sim.Config.Key is canonical over named
+// fields, so the key is collision-free and cheap on the hot path.
+func (e *Engine) key(b bench.Name, tech core.Technique, cfg sim.Config) string {
+	return string(b) + "|" + tech.Name() + "|" + cfg.Key() + "|p=" + strconv.FormatBool(e.Profile)
+}
+
+// Run executes (or recalls) one technique run. Concurrent callers with the
+// same key share a single fresh run: exactly one executes the technique,
+// the rest block and count as cache hits.
 func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	e.initMetrics()
 	k := e.key(b, tech, cfg)
+
 	e.mu.Lock()
 	if r, ok := e.cache[k]; ok {
 		e.hits++
 		e.mu.Unlock()
+		e.mHits.Inc()
 		return r, nil
 	}
+	if f, ok := e.inflight[k]; ok {
+		e.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return core.Result{}, f.err
+		}
+		e.mu.Lock()
+		e.hits++
+		e.mu.Unlock()
+		e.mHits.Inc()
+		return f.res, nil
+	}
+	f := &inflightRun{done: make(chan struct{})}
+	e.inflight[k] = f
 	e.mu.Unlock()
 
+	e.mInFlight.Add(1)
+	start := time.Now()
 	res, err := tech.Run(core.Context{
 		Bench:          b,
 		Config:         cfg,
 		Scale:          e.Scale,
 		CollectProfile: e.Profile,
 	})
+	elapsed := time.Since(start)
+	e.mInFlight.Add(-1)
+	e.mLatency.Observe(elapsed.Seconds())
+
+	e.mu.Lock()
+	delete(e.inflight, k)
+	if err == nil {
+		e.cache[k] = res
+		e.order = append(e.order, k)
+		e.runs++
+		e.freshWall += elapsed
+		e.mRuns.Inc()
+		if e.MaxEntries > 0 && len(e.cache) > e.MaxEntries {
+			oldest := e.order[0]
+			e.order = e.order[1:]
+			delete(e.cache, oldest)
+			e.evictions++
+			e.mEvictions.Inc()
+		}
+	}
+	f.res, f.err = res, err
+	close(f.done)
+	e.mu.Unlock()
+
 	if err != nil {
 		return core.Result{}, err
-	}
-	e.mu.Lock()
-	e.cache[k] = res
-	e.runs++
-	n := e.runs
-	e.mu.Unlock()
-	if e.Log != nil && n%25 == 0 {
-		e.Log(fmt.Sprintf("engine: %d runs completed (last: %s on %s/%s)", n, tech.Name(), b, cfg.Name))
 	}
 	return res, nil
 }

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// fakeTech is a Technique stub whose Run sleeps briefly and counts calls,
+// so the engine's single-flight and caching behaviour can be asserted
+// without simulating anything.
+type fakeTech struct {
+	id    string
+	calls *atomic.Int64
+	err   error
+}
+
+func (f fakeTech) Name() string        { return "fake-" + f.id }
+func (f fakeTech) Family() core.Family { return core.FamilyRunZ }
+
+func (f fakeTech) Run(core.Context) (core.Result, error) {
+	f.calls.Add(1)
+	time.Sleep(time.Millisecond) // widen the single-flight race window
+	if f.err != nil {
+		return core.Result{}, f.err
+	}
+	return core.Result{Stats: sim.Stats{Cycles: 2, Instructions: 1}}, nil
+}
+
+// TestEngineConcurrentRuns hammers Engine.Run from many goroutines with
+// overlapping keys and asserts exact bookkeeping: each distinct key is
+// simulated exactly once (single-flight — never duplicated by a race) and
+// every other request is a cache hit. Run under -race in CI.
+func TestEngineConcurrentRuns(t *testing.T) {
+	const (
+		goroutines = 16
+		rounds     = 8
+		keys       = 5
+	)
+	e := NewEngine(sim.ScaleTest)
+	e.Obs = obs.NewRegistry()
+
+	counters := make([]*atomic.Int64, keys)
+	techs := make([]fakeTech, keys)
+	for i := range techs {
+		counters[i] = new(atomic.Int64)
+		techs[i] = fakeTech{id: fmt.Sprintf("k%d", i), calls: counters[i]}
+	}
+
+	cfg := sim.BaseConfig()
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					// Vary the visiting order per goroutine.
+					k := (i + g) % keys
+					res, err := e.Run(bench.Mcf, techs[k], cfg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Stats.Instructions != 1 {
+						errs <- fmt.Errorf("wrong result for key %d: %+v", k, res.Stats)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i, c := range counters {
+		if got := c.Load(); got != 1 {
+			t.Errorf("technique %d simulated %d times, want exactly 1", i, got)
+		}
+	}
+	tel := e.Telemetry()
+	total := goroutines * rounds * keys
+	if tel.Runs != keys {
+		t.Errorf("Runs = %d, want %d", tel.Runs, keys)
+	}
+	if tel.Hits != total-keys {
+		t.Errorf("Hits = %d, want %d", tel.Hits, total-keys)
+	}
+	if tel.Runs+tel.Hits != total {
+		t.Errorf("Runs+Hits = %d, want every request accounted (%d)", tel.Runs+tel.Hits, total)
+	}
+	if tel.Evictions != 0 || tel.InFlight != 0 {
+		t.Errorf("Evictions = %d, InFlight = %d, want 0/0", tel.Evictions, tel.InFlight)
+	}
+	if got := e.Obs.Counter("engine_runs_total").Value(); got != uint64(keys) {
+		t.Errorf("engine_runs_total = %d, want %d", got, keys)
+	}
+	if got := e.Obs.Counter("engine_cache_hits_total").Value(); got != uint64(total-keys) {
+		t.Errorf("engine_cache_hits_total = %d, want %d", got, total-keys)
+	}
+	if got := e.Obs.Histogram("engine_fresh_run_seconds", obs.LatencyBuckets).Count(); got != uint64(keys) {
+		t.Errorf("engine_fresh_run_seconds count = %d, want %d", got, keys)
+	}
+}
+
+// TestEngineEviction exercises the FIFO cache bound: with MaxEntries = 2,
+// a third key evicts the first, and re-requesting the evicted key costs a
+// fresh run.
+func TestEngineEviction(t *testing.T) {
+	e := NewEngine(sim.ScaleTest)
+	e.Obs = obs.NewRegistry()
+	e.MaxEntries = 2
+
+	cfg := sim.BaseConfig()
+	counters := make([]*atomic.Int64, 3)
+	for i := range counters {
+		counters[i] = new(atomic.Int64)
+		tech := fakeTech{id: fmt.Sprintf("e%d", i), calls: counters[i]}
+		if _, err := e.Run(bench.Mcf, tech, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tel := e.Telemetry(); tel.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", tel.Evictions)
+	}
+	// Key 0 was evicted (FIFO): it runs fresh again; key 2 is still warm.
+	if _, err := e.Run(bench.Mcf, fakeTech{id: "e0", calls: counters[0]}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(bench.Mcf, fakeTech{id: "e2", calls: counters[2]}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := counters[0].Load(); got != 2 {
+		t.Errorf("evicted key simulated %d times, want 2", got)
+	}
+	if got := counters[2].Load(); got != 1 {
+		t.Errorf("warm key simulated %d times, want 1", got)
+	}
+}
+
+// TestEngineErrorNotCached checks that a failed run is reported to every
+// concurrent waiter but never enters the cache: the next request retries.
+func TestEngineErrorNotCached(t *testing.T) {
+	e := NewEngine(sim.ScaleTest)
+	e.Obs = obs.NewRegistry()
+
+	calls := new(atomic.Int64)
+	boom := errors.New("boom")
+	if _, err := e.Run(bench.Mcf, fakeTech{id: "x", calls: calls, err: boom}, sim.BaseConfig()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := e.Run(bench.Mcf, fakeTech{id: "x", calls: calls}, sim.BaseConfig()); err != nil {
+		t.Fatalf("retry after error failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("calls = %d, want 2 (error must not be cached)", got)
+	}
+	if tel := e.Telemetry(); tel.Runs != 1 || tel.Hits != 0 {
+		t.Errorf("telemetry = %+v, want 1 successful run, 0 hits", tel)
+	}
+}

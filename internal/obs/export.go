@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterPoint is one counter series in a snapshot.
+type CounterPoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  uint64  `json:"value"`
+}
+
+// GaugePoint is one gauge series in a snapshot.
+type GaugePoint struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// HistogramPoint is one histogram series in a snapshot, with cumulative
+// bucket counts.
+type HistogramPoint struct {
+	Name    string            `json:"name"`
+	Labels  []Label           `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot is a consistent point-in-time copy of a registry, ordered by
+// series identity for deterministic output.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*counterEntry, 0, len(r.counters))
+	for _, e := range r.counters {
+		counters = append(counters, e)
+	}
+	gauges := make([]*gaugeEntry, 0, len(r.gauges))
+	for _, e := range r.gauges {
+		gauges = append(gauges, e)
+	}
+	hists := make([]*histogramEntry, 0, len(r.histograms))
+	for _, e := range r.histograms {
+		hists = append(hists, e)
+	}
+	r.mu.Unlock()
+
+	for _, e := range counters {
+		s.Counters = append(s.Counters, CounterPoint{Name: e.name, Labels: e.labels, Value: e.c.Value()})
+	}
+	for _, e := range gauges {
+		s.Gauges = append(s.Gauges, GaugePoint{Name: e.name, Labels: e.labels, Value: e.g.Value()})
+	}
+	for _, e := range hists {
+		s.Histograms = append(s.Histograms, HistogramPoint{
+			Name: e.name, Labels: e.labels,
+			Count: e.h.Count(), Sum: e.h.Sum(), Buckets: e.h.Buckets(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		return seriesID(s.Counters[i].Name, s.Counters[i].Labels) < seriesID(s.Counters[j].Name, s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		return seriesID(s.Gauges[i].Name, s.Gauges[i].Labels) < seriesID(s.Gauges[j].Name, s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return seriesID(s.Histograms[i].Name, s.Histograms[i].Labels) < seriesID(s.Histograms[j].Name, s.Histograms[j].Labels)
+	})
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		v := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(l.Value)
+		parts[i] = l.Key + `="` + v + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (one # TYPE header per metric name, cumulative "le" buckets).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	typed := map[string]bool{}
+	header := func(name, kind string) string {
+		if typed[name] {
+			return ""
+		}
+		typed[name] = true
+		return fmt.Sprintf("# TYPE %s %s\n", name, kind)
+	}
+	var b strings.Builder
+	for _, c := range s.Counters {
+		b.WriteString(header(c.Name, "counter"))
+		fmt.Fprintf(&b, "%s%s %d\n", c.Name, promLabels(c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		b.WriteString(header(g.Name, "gauge"))
+		fmt.Fprintf(&b, "%s%s %s\n", g.Name, promLabels(g.Labels), promFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		b.WriteString(header(h.Name, "histogram"))
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, L("le", promFloat(float64(bk.UpperBound)))), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, promLabels(h.Labels), promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler exposing the registry: Prometheus text
+// at /metrics and the JSON snapshot at /metrics.json.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr in a background
+// goroutine and returns the bound address (useful with a ":0" addr). The
+// server lives for the remainder of the process.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets. Bucket i holds
+// observations v <= bounds[i] (and greater than the previous bound); an
+// implicit final bucket catches everything above the last bound. Sum and
+// count are tracked for mean computation. All methods are lock-free and
+// safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// LatencyBuckets is a general-purpose set of bounds for durations in
+// seconds, spanning sub-millisecond phases to minute-long experiment runs.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First index whose bound is >= v: exactly the "le" bucket. Values
+	// above every bound land in the trailing +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// HistogramBucket is one cumulative bucket of a histogram snapshot:
+// the count of observations <= UpperBound. The final bucket has
+// UpperBound = +Inf and equals the total count.
+type HistogramBucket struct {
+	UpperBound BucketBound `json:"le"`
+	Count      uint64      `json:"count"`
+}
+
+// BucketBound is a bucket upper bound; it marshals +Inf (which JSON
+// numbers cannot represent) as the string "+Inf".
+type BucketBound float64
+
+// MarshalJSON implements json.Marshaler.
+func (b BucketBound) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(b), 1) {
+		return []byte(`"+Inf"`), nil
+	}
+	return []byte(strconv.FormatFloat(float64(b), 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *BucketBound) UnmarshalJSON(data []byte) error {
+	if string(data) == `"+Inf"` {
+		*b = BucketBound(math.Inf(1))
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return err
+	}
+	*b = BucketBound(v)
+	return nil
+}
+
+// Buckets returns the cumulative bucket counts, Prometheus-style.
+func (h *Histogram) Buckets() []HistogramBucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]HistogramBucket, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = HistogramBucket{UpperBound: BucketBound(ub), Count: cum}
+	}
+	return out
+}

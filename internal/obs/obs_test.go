@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines (run
+// under -race) and checks the final values are exact: get-or-create must
+// hand every goroutine the same series.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("events_total", L("kind", "a")).Inc()
+				r.Counter("events_total", L("kind", "b")).Add(2)
+				r.Gauge("inflight").Add(1)
+				r.Gauge("inflight").Add(-1)
+				r.Histogram("latency_seconds", LatencyBuckets).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("events_total", L("kind", "a")).Value(); got != workers*perWorker {
+		t.Errorf("counter a = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Counter("events_total", L("kind", "b")).Value(); got != 2*workers*perWorker {
+		t.Errorf("counter b = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	h := r.Histogram("latency_seconds", nil)
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if math.Abs(h.Sum()-float64(workers*perWorker)*0.001) > 1e-6 {
+		t.Errorf("histogram sum = %v", h.Sum())
+	}
+}
+
+// TestSeriesIdentity: label order must not matter, label values must.
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("p", "1"), L("q", "2"))
+	b := r.Counter("x", L("q", "2"), L("p", "1"))
+	if a != b {
+		t.Error("label order created a distinct series")
+	}
+	c := r.Counter("x", L("p", "1"), L("q", "3"))
+	if a == c {
+		t.Error("distinct label values shared a series")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 100} {
+		h.Observe(v)
+	}
+	bs := h.Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("bucket count = %d, want 4", len(bs))
+	}
+	// Cumulative: <=1: {0.5, 1.0} = 2; <=2: +{1.5, 2.0} = 4; <=5: +{4.9, 5.0} = 6; +Inf: 7.
+	want := []uint64{2, 4, 6, 7}
+	for i, b := range bs {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d (le=%v) = %d, want %d", i, b.UpperBound, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(float64(bs[3].UpperBound), 1) {
+		t.Errorf("last bound = %v, want +Inf", bs[3].UpperBound)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-114.9) > 1e-9 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if math.Abs(h.Mean()-114.9/7) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramUnsortedBounds(t *testing.T) {
+	h := newHistogram([]float64{5, 1, 2})
+	h.Observe(1.5)
+	bs := h.Buckets()
+	if bs[0].Count != 0 || bs[1].Count != 1 {
+		t.Errorf("unsorted bounds mis-bucketed: %+v", bs)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("run", Str("bench", "mcf"))
+	ff := tr.StartSpan("fast-forward")
+	ff.AddInstr(1000)
+	ff.End()
+	wu := tr.StartSpan("warm-up")
+	det := tr.StartSpan("detailed")
+	det.AddInstr(50)
+	det.End()
+	wu.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "run" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "fast-forward" || kids[1].Name() != "warm-up" {
+		t.Fatalf("children wrong: %d", len(kids))
+	}
+	grand := kids[1].Children()
+	if len(grand) != 1 || grand[0].Name() != "detailed" {
+		t.Fatalf("grandchildren wrong")
+	}
+	if grand[0].Instr() != 50 {
+		t.Errorf("instr = %d", grand[0].Instr())
+	}
+	if kids[0].Duration() <= 0 || roots[0].Duration() < kids[0].Duration() {
+		t.Errorf("durations inconsistent: root %v child %v", roots[0].Duration(), kids[0].Duration())
+	}
+	out := tr.Render()
+	for _, want := range []string{"run", "fast-forward", "warm-up", "detailed", "instr=1000", "bench=mcf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Nesting depth shows as indentation.
+	if !strings.Contains(out, "\n    detailed") {
+		t.Errorf("detailed not rendered at depth 2:\n%s", out)
+	}
+}
+
+// TestSpanEndClosesDescendants: ending a parent with open children must
+// close them too and leave the stack consistent.
+func TestSpanEndClosesDescendants(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("outer")
+	tr.StartSpan("leaked")
+	root.End()
+	next := tr.StartSpan("after")
+	next.End()
+	roots := tr.Roots()
+	if len(roots) != 2 || roots[1].Name() != "after" {
+		t.Fatalf("stack not unwound: %d roots", len(roots))
+	}
+	if roots[0].Children()[0].Duration() <= 0 {
+		t.Error("leaked child not closed")
+	}
+}
+
+func TestSpanRenderFolding(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("pass")
+	for i := 0; i < renderFoldLimit+5; i++ {
+		sp := tr.StartSpan("detailed")
+		sp.AddInstr(10)
+		sp.End()
+	}
+	root.End()
+	out := tr.Render()
+	if !strings.Contains(out, "×13") || !strings.Contains(out, "(aggregated)") {
+		t.Errorf("repeated children not folded:\n%s", out)
+	}
+	if !strings.Contains(out, "instr=130") {
+		t.Errorf("aggregate instr wrong:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("run")
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("detailed")
+		sp.AddInstr(100)
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	root.End()
+	sum := tr.Summarize()
+	if len(sum) != 1 {
+		t.Fatalf("summary rows = %d, want 1 (root excluded)", len(sum))
+	}
+	if sum[0].Name != "detailed" || sum[0].Count != 3 || sum[0].Instr != 300 {
+		t.Errorf("summary = %+v", sum[0])
+	}
+	if sum[0].HostMIPS <= 0 {
+		t.Errorf("MIPS not derived: %+v", sum[0])
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	sp.AddInstr(1)
+	sp.SetAttr(Str("k", "v"))
+	sp.End()
+	if tr.Render() != "" || len(tr.Summarize()) != 0 || len(tr.Roots()) != 0 {
+		t.Error("nil tracer not inert")
+	}
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h", nil).Observe(1)
+	if len(r.Snapshot().Counters) != 0 {
+		t.Error("nil registry not inert")
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total", L("tech", `say "hi"`)).Add(3)
+	r.Gauge("inflight").Set(2.5)
+	r.Histogram("wall_seconds", []float64{0.1, 1}).Observe(0.05)
+
+	var prom strings.Builder
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE runs_total counter",
+		`runs_total{tech="say \"hi\""} 3`,
+		"# TYPE inflight gauge",
+		"inflight 2.5",
+		"# TYPE wall_seconds histogram",
+		`wall_seconds_bucket{le="0.1"} 1`,
+		`wall_seconds_bucket{le="+Inf"} 1`,
+		"wall_seconds_sum 0.05",
+		"wall_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	var js strings.Builder
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(js.String()), &snap); err != nil {
+		t.Fatalf("snapshot not valid JSON: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Errorf("JSON counters = %+v", snap.Counters)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 1 {
+		t.Errorf("JSON histograms = %+v", snap.Histograms)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up").Inc()
+	addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{
+		"/metrics":      "# TYPE up counter",
+		"/metrics.json": `"name": "up"`,
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s missing %q:\n%s", path, want, body)
+		}
+	}
+}

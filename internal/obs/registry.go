@@ -1,0 +1,209 @@
+// Package obs is the repository's dependency-free observability layer:
+// a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) with JSON and Prometheus-style text exposition, and a
+// lightweight span/trace API for phase-level timing of simulation runs.
+//
+// The package uses only the standard library. Every handle type tolerates
+// a nil receiver so call sites can instrument unconditionally and pay
+// nothing when observability is switched off.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one dimension attached to a metric. Metrics with the same name
+// but different label sets are distinct series, Prometheus-style.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add moves the value by d (negative d decreases it).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry owns a set of named metrics. Lookup methods are get-or-create,
+// so independent subsystems can share series by naming convention. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*counterEntry
+	gauges     map[string]*gaugeEntry
+	histograms map[string]*histogramEntry
+}
+
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []Label
+	g      *Gauge
+}
+
+type histogramEntry struct {
+	name   string
+	labels []Label
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*counterEntry),
+		gauges:     make(map[string]*gaugeEntry),
+		histograms: make(map[string]*histogramEntry),
+	}
+}
+
+// Default is the process-wide registry the CLIs expose; subsystems default
+// to it when not given an explicit registry.
+var Default = NewRegistry()
+
+// seriesID renders the canonical identity of a series: the name plus the
+// label set sorted by key.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Counter returns the counter series, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.counters[id]; ok {
+		return e.c
+	}
+	e := &counterEntry{name: name, labels: sortedLabels(labels), c: &Counter{}}
+	r.counters[id] = e
+	return e.c
+}
+
+// Gauge returns the gauge series, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.gauges[id]; ok {
+		return e.g
+	}
+	e := &gaugeEntry{name: name, labels: sortedLabels(labels), g: &Gauge{}}
+	r.gauges[id] = e
+	return e.g
+}
+
+// Histogram returns the histogram series, creating it on first use with
+// the given bucket upper bounds (sorted copies are taken; an implicit
+// +Inf bucket is always present). Bounds passed on later lookups of an
+// existing series are ignored.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.histograms[id]; ok {
+		return e.h
+	}
+	e := &histogramEntry{name: name, labels: sortedLabels(labels), h: newHistogram(bounds)}
+	r.histograms[id] = e
+	return e.h
+}

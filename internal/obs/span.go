@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Str constructs a string-valued Attr.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int constructs an integer-valued Attr.
+func Int(key string, value int64) Attr {
+	return Attr{Key: key, Value: strconv.FormatInt(value, 10)}
+}
+
+// Float constructs a float-valued Attr.
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(value, 'g', 4, 64)}
+}
+
+// Tracer records a tree of spans. StartSpan nests the new span under the
+// most recently started span that has not yet ended, so straight-line
+// instrumentation of caller and callee yields the natural call tree with
+// no context plumbing. A nil *Tracer is a valid no-op tracer.
+//
+// The tracer serializes its own bookkeeping, but the implicit nesting
+// stack means one tracer describes one logical thread of execution;
+// concurrent runs should each own a tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+	stack []*Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one timed phase. It is created by Tracer.StartSpan and closed by
+// End; annotation methods may be called between the two. A nil *Span is a
+// valid no-op span.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	name     string
+	attrs    []Attr
+	start    time.Time
+	dur      time.Duration
+	instr    uint64
+	children []*Span
+	ended    bool
+}
+
+// StartSpan opens a span nested under the current innermost open span (or
+// as a new root). The returned span must be closed with End.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tracer: t, name: name, attrs: attrs, start: time.Now()}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.stack); n > 0 {
+		sp.parent = t.stack[n-1]
+		sp.parent.children = append(sp.parent.children, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// End closes the span, fixing its duration. Open descendants are closed
+// with it (defensive: well-formed instrumentation ends children first).
+func (s *Span) End() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	now := time.Now()
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	// Pop the stack through s, ending any still-open descendants.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		sp := t.stack[i]
+		sp.ended = true
+		sp.dur = now.Sub(sp.start)
+		if sp == s {
+			t.stack = t.stack[:i]
+			return
+		}
+	}
+	// s was not on the stack (already popped by an ancestor's End); keep
+	// the duration computed above.
+}
+
+// AddInstr attributes n simulated instructions to the span; the trace
+// rendering derives host MIPS from this and the span's wall-clock.
+func (s *Span) AddInstr(n uint64) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.instr += n
+	s.tracer.mu.Unlock()
+}
+
+// SetAttr appends (or replaces) an annotation.
+func (s *Span) SetAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == a.Key {
+			s.attrs[i].Value = a.Value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's wall-clock (0 until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.dur
+}
+
+// Instr returns the simulated instructions attributed to the span.
+func (s *Span) Instr() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.instr
+}
+
+// Children returns the span's direct children in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Roots returns the tracer's root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// hostMIPS converts an instruction count and wall-clock into millions of
+// simulated instructions per host second.
+func hostMIPS(instr uint64, d time.Duration) float64 {
+	if instr == 0 || d <= 0 {
+		return 0
+	}
+	return float64(instr) / d.Seconds() / 1e6
+}
+
+// renderFoldLimit bounds how many same-named siblings render individually;
+// beyond it a name folds into one aggregate line. Sampling techniques emit
+// thousands of identical phase spans (SMARTS runs one warm-up/measure pair
+// per sampled unit), and the fold keeps their traces readable.
+const renderFoldLimit = 8
+
+// Render formats the trace as an indented tree: per span its wall-clock,
+// attributed instruction count, and derived host MIPS.
+func (t *Tracer) Render() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sb strings.Builder
+	for _, r := range t.roots {
+		renderSpan(&sb, r, 0)
+	}
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s%-*s %10s", indent, 28-len(indent), s.name, s.dur.Round(time.Microsecond))
+	if s.instr > 0 {
+		fmt.Fprintf(sb, "  instr=%-10d host-MIPS=%.1f", s.instr, hostMIPS(s.instr, s.dur))
+	}
+	for _, a := range s.attrs {
+		fmt.Fprintf(sb, "  %s=%s", a.Key, a.Value)
+	}
+	sb.WriteByte('\n')
+
+	byName := map[string]int{}
+	for _, c := range s.children {
+		byName[c.name]++
+	}
+	folded := map[string]bool{}
+	for _, c := range s.children {
+		if byName[c.name] <= renderFoldLimit {
+			renderSpan(sb, c, depth+1)
+			continue
+		}
+		if folded[c.name] {
+			continue
+		}
+		folded[c.name] = true
+		var dur time.Duration
+		var instr uint64
+		for _, cc := range s.children {
+			if cc.name == c.name {
+				dur += cc.dur
+				instr += cc.instr
+			}
+		}
+		indent := strings.Repeat("  ", depth+1)
+		label := fmt.Sprintf("%s ×%d", c.name, byName[c.name])
+		fmt.Fprintf(sb, "%s%-*s %10s", indent, 28-len(indent), label, dur.Round(time.Microsecond))
+		if instr > 0 {
+			fmt.Fprintf(sb, "  instr=%-10d host-MIPS=%.1f", instr, hostMIPS(instr, dur))
+		}
+		sb.WriteString("  (aggregated)\n")
+	}
+}
+
+// PhaseSummary is the per-phase rollup of a trace: total wall-clock and
+// instructions per span name, with derived host MIPS.
+type PhaseSummary struct {
+	Name     string        `json:"name"`
+	Count    int           `json:"count"`
+	Wall     time.Duration `json:"wall_ns"`
+	Instr    uint64        `json:"instr"`
+	HostMIPS float64       `json:"host_mips"`
+}
+
+// Summarize aggregates the whole trace by span name (roots excluded, since
+// a root's time double-counts its phases), sorted by descending wall-clock.
+func (t *Tracer) Summarize() []PhaseSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	acc := map[string]*PhaseSummary{}
+	var order []string
+	var walk func(s *Span, root bool)
+	walk = func(s *Span, root bool) {
+		if !root {
+			p, ok := acc[s.name]
+			if !ok {
+				p = &PhaseSummary{Name: s.name}
+				acc[s.name] = p
+				order = append(order, s.name)
+			}
+			p.Count++
+			p.Wall += s.dur
+			p.Instr += s.instr
+		}
+		for _, c := range s.children {
+			walk(c, false)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, true)
+	}
+	out := make([]PhaseSummary, 0, len(order))
+	for _, n := range order {
+		p := acc[n]
+		p.HostMIPS = hostMIPS(p.Instr, p.Wall)
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Wall > out[j].Wall })
+	return out
+}
+
+// std is the default tracer behind the package-level span API.
+var std = NewTracer()
+
+// StartSpan opens a span on the package default tracer.
+func StartSpan(name string, attrs ...Attr) *Span { return std.StartSpan(name, attrs...) }
+
+// DefaultTracer returns the package default tracer.
+func DefaultTracer() *Tracer { return std }

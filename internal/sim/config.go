@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/branch"
 	"repro/internal/cpu"
@@ -25,6 +26,37 @@ type Config struct {
 	BTBEntries int
 	BTBAssoc   int
 	RASEntries int
+}
+
+// Key returns a canonical fingerprint of the configuration, built
+// explicitly from every named field. It is the cache/memoization identity
+// of a machine: unlike fmt's %+v formatting it is cheap, stable across Go
+// versions, and cannot silently collide if the component structs later
+// grow fields that format identically (function values, pointers). Two
+// configurations with equal Keys describe the same simulated machine.
+func (c Config) Key() string {
+	var b strings.Builder
+	b.Grow(192)
+	cacheKey := func(tag string, cc mem.CacheConfig) {
+		fmt.Fprintf(&b, "|%s:%dKB/%dw/%dB/%dc/r%d", tag, cc.SizeKB, cc.Assoc, cc.BlockBytes, cc.Latency, cc.Replace)
+	}
+	fmt.Fprintf(&b, "%s|core:fw%d,fq%d,dw%d,iw%d,cw%d,rob%d,iq%d,lsq%d",
+		c.Name,
+		c.Core.FetchWidth, c.Core.FetchQueue, c.Core.DecodeWidth, c.Core.IssueWidth,
+		c.Core.CommitWidth, c.Core.ROBEntries, c.Core.IQEntries, c.Core.LSQEntries)
+	fmt.Fprintf(&b, ",ia%d/%d,im%d/%d,id%d,fa%d/%d,fm%d/%d,fd%d,dp%d,mp%d,sf%d,tc%d",
+		c.Core.IntALUs, c.Core.IntALULat, c.Core.IntMultUnits, c.Core.IntMultLat, c.Core.IntDivLat,
+		c.Core.FPALUs, c.Core.FPALULat, c.Core.FPMultUnits, c.Core.FPMultLat, c.Core.FPDivLat,
+		c.Core.DMemPorts, c.Core.MispredPenalty, c.Core.StoreForward, c.Core.TC)
+	cacheKey("l1i", c.Mem.L1I)
+	cacheKey("l1d", c.Mem.L1D)
+	cacheKey("l2", c.Mem.L2)
+	fmt.Fprintf(&b, "|mem:%d/%d,itlb%d,dtlb%d,tlbm%d,pf%d",
+		c.Mem.MemFirst, c.Mem.MemFollow,
+		c.Mem.ITLBEntries, c.Mem.DTLBEntries, c.Mem.TLBMissCycles, c.Mem.Prefetch)
+	fmt.Fprintf(&b, "|pred:k%d/%d|btb:%d/%d|ras:%d",
+		c.Pred.Kind, c.Pred.BHTEntries, c.BTBEntries, c.BTBAssoc, c.RASEntries)
+	return b.String()
 }
 
 // Validate checks every component configuration.

@@ -2,10 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/program"
 )
 
@@ -110,7 +112,15 @@ func (s *Stats) Add(o Stats) {
 }
 
 // AddWeighted accumulates o scaled by w, for SimPoint's weighted points.
-// Counts are scaled and rounded; ratios derived from them stay consistent.
+//
+// Rounding contract: every counter is scaled and rounded to the nearest
+// integer independently (round-half-up), so each accumulated counter is
+// within 0.5 of its exact weighted value per call. Ratios derived from the
+// rounded counters (CPI, hit rates) can therefore drift from the exactly
+// weighted ratios by O(k/N) after k calls over windows of N events —
+// negligible for the paper's window sizes, but not exactly zero. Callers
+// needing exact ratio arithmetic should weight the float ratios instead.
+// TestAddWeightedTelescopes pins this behavior.
 func (s *Stats) AddWeighted(o Stats, w float64) {
 	scale := func(v uint64) uint64 { return uint64(w*float64(v) + 0.5) }
 	t := Stats{
@@ -164,6 +174,17 @@ type Runner struct {
 	BTB  *branch.BTB
 	RAS  *branch.RAS
 
+	// Trace, when set, receives one span per execution phase
+	// (fast-forward, functional-warm, detailed, measure) with wall-clock
+	// and instruction counts; nesting follows the caller's open spans.
+	Trace *obs.Tracer
+
+	// Metrics, when set, accumulates per-phase instruction counters
+	// (sim_instructions_total{phase=...}) and wall-clock histograms
+	// (sim_phase_seconds{phase=...}). Both fields default to nil: the
+	// uninstrumented paths add no overhead.
+	Metrics *obs.Registry
+
 	markCore cpu.CoreStats
 	markHier mem.Snapshot
 	markPred struct{ lookups, miss uint64 }
@@ -206,22 +227,55 @@ func NewRunner(p *program.Program, cfg Config) (*Runner, error) {
 	}, nil
 }
 
+// instrumented reports whether any observability sink is attached.
+func (r *Runner) instrumented() bool { return r.Trace != nil || r.Metrics != nil }
+
+// finishPhase closes a phase span and records the phase's registry series.
+func (r *Runner) finishPhase(sp *obs.Span, phase string, n uint64, start time.Time) {
+	sp.AddInstr(n)
+	sp.End()
+	if r.Metrics != nil {
+		r.Metrics.Counter("sim_instructions_total", obs.L("phase", phase)).Add(n)
+		r.Metrics.Histogram("sim_phase_seconds", obs.LatencyBuckets, obs.L("phase", phase)).
+			Observe(time.Since(start).Seconds())
+	}
+}
+
 // FastForward functionally executes n instructions with cold
 // micro-architectural state (the FF phase of the truncated-execution
 // techniques). It returns the number actually executed.
 func (r *Runner) FastForward(n uint64) uint64 {
-	return r.Emu.Run(n)
+	if !r.instrumented() {
+		return r.Emu.Run(n)
+	}
+	sp, start := r.Trace.StartSpan("fast-forward"), time.Now()
+	got := r.Emu.Run(n)
+	r.finishPhase(sp, "fast-forward", got, start)
+	return got
 }
 
 // FunctionalWarm functionally executes n instructions while warming caches,
 // TLBs, and branch prediction structures (the SMARTS warming mode).
 func (r *Runner) FunctionalWarm(n uint64) uint64 {
-	return r.Emu.RunWarm(n, cpu.Warmer{Hier: r.Hier, Pred: r.Pred, BTB: r.BTB, RAS: r.RAS})
+	warmer := cpu.Warmer{Hier: r.Hier, Pred: r.Pred, BTB: r.BTB, RAS: r.RAS}
+	if !r.instrumented() {
+		return r.Emu.RunWarm(n, warmer)
+	}
+	sp, start := r.Trace.StartSpan("functional-warm"), time.Now()
+	got := r.Emu.RunWarm(n, warmer)
+	r.finishPhase(sp, "functional-warm", got, start)
+	return got
 }
 
 // Detailed runs the cycle-level model until n further instructions commit.
 func (r *Runner) Detailed(n uint64) uint64 {
-	return r.Core.Run(n)
+	if !r.instrumented() {
+		return r.Core.Run(n)
+	}
+	sp, start := r.Trace.StartSpan("detailed"), time.Now()
+	got := r.Core.Run(n)
+	r.finishPhase(sp, "detailed", got, start)
+	return got
 }
 
 // Drain completes all in-flight instructions without fetching new ones.
@@ -262,20 +316,50 @@ func (r *Runner) Window() Stats {
 }
 
 // MeasureDetailed is the common "Mark, run detailed for n, Window" pattern.
+// When a tracer is attached the window renders as a "measure" span with the
+// window's architectural statistics annotated.
 func (r *Runner) MeasureDetailed(n uint64) Stats {
+	sp := r.Trace.StartSpan("measure")
 	r.Mark()
 	r.Detailed(n)
-	return r.Window()
+	w := r.Window()
+	annotateWindow(sp, w)
+	sp.End()
+	return w
 }
 
 // RunToCompletion executes the whole remaining program in detailed mode and
 // returns the statistics of that window (the reference simulation).
 func (r *Runner) RunToCompletion() Stats {
+	if !r.instrumented() {
+		r.Mark()
+		for !r.Core.Done() {
+			r.Core.Run(1 << 20)
+		}
+		return r.Window()
+	}
+	sp, start := r.Trace.StartSpan("run-to-completion"), time.Now()
 	r.Mark()
 	for !r.Core.Done() {
 		r.Core.Run(1 << 20)
 	}
-	return r.Window()
+	w := r.Window()
+	sp.SetAttr(obs.Int("cycles", int64(w.Cycles)))
+	sp.SetAttr(obs.Float("cpi", w.CPI()))
+	r.finishPhase(sp, "detailed", w.Instructions, start)
+	return w
+}
+
+// annotateWindow attaches a measurement window's headline statistics to a
+// span (per-window stats of the trace: cycles and CPI; the instruction
+// count arrives via AddInstr so host MIPS is derived uniformly).
+func annotateWindow(sp *obs.Span, w Stats) {
+	if sp == nil {
+		return
+	}
+	sp.AddInstr(w.Instructions)
+	sp.SetAttr(obs.Int("cycles", int64(w.Cycles)))
+	sp.SetAttr(obs.Float("cpi", w.CPI()))
 }
 
 // SetAssumeHit toggles the assume-hit cold-start policy across the memory

@@ -220,3 +220,97 @@ func TestMetricVector(t *testing.T) {
 		t.Errorf("metric vector = %v", v)
 	}
 }
+
+// TestConfigKeyDistinguishes pins the canonical fingerprint: identical
+// configurations share a key and any single field change produces a new
+// one (the engine cache relies on this being collision-free).
+func TestConfigKeyDistinguishes(t *testing.T) {
+	base := BaseConfig()
+	if base.Key() != BaseConfig().Key() {
+		t.Fatal("equal configs produced different keys")
+	}
+	seen := map[string]string{base.Key(): "base"}
+	mutate := func(name string, f func(*Config)) {
+		c := BaseConfig()
+		f(&c)
+		k := c.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %q collides with %q: %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+	mutate("name", func(c *Config) { c.Name = "other" })
+	mutate("fetch-width", func(c *Config) { c.Core.FetchWidth++ })
+	mutate("rob", func(c *Config) { c.Core.ROBEntries *= 2 })
+	mutate("issue-width", func(c *Config) { c.Core.IssueWidth++ })
+	mutate("trivial", func(c *Config) { c.Core.TC++ })
+	mutate("l1d-size", func(c *Config) { c.Mem.L1D.SizeKB *= 2 })
+	mutate("l1d-assoc", func(c *Config) { c.Mem.L1D.Assoc *= 2 })
+	mutate("l2-latency", func(c *Config) { c.Mem.L2.Latency++ })
+	mutate("mem-first", func(c *Config) { c.Mem.MemFirst++ })
+	mutate("dtlb", func(c *Config) { c.Mem.DTLBEntries *= 2 })
+	mutate("prefetch", func(c *Config) { c.Mem.Prefetch++ })
+	mutate("pred-kind", func(c *Config) { c.Pred.Kind++ })
+	mutate("bht", func(c *Config) { c.Pred.BHTEntries *= 2 })
+	mutate("btb", func(c *Config) { c.BTBEntries *= 2 })
+	mutate("ras", func(c *Config) { c.RASEntries *= 2 })
+	for _, cfg := range ArchConfigs() {
+		k := cfg.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("arch config %s collides with %q", cfg.Name, prev)
+		}
+		seen[k] = cfg.Name
+	}
+}
+
+// TestAddWeightedTelescopes is the AddWeighted regression pinned by the
+// rounding contract: accumulating every measurement window of a run twice
+// at weight 0.5 must reconstruct the whole-run reference statistics within
+// the documented per-call rounding tolerance (0.5 per counter per call).
+func TestAddWeightedTelescopes(t *testing.T) {
+	cfg := BaseConfig()
+	ref, err := NewRunner(tinyProgram(t, 5000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := ref.RunToCompletion()
+
+	r, err := NewRunner(tinyProgram(t, 5000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc Stats
+	calls := 0
+	for !r.Done() {
+		w := r.MeasureDetailed(4000)
+		acc.AddWeighted(w, 0.5)
+		acc.AddWeighted(w, 0.5)
+		calls += 2
+	}
+	if calls < 10 {
+		t.Fatalf("want at least 5 windows to exercise rounding, got %d calls", calls)
+	}
+
+	near := func(name string, got, want uint64) {
+		t.Helper()
+		diff := int64(got) - int64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Each AddWeighted call may round every counter by up to 0.5.
+		if float64(diff) > 0.5*float64(calls) {
+			t.Errorf("%s: windowed %d vs whole-run %d (drift %d > %g allowed)",
+				name, got, want, diff, 0.5*float64(calls))
+		}
+	}
+	near("instructions", acc.Instructions, whole.Instructions)
+	near("cycles", acc.Cycles, whole.Cycles)
+	near("branch lookups", acc.BranchLookups, whole.BranchLookups)
+	near("l1d accesses", acc.L1D.Accesses, whole.L1D.Accesses)
+	near("l2 accesses", acc.L2.Accesses, whole.L2.Accesses)
+
+	if rel := acc.CPI()/whole.CPI() - 1; rel > 0.01 || rel < -0.01 {
+		t.Errorf("CPI drift %.4f%% exceeds 1%%: windowed %.4f vs whole %.4f",
+			100*rel, acc.CPI(), whole.CPI())
+	}
+}
