@@ -127,7 +127,7 @@ func BenchmarkFigure2(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		series, err := experiments.Figure2(f1, benches)
+		series, err := experiments.Figure2(f1, benches, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,8 @@ func main() {
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial tables")
+	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -29,9 +31,13 @@ func main() {
 	die(err)
 	o.Scale = scale
 	o.Full = *fullFlag
+	o.FailFast = *failFast
 	o.Benches = []bench.Name{bench.Name(*benchFlag)}
+	die(cliutil.ValidateAddr(*metricsAddr))
 	die(cliutil.ServeMetrics(*metricsAddr))
-	defer func() { fmt.Fprintln(os.Stderr, o.Engine().Telemetry()) }()
+	ctx, stop := cliutil.SignalContext(*timeout)
+	defer stop()
+	o.Ctx = ctx
 
 	switch *methodFlag {
 	case "bottleneck":
@@ -48,6 +54,11 @@ func main() {
 		fmt.Print(experiments.RenderArchChar(rows))
 	default:
 		die(fmt.Errorf("unknown method %q", *methodFlag))
+	}
+	fmt.Fprintln(os.Stderr, o.Engine().Telemetry())
+	if rep := o.Report(); rep.HasFailures() {
+		fmt.Fprint(os.Stderr, rep.Render())
+		os.Exit(1)
 	}
 }
 

@@ -29,6 +29,8 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH)")
 	jsonFlag := flag.String("json", "", "also write machine-readable results to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial figures")
+	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -37,13 +39,18 @@ func main() {
 	o.Scale = scale
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
+	o.FailFast = *failFast
 	if *benchFlag != "" {
 		o.Benches = nil
 		for _, s := range strings.Split(*benchFlag, ",") {
 			o.Benches = append(o.Benches, bench.Name(strings.TrimSpace(s)))
 		}
 	}
+	die(cliutil.ValidateAddr(*metricsAddr))
 	die(cliutil.ServeMetrics(*metricsAddr))
+	ctx, stop := cliutil.SignalContext(*timeout)
+	defer stop()
+	o.Ctx = ctx
 
 	want := map[string]bool{}
 	if *onlyFlag != "" {
@@ -86,7 +93,7 @@ func main() {
 		record("F1", f1.Export())
 	}
 	if sel("F2") {
-		series, err := experiments.Figure2(f1, o.Benches)
+		series, err := experiments.Figure2(f1, o.Benches, o.Report())
 		die(err)
 		emit("F2", experiments.RenderFigure2(series))
 		record("F2", series)
@@ -138,6 +145,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "done in %v; %s\n",
 		time.Since(start).Round(time.Millisecond), o.Engine().Telemetry())
+	if rep := o.Report(); rep.HasFailures() {
+		fmt.Fprint(os.Stderr, rep.Render())
+		os.Exit(1)
+	}
 }
 
 func pickBench(o *experiments.Options, preferred bench.Name) bench.Name {

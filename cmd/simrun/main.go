@@ -47,6 +47,12 @@ func main() {
 
 	scale, err := cliutil.ParseScale(*scaleFlag)
 	die(err)
+	die(cliutil.ValidateAddr(*metricsAddr))
+	die(cliutil.ValidatePositiveF("-z", *zFlag))
+	die(cliutil.ValidateNonNegativeF("-x", *xFlag))
+	die(cliutil.ValidateNonNegativeF("-y", *yFlag))
+	die(cliutil.ValidatePositiveF("-interval", *intervalFlag))
+	die(cliutil.ValidatePositive("-maxk", *maxkFlag))
 
 	cfg := sim.BaseConfig()
 	switch *cfgFlag {

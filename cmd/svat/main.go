@@ -22,6 +22,8 @@ func main() {
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
 	foldFlag := flag.Bool("foldover", false, "fold the PB configuration envelope")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to a partial graph")
+	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -30,7 +32,12 @@ func main() {
 	o.Scale = scale
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
+	o.FailFast = *failFast
+	die(cliutil.ValidateAddr(*metricsAddr))
 	die(cliutil.ServeMetrics(*metricsAddr))
+	ctx, stop := cliutil.SignalContext(*timeout)
+	defer stop()
+	o.Ctx = ctx
 
 	res, err := experiments.SvAT(o, bench.Name(*benchFlag))
 	die(err)
@@ -44,6 +51,10 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Fprintln(os.Stderr, o.Engine().Telemetry())
+	if rep := o.Report(); rep.HasFailures() {
+		fmt.Fprint(os.Stderr, rep.Render())
+		os.Exit(1)
+	}
 }
 
 func die(err error) {

@@ -1,13 +1,19 @@
 // Package cliutil holds the flag plumbing shared by the cmd/ mains: scale
-// parsing and the opt-in observability surface (metrics HTTP exposition
-// and registry dumps), so every CLI exposes the same -scale and
+// parsing, flag validation, run-lifetime contexts (SIGINT/SIGTERM and
+// -timeout), and the opt-in observability surface (metrics HTTP exposition
+// and registry dumps), so every CLI exposes the same -scale, -timeout, and
 // -metrics-addr vocabulary.
 package cliutil
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -24,6 +30,78 @@ func ParseScale(name string) (sim.Scale, error) {
 		return sim.ScaleFull, nil
 	default:
 		return sim.Scale{}, fmt.Errorf("unknown scale %q (want test, cli, or full)", name)
+	}
+}
+
+// ValidateAddr rejects listen addresses the metrics server could never
+// bind: an address must be empty (feature off) or a host:port pair with a
+// numeric or empty port. It catches flag typos before a long run starts
+// rather than after.
+func ValidateAddr(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("invalid -metrics-addr %q: %v", addr, err)
+	}
+	if port != "" {
+		if _, err := net.LookupPort("tcp", port); err != nil {
+			return fmt.Errorf("invalid -metrics-addr %q: bad port %q", addr, port)
+		}
+	}
+	_ = host // empty host means all interfaces; fine
+	return nil
+}
+
+// ValidatePositive rejects zero or negative values for flags that size
+// work (-iters, sample counts).
+func ValidatePositive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("invalid %s %d: must be > 0", name, v)
+	}
+	return nil
+}
+
+// ValidateNonNegative rejects negative values for flags where zero means
+// "off" or "unlimited".
+func ValidateNonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("invalid %s %d: must be >= 0", name, v)
+	}
+	return nil
+}
+
+// ValidatePositiveF is ValidatePositive for float-valued flags (phase
+// lengths in paper-M).
+func ValidatePositiveF(name string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("invalid %s %g: must be > 0", name, v)
+	}
+	return nil
+}
+
+// ValidateNonNegativeF is ValidateNonNegative for float-valued flags.
+func ValidateNonNegativeF(name string, v float64) error {
+	if v < 0 {
+		return fmt.Errorf("invalid %s %g: must be >= 0", name, v)
+	}
+	return nil
+}
+
+// SignalContext returns a context for the lifetime of one CLI run: it is
+// cancelled on SIGINT or SIGTERM, and additionally deadlined when timeout
+// is positive. The second return stops signal delivery and releases the
+// timer; mains should defer it.
+func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, cancelSignals
+	}
+	tctx, cancelTimeout := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancelTimeout()
+		cancelSignals()
 	}
 }
 

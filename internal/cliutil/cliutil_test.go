@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestParseScale(t *testing.T) {
+	for name, want := range map[string]sim.Scale{
+		"test": sim.ScaleTest, "cli": sim.ScaleCLI, "full": sim.ScaleFull,
+	} {
+		got, err := ParseScale(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %+v, %v", name, got, err)
+		}
+	}
+	for _, bad := range []string{"", "Test", "huge", "cli "} {
+		if _, err := ParseScale(bad); err == nil {
+			t.Errorf("ParseScale(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateAddr(t *testing.T) {
+	for _, ok := range []string{"", "localhost:8080", ":0", "127.0.0.1:9100", ":http"} {
+		if err := ValidateAddr(ok); err != nil {
+			t.Errorf("ValidateAddr(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"localhost", "8080", "host:port:extra", "localhost:notaport", "http://x:80"} {
+		if err := ValidateAddr(bad); err == nil {
+			t.Errorf("ValidateAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidatePositive(t *testing.T) {
+	if err := ValidatePositive("-iters", 1); err != nil {
+		t.Errorf("1 rejected: %v", err)
+	}
+	for _, bad := range []int{0, -1, -100} {
+		if err := ValidatePositive("-iters", bad); err == nil {
+			t.Errorf("%d accepted", bad)
+		}
+	}
+}
+
+func TestValidateNonNegative(t *testing.T) {
+	for _, ok := range []int{0, 1, 100} {
+		if err := ValidateNonNegative("-limit", ok); err != nil {
+			t.Errorf("%d rejected: %v", ok, err)
+		}
+	}
+	if err := ValidateNonNegative("-limit", -1); err == nil {
+		t.Error("-1 accepted")
+	}
+}
+
+func TestSignalContextTimeout(t *testing.T) {
+	ctx, stop := SignalContext(30 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			t.Errorf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+}
+
+func TestSignalContextNoTimeout(t *testing.T) {
+	ctx, stop := SignalContext(0)
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh context already ended: %v", err)
+	}
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}

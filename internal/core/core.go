@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,6 +59,25 @@ type Context struct {
 	// Metrics, when set, accumulates the runner's per-phase instruction
 	// counters and wall-clock histograms.
 	Metrics *obs.Registry
+
+	// Ctx, when set, cancels or deadlines the run: every simulation phase
+	// polls it between instruction chunks (see sim.Runner.Ctx), so a
+	// cancelled run returns the context's error within a bounded
+	// instruction budget instead of running to completion. Nil behaves
+	// like context.Background.
+	Ctx context.Context
+
+	// CheckEvery overrides the cancellation polling interval, in
+	// instructions; zero uses sim.DefaultCheckEvery.
+	CheckEvery uint64
+}
+
+// Err reports the context's cancellation error (nil without a context).
+func (ctx Context) Err() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Err()
 }
 
 // startSpan opens a technique-level span on the context's tracer (a no-op
@@ -172,7 +192,46 @@ func newRunner(ctx Context, input bench.InputSet) (*sim.Runner, error) {
 	}
 	r.Trace = ctx.Trace
 	r.Metrics = ctx.Metrics
+	r.Ctx = ctx.Ctx
+	r.CheckEvery = ctx.CheckEvery
 	return r, nil
+}
+
+// emuRun functionally executes n instructions on a raw emulator, polling
+// the context between chunks (profile collection passes are as long as the
+// techniques' own phases, so they honor cancellation the same way). When
+// prof is non-nil the instructions are profiled into it.
+func emuRun(ctx Context, e *cpu.Emu, n uint64, prof *cpu.Profile) error {
+	step := func(c uint64) uint64 {
+		if prof != nil {
+			return e.RunProfile(c, prof)
+		}
+		return e.Run(c)
+	}
+	if ctx.Ctx == nil {
+		step(n)
+		return nil
+	}
+	every := ctx.CheckEvery
+	if every == 0 {
+		every = sim.DefaultCheckEvery
+	}
+	var got uint64
+	for got < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c := n - got
+		if c > every {
+			c = every
+		}
+		k := step(c)
+		got += k
+		if k < c {
+			return nil // program halted
+		}
+	}
+	return nil
 }
 
 // profileWindow functionally profiles the dynamic window [skip, skip+n) of
@@ -184,10 +243,14 @@ func profileWindow(ctx Context, input bench.InputSet, skip, n uint64) (*cpu.Prof
 	}
 	e := cpu.NewEmu(p)
 	if skip > 0 {
-		e.Run(skip)
+		if err := emuRun(ctx, e, skip, nil); err != nil {
+			return nil, err
+		}
 	}
 	prof := cpu.NewProfile(p)
-	e.RunProfile(n, prof)
+	if err := emuRun(ctx, e, n, prof); err != nil {
+		return nil, err
+	}
 	return prof, nil
 }
 
@@ -205,12 +268,18 @@ func (Reference) Family() Family { return FamilyReference }
 func (t Reference) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
 		return Result{}, err
 	}
 	st := r.RunToCompletion()
+	if err := r.Err(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Stats:         st,
 		DetailedInstr: st.Instructions,
@@ -243,12 +312,18 @@ func (Reduced) Family() Family { return FamilyReduced }
 func (t Reduced) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	r, err := newRunner(ctx, t.Input)
 	if err != nil {
 		return Result{}, err
 	}
 	st := r.RunToCompletion()
+	if err := r.Err(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Stats:         st,
 		DetailedInstr: st.Instructions,

@@ -49,6 +49,9 @@ func (t RandomSample) Run(ctx Context) (Result, error) {
 	if t.N == 0 || t.U == 0 {
 		return Result{}, fmt.Errorf("core: random sampling needs N and U")
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	spec, err := bench.Lookup(ctx.Bench, bench.Reference)
 	if err != nil {
@@ -83,6 +86,9 @@ func (t RandomSample) Run(ctx Context) (Result, error) {
 	var detailed, functional uint64
 	measured := 0
 	for _, s := range starts {
+		if err := r.Err(); err != nil {
+			return Result{}, err
+		}
 		pos := r.Emu.Count
 		if s < pos {
 			continue // overlapping sample; skip (random starts may collide)
@@ -106,6 +112,9 @@ func (t RandomSample) Run(ctx Context) (Result, error) {
 		}
 		agg.Add(win)
 		measured++
+	}
+	if err := r.Err(); err != nil {
+		return Result{}, err
 	}
 	if measured == 0 {
 		return Result{}, fmt.Errorf("core: no random samples measured")
@@ -139,8 +148,12 @@ func (t RandomSample) sampledProfile(ctx Context, starts []uint64) (*cpu.Profile
 		if target < e.Count {
 			continue
 		}
-		e.Run(target - e.Count)
-		e.RunProfile(t.U, prof)
+		if err := emuRun(ctx, e, target-e.Count, nil); err != nil {
+			return nil, err
+		}
+		if err := emuRun(ctx, e, t.U, prof); err != nil {
+			return nil, err
+		}
 		if e.Halted {
 			break
 		}

@@ -89,6 +89,9 @@ func (t SimPoint) plan(ctx Context) (*simpoint.Plan, time.Duration, error) {
 func (t SimPoint) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	planSpan := ctx.startSpan("clustering-plan")
 	plan, setup, err := t.plan(ctx)
 	if err != nil {
@@ -127,6 +130,9 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 	var agg sim.Stats
 	var pos, detailed, functional uint64
 	for _, pt := range points {
+		if err := r.Err(); err != nil {
+			return Result{}, err
+		}
 		warmStart := pt.Start
 		if warmStart >= warm {
 			warmStart -= warm
@@ -180,6 +186,9 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 		if r.Done() {
 			break
 		}
+	}
+	if err := r.Err(); err != nil {
+		return Result{}, err
 	}
 
 	res := Result{

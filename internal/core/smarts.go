@@ -75,6 +75,9 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 	// period past the planned n until the program actually completes, so
 	// the tail of the execution is covered (capped defensively).
 	for i := 0; i < 4*n && !r.Done(); i++ {
+		if err := r.Err(); err != nil {
+			return nil, sim.Stats{}, 0, 0, err
+		}
 		// Place the detailed span at a stratified offset in this period.
 		slack := period - u - w
 		offset := uint64(0)
@@ -103,6 +106,9 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 		cpis = append(cpis, win.CPI())
 		agg.Add(win)
 	}
+	if err := r.Err(); err != nil {
+		return nil, sim.Stats{}, 0, 0, err
+	}
 	if len(cpis) == 0 {
 		return nil, sim.Stats{}, 0, 0, fmt.Errorf("core: SMARTS measured no units (program too short)")
 	}
@@ -113,6 +119,9 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 func (t SMARTS) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	spec, err := bench.Lookup(ctx.Bench, bench.Reference)
 	if err != nil {
@@ -165,9 +174,13 @@ func (t SMARTS) sampledProfile(ctx Context, total uint64, n int) (*cpu.Profile, 
 		}
 		start := uint64(i)*period + offset + t.W
 		if start > e.Count {
-			e.Run(start - e.Count)
+			if err := emuRun(ctx, e, start-e.Count, nil); err != nil {
+				return nil, err
+			}
 		}
-		e.RunProfile(t.U, prof)
+		if err := emuRun(ctx, e, t.U, prof); err != nil {
+			return nil, err
+		}
 	}
 	return prof, nil
 }

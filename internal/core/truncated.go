@@ -23,12 +23,18 @@ func (RunZ) Family() Family { return FamilyRunZ }
 func (t RunZ) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
 		return Result{}, err
 	}
 	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
+	if err := r.Err(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Stats:         st,
 		DetailedInstr: st.Instructions,
@@ -63,6 +69,9 @@ func (FFRun) Family() Family { return FamilyFFRun }
 func (t FFRun) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
@@ -70,6 +79,9 @@ func (t FFRun) Run(ctx Context) (Result, error) {
 	}
 	ff := r.FastForward(ctx.Scale.Instr(t.X))
 	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
+	if err := r.Err(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Stats:           st,
 		DetailedInstr:   st.Instructions,
@@ -109,6 +121,9 @@ func (FFWURun) Family() Family { return FamilyFFWURun }
 func (t FFWURun) Run(ctx Context) (Result, error) {
 	root := ctx.rootSpan(t)
 	defer root.End()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	r, err := newRunner(ctx, bench.Reference)
 	if err != nil {
@@ -119,6 +134,9 @@ func (t FFWURun) Run(ctx Context) (Result, error) {
 	wu := r.Detailed(ctx.Scale.Instr(t.Y)) // warm-up: detailed, unmeasured
 	wuSpan.End()
 	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
+	if err := r.Err(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Stats:           st,
 		DetailedInstr:   st.Instructions + wu,

@@ -674,15 +674,32 @@ func (c *Core) step() {
 // It returns early (with fewer) only when the program halts and the
 // pipeline drains.
 func (c *Core) Run(n uint64) uint64 {
-	target := c.Stats.Committed + n
-	c.runTarget = target
+	return c.RunChunk(n, n)
+}
+
+// RunChunk commits roughly n further instructions while capping commit at
+// hard (>= n) instructions, returning the number committed. It exists for
+// chunked execution with cancellation polling: commit is throttled only at
+// the hard target, so the boundary cycle of each chunk completes its full
+// commit width and a sequence of RunChunk calls whose hard targets all
+// point at the same phase end replays the exact cycle stream of one large
+// Run call (RunChunk may overshoot n by up to the commit width minus one;
+// it never exceeds hard). RunChunk(n, n) is identical to Run(n).
+func (c *Core) RunChunk(n, hard uint64) uint64 {
+	before := c.Stats.Committed
+	target := before + n
+	hardTarget := before + hard
+	if hardTarget < target {
+		hardTarget = target // also guards overflow of before+hard
+	}
+	c.runTarget = hardTarget
 	for c.Stats.Committed < target {
 		if c.traceDone && c.robCount() == 0 && c.fqCount == 0 {
 			break
 		}
 		c.step()
 	}
-	return n - (target - c.Stats.Committed)
+	return c.Stats.Committed - before
 }
 
 // Drain runs the pipeline until every in-flight instruction has committed,

@@ -28,24 +28,35 @@ type ProfileCharRow struct {
 
 // ProfileCharacterization compares every technique's measured execution
 // profile to the reference's. Profiles are configuration-independent, so
-// the base configuration is used once per technique.
+// the base configuration is used once per technique. A failed technique
+// run loses only its own row; a failed reference loses its benchmark
+// (recorded in o.Report()).
 func ProfileCharacterization(o *Options, alpha float64) ([]ProfileCharRow, error) {
 	eng := NewEngine(o.Scale) // dedicated engine: profiles enabled
 	eng.Profile = true
-	eng.Obs = o.Engine().Obs // share the instrumentation sink
+	eng.Obs = o.Engine().Obs     // share the instrumentation sink
+	eng.Retry = o.Engine().Retry // and the fault policy
 	cfg := sim.BaseConfig()
 
 	var rows []ProfileCharRow
 	for _, b := range o.Benches {
-		ref, err := eng.Run(b, core.Reference{}, cfg)
+		ref, err := eng.RunContext(o.ctx(), b, core.Reference{}, cfg)
 		if err != nil {
-			return nil, err
+			if aerr := o.cellErr("PROFILE", b, "reference", cfg.Name, err); aerr != nil {
+				return nil, aerr
+			}
+			o.Report().Skip("PROFILE", b, "", "reference profile failed; benchmark dropped")
+			continue
 		}
 		for _, tech := range o.Techniques(b) {
-			res, err := eng.Run(b, tech, cfg)
+			res, err := eng.RunContext(o.ctx(), b, tech, cfg)
 			if err != nil {
-				return nil, err
+				if aerr := o.cellErr("PROFILE", b, tech.Name(), cfg.Name, err); aerr != nil {
+					return nil, aerr
+				}
+				continue
 			}
+			o.Report().Completed()
 			if _, ok := tech.(core.Reduced); ok {
 				// A reduced input runs different code volumes; its profile
 				// is over the same static program only when code images
@@ -106,27 +117,35 @@ type ArchCharRow struct {
 }
 
 // ArchCharacterization runs the architecture-level characterization over
-// the Table 3 configurations.
+// the Table 3 configurations. A failed technique loses only its own row;
+// a failed reference loses its benchmark (recorded in o.Report()).
 func ArchCharacterization(o *Options) ([]ArchCharRow, error) {
-	eng := o.Engine()
 	cfgs := sim.ArchConfigs()
 	configs := cfgs[:]
 
 	var rows []ArchCharRow
 	for _, b := range o.Benches {
-		refM, err := characterize.ArchMetrics(b, core.Reference{}, configs, eng.Run)
+		refM, err := characterize.ArchMetrics(b, core.Reference{}, configs, o.run)
 		if err != nil {
-			return nil, err
+			if aerr := o.cellErr("ARCH", b, "reference", "", err); aerr != nil {
+				return nil, aerr
+			}
+			o.Report().Skip("ARCH", b, "", "reference metrics failed; benchmark dropped")
+			continue
 		}
 		for _, tech := range o.Techniques(b) {
-			tm, err := characterize.ArchMetrics(b, tech, configs, eng.Run)
+			tm, err := characterize.ArchMetrics(b, tech, configs, o.run)
 			if err != nil {
-				return nil, err
+				if aerr := o.cellErr("ARCH", b, tech.Name(), "", err); aerr != nil {
+					return nil, aerr
+				}
+				continue
 			}
 			ar, err := characterize.Architectural(refM, tm)
 			if err != nil {
 				return nil, err
 			}
+			o.Report().Completed()
 			rows = append(rows, ArchCharRow{
 				Bench: b, Technique: tech.Name(), Family: tech.Family(),
 				Distance: ar.Distance,

@@ -6,7 +6,11 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sim"
+	"repro/internal/xrand"
 )
 
 // Engine executes technique runs with memoization and single-flight
@@ -41,14 +46,26 @@ type Engine struct {
 	// stays warm.
 	MaxEntries int
 
-	mu        sync.Mutex
-	cache     map[string]core.Result
-	order     []string // insertion order, for FIFO eviction
-	inflight  map[string]*inflightRun
-	runs      int
-	hits      int
-	evictions int
-	freshWall time.Duration
+	// Retry is the transient-failure policy applied to every fresh run.
+	// The zero value disables retries; see DefaultRetryPolicy. Set before
+	// the first Run.
+	Retry RetryPolicy
+
+	// CheckEvery overrides the runner's cancellation polling interval for
+	// runs issued through this engine (0 = sim.DefaultCheckEvery).
+	CheckEvery uint64
+
+	mu         sync.Mutex
+	cache      map[string]core.Result
+	order      []string // insertion order, for FIFO eviction
+	inflight   map[string]*inflightRun
+	runs       int
+	hits       int
+	evictions  int
+	retries    int
+	failures   int
+	sharedErrs int
+	freshWall  time.Duration
 
 	metricsOnce sync.Once
 	mRuns       *obs.Counter
@@ -56,6 +73,11 @@ type Engine struct {
 	mEvictions  *obs.Counter
 	mInFlight   *obs.Gauge
 	mLatency    *obs.Histogram
+	mRetries    *obs.Counter
+	mFailures   *obs.Counter
+	mPanics     *obs.Counter
+	mCancels    *obs.Counter
+	mSharedErrs *obs.Counter
 }
 
 // inflightRun is one fresh run in progress; waiters block on done and read
@@ -88,6 +110,11 @@ func (e *Engine) initMetrics() {
 		e.mEvictions = r.Counter("engine_cache_evictions_total")
 		e.mInFlight = r.Gauge("engine_inflight_runs")
 		e.mLatency = r.Histogram("engine_fresh_run_seconds", obs.LatencyBuckets)
+		e.mRetries = r.Counter("engine_retries_total")
+		e.mFailures = r.Counter("engine_failures_total")
+		e.mPanics = r.Counter("engine_panics_total")
+		e.mCancels = r.Counter("engine_cancellations_total")
+		e.mSharedErrs = r.Counter("engine_shared_errors_total")
 	})
 }
 
@@ -105,6 +132,15 @@ type EngineTelemetry struct {
 	Evictions int           `json:"evictions"`
 	InFlight  int           `json:"in_flight"`
 	FreshWall time.Duration `json:"fresh_wall_ns"`
+
+	// Failure accounting: Retries counts re-attempts of transient
+	// failures, Failures counts runs whose final attempt failed, and
+	// SharedErrors counts single-flight waiters that inherited another
+	// caller's failure (deliberately not cache hits, so the hit rate
+	// stays honest).
+	Retries      int `json:"retries"`
+	Failures     int `json:"failures"`
+	SharedErrors int `json:"shared_errors"`
 }
 
 // HitRate returns the cache hit fraction over all requests.
@@ -122,9 +158,14 @@ func (t EngineTelemetry) String() string {
 	if t.Runs > 0 {
 		mean = t.FreshWall / time.Duration(t.Runs)
 	}
-	return fmt.Sprintf("engine: %d fresh runs (wall %v, mean %v), %d cache hits (%.1f%% hit rate), %d evictions",
+	s := fmt.Sprintf("engine: %d fresh runs (wall %v, mean %v), %d cache hits (%.1f%% hit rate), %d evictions",
 		t.Runs, t.FreshWall.Round(time.Millisecond), mean.Round(time.Millisecond),
 		t.Hits, 100*t.HitRate(), t.Evictions)
+	if t.Retries+t.Failures+t.SharedErrors > 0 {
+		s += fmt.Sprintf(", %d retries, %d failures, %d shared errors",
+			t.Retries, t.Failures, t.SharedErrors)
+	}
+	return s
 }
 
 // Telemetry snapshots the engine's counters.
@@ -134,6 +175,7 @@ func (e *Engine) Telemetry() EngineTelemetry {
 	return EngineTelemetry{
 		Runs: e.runs, Hits: e.hits, Evictions: e.evictions,
 		InFlight: len(e.inflight), FreshWall: e.freshWall,
+		Retries: e.retries, Failures: e.failures, SharedErrors: e.sharedErrs,
 	}
 }
 
@@ -143,10 +185,28 @@ func (e *Engine) key(b bench.Name, tech core.Technique, cfg sim.Config) string {
 	return string(b) + "|" + tech.Name() + "|" + cfg.Key() + "|p=" + strconv.FormatBool(e.Profile)
 }
 
-// Run executes (or recalls) one technique run. Concurrent callers with the
-// same key share a single fresh run: exactly one executes the technique,
-// the rest block and count as cache hits.
+// Run executes (or recalls) one technique run with a background context.
+// See RunContext.
 func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	return e.RunContext(context.Background(), b, tech, cfg)
+}
+
+// RunContext executes (or recalls) one technique run under ctx. Concurrent
+// callers with the same key share a single fresh run: exactly one executes
+// the technique, the rest block and count as cache hits (successes) or
+// shared errors (failures — never hits, so the hit rate stays honest).
+//
+// Failure handling: a panicking technique is recovered into a typed
+// *RunError wrapping a *PanicError; transient errors are retried under the
+// engine's RetryPolicy with capped exponential backoff and context-aware
+// sleeps; failed results are never cached, so a later request retries
+// fresh. A cancelled or deadline-expired ctx aborts the run within the
+// runner's cancellation-check budget and returns an error satisfying
+// errors.Is(err, ctx.Err()).
+func (e *Engine) RunContext(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.initMetrics()
 	k := e.key(b, tech, cfg)
 
@@ -159,8 +219,19 @@ func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Re
 	}
 	if f, ok := e.inflight[k]; ok {
 		e.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			// The waiter's own context ended; the in-flight run keeps
+			// going for its owner.
+			e.mCancels.Inc()
+			return core.Result{}, ctx.Err()
+		}
 		if f.err != nil {
+			e.mu.Lock()
+			e.sharedErrs++
+			e.mu.Unlock()
+			e.mSharedErrs.Inc()
 			return core.Result{}, f.err
 		}
 		e.mu.Lock()
@@ -174,19 +245,12 @@ func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Re
 	e.mu.Unlock()
 
 	e.mInFlight.Add(1)
-	start := time.Now()
-	res, err := tech.Run(core.Context{
-		Bench:          b,
-		Config:         cfg,
-		Scale:          e.Scale,
-		CollectProfile: e.Profile,
-	})
-	elapsed := time.Since(start)
+	res, err, elapsed, retried := e.attempt(ctx, b, tech, cfg, k)
 	e.mInFlight.Add(-1)
-	e.mLatency.Observe(elapsed.Seconds())
 
 	e.mu.Lock()
 	delete(e.inflight, k)
+	e.retries += retried
 	if err == nil {
 		e.cache[k] = res
 		e.order = append(e.order, k)
@@ -200,15 +264,97 @@ func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Re
 			e.evictions++
 			e.mEvictions.Inc()
 		}
+	} else {
+		e.failures++
 	}
 	f.res, f.err = res, err
 	close(f.done)
 	e.mu.Unlock()
 
 	if err != nil {
+		e.mFailures.Inc()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.mCancels.Inc()
+		}
 		return core.Result{}, err
 	}
 	return res, nil
+}
+
+// attempt runs the technique under the retry policy, returning the final
+// result or typed error, the total fresh wall-clock, and the retry count.
+func (e *Engine) attempt(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, key string) (core.Result, error, time.Duration, int) {
+	pol := e.Retry
+	max := pol.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	// Deterministic jitter: the stream is keyed so two engines with the
+	// same policy and corpus reproduce the same retry schedule.
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	seed := pol.Seed
+	if seed == 0 {
+		seed = 0x726f627573 // "robus(t)"
+	}
+	rng := xrand.New(seed ^ h.Sum64())
+
+	var total time.Duration
+	var res core.Result
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		start := time.Now()
+		res, err = e.runOnce(ctx, b, tech, cfg)
+		elapsed := time.Since(start)
+		total += elapsed
+		e.mLatency.Observe(elapsed.Seconds())
+		if err == nil {
+			return res, nil, total, attempts - 1
+		}
+		if attempts >= max || !pol.retryable(err) {
+			break
+		}
+		e.mRetries.Inc()
+		if serr := sleepCtx(ctx, pol.delay(attempts, rng)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		err = &RunError{
+			Key: key, Bench: b, Technique: tech.Name(), Config: cfg.Name,
+			Phase: classifyPhase(err), Attempts: attempts, Cause: err,
+		}
+	}
+	return core.Result{}, err, total, attempts - 1
+}
+
+// runOnce performs a single technique run, converting a panic into a
+// *PanicError so one crashing run cannot take down the whole driver.
+func (e *Engine) runOnce(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config) (res core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.mPanics.Inc()
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	runCtx := ctx
+	if runCtx == context.Background() {
+		// Keep the historical zero-overhead path: an uncancellable
+		// context needs no polling, so the runner skips chunking.
+		runCtx = nil
+	}
+	return tech.Run(core.Context{
+		Bench:          b,
+		Config:         cfg,
+		Scale:          e.Scale,
+		CollectProfile: e.Profile,
+		Ctx:            runCtx,
+		CheckEvery:     e.CheckEvery,
+	})
 }
 
 // Options selects the experiment corpus. The zero value is not useful; use
@@ -226,6 +372,20 @@ type Options struct {
 	// TechniquesFn overrides the technique catalogue per benchmark
 	// (tests and ablations shrink the corpus this way).
 	TechniquesFn func(bench.Name) []core.Technique
+
+	// Ctx cancels or deadlines the whole sweep; every engine run issued
+	// by the drivers inherits it. Nil behaves like context.Background.
+	Ctx context.Context
+
+	// FailFast restores the abort-on-first-error behavior: any failed
+	// cell fails its driver immediately. The default (false) degrades
+	// gracefully — drivers record failed cells in Report and render the
+	// artifacts that remain.
+	FailFast bool
+
+	// Report collects per-cell outcomes; created on first use via
+	// Report(). Assign one to share a report across drivers.
+	report *RunReport
 
 	engine *Engine
 	design *pb.Design
@@ -246,6 +406,44 @@ func (o *Options) Engine() *Engine {
 		o.engine = NewEngine(o.Scale)
 	}
 	return o.engine
+}
+
+// Report returns the option set's run report, creating it on first use.
+func (o *Options) Report() *RunReport {
+	if o.report == nil {
+		o.report = &RunReport{}
+	}
+	return o.report
+}
+
+// ctx returns the sweep context (never nil).
+func (o *Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// run is the driver-facing RunFunc: every engine run inherits the sweep
+// context. Pass o.run where a characterize.RunFunc is needed.
+func (o *Options) run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	return o.Engine().RunContext(o.ctx(), b, tech, cfg)
+}
+
+// cellErr applies the fault policy to one failed cell: under FailFast (or
+// when the sweep context itself has ended, making further cells pointless)
+// the error aborts the driver; otherwise the failure is recorded in the
+// report and the driver skips the cell, degrading the artifact gracefully.
+// Returns a non-nil error iff the driver must abort.
+func (o *Options) cellErr(artifact string, b bench.Name, technique, config string, err error) error {
+	if o.FailFast {
+		return err
+	}
+	if cerr := o.ctx().Err(); cerr != nil {
+		return err
+	}
+	o.Report().Fail(artifact, b, technique, config, err)
+	return nil
 }
 
 // Design returns the PB design, creating it on first use.

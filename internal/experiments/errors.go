@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/xrand"
+)
+
+// RunError is the typed failure of one engine run: it names the run (the
+// engine cache key and its components), how the run failed (Phase), how
+// many attempts were made, and wraps the underlying cause. Every error the
+// engine returns — including the one shared with single-flight waiters —
+// is a *RunError, so callers can always recover the run identity from a
+// failure deep inside a figure sweep.
+type RunError struct {
+	Key       string     // engine cache key of the failed run
+	Bench     bench.Name // benchmark
+	Technique string     // technique permutation name
+	Config    string     // machine configuration name
+	Phase     string     // "run", "panic", or "canceled"
+	Attempts  int        // attempts made, including the failing one
+	Cause     error      // underlying failure
+}
+
+// Run-failure phases.
+const (
+	PhaseRun      = "run"      // the technique returned an error
+	PhasePanic    = "panic"    // the technique panicked (recovered)
+	PhaseCanceled = "canceled" // the context was cancelled or its deadline expired
+)
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %s/%s/%s failed (%s, attempt %d): %v",
+		e.Bench, e.Technique, e.Config, e.Phase, e.Attempts, e.Cause)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// PanicError is a panic recovered by the engine, preserved as an error so
+// one crashing technique run cannot abort a whole experiment sweep.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("technique panicked: %v", e.Value) }
+
+// transienter marks errors that are worth retrying. Any error in a chain
+// can implement it; fault injectors and flaky backends tag their errors
+// this way.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether any error in the chain declares itself
+// transient (retryable) via a `Transient() bool` method.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transienter); ok {
+			return t.Transient()
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// RetryPolicy configures the engine's handling of transient run failures:
+// capped exponential backoff with deterministic jitter. The zero value
+// disables retries entirely (every failure is final), which keeps the
+// engine's historical behavior unless a policy is opted into.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per run (first try
+	// included); values <= 1 disable retries.
+	MaxAttempts int
+
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// further retry. Zero means 10ms.
+	BaseDelay time.Duration
+
+	// MaxDelay caps the backoff (0 = uncapped).
+	MaxDelay time.Duration
+
+	// Jitter is the fraction of each delay randomized around its nominal
+	// value, in [0, 1]: a delay d becomes d * (1 ± Jitter/2). Jitter is
+	// drawn from a seeded deterministic generator so retry schedules are
+	// reproducible.
+	Jitter float64
+
+	// Classify decides whether an error is worth retrying; nil uses
+	// IsTransient. Context cancellation is never retried regardless.
+	Classify func(error) bool
+
+	// Seed seeds the jitter stream (0 uses a fixed default).
+	Seed uint64
+}
+
+// DefaultRetryPolicy is the CLI default: three attempts, 50ms base delay
+// doubling to a 1s cap, 50% jitter, transient-only.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Jitter:      0.5,
+	}
+}
+
+// retryable reports whether err merits another attempt under the policy.
+func (p RetryPolicy) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if p.Classify != nil {
+		return p.Classify(err)
+	}
+	return IsTransient(err)
+}
+
+// delay computes the backoff before retry number `retry` (1-based).
+func (p RetryPolicy) delay(retry int, rng *xrand.RNG) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 10 * time.Millisecond
+	}
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 && rng != nil {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Uniform in d * [1-j/2, 1+j/2].
+		u := float64(rng.Uint64()>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (1 - j/2 + j*u))
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless the context ends first, in which case the
+// context's error is returned immediately.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// classifyPhase derives the RunError phase from an attempt's failure.
+func classifyPhase(err error) string {
+	var pe *PanicError
+	switch {
+	case errors.As(err, &pe):
+		return PhasePanic
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return PhaseCanceled
+	default:
+		return PhaseRun
+	}
+}

@@ -93,7 +93,7 @@ func TestFigure1SamplingBeatsTruncation(t *testing.T) {
 	}
 
 	// Figure 2 reuses Figure 1 results.
-	f2, err := Figure2(f1, o.Benches)
+	f2, err := Figure2(f1, o.Benches, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,13 +37,14 @@ type Figure1Result struct {
 
 // Figure1 runs the processor-bottleneck characterization (§5.1): a
 // Plackett-Burman design per benchmark and technique, rank vectors, and
-// normalized distances from the reference input set.
+// normalized distances from the reference input set. A failed permutation
+// loses only its own bar (recorded in o.Report()); a failed reference
+// loses its benchmark, since every distance is measured against it.
 func Figure1(o *Options) (*Figure1Result, error) {
 	design, err := o.Design()
 	if err != nil {
 		return nil, err
 	}
-	eng := o.Engine()
 	out := &Figure1Result{
 		Ref:      map[bench.Name]characterize.BottleneckResult{},
 		PerTech:  map[bench.Name]map[string]characterize.BottleneckResult{},
@@ -51,10 +52,15 @@ func Figure1(o *Options) (*Figure1Result, error) {
 		FamilyOf: map[string]core.Family{},
 	}
 	for _, b := range o.Benches {
-		ref, err := characterize.Bottleneck(b, core.Reference{}, design, eng.Run)
+		ref, err := characterize.Bottleneck(b, core.Reference{}, design, o.run)
 		if err != nil {
-			return nil, err
+			if aerr := o.cellErr("F1", b, "reference", "", err); aerr != nil {
+				return nil, aerr
+			}
+			o.Report().Skip("F1", b, "", "reference bottleneck characterization failed; benchmark dropped")
+			continue
 		}
+		o.Report().Completed()
 		out.Ref[b] = ref
 		out.PerTech[b] = map[string]characterize.BottleneckResult{}
 		out.Dist[b] = map[string]float64{}
@@ -62,10 +68,14 @@ func Figure1(o *Options) (*Figure1Result, error) {
 		perFamily := map[core.Family][]float64{}
 		famPerms := map[core.Family]int{}
 		for _, tech := range o.Techniques(b) {
-			br, err := characterize.Bottleneck(b, tech, design, eng.Run)
+			br, err := characterize.Bottleneck(b, tech, design, o.run)
 			if err != nil {
-				return nil, err
+				if aerr := o.cellErr("F1", b, tech.Name(), "", err); aerr != nil {
+					return nil, aerr
+				}
+				continue
 			}
+			o.Report().Completed()
 			d := characterize.RankDistance(ref, br)
 			out.PerTech[b][tech.Name()] = br
 			out.Dist[b][tech.Name()] = d

@@ -21,14 +21,25 @@ type Figure2Series struct {
 	Difference []float64 // index N-1: distance over top-N parameters
 }
 
-// Figure2 derives its data entirely from Figure 1's bottleneck results.
-func Figure2(f1 *Figure1Result, benches []bench.Name) ([]Figure2Series, error) {
+// Figure2 derives its data entirely from Figure 1's bottleneck results. It
+// accepts a partial Figure 1 (benchmarks whose SimPoint or SMARTS cells
+// failed are reported via report, when non-nil, and skipped) so one failed
+// upstream cell does not erase the remaining curves.
+func Figure2(f1 *Figure1Result, benches []bench.Name, report *RunReport) ([]Figure2Series, error) {
 	var out []Figure2Series
 	for _, b := range benches {
+		if _, ok := f1.Ref[b]; !ok {
+			report.Skip("F2", b, "", "no Figure 1 reference data for benchmark")
+			continue
+		}
 		spName, ok1 := f1.BestPermutation(b, core.FamilySimPoint)
 		smName, ok2 := f1.BestPermutation(b, core.FamilySMARTS)
 		if !ok1 || !ok2 {
-			return nil, fmt.Errorf("experiments: figure 2 needs SimPoint and SMARTS results for %s", b)
+			if report == nil {
+				return nil, fmt.Errorf("experiments: figure 2 needs SimPoint and SMARTS results for %s", b)
+			}
+			report.Skip("F2", b, "", "missing SimPoint or SMARTS permutation in Figure 1 data")
+			continue
 		}
 		ref := f1.Ref[b]
 		spTop := characterize.TopNDistance(ref, f1.PerTech[b][spName])

@@ -78,13 +78,15 @@ type Figure5Result struct {
 // Figure5 computes the CPI error of each technique permutation relative to
 // the reference on every (benchmark, envelope configuration) pair and
 // histograms the errors (§6.2). It reuses the engine cache shared with
-// Figures 1-4.
+// Figures 1-4. Failed cells lose only themselves: a failed reference run
+// drops its (benchmark, configuration) pair from every histogram, a failed
+// technique run drops that single sample, and both are recorded in
+// o.Report().
 func Figure5(o *Options) (*Figure5Result, error) {
 	design, err := o.Design()
 	if err != nil {
 		return nil, err
 	}
-	eng := o.Engine()
 
 	// Collect CPI errors per technique name across benches x configs.
 	errs := map[string][]float64{}
@@ -95,19 +97,29 @@ func Figure5(o *Options) (*Figure5Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			ref, err := eng.Run(b, core.Reference{}, cfg)
+			ref, err := o.run(b, core.Reference{}, cfg)
 			if err != nil {
-				return nil, err
+				if aerr := o.cellErr("F5", b, "reference", cfg.Name, err); aerr != nil {
+					return nil, aerr
+				}
+				continue // no baseline for this pair; drop it for every technique
 			}
 			for _, tech := range o.Techniques(b) {
-				res, err := eng.Run(b, tech, cfg)
+				res, err := o.run(b, tech, cfg)
 				if err != nil {
-					return nil, err
+					if aerr := o.cellErr("F5", b, tech.Name(), cfg.Name, err); aerr != nil {
+						return nil, aerr
+					}
+					continue
 				}
+				o.Report().Completed()
 				errs[tech.Name()] = append(errs[tech.Name()], stats.PercentError(res.CPI(), ref.CPI()))
 				fams[tech.Name()] = tech.Family()
 			}
 		}
+	}
+	if len(errs) == 0 {
+		return nil, fmt.Errorf("experiments: figure 5 has no completed cells")
 	}
 
 	out := &Figure5Result{WorstBest: map[core.Family][2]Figure5Entry{}}

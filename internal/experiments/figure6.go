@@ -35,28 +35,31 @@ type Figure6Result struct {
 
 // Figure6 quantifies the error each technique induces in the apparent
 // speedup of the two enhancements (§7). The configuration defaults to
-// Table 3's config #2 when cfg is nil.
+// Table 3's config #2 when cfg is nil. The reference baseline is required;
+// after it, a failed cell loses only that technique's bars (recorded in
+// o.Report()).
 func Figure6(o *Options, b bench.Name, cfg *sim.Config) (*Figure6Result, error) {
 	if cfg == nil {
 		c := sim.ArchConfigs()[1]
 		cfg = &c
 	}
-	eng := o.Engine()
 
 	enhancements := enhance.Both()
 	techs := append([]core.Technique{}, o.Techniques(b)...)
 
 	// Reference speedups per enhancement.
-	refBase, err := eng.Run(b, core.Reference{}, *cfg)
+	refBase, err := o.run(b, core.Reference{}, *cfg)
 	if err != nil {
+		o.Report().Fail("F6", b, "reference", cfg.Name, err)
 		return nil, err
 	}
 	refSpeedup := map[string]float64{}
 	for _, e := range enhancements {
 		ecfg := *cfg
 		e.Apply(&ecfg)
-		refEnh, err := eng.Run(b, core.Reference{}, ecfg)
+		refEnh, err := o.run(b, core.Reference{}, ecfg)
 		if err != nil {
+			o.Report().Fail("F6", b, "reference", ecfg.Name, err)
 			return nil, err
 		}
 		s, err := enhance.Speedup(refBase.Stats, refEnh.Stats)
@@ -68,21 +71,28 @@ func Figure6(o *Options, b bench.Name, cfg *sim.Config) (*Figure6Result, error) 
 
 	out := &Figure6Result{Bench: b, Config: cfg.Name}
 	for _, tech := range techs {
-		base, err := eng.Run(b, tech, *cfg)
+		base, err := o.run(b, tech, *cfg)
 		if err != nil {
-			return nil, err
+			if aerr := o.cellErr("F6", b, tech.Name(), cfg.Name, err); aerr != nil {
+				return nil, aerr
+			}
+			continue // no baseline for this technique; drop its bars
 		}
 		for _, e := range enhancements {
 			ecfg := *cfg
 			e.Apply(&ecfg)
-			enh, err := eng.Run(b, tech, ecfg)
+			enh, err := o.run(b, tech, ecfg)
 			if err != nil {
-				return nil, err
+				if aerr := o.cellErr("F6", b, tech.Name(), ecfg.Name, err); aerr != nil {
+					return nil, aerr
+				}
+				continue
 			}
 			s, err := enhance.Speedup(base.Stats, enh.Stats)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s with %s: %w", tech.Name(), e.Name, err)
 			}
+			o.Report().Completed()
 			out.Rows = append(out.Rows, Figure6Row{
 				Technique:   tech.Name(),
 				Family:      tech.Family(),

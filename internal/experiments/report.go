@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bench"
+)
+
+// CellStatus classifies one cell of a RunReport.
+type CellStatus string
+
+// Cell statuses.
+const (
+	CellFailed  CellStatus = "failed"  // the run was attempted and failed
+	CellSkipped CellStatus = "skipped" // not attempted because a prerequisite failed
+)
+
+// Cell is one failed or skipped unit of an experiment sweep. Granularity
+// follows the drivers: a cell is the smallest unit a figure can lose while
+// the rest still renders (a permutation's point, a benchmark's series, a
+// single enhancement row).
+type Cell struct {
+	Artifact  string     `json:"artifact"` // e.g. "F1", "SvAT(gcc)", "ARCH"
+	Bench     bench.Name `json:"bench,omitempty"`
+	Technique string     `json:"technique,omitempty"`
+	Config    string     `json:"config,omitempty"`
+	Status    CellStatus `json:"status"`
+	Reason    string     `json:"reason"` // rendered cause
+	Err       error      `json:"-"`      // underlying error (failed cells)
+}
+
+func (c Cell) String() string {
+	parts := []string{c.Artifact}
+	if c.Bench != "" {
+		parts = append(parts, string(c.Bench))
+	}
+	if c.Technique != "" {
+		parts = append(parts, c.Technique)
+	}
+	if c.Config != "" {
+		parts = append(parts, c.Config)
+	}
+	return fmt.Sprintf("%-7s %s: %s", c.Status, strings.Join(parts, "/"), c.Reason)
+}
+
+// RunReport accumulates per-cell outcomes of an experiment sweep so the
+// figure drivers can degrade gracefully: completed cells render, failed
+// cells are recorded with their causes, and dependent cells are marked
+// skipped — instead of the first failure aborting the whole campaign.
+// All methods are safe for concurrent use and on a nil receiver (no-ops),
+// so drivers record unconditionally.
+type RunReport struct {
+	mu        sync.Mutex
+	completed int
+	cells     []Cell
+}
+
+// Completed increments the completed-cell count.
+func (r *RunReport) Completed() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.completed++
+	r.mu.Unlock()
+}
+
+// Fail records a failed cell.
+func (r *RunReport) Fail(artifact string, b bench.Name, technique, config string, err error) {
+	r.add(Cell{Artifact: artifact, Bench: b, Technique: technique, Config: config,
+		Status: CellFailed, Reason: fmt.Sprint(err), Err: err})
+}
+
+// Skip records a cell that was not attempted because a prerequisite failed.
+func (r *RunReport) Skip(artifact string, b bench.Name, technique, reason string) {
+	r.add(Cell{Artifact: artifact, Bench: b, Technique: technique,
+		Status: CellSkipped, Reason: reason})
+}
+
+func (r *RunReport) add(c Cell) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cells = append(r.cells, c)
+	r.mu.Unlock()
+}
+
+// Counts returns the completed/failed/skipped totals.
+func (r *RunReport) Counts() (completed, failed, skipped int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.cells {
+		switch c.Status {
+		case CellFailed:
+			failed++
+		case CellSkipped:
+			skipped++
+		}
+	}
+	return r.completed, failed, skipped
+}
+
+// Cells returns a copy of the failed and skipped cells in record order.
+func (r *RunReport) Cells() []Cell {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Cell(nil), r.cells...)
+}
+
+// HasFailures reports whether any cell failed or was skipped — the signal
+// the CLIs turn into a non-zero exit code.
+func (r *RunReport) HasFailures() bool {
+	_, failed, skipped := r.Counts()
+	return failed+skipped > 0
+}
+
+// Render formats the report: a one-line summary plus one line per failed
+// or skipped cell naming the failure.
+func (r *RunReport) Render() string {
+	completed, failed, skipped := r.Counts()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "run report: %d completed, %d failed, %d skipped\n", completed, failed, skipped)
+	for _, c := range r.Cells() {
+		sb.WriteString("  " + c.String() + "\n")
+	}
+	return sb.String()
+}

@@ -36,12 +36,16 @@ type SvATResult struct {
 // standing in for the paper's ~50 envelope configurations), wall-clock
 // times are accumulated, and CPI vectors are compared with the Manhattan
 // distance (§6.1).
+// A failed technique permutation loses only its own point (recorded in
+// o.Report()); the reference sweep is the baseline every point is measured
+// against, so a reference failure fails the figure regardless of the fault
+// policy.
 func SvAT(o *Options, b bench.Name) (*SvATResult, error) {
 	design, err := o.Design()
 	if err != nil {
 		return nil, err
 	}
-	eng := o.Engine()
+	artifact := "SvAT(" + string(b) + ")"
 
 	// Reference CPI vector and total wall time.
 	refCPIs := make([]float64, design.Runs())
@@ -51,8 +55,9 @@ func SvAT(o *Options, b bench.Name) (*SvATResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Run(b, core.Reference{}, cfg)
+		res, err := o.run(b, core.Reference{}, cfg)
 		if err != nil {
+			o.Report().Fail(artifact, b, "reference", cfg.Name, err)
 			return nil, err
 		}
 		refCPIs[i] = res.CPI()
@@ -61,20 +66,26 @@ func SvAT(o *Options, b bench.Name) (*SvATResult, error) {
 	if refWall <= 0 {
 		return nil, fmt.Errorf("experiments: zero reference wall time for %s", b)
 	}
+	o.Report().Completed()
 
 	out := &SvATResult{Bench: b, Configs: design.Runs()}
 	for _, tech := range o.Techniques(b) {
 		cpis := make([]float64, design.Runs())
 		var wall, setup time.Duration
 		sims := 0
+		failed := false
 		for i, row := range design.Rows {
 			cfg, err := pbConfig(row, i)
 			if err != nil {
 				return nil, err
 			}
-			res, err := eng.Run(b, tech, cfg)
+			res, err := o.run(b, tech, cfg)
 			if err != nil {
-				return nil, err
+				if aerr := o.cellErr(artifact, b, tech.Name(), cfg.Name, err); aerr != nil {
+					return nil, aerr
+				}
+				failed = true
+				break
 			}
 			cpis[i] = res.CPI()
 			wall += res.Wall
@@ -83,6 +94,10 @@ func SvAT(o *Options, b bench.Name) (*SvATResult, error) {
 				setup = res.SetupWall // one-time cost, not per config
 			}
 		}
+		if failed {
+			continue // the point needs every config; drop it, keep the rest
+		}
+		o.Report().Completed()
 		out.Points = append(out.Points, SvATPoint{
 			Technique: tech.Name(),
 			Family:    tech.Family(),

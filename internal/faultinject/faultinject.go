@@ -1,0 +1,173 @@
+// Package faultinject wraps any core.Technique with a deterministic fault
+// plan so the execution stack's fault tolerance can be proven by test
+// rather than hoped for: a wrapped technique can return permanent or
+// transient errors, panic, or hang until its context is cancelled, on
+// exactly the calls the plan names. Plans are pure data and the wrapper is
+// concurrency-safe, so -race tests can assert exact retry counts,
+// cancellation latencies, and engine bookkeeping under failure.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Kind is the fault injected into one call.
+type Kind int
+
+// The fault kinds.
+const (
+	None      Kind = iota // run the inner technique normally
+	Error                 // return a permanent (non-retryable) error
+	Transient             // return a transient (retryable) error
+	Panic                 // panic with a *FaultError value
+	Hang                  // block until the run's context is cancelled
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Error:
+		return "error"
+	case Transient:
+		return "transient"
+	case Panic:
+		return "panic"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// FaultError is an injected failure. It implements the `Transient() bool`
+// marker the experiment engine's retry classifier looks for.
+type FaultError struct {
+	Call      int  // 1-based call number the fault fired on
+	Retryable bool // whether the error advertises itself as transient
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("injected fault on call %d (transient=%v)", e.Call, e.Retryable)
+}
+
+// Transient reports whether the injected error is retryable.
+func (e *FaultError) Transient() bool { return e.Retryable }
+
+// Plan maps call numbers (1-based) to faults. The zero value injects
+// nothing. Plans are evaluated deterministically: the same plan over the
+// same call sequence always yields the same faults.
+type Plan struct {
+	// Faults lists the calls that fault; calls not present run normally.
+	Faults map[int]Kind
+}
+
+// with returns a plan with the single directive added.
+func (p Plan) with(call int, k Kind) Plan {
+	f := make(map[int]Kind, len(p.Faults)+1)
+	for c, kk := range p.Faults {
+		f[c] = kk
+	}
+	f[call] = k
+	return Plan{Faults: f}
+}
+
+// ErrorOn returns a plan whose k-th call returns a permanent error.
+func ErrorOn(k int) Plan { return Plan{}.with(k, Error) }
+
+// PanicOn returns a plan whose k-th call panics.
+func PanicOn(k int) Plan { return Plan{}.with(k, Panic) }
+
+// HangOn returns a plan whose k-th call hangs until the context cancels.
+func HangOn(k int) Plan { return Plan{}.with(k, Hang) }
+
+// TransientUntil returns a plan whose first n-1 calls fail transiently and
+// whose n-th (and later) calls succeed — the retry-until-success shape.
+func TransientUntil(n int) Plan {
+	p := Plan{Faults: map[int]Kind{}}
+	for i := 1; i < n; i++ {
+		p.Faults[i] = Transient
+	}
+	return p
+}
+
+// Bernoulli returns a seeded probabilistic plan: each of the first n calls
+// independently faults with kind k at probability prob. The schedule is
+// fixed at construction from the seed, so two plans built with the same
+// arguments inject identical fault sequences — randomized but exactly
+// reproducible, the property large campaign soak tests need.
+func Bernoulli(seed uint64, prob float64, k Kind, n int) Plan {
+	rng := xrand.New(seed)
+	p := Plan{Faults: map[int]Kind{}}
+	for i := 1; i <= n; i++ {
+		u := float64(rng.Uint64()>>11) / (1 << 53)
+		if u < prob {
+			p.Faults[i] = k
+		}
+	}
+	return p
+}
+
+// Technique wraps an inner technique with a fault plan. It reports the
+// inner technique's Name and Family, so it shares the inner technique's
+// engine cache key and can stand in anywhere the inner one is used.
+type Technique struct {
+	Inner core.Technique
+	Plan  Plan
+
+	mu    sync.Mutex
+	calls int
+}
+
+// Wrap builds a fault-injecting wrapper around inner.
+func Wrap(inner core.Technique, plan Plan) *Technique {
+	return &Technique{Inner: inner, Plan: plan}
+}
+
+// Name implements core.Technique.
+func (t *Technique) Name() string { return t.Inner.Name() }
+
+// Family implements core.Technique.
+func (t *Technique) Family() core.Family { return t.Inner.Family() }
+
+// Calls returns how many times Run has been invoked — the number tests
+// assert exact retry counts against.
+func (t *Technique) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// Run implements core.Technique: it consults the plan for this call's
+// fault, injects it, and otherwise delegates to the inner technique.
+func (t *Technique) Run(ctx core.Context) (core.Result, error) {
+	t.mu.Lock()
+	t.calls++
+	call := t.calls
+	kind := t.Plan.Faults[call]
+	t.mu.Unlock()
+
+	switch kind {
+	case Error:
+		return core.Result{}, &FaultError{Call: call}
+	case Transient:
+		return core.Result{}, &FaultError{Call: call, Retryable: true}
+	case Panic:
+		panic(&FaultError{Call: call})
+	case Hang:
+		if ctx.Ctx == nil {
+			// Refuse to hang forever: without a context nothing could
+			// ever cancel the run.
+			return core.Result{}, fmt.Errorf("faultinject: hang fault on call %d needs a cancellable context", call)
+		}
+		<-ctx.Ctx.Done()
+		return core.Result{}, ctx.Ctx.Err()
+	}
+	return t.Inner.Run(ctx)
+}

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// okTech is a trivially succeeding inner technique.
+type okTech struct{}
+
+func (okTech) Name() string        { return "ok" }
+func (okTech) Family() core.Family { return core.FamilyRunZ }
+func (okTech) Run(core.Context) (core.Result, error) {
+	return core.Result{Stats: sim.Stats{Cycles: 2, Instructions: 1}}, nil
+}
+
+func TestWrapPreservesIdentity(t *testing.T) {
+	w := Wrap(okTech{}, Plan{})
+	if w.Name() != "ok" || w.Family() != core.FamilyRunZ {
+		t.Errorf("wrapper identity %s/%s, want ok/%s", w.Name(), w.Family(), core.FamilyRunZ)
+	}
+}
+
+func TestErrorOn(t *testing.T) {
+	w := Wrap(okTech{}, ErrorOn(1))
+	_, err := w.Run(core.Context{})
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Call != 1 || fe.Transient() {
+		t.Fatalf("first call err = %v, want permanent FaultError on call 1", err)
+	}
+	if res, err := w.Run(core.Context{}); err != nil || res.Stats.Instructions != 1 {
+		t.Fatalf("second call = %+v, %v, want inner success", res, err)
+	}
+	if w.Calls() != 2 {
+		t.Errorf("Calls() = %d, want 2", w.Calls())
+	}
+}
+
+func TestTransientUntil(t *testing.T) {
+	w := Wrap(okTech{}, TransientUntil(3))
+	for call := 1; call <= 2; call++ {
+		_, err := w.Run(core.Context{})
+		var fe *FaultError
+		if !errors.As(err, &fe) || !fe.Transient() {
+			t.Fatalf("call %d err = %v, want transient FaultError", call, err)
+		}
+	}
+	if _, err := w.Run(core.Context{}); err != nil {
+		t.Fatalf("call 3 err = %v, want success", err)
+	}
+}
+
+func TestPanicOn(t *testing.T) {
+	w := Wrap(okTech{}, PanicOn(1))
+	defer func() {
+		v := recover()
+		fe, ok := v.(*FaultError)
+		if !ok || fe.Call != 1 {
+			t.Errorf("panic value = %v, want *FaultError on call 1", v)
+		}
+	}()
+	w.Run(core.Context{})
+	t.Fatal("expected a panic")
+}
+
+func TestHangOnBlocksUntilCancel(t *testing.T) {
+	w := Wrap(okTech{}, HangOn(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Run(core.Context{Ctx: ctx})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned before cancel: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang did not release after cancel")
+	}
+}
+
+func TestHangWithoutContextRefuses(t *testing.T) {
+	w := Wrap(okTech{}, HangOn(1))
+	if _, err := w.Run(core.Context{}); err == nil {
+		t.Fatal("hang with nil context must error, not block forever")
+	}
+}
+
+func TestBernoulliDeterministic(t *testing.T) {
+	a := Bernoulli(42, 0.3, Transient, 100)
+	b := Bernoulli(42, 0.3, Transient, 100)
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("plans differ in size: %d vs %d", len(a.Faults), len(b.Faults))
+	}
+	for call, k := range a.Faults {
+		if b.Faults[call] != k {
+			t.Errorf("call %d: %v vs %v", call, k, b.Faults[call])
+		}
+	}
+	if len(a.Faults) == 0 || len(a.Faults) == 100 {
+		t.Errorf("p=0.3 over 100 calls yielded %d faults; expected a strict subset", len(a.Faults))
+	}
+	c := Bernoulli(43, 0.3, Transient, 100)
+	same := len(c.Faults) == len(a.Faults)
+	if same {
+		for call := range a.Faults {
+			if _, ok := c.Faults[call]; !ok {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+// TestConcurrentCalls drives the wrapper from many goroutines so -race can
+// check the call counter; the plan must fire exactly once in total.
+func TestConcurrentCalls(t *testing.T) {
+	w := Wrap(okTech{}, ErrorOn(5))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := w.Run(core.Context{}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	n := 0
+	for range errs {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("%d calls faulted, want exactly 1 (call #5)", n)
+	}
+	if w.Calls() != 32 {
+		t.Errorf("Calls() = %d, want 32", w.Calls())
+	}
+}

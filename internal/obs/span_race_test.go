@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerConcurrentStress hammers one tracer from many goroutines —
+// opening, annotating, and closing spans while readers render and
+// summarize concurrently. The tracer documents that its implicit nesting
+// stack describes one logical thread (concurrent runs should each own a
+// tracer), but its bookkeeping must still be race-free when that advice
+// is ignored: no update is lost, no span is double-counted, and -race
+// stays silent.
+func TestTracerConcurrentStress(t *testing.T) {
+	tr := NewTracer()
+	const (
+		writers = 8
+		readers = 4
+		rounds  = 200
+	)
+
+	var wgW sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wgW.Add(1)
+		go func() {
+			defer wgW.Done()
+			for i := 0; i < rounds; i++ {
+				sp := tr.StartSpan("outer")
+				sp.AddInstr(10)
+				inner := tr.StartSpan("inner")
+				inner.SetAttr(Int("round", int64(i)))
+				inner.AddInstr(5)
+				inner.End()
+				sp.SetAttr(Str("kind", "stress"))
+				sp.End()
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	var wgR sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wgR.Add(1)
+		go func() {
+			defer wgR.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = tr.Render()
+				_ = tr.Summarize()
+				for _, root := range tr.Roots() {
+					_ = root.Duration()
+					_ = root.Instr()
+					_ = root.Children()
+				}
+			}
+		}()
+	}
+
+	wgW.Wait()
+	close(done)
+	wgR.Wait()
+
+	// No lost updates: the attributed instruction total is exact.
+	var countAll func(s *Span) uint64
+	countAll = func(s *Span) uint64 {
+		n := s.Instr()
+		for _, c := range s.Children() {
+			n += countAll(c)
+		}
+		return n
+	}
+	var totalInstr uint64
+	for _, root := range tr.Roots() {
+		totalInstr += countAll(root)
+	}
+	if want := uint64(writers * rounds * 15); totalInstr != want {
+		t.Errorf("total instr = %d, want %d (lost updates)", totalInstr, want)
+	}
+
+	// No lost or double-counted spans: Summarize covers every non-root
+	// span (concurrent writers may nest spans under each other
+	// arbitrarily), and the roots account for the rest.
+	var nonRoots int
+	for _, s := range tr.Summarize() {
+		nonRoots += s.Count
+	}
+	if got, want := nonRoots+len(tr.Roots()), 2*writers*rounds; got != want {
+		t.Errorf("accounted spans = %d (%d nested + %d roots), want %d",
+			got, nonRoots, len(tr.Roots()), want)
+	}
+
+	// The stack is empty again: every span ended, so a fresh span lands as
+	// a root, not under a leaked open span.
+	probe := tr.StartSpan("probe")
+	probe.End()
+	roots := tr.Roots()
+	if roots[len(roots)-1].Name() != "probe" {
+		t.Error("open span leaked on the tracer stack after all writers ended")
+	}
+	if !strings.Contains(tr.Render(), "probe") {
+		t.Error("probe span missing from render")
+	}
+}

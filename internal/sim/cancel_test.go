@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// countCtx is a context whose Err becomes non-nil after a fixed number of
+// polls. It turns the runner's cancellation latency into a deterministic
+// quantity: the instruction count executed before the run stops is exactly
+// (failAt-1) * CheckEvery, with no wall-clock in the assertion.
+type countCtx struct {
+	polls  int
+	failAt int
+}
+
+func (c *countCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countCtx) Done() <-chan struct{}       { return nil }
+func (c *countCtx) Value(any) any               { return nil }
+func (c *countCtx) Err() error {
+	c.polls++
+	if c.polls >= c.failAt {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	r, err := NewRunner(tinyProgram(t, 1000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r.Ctx = ctx
+	if got := r.FastForward(500); got != 0 {
+		t.Errorf("FastForward after cancel executed %d instructions, want 0", got)
+	}
+	if got := r.Detailed(500); got != 0 {
+		t.Errorf("Detailed after cancel executed %d instructions, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Error("Err() = nil, want the latched context error")
+	}
+}
+
+// TestCancellationLatencyBounded pins the cancellation budget: with
+// CheckEvery = 64 and a context that fails on its 4th poll, each phase runs
+// 3 chunks of 64 instructions of an otherwise huge request. Functional
+// phases are instruction-exact; the detailed phase may overshoot each chunk
+// boundary by up to CommitWidth-1 instructions (the boundary cycle commits
+// at full width so chunking does not perturb the cycle stream).
+func TestCancellationLatencyBounded(t *testing.T) {
+	const every = 64
+	const failAt = 4
+	const chunks = failAt - 1
+	want := uint64(chunks * every)
+	slack := uint64(chunks * (4 - 1)) // BaseConfig CommitWidth = 4
+
+	for _, phase := range []string{"fast-forward", "functional-warm", "detailed"} {
+		r, err := NewRunner(tinyProgram(t, 100000), BaseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Ctx = &countCtx{failAt: failAt}
+		r.CheckEvery = every
+		var got uint64
+		switch phase {
+		case "fast-forward":
+			got = r.FastForward(1 << 40)
+		case "functional-warm":
+			got = r.FunctionalWarm(1 << 40)
+		case "detailed":
+			got = r.Detailed(1 << 40)
+		}
+		max := want
+		if phase == "detailed" {
+			max += slack
+		}
+		if got < want || got > max {
+			t.Errorf("%s executed %d instructions before stopping, want %d..%d", phase, got, want, max)
+		}
+		if r.Err() == nil {
+			t.Errorf("%s: Err() = nil after cancellation", phase)
+		}
+	}
+}
+
+// TestChunkedEquivalence proves the chunked (context-attached) execution
+// path is architecturally identical to the historical single-call path:
+// the same program under the same configuration yields byte-identical
+// statistics whether or not cancellation polling is active.
+func TestChunkedEquivalence(t *testing.T) {
+	run := func(attach bool) Stats {
+		r, err := NewRunner(tinyProgram(t, 3000), BaseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			r.Ctx = context.Background()
+			r.CheckEvery = 128 // force many small chunks
+		}
+		if got := r.FastForward(1000); got != 1000 {
+			t.Fatalf("fast-forward executed %d, want 1000", got)
+		}
+		if got := r.FunctionalWarm(1000); got != 1000 {
+			t.Fatalf("functional-warm executed %d, want 1000", got)
+		}
+		return r.RunToCompletion()
+	}
+	plain, chunked := run(false), run(true)
+	if !reflect.DeepEqual(plain, chunked) {
+		t.Errorf("chunked execution diverged:\nplain:   %+v\nchunked: %+v", plain, chunked)
+	}
+}
+
+// TestMidRunCancel cancels a RunToCompletion from another goroutine and
+// requires the runner to stop within the polling budget rather than finish
+// the program.
+func TestMidRunCancel(t *testing.T) {
+	r, err := NewRunner(tinyProgram(t, 20_000_000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.Ctx = ctx
+	r.CheckEvery = 1 << 14
+
+	done := make(chan Stats, 1)
+	go func() { done <- r.RunToCompletion() }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case w := <-done:
+		if r.Err() == nil {
+			t.Fatal("Err() = nil; the program finished before the cancel — grow the workload")
+		}
+		if r.Done() {
+			t.Error("Done() = true on a cancelled run")
+		}
+		if w.Instructions == 0 {
+			t.Error("cancelled run measured no instructions at all")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunToCompletion did not stop after cancellation")
+	}
+}

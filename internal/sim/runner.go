@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -185,6 +186,19 @@ type Runner struct {
 	// uninstrumented paths add no overhead.
 	Metrics *obs.Registry
 
+	// Ctx, when set, bounds the run: every execution phase polls the
+	// context between instruction chunks of at most CheckEvery, so a
+	// cancelled or deadline-expired context stops the machine within a
+	// bounded instruction budget. A nil Ctx (the default) keeps the
+	// phases as single uninterruptible calls with zero polling overhead.
+	Ctx context.Context
+
+	// CheckEvery is the instruction budget between cancellation checks
+	// when Ctx is set; zero uses DefaultCheckEvery.
+	CheckEvery uint64
+
+	stopErr error // first context error observed; sticky
+
 	markCore cpu.CoreStats
 	markHier mem.Snapshot
 	markPred struct{ lookups, miss uint64 }
@@ -230,6 +244,72 @@ func NewRunner(p *program.Program, cfg Config) (*Runner, error) {
 // instrumented reports whether any observability sink is attached.
 func (r *Runner) instrumented() bool { return r.Trace != nil || r.Metrics != nil }
 
+// DefaultCheckEvery is the default cancellation polling interval, in
+// instructions. It is small enough that a cancelled run stops within a few
+// hundred microseconds of host time at the repository's simulation speeds,
+// and large enough that the per-chunk bookkeeping is noise (<2% measured by
+// cmd/benchjson's cancel-overhead baseline).
+const DefaultCheckEvery = 1 << 16
+
+// checkEvery returns the effective polling interval.
+func (r *Runner) checkEvery() uint64 {
+	if r.CheckEvery > 0 {
+		return r.CheckEvery
+	}
+	return DefaultCheckEvery
+}
+
+// interrupted polls the context (if any), latching the first error seen.
+func (r *Runner) interrupted() bool {
+	if r.stopErr != nil {
+		return true
+	}
+	if r.Ctx == nil {
+		return false
+	}
+	if err := r.Ctx.Err(); err != nil {
+		r.stopErr = err
+		return true
+	}
+	return false
+}
+
+// Err returns the context error that interrupted the run, if any. Phases
+// cut short by cancellation return their partial instruction counts; the
+// caller distinguishes "program finished early" from "run cancelled" by
+// checking Err.
+func (r *Runner) Err() error {
+	r.interrupted() // latch a cancellation even if no phase ran since
+	return r.stopErr
+}
+
+// chunked executes n instructions through step, polling the context for
+// cancellation every checkEvery instructions. With no context attached the
+// single direct call is preserved (no chunking, no polling). step receives
+// the chunk size and the hard remainder of the phase; detailed steps cap
+// commit only at the hard target so the chunked cycle stream is identical
+// to the single-call one (they may overshoot the chunk, never the phase).
+func (r *Runner) chunked(n uint64, step func(c, hard uint64) uint64) uint64 {
+	if r.Ctx == nil {
+		return step(n, n)
+	}
+	every := r.checkEvery()
+	var got uint64
+	for got < n && !r.interrupted() {
+		c := n - got
+		hard := c
+		if c > every {
+			c = every
+		}
+		k := step(c, hard)
+		got += k
+		if k < c {
+			break // program halted inside the chunk
+		}
+	}
+	return got
+}
+
 // finishPhase closes a phase span and records the phase's registry series.
 func (r *Runner) finishPhase(sp *obs.Span, phase string, n uint64, start time.Time) {
 	sp.AddInstr(n)
@@ -245,11 +325,12 @@ func (r *Runner) finishPhase(sp *obs.Span, phase string, n uint64, start time.Ti
 // micro-architectural state (the FF phase of the truncated-execution
 // techniques). It returns the number actually executed.
 func (r *Runner) FastForward(n uint64) uint64 {
+	step := func(c, _ uint64) uint64 { return r.Emu.Run(c) }
 	if !r.instrumented() {
-		return r.Emu.Run(n)
+		return r.chunked(n, step)
 	}
 	sp, start := r.Trace.StartSpan("fast-forward"), time.Now()
-	got := r.Emu.Run(n)
+	got := r.chunked(n, step)
 	r.finishPhase(sp, "fast-forward", got, start)
 	return got
 }
@@ -258,22 +339,24 @@ func (r *Runner) FastForward(n uint64) uint64 {
 // TLBs, and branch prediction structures (the SMARTS warming mode).
 func (r *Runner) FunctionalWarm(n uint64) uint64 {
 	warmer := cpu.Warmer{Hier: r.Hier, Pred: r.Pred, BTB: r.BTB, RAS: r.RAS}
+	step := func(c, _ uint64) uint64 { return r.Emu.RunWarm(c, warmer) }
 	if !r.instrumented() {
-		return r.Emu.RunWarm(n, warmer)
+		return r.chunked(n, step)
 	}
 	sp, start := r.Trace.StartSpan("functional-warm"), time.Now()
-	got := r.Emu.RunWarm(n, warmer)
+	got := r.chunked(n, step)
 	r.finishPhase(sp, "functional-warm", got, start)
 	return got
 }
 
 // Detailed runs the cycle-level model until n further instructions commit.
 func (r *Runner) Detailed(n uint64) uint64 {
+	step := func(c, hard uint64) uint64 { return r.Core.RunChunk(c, hard) }
 	if !r.instrumented() {
-		return r.Core.Run(n)
+		return r.chunked(n, step)
 	}
 	sp, start := r.Trace.StartSpan("detailed"), time.Now()
-	got := r.Core.Run(n)
+	got := r.chunked(n, step)
 	r.finishPhase(sp, "detailed", got, start)
 	return got
 }
@@ -329,20 +412,32 @@ func (r *Runner) MeasureDetailed(n uint64) Stats {
 }
 
 // RunToCompletion executes the whole remaining program in detailed mode and
-// returns the statistics of that window (the reference simulation).
+// returns the statistics of that window (the reference simulation). With a
+// context attached, each 1<<20-instruction window is chunked for
+// cancellation polling; the chunks' hard commit targets all point at the
+// window boundary, so the cycle stream matches the uninstrumented loop.
 func (r *Runner) RunToCompletion() Stats {
+	const window = uint64(1 << 20)
+	step := func(c, hard uint64) uint64 { return r.Core.RunChunk(c, hard) }
+	runAll := func() {
+		if r.Ctx == nil {
+			for !r.Core.Done() {
+				r.Core.Run(window)
+			}
+			return
+		}
+		for !r.Core.Done() && !r.interrupted() {
+			r.chunked(window, step)
+		}
+	}
 	if !r.instrumented() {
 		r.Mark()
-		for !r.Core.Done() {
-			r.Core.Run(1 << 20)
-		}
+		runAll()
 		return r.Window()
 	}
 	sp, start := r.Trace.StartSpan("run-to-completion"), time.Now()
 	r.Mark()
-	for !r.Core.Done() {
-		r.Core.Run(1 << 20)
-	}
+	runAll()
 	w := r.Window()
 	sp.SetAttr(obs.Int("cycles", int64(w.Cycles)))
 	sp.SetAttr(obs.Float("cpi", w.CPI()))
