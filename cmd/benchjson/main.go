@@ -6,9 +6,14 @@
 // robustness layer promises this stays under 2%. The checked-in
 // BENCH_obs.json at the repo root was produced by this command.
 //
+// It also measures the experiment scheduler: the same plan of cells is
+// executed on one worker and on -parallel workers, and the wall times,
+// speedup, and worker utilization are recorded so CI on a multi-core
+// runner can verify the parallel path actually scales.
+//
 // Usage:
 //
-//	benchjson [-benches gcc,mcf] [-iters 3] [-out BENCH_obs.json]
+//	benchjson [-benches gcc,mcf] [-iters 3] [-parallel N] [-out BENCH_obs.json]
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/experiments/sched"
 	"repro/internal/sim"
 )
 
@@ -37,6 +44,24 @@ type Baseline struct {
 	NumCPU    int     `json:"num_cpu"`
 	Iters     int     `json:"iters"`
 	Entries   []Entry `json:"entries"`
+
+	// Sched compares one scheduler pass over the same experiment plan at
+	// one worker versus -parallel workers.
+	Sched *SchedBaseline `json:"sched,omitempty"`
+}
+
+// SchedBaseline is the serial-versus-parallel scheduler comparison. Cells
+// counts distinct experiment runs in the plan; Speedup is the serial wall
+// divided by the parallel wall (~1.0 on a single-core host, approaching
+// Workers on an idle multi-core runner); Utilization is busy worker-time
+// over Workers x wall for the parallel pass.
+type SchedBaseline struct {
+	Workers        int     `json:"workers"`
+	Cells          int     `json:"cells"`
+	SerialWallNS   int64   `json:"serial_wall_ns"`
+	ParallelWallNS int64   `json:"parallel_wall_ns"`
+	Speedup        float64 `json:"speedup"`
+	Utilization    float64 `json:"utilization"`
 }
 
 // Entry records the best-of-N run for one benchmark, without and with
@@ -60,8 +85,10 @@ func main() {
 	benchFlag := flag.String("benches", "gcc,mcf", "comma-separated benchmarks to baseline")
 	itersFlag := flag.Int("iters", 3, "iterations per benchmark (best is kept)")
 	outFlag := flag.String("out", "BENCH_obs.json", "output file")
+	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "workers for the scheduler comparison")
 	flag.Parse()
 	die(cliutil.ValidatePositive("-iters", *itersFlag))
+	die(cliutil.ValidateParallel(*parallel))
 
 	base := Baseline{
 		Technique: core.Reference{}.Name(),
@@ -113,6 +140,17 @@ func main() {
 			best.NSPerInstr, best.HostMIPS, best.CancelOverheadPct)
 	}
 
+	var benches []bench.Name
+	for _, e := range base.Entries {
+		benches = append(benches, bench.Name(e.Bench))
+	}
+	sb, err := measureSched(benches, *parallel)
+	die(err)
+	base.Sched = &sb
+	fmt.Fprintf(os.Stderr, "sched    %d cells on %d workers: serial %v, parallel %v (%.2fx, %.0f%% utilized)\n",
+		sb.Cells, sb.Workers, time.Duration(sb.SerialWallNS).Round(time.Microsecond),
+		time.Duration(sb.ParallelWallNS).Round(time.Microsecond), sb.Speedup, 100*sb.Utilization)
+
 	f, err := os.Create(*outFlag)
 	die(err)
 	enc := json.NewEncoder(f)
@@ -120,6 +158,44 @@ func main() {
 	die(enc.Encode(base))
 	die(f.Close())
 	fmt.Fprintln(os.Stderr, "wrote", *outFlag)
+}
+
+// measureSched runs the same enhancement-study plan (base plus enhanced
+// configurations, reference plus every representative technique, per
+// benchmark) through the experiment scheduler twice — one worker, then
+// `workers` — on fresh engines, and reports the wall-time comparison.
+func measureSched(benches []bench.Name, workers int) (SchedBaseline, error) {
+	pass := func(n int) (sched.Telemetry, error) {
+		o := experiments.DefaultOptions()
+		o.Scale = sim.ScaleTest
+		o.Benches = benches
+		o.Parallel = n
+		for _, b := range benches {
+			if tel := o.RunPlan(experiments.Figure6Plan(o, b, nil)); tel.Failed > 0 {
+				return sched.Telemetry{}, fmt.Errorf("scheduler pass at %d workers: %d cells failed", n, tel.Failed)
+			}
+		}
+		return o.SchedTelemetry(), nil
+	}
+	serial, err := pass(1)
+	if err != nil {
+		return SchedBaseline{}, err
+	}
+	par, err := pass(workers)
+	if err != nil {
+		return SchedBaseline{}, err
+	}
+	out := SchedBaseline{
+		Workers:        workers,
+		Cells:          par.Cells,
+		SerialWallNS:   serial.Wall.Nanoseconds(),
+		ParallelWallNS: par.Wall.Nanoseconds(),
+		Utilization:    par.Utilization(),
+	}
+	if par.Wall > 0 {
+		out.Speedup = float64(serial.Wall) / float64(par.Wall)
+	}
+	return out, nil
 }
 
 func die(err error) {

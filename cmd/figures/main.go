@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	figures [-scale test|cli|full] [-benches gzip,mcf,...] [-full] [-foldover] [-only T1,F1,...]
+//	figures [-scale test|cli|full] [-benches gzip,mcf,...] [-full] [-foldover] [-only T1,F1,...] [-parallel N]
 //
 // Artifacts: T1 T2 T3 SURVEY F1 F2 F3 F4 F5 F6 F7 PROFILE ARCH
 package main
@@ -31,6 +31,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial figures")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
+	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -46,6 +47,8 @@ func main() {
 			o.Benches = append(o.Benches, bench.Name(strings.TrimSpace(s)))
 		}
 	}
+	die(cliutil.ValidateParallel(*parallel))
+	o.Parallel = *parallel
 	die(cliutil.ValidateAddr(*metricsAddr))
 	die(cliutil.ServeMetrics(*metricsAddr))
 	ctx, stop := cliutil.SignalContext(*timeout)
@@ -68,6 +71,12 @@ func main() {
 	}
 
 	start := time.Now()
+	// Prewarm the union of every selected artifact's plan in one
+	// scheduler pass: shared cells (the F1/F5 envelope, F3/F4 overlaps)
+	// run once, and the per-driver RunPlan calls below become no-ops.
+	union, err := experiments.FiguresPlan(o, sel)
+	die(err)
+	o.RunPlan(union)
 	if sel("T1") {
 		emit("T1", experiments.Table1(o.Benches[0]))
 	}
@@ -99,13 +108,13 @@ func main() {
 		record("F2", series)
 	}
 	if sel("F3") {
-		res, err := experiments.SvAT(o, pickBench(o, bench.Gcc))
+		res, err := experiments.SvAT(o, experiments.PickBench(o, bench.Gcc))
 		die(err)
 		emit("F3", res.Render()+"\nFamily ordering (best first): "+joinFams(res))
 		record("F3", res)
 	}
 	if sel("F4") {
-		res, err := experiments.SvAT(o, pickBench(o, bench.Mcf))
+		res, err := experiments.SvAT(o, experiments.PickBench(o, bench.Mcf))
 		die(err)
 		emit("F4", res.Render()+"\nFamily ordering (best first): "+joinFams(res))
 		record("F4", res)
@@ -117,7 +126,7 @@ func main() {
 		record("F5", res)
 	}
 	if sel("F6") {
-		res, err := experiments.Figure6(o, pickBench(o, bench.Gcc), nil)
+		res, err := experiments.Figure6(o, experiments.PickBench(o, bench.Gcc), nil)
 		die(err)
 		emit("F6", res.Render())
 		record("F6", res)
@@ -145,22 +154,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "done in %v; %s\n",
 		time.Since(start).Round(time.Millisecond), o.Engine().Telemetry())
+	if tel := o.SchedTelemetry(); tel.Cells > 0 || tel.Cancelled > 0 {
+		fmt.Fprintln(os.Stderr, tel)
+	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())
 		os.Exit(1)
 	}
-}
-
-func pickBench(o *experiments.Options, preferred bench.Name) bench.Name {
-	if o.SvATBench != "" {
-		return o.SvATBench
-	}
-	for _, b := range o.Benches {
-		if b == preferred {
-			return b
-		}
-	}
-	return o.Benches[0]
 }
 
 func joinFams(r *experiments.SvATResult) string {

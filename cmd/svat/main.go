@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	svat -bench gcc [-scale test|cli|full] [-full] [-foldover]
+//	svat -bench gcc [-scale test|cli|full] [-full] [-foldover] [-parallel N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to a partial graph")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
+	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
@@ -33,6 +34,8 @@ func main() {
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
 	o.FailFast = *failFast
+	die(cliutil.ValidateParallel(*parallel))
+	o.Parallel = *parallel
 	die(cliutil.ValidateAddr(*metricsAddr))
 	die(cliutil.ServeMetrics(*metricsAddr))
 	ctx, stop := cliutil.SignalContext(*timeout)
@@ -51,6 +54,9 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Fprintln(os.Stderr, o.Engine().Telemetry())
+	if tel := o.SchedTelemetry(); tel.Cells > 0 || tel.Cancelled > 0 {
+		fmt.Fprintln(os.Stderr, tel)
+	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())
 		os.Exit(1)

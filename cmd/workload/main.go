@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	workload [-bench mcf] [-scale test|cli|full]   # one benchmark, all inputs
-//	workload -all                                   # every benchmark, reference input
+//	workload [-bench mcf] [-scale test|cli|full] [-parallel N]   # one benchmark, all inputs
+//	workload -all                                                 # every benchmark, reference input
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cliutil"
 	"repro/internal/cpu"
+	"repro/internal/experiments/sched"
 	"repro/internal/isa"
 	"repro/internal/sim"
 )
@@ -26,10 +28,15 @@ func main() {
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	allFlag := flag.Bool("all", false, "characterize every benchmark's reference input")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "workers characterizing benchmarks concurrently")
 	flag.Parse()
 
 	scale, err := cliutil.ParseScale(*scaleFlag)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "workload:", err)
+		os.Exit(2)
+	}
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "workload:", err)
 		os.Exit(2)
 	}
@@ -38,27 +45,47 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%-10s %-10s %10s %7s %7s %6s %6s %6s %6s %8s %8s\n",
-		"benchmark", "input", "dyn-instr", "blocks", "code", "load%", "store%", "fp%", "br%", "mem(KB)", "hot-blk%")
+	type job struct {
+		b  bench.Name
+		in bench.InputSet
+	}
+	var jobs []job
 	if *allFlag {
 		for _, b := range bench.All() {
-			row(b, bench.Reference, scale)
+			jobs = append(jobs, job{b, bench.Reference})
 		}
-		return
+	} else {
+		b := bench.Name(*benchFlag)
+		for _, in := range bench.InputSets() {
+			if bench.Has(b, in) {
+				jobs = append(jobs, job{b, in})
+			}
+		}
 	}
-	b := bench.Name(*benchFlag)
-	for _, in := range bench.InputSets() {
-		if bench.Has(b, in) {
-			row(b, in, scale)
+
+	// Characterize concurrently; sched.Map returns rows in job order, so
+	// the table prints identically at any worker count.
+	pool := &sched.Pool{Workers: *parallel}
+	rows, errs := sched.Map(context.Background(), pool, jobs,
+		func(_ context.Context, _ *sched.Worker, j job) (string, error) {
+			return row(j.b, j.in, scale)
+		})
+
+	fmt.Printf("%-10s %-10s %10s %7s %7s %6s %6s %6s %6s %8s %8s\n",
+		"benchmark", "input", "dyn-instr", "blocks", "code", "load%", "store%", "fp%", "br%", "mem(KB)", "hot-blk%")
+	for i, r := range rows {
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "workload:", errs[i])
+			os.Exit(1)
 		}
+		fmt.Print(r)
 	}
 }
 
-func row(b bench.Name, in bench.InputSet, scale sim.Scale) {
+func row(b bench.Name, in bench.InputSet, scale sim.Scale) (string, error) {
 	p, err := bench.Build(b, in, scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "workload:", err)
-		os.Exit(1)
+		return "", err
 	}
 	e := cpu.NewEmu(p)
 	prof := cpu.NewProfile(p)
@@ -79,9 +106,9 @@ func row(b bench.Name, in bench.InputSet, scale sim.Scale) {
 			hot = v
 		}
 	}
-	fmt.Printf("%-10s %-10s %10d %7d %7d %5.1f%% %5.1f%% %5.1f%% %5.1f%% %8d %7.1f%%\n",
+	return fmt.Sprintf("%-10s %-10s %10d %7d %7d %5.1f%% %5.1f%% %5.1f%% %5.1f%% %8d %7.1f%%\n",
 		b, in, total, p.NumBlocks(), len(p.Code),
 		pct(isa.ClassLoad), pct(isa.ClassStore),
 		pct(isa.ClassFPALU)+pct(isa.ClassFPMult), pct(isa.ClassBranch),
-		p.MemWords*8/1024, 100*float64(hot)/float64(total))
+		p.MemWords*8/1024, 100*float64(hot)/float64(total)), nil
 }

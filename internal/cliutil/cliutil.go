@@ -12,12 +12,27 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// DefaultParallel is the default worker count for -parallel flags: the
+// process's GOMAXPROCS, so a sweep saturates the machine out of the box.
+func DefaultParallel() int { return runtime.GOMAXPROCS(0) }
+
+// ValidateParallel rejects non-positive worker counts. Zero is not "auto"
+// and not "serial" — the serial assembly path always runs; -parallel says
+// how many workers execute the plan, and at least one is required.
+func ValidateParallel(v int) error {
+	if v <= 0 {
+		return fmt.Errorf("invalid -parallel %d: must be a positive worker count", v)
+	}
+	return nil
+}
 
 // ParseScale maps the CLI scale names onto sim scales.
 func ParseScale(name string) (sim.Scale, error) {

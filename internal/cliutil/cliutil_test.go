@@ -60,6 +60,30 @@ func TestValidateNonNegative(t *testing.T) {
 	}
 }
 
+func TestValidateParallel(t *testing.T) {
+	for _, ok := range []int{1, 2, 64} {
+		if err := ValidateParallel(ok); err != nil {
+			t.Errorf("%d rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, -1, -8} {
+		if err := ValidateParallel(bad); err == nil {
+			t.Errorf("%d accepted", bad)
+		}
+	}
+}
+
+func TestDefaultParallel(t *testing.T) {
+	if got := DefaultParallel(); got < 1 {
+		t.Errorf("DefaultParallel() = %d, want >= 1", got)
+	}
+	// The default must itself validate: every CLI uses it as the flag
+	// default, so an invalid default would make the tools unusable.
+	if err := ValidateParallel(DefaultParallel()); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSignalContextTimeout(t *testing.T) {
 	ctx, stop := SignalContext(30 * time.Millisecond)
 	defer stop()

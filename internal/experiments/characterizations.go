@@ -32,15 +32,14 @@ type ProfileCharRow struct {
 // run loses only its own row; a failed reference loses its benchmark
 // (recorded in o.Report()).
 func ProfileCharacterization(o *Options, alpha float64) ([]ProfileCharRow, error) {
-	eng := NewEngine(o.Scale) // dedicated engine: profiles enabled
-	eng.Profile = true
-	eng.Obs = o.Engine().Obs     // share the instrumentation sink
-	eng.Retry = o.Engine().Retry // and the fault policy
+	// Plan + schedule on the dedicated profiling engine (no-op when
+	// Parallel is 0); the loops below assemble from memoized outcomes.
+	o.RunPlan(ProfilePlan(o))
 	cfg := sim.BaseConfig()
 
 	var rows []ProfileCharRow
 	for _, b := range o.Benches {
-		ref, err := eng.RunContext(o.ctx(), b, core.Reference{}, cfg)
+		ref, err := o.profileRun(b, core.Reference{}, cfg)
 		if err != nil {
 			if aerr := o.cellErr("PROFILE", b, "reference", cfg.Name, err); aerr != nil {
 				return nil, aerr
@@ -49,7 +48,7 @@ func ProfileCharacterization(o *Options, alpha float64) ([]ProfileCharRow, error
 			continue
 		}
 		for _, tech := range o.Techniques(b) {
-			res, err := eng.RunContext(o.ctx(), b, tech, cfg)
+			res, err := o.profileRun(b, tech, cfg)
 			if err != nil {
 				if aerr := o.cellErr("PROFILE", b, tech.Name(), cfg.Name, err); aerr != nil {
 					return nil, aerr
@@ -120,6 +119,8 @@ type ArchCharRow struct {
 // the Table 3 configurations. A failed technique loses only its own row;
 // a failed reference loses its benchmark (recorded in o.Report()).
 func ArchCharacterization(o *Options) ([]ArchCharRow, error) {
+	// Plan + schedule (no-op when Parallel is 0).
+	o.RunPlan(ArchPlan(o))
 	cfgs := sim.ArchConfigs()
 	configs := cfgs[:]
 

@@ -14,21 +14,42 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/experiments/sched"
 	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
 
+// cacheShards is the number of independent cache/single-flight shards.
+// Parallel scheduler workers hash onto shards by run key (which embeds
+// sim.Config.Key), so they contend on a shard mutex only when they race
+// on nearby keys instead of serializing on one engine-wide lock.
+const cacheShards = 16
+
+// engineShard is one slice of the result cache and its in-flight table.
+// A run key always maps to the same shard, so single-flight semantics
+// are unchanged by sharding.
+type engineShard struct {
+	mu       sync.Mutex
+	cache    map[string]core.Result
+	inflight map[string]*inflightRun
+}
+
 // Engine executes technique runs with memoization and single-flight
 // deduplication: concurrent requests for the same (benchmark, technique,
 // configuration) key share one fresh run. Every run is instrumented into a
 // metrics registry — cache hits/misses/evictions, a fresh-run latency
 // histogram, and an in-flight gauge — replacing the old ad-hoc Log hook.
+//
+// The cache is sharded (see cacheShards) and all counters are atomics,
+// so the engine scales across the parallel scheduler's workers and every
+// telemetry read is race-free by construction.
 type Engine struct {
 	Scale   sim.Scale
 	Profile bool // collect execution profiles on every run
@@ -43,7 +64,7 @@ type Engine struct {
 	// MaxEntries bounds the result cache (0 = unbounded). When the bound
 	// is exceeded the oldest entry is evicted, FIFO: long experiment
 	// sweeps can cap their memory while the per-figure sharing window
-	// stays warm.
+	// stays warm. The bound is global across shards.
 	MaxEntries int
 
 	// Retry is the transient-failure policy applied to every fresh run.
@@ -55,17 +76,26 @@ type Engine struct {
 	// runs issued through this engine (0 = sim.DefaultCheckEvery).
 	CheckEvery uint64
 
-	mu         sync.Mutex
-	cache      map[string]core.Result
-	order      []string // insertion order, for FIFO eviction
-	inflight   map[string]*inflightRun
-	runs       int
-	hits       int
-	evictions  int
-	retries    int
-	failures   int
-	sharedErrs int
-	freshWall  time.Duration
+	shards [cacheShards]engineShard
+
+	// FIFO eviction bookkeeping, global so MaxEntries means what it says
+	// regardless of how keys hash across shards. evictMu is only taken
+	// after a shard insert completes (never while a shard lock is held),
+	// so the lock order shard→evict is acyclic.
+	evictMu sync.Mutex
+	order   []string // insertion order of cached keys
+	entries int      // cached entries across all shards
+
+	// Counters are atomics: Stats/Telemetry/String read them without any
+	// lock, so no reader can observe a torn or racy snapshot.
+	runs        atomic.Int64
+	hits        atomic.Int64
+	evictions   atomic.Int64
+	retries     atomic.Int64
+	failures    atomic.Int64
+	sharedErrs  atomic.Int64
+	inflightNow atomic.Int64
+	freshWallNS atomic.Int64
 
 	metricsOnce sync.Once
 	mRuns       *obs.Counter
@@ -90,11 +120,19 @@ type inflightRun struct {
 
 // NewEngine creates an engine at the given scale.
 func NewEngine(scale sim.Scale) *Engine {
-	return &Engine{
-		Scale:    scale,
-		cache:    make(map[string]core.Result),
-		inflight: make(map[string]*inflightRun),
+	e := &Engine{Scale: scale}
+	for i := range e.shards {
+		e.shards[i].cache = make(map[string]core.Result)
+		e.shards[i].inflight = make(map[string]*inflightRun)
 	}
+	return e
+}
+
+// shard returns the shard owning a run key.
+func (e *Engine) shard(key string) *engineShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &e.shards[h.Sum64()%cacheShards]
 }
 
 // initMetrics binds the registry series (lazily, so Obs can be assigned
@@ -118,11 +156,10 @@ func (e *Engine) initMetrics() {
 	})
 }
 
-// Stats reports fresh runs and cache hits.
+// Stats reports fresh runs and cache hits. The counters are atomics, so
+// the read needs no lock and can never race with a run in progress.
 func (e *Engine) Stats() (runs, hits int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.runs, e.hits
+	return int(e.runs.Load()), int(e.hits.Load())
 }
 
 // EngineTelemetry is a point-in-time summary of the engine's bookkeeping.
@@ -141,6 +178,10 @@ type EngineTelemetry struct {
 	Retries      int `json:"retries"`
 	Failures     int `json:"failures"`
 	SharedErrors int `json:"shared_errors"`
+
+	// Entries is the number of results currently cached (across all
+	// shards), for observing the MaxEntries bound.
+	Entries int `json:"entries"`
 }
 
 // HitRate returns the cache hit fraction over all requests.
@@ -168,14 +209,20 @@ func (t EngineTelemetry) String() string {
 	return s
 }
 
-// Telemetry snapshots the engine's counters.
+// Telemetry snapshots the engine's counters. All counters are atomics,
+// so the snapshot is race-free without stopping the engine (individual
+// fields may be skewed by runs completing mid-snapshot, as with any
+// monitoring read).
 func (e *Engine) Telemetry() EngineTelemetry {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.evictMu.Lock()
+	entries := e.entries
+	e.evictMu.Unlock()
 	return EngineTelemetry{
-		Runs: e.runs, Hits: e.hits, Evictions: e.evictions,
-		InFlight: len(e.inflight), FreshWall: e.freshWall,
-		Retries: e.retries, Failures: e.failures, SharedErrors: e.sharedErrs,
+		Runs: int(e.runs.Load()), Hits: int(e.hits.Load()), Evictions: int(e.evictions.Load()),
+		InFlight: int(e.inflightNow.Load()), FreshWall: time.Duration(e.freshWallNS.Load()),
+		Retries: int(e.retries.Load()), Failures: int(e.failures.Load()),
+		SharedErrors: int(e.sharedErrs.Load()),
+		Entries:      entries,
 	}
 }
 
@@ -191,6 +238,14 @@ func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Re
 	return e.RunContext(context.Background(), b, tech, cfg)
 }
 
+// RunContextPolicy is RunContext with an explicit retry policy for this
+// run, overriding the engine-wide Retry. The scheduler uses it to honor
+// a cell's declared retry class. Note the single-flight caveat: when two
+// callers race on the same key, the first one in applies its policy.
+func (e *Engine) RunContextPolicy(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, pol RetryPolicy) (core.Result, error) {
+	return e.runContext(ctx, b, tech, cfg, pol)
+}
+
 // RunContext executes (or recalls) one technique run under ctx. Concurrent
 // callers with the same key share a single fresh run: exactly one executes
 // the technique, the rest block and count as cache hits (successes) or
@@ -204,21 +259,29 @@ func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Re
 // runner's cancellation-check budget and returns an error satisfying
 // errors.Is(err, ctx.Err()).
 func (e *Engine) RunContext(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	return e.runContext(ctx, b, tech, cfg, e.Retry)
+}
+
+// runContext is the shared body of RunContext and RunContextPolicy: look
+// up the key's shard, join an in-flight run or own a fresh one, and
+// settle the shard's cache and the engine's (atomic) accounting.
+func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, pol RetryPolicy) (core.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	e.initMetrics()
 	k := e.key(b, tech, cfg)
+	s := e.shard(k)
 
-	e.mu.Lock()
-	if r, ok := e.cache[k]; ok {
-		e.hits++
-		e.mu.Unlock()
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		e.hits.Add(1)
 		e.mHits.Inc()
 		return r, nil
 	}
-	if f, ok := e.inflight[k]; ok {
-		e.mu.Unlock()
+	if f, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
 		select {
 		case <-f.done:
 		case <-ctx.Done():
@@ -228,63 +291,78 @@ func (e *Engine) RunContext(ctx context.Context, b bench.Name, tech core.Techniq
 			return core.Result{}, ctx.Err()
 		}
 		if f.err != nil {
-			e.mu.Lock()
-			e.sharedErrs++
-			e.mu.Unlock()
+			e.sharedErrs.Add(1)
 			e.mSharedErrs.Inc()
 			return core.Result{}, f.err
 		}
-		e.mu.Lock()
-		e.hits++
-		e.mu.Unlock()
+		e.hits.Add(1)
 		e.mHits.Inc()
 		return f.res, nil
 	}
 	f := &inflightRun{done: make(chan struct{})}
-	e.inflight[k] = f
-	e.mu.Unlock()
+	s.inflight[k] = f
+	s.mu.Unlock()
 
+	e.inflightNow.Add(1)
 	e.mInFlight.Add(1)
-	res, err, elapsed, retried := e.attempt(ctx, b, tech, cfg, k)
+	res, err, elapsed, retried := e.attempt(ctx, b, tech, cfg, k, pol)
 	e.mInFlight.Add(-1)
+	e.inflightNow.Add(-1)
 
-	e.mu.Lock()
-	delete(e.inflight, k)
-	e.retries += retried
+	e.retries.Add(int64(retried))
+	s.mu.Lock()
+	delete(s.inflight, k)
 	if err == nil {
-		e.cache[k] = res
-		e.order = append(e.order, k)
-		e.runs++
-		e.freshWall += elapsed
-		e.mRuns.Inc()
-		if e.MaxEntries > 0 && len(e.cache) > e.MaxEntries {
-			oldest := e.order[0]
-			e.order = e.order[1:]
-			delete(e.cache, oldest)
-			e.evictions++
-			e.mEvictions.Inc()
-		}
-	} else {
-		e.failures++
+		s.cache[k] = res
 	}
 	f.res, f.err = res, err
 	close(f.done)
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	if err != nil {
+		e.failures.Add(1)
 		e.mFailures.Inc()
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.mCancels.Inc()
 		}
 		return core.Result{}, err
 	}
+	e.runs.Add(1)
+	e.freshWallNS.Add(int64(elapsed))
+	e.mRuns.Inc()
+	e.recordInsert(k)
 	return res, nil
+}
+
+// recordInsert appends a freshly cached key to the global FIFO order and
+// enforces MaxEntries, evicting the oldest keys from whichever shards
+// own them. Called after the shard insert, never under a shard lock.
+func (e *Engine) recordInsert(k string) {
+	var evict []string
+	e.evictMu.Lock()
+	e.order = append(e.order, k)
+	e.entries++
+	if e.MaxEntries > 0 {
+		for e.entries > e.MaxEntries && len(e.order) > 0 {
+			evict = append(evict, e.order[0])
+			e.order = e.order[1:]
+			e.entries--
+		}
+	}
+	e.evictMu.Unlock()
+	for _, old := range evict {
+		s := e.shard(old)
+		s.mu.Lock()
+		delete(s.cache, old)
+		s.mu.Unlock()
+		e.evictions.Add(1)
+		e.mEvictions.Inc()
+	}
 }
 
 // attempt runs the technique under the retry policy, returning the final
 // result or typed error, the total fresh wall-clock, and the retry count.
-func (e *Engine) attempt(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, key string) (core.Result, error, time.Duration, int) {
-	pol := e.Retry
+func (e *Engine) attempt(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, key string, pol RetryPolicy) (core.Result, error, time.Duration, int) {
 	max := pol.MaxAttempts
 	if max < 1 {
 		max = 1
@@ -383,12 +461,32 @@ type Options struct {
 	// artifacts that remain.
 	FailFast bool
 
+	// Parallel sizes the experiment scheduler's worker pool. 0 (the
+	// default) keeps the historical inline-serial path; 1 schedules
+	// through a single worker (same output, scheduler overhead
+	// measurable); N > 1 runs independent cells concurrently. Rendered
+	// artifacts are byte-identical at every value — see
+	// docs/parallelism.md for the determinism argument.
+	Parallel int
+
+	// SchedSeed seeds the scheduler's per-worker RNG streams (0 uses the
+	// sched package default).
+	SchedSeed uint64
+
 	// Report collects per-cell outcomes; created on first use via
 	// Report(). Assign one to share a report across drivers.
 	report *RunReport
 
-	engine *Engine
-	design *pb.Design
+	engine        *Engine
+	profileEngine *Engine
+	design        *pb.Design
+
+	// Scheduler state: warm memoizes per-cell outcomes (successes and
+	// failures) by engine key for the assembly pass; schedTel aggregates
+	// pool telemetry across plans.
+	warmMu   sync.Mutex
+	warm     map[string]warmOutcome
+	schedTel sched.Telemetry
 }
 
 // DefaultOptions returns the default corpus: every benchmark, the
@@ -408,6 +506,22 @@ func (o *Options) Engine() *Engine {
 	return o.engine
 }
 
+// ProfileEngine returns the option set's profiling engine (execution
+// profiles enabled), creating it on first use. It shares the main
+// engine's instrumentation sink and fault policy but keys its runs
+// separately, since profiled results carry extra payload.
+func (o *Options) ProfileEngine() *Engine {
+	if o.profileEngine == nil {
+		pe := NewEngine(o.Scale)
+		pe.Profile = true
+		pe.Obs = o.Engine().Obs
+		pe.Retry = o.Engine().Retry
+		pe.CheckEvery = o.Engine().CheckEvery
+		o.profileEngine = pe
+	}
+	return o.profileEngine
+}
+
 // Report returns the option set's run report, creating it on first use.
 func (o *Options) Report() *RunReport {
 	if o.report == nil {
@@ -425,9 +539,28 @@ func (o *Options) ctx() context.Context {
 }
 
 // run is the driver-facing RunFunc: every engine run inherits the sweep
-// context. Pass o.run where a characterize.RunFunc is needed.
+// context. Pass o.run where a characterize.RunFunc is needed. When a
+// scheduler pass has warmed this run's cell, its memoized outcome —
+// success or failure — is returned without touching the engine, which is
+// what keeps parallel assembly byte-identical to a serial sweep.
 func (o *Options) run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	if o.warm != nil {
+		if res, err, ok := o.warmLookup(o.Engine().key(b, tech, cfg)); ok {
+			return res, err
+		}
+	}
 	return o.Engine().RunContext(o.ctx(), b, tech, cfg)
+}
+
+// profileRun is run for the profiling engine (the §5.2 execution-profile
+// characterization).
+func (o *Options) profileRun(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
+	if o.warm != nil {
+		if res, err, ok := o.warmLookup(o.ProfileEngine().key(b, tech, cfg)); ok {
+			return res, err
+		}
+	}
+	return o.ProfileEngine().RunContext(o.ctx(), b, tech, cfg)
 }
 
 // cellErr applies the fault policy to one failed cell: under FailFast (or

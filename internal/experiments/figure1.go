@@ -45,6 +45,13 @@ func Figure1(o *Options) (*Figure1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Plan + schedule (no-op when Parallel is 0): the loops below then
+	// assemble from memoized outcomes instead of running cells inline.
+	cells, err := Figure1Plan(o)
+	if err != nil {
+		return nil, err
+	}
+	o.RunPlan(cells)
 	out := &Figure1Result{
 		Ref:      map[bench.Name]characterize.BottleneckResult{},
 		PerTech:  map[bench.Name]map[string]characterize.BottleneckResult{},

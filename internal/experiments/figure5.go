@@ -87,6 +87,13 @@ func Figure5(o *Options) (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Plan + schedule (no-op when Parallel is 0); assembly below reads
+	// the memoized outcomes.
+	cells, err := Figure5Plan(o)
+	if err != nil {
+		return nil, err
+	}
+	o.RunPlan(cells)
 
 	// Collect CPI errors per technique name across benches x configs.
 	errs := map[string][]float64{}

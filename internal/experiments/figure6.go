@@ -43,6 +43,9 @@ func Figure6(o *Options, b bench.Name, cfg *sim.Config) (*Figure6Result, error) 
 		c := sim.ArchConfigs()[1]
 		cfg = &c
 	}
+	// Plan + schedule (no-op when Parallel is 0); the sweep below then
+	// assembles from memoized outcomes.
+	o.RunPlan(Figure6Plan(o, b, cfg))
 
 	enhancements := enhance.Both()
 	techs := append([]core.Technique{}, o.Techniques(b)...)

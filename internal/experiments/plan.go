@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/enhance"
+	"repro/internal/experiments/sched"
+	"repro/internal/sim"
+)
+
+// This file is the plan layer of the experiment stack: every driver's
+// work, enumerated as declarative sched.Cell values instead of executed
+// inline. The three layers compose as follows:
+//
+//	plan     — FigureNPlan/SvATPlan/... enumerate cells (pure data);
+//	schedule — Options.RunPlan executes a plan on a sched.Pool, bounded
+//	           by Options.Parallel workers, through the shared engine
+//	           (single-flight, retry policy, cancellation, sharded
+//	           cache all apply);
+//	assemble — the drivers' original serial loops run unchanged, but
+//	           every o.run call is answered from the warm outcome map
+//	           the scheduler filled, keyed by the engine's canonical
+//	           run key.
+//
+// Determinism guarantee: the assembly pass is byte-for-byte the serial
+// code path, and a cell's outcome is independent of scheduling (see
+// package sched), so rendered tables and figures are identical at any
+// worker count — including failures, which are memoized per cell so the
+// degraded-artifact shape matches a serial run's.
+
+// warmOutcome is one memoized cell outcome (success or failure).
+type warmOutcome struct {
+	res core.Result
+	err error
+}
+
+// warmLookup consults the scheduler's outcome map.
+func (o *Options) warmLookup(key string) (core.Result, error, bool) {
+	o.warmMu.Lock()
+	defer o.warmMu.Unlock()
+	w, ok := o.warm[key]
+	return w.res, w.err, ok
+}
+
+// cellKey is the engine cache key a cell resolves to (profile cells key
+// against the profiling engine, which fingerprints Profile=true).
+func (o *Options) cellKey(c sched.Cell) string {
+	if c.Profile {
+		return o.ProfileEngine().key(c.Bench, c.Technique, c.Config)
+	}
+	return o.Engine().key(c.Bench, c.Technique, c.Config)
+}
+
+// RunPlan executes a plan on the scheduler when Options.Parallel >= 1
+// and memoizes every outcome for the assembly pass; at Parallel 0 (the
+// default) it is a no-op and the drivers run their historical inline
+// path. Cells are deduplicated by engine key, and keys already warmed by
+// an earlier plan (cross-figure sharing) are skipped. The returned
+// telemetry describes this execution only; SchedTelemetry accumulates
+// across plans.
+func (o *Options) RunPlan(cells []sched.Cell) sched.Telemetry {
+	if o.Parallel < 1 || len(cells) == 0 {
+		return sched.Telemetry{}
+	}
+	// Resolve lazily-initialized state before workers start: the lazy
+	// getters are not concurrency-safe, the initialized fields are.
+	eng := o.Engine()
+	var peng *Engine
+	for _, c := range cells {
+		if c.Profile {
+			peng = o.ProfileEngine()
+			break
+		}
+	}
+
+	seen := make(map[string]bool, len(cells))
+	todo := make([]sched.Cell, 0, len(cells))
+	o.warmMu.Lock()
+	for _, c := range cells {
+		k := o.cellKeyLocked(c, eng, peng)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := o.warm[k]; ok {
+			continue
+		}
+		todo = append(todo, c)
+	}
+	o.warmMu.Unlock()
+	if len(todo) == 0 {
+		return sched.Telemetry{}
+	}
+
+	pool := &sched.Pool{Workers: o.Parallel, Obs: eng.Obs, Seed: o.SchedSeed}
+	run := func(ctx context.Context, w *sched.Worker, c sched.Cell) (core.Result, error) {
+		e := eng
+		if c.Profile {
+			e = peng
+		}
+		if c.Retry == sched.RetryNone {
+			return e.RunContextPolicy(ctx, c.Bench, c.Technique, c.Config, RetryPolicy{})
+		}
+		return e.RunContext(ctx, c.Bench, c.Technique, c.Config)
+	}
+	outs, tel := pool.Run(o.ctx(), todo, run)
+
+	o.warmMu.Lock()
+	if o.warm == nil {
+		o.warm = make(map[string]warmOutcome, len(outs))
+	}
+	for _, out := range outs {
+		o.warm[o.cellKeyLocked(out.Cell, eng, peng)] = warmOutcome{res: out.Res, err: out.Err}
+	}
+	o.schedTel.Merge(tel)
+	o.warmMu.Unlock()
+	return tel
+}
+
+// cellKeyLocked is cellKey with the engines already resolved (safe under
+// warmMu and inside workers).
+func (o *Options) cellKeyLocked(c sched.Cell, eng, peng *Engine) string {
+	if c.Profile && peng != nil {
+		return peng.key(c.Bench, c.Technique, c.Config)
+	}
+	return eng.key(c.Bench, c.Technique, c.Config)
+}
+
+// SchedTelemetry returns the accumulated scheduler telemetry over every
+// plan this option set has executed.
+func (o *Options) SchedTelemetry() sched.Telemetry {
+	o.warmMu.Lock()
+	defer o.warmMu.Unlock()
+	return o.schedTel
+}
+
+// pbCells enumerates the (reference + techniques) x design-rows grid
+// shared by Figure 1 (bottleneck characterization) and Figure 5
+// (configuration dependence); only the artifact tag differs.
+func (o *Options) pbCells(artifact string) ([]sched.Cell, error) {
+	design, err := o.Design()
+	if err != nil {
+		return nil, err
+	}
+	var cells []sched.Cell
+	for _, b := range o.Benches {
+		for i, row := range design.Rows {
+			cfg, err := pbConfig(row, i)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, sched.Cell{Artifact: artifact, Phase: "reference",
+				Bench: b, Technique: core.Reference{}, Config: cfg})
+		}
+		for _, tech := range o.Techniques(b) {
+			for i, row := range design.Rows {
+				cfg, err := pbConfig(row, i)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, sched.Cell{Artifact: artifact, Phase: "technique",
+					Bench: b, Technique: tech, Config: cfg})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Figure1Plan enumerates Figure 1's cells: every benchmark's reference
+// and technique permutations across the Plackett-Burman design rows.
+func Figure1Plan(o *Options) ([]sched.Cell, error) { return o.pbCells("F1") }
+
+// Figure5Plan enumerates Figure 5's cells. They coincide with Figure 1's
+// by construction (the PB envelope is shared), so a union plan dedups
+// them down to one run each.
+func Figure5Plan(o *Options) ([]sched.Cell, error) { return o.pbCells("F5") }
+
+// SvATPlan enumerates the speed-versus-accuracy cells for one benchmark
+// (Figures 3 and 4): reference and every technique across the envelope.
+func SvATPlan(o *Options, b bench.Name) ([]sched.Cell, error) {
+	design, err := o.Design()
+	if err != nil {
+		return nil, err
+	}
+	artifact := "SvAT(" + string(b) + ")"
+	var cells []sched.Cell
+	for i, row := range design.Rows {
+		cfg, err := pbConfig(row, i)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, sched.Cell{Artifact: artifact, Phase: "reference",
+			Bench: b, Technique: core.Reference{}, Config: cfg})
+	}
+	for _, tech := range o.Techniques(b) {
+		for i, row := range design.Rows {
+			cfg, err := pbConfig(row, i)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, sched.Cell{Artifact: artifact, Phase: "technique",
+				Bench: b, Technique: tech, Config: cfg})
+		}
+	}
+	return cells, nil
+}
+
+// Figure6Plan enumerates the enhancement-error cells (§7): base and
+// enhanced configurations for the reference and every technique, on one
+// benchmark. cfg nil defaults to Table 3's config #2, as the driver does.
+func Figure6Plan(o *Options, b bench.Name, cfg *sim.Config) []sched.Cell {
+	if cfg == nil {
+		c := sim.ArchConfigs()[1]
+		cfg = &c
+	}
+	enhancements := enhance.Both()
+	configs := []sim.Config{*cfg}
+	for _, e := range enhancements {
+		ecfg := *cfg
+		e.Apply(&ecfg)
+		configs = append(configs, ecfg)
+	}
+	var cells []sched.Cell
+	for _, c := range configs {
+		cells = append(cells, sched.Cell{Artifact: "F6", Phase: "reference",
+			Bench: b, Technique: core.Reference{}, Config: c})
+	}
+	for _, tech := range o.Techniques(b) {
+		for _, c := range configs {
+			cells = append(cells, sched.Cell{Artifact: "F6", Phase: "technique",
+				Bench: b, Technique: tech, Config: c})
+		}
+	}
+	return cells
+}
+
+// ProfilePlan enumerates the execution-profile characterization cells
+// (§5.2): one profiled run per benchmark for the reference and each
+// technique, on the base configuration and the dedicated profiling
+// engine.
+func ProfilePlan(o *Options) []sched.Cell {
+	cfg := sim.BaseConfig()
+	var cells []sched.Cell
+	for _, b := range o.Benches {
+		cells = append(cells, sched.Cell{Artifact: "PROFILE", Phase: "reference",
+			Bench: b, Technique: core.Reference{}, Config: cfg, Profile: true})
+		for _, tech := range o.Techniques(b) {
+			cells = append(cells, sched.Cell{Artifact: "PROFILE", Phase: "technique",
+				Bench: b, Technique: tech, Config: cfg, Profile: true})
+		}
+	}
+	return cells
+}
+
+// PickBench chooses the benchmark a single-benchmark artifact runs on:
+// the explicit SvATBench override, the preferred benchmark when it is in
+// the corpus, else the corpus's first benchmark.
+func PickBench(o *Options, preferred bench.Name) bench.Name {
+	if o.SvATBench != "" {
+		return o.SvATBench
+	}
+	for _, b := range o.Benches {
+		if b == preferred {
+			return b
+		}
+	}
+	return o.Benches[0]
+}
+
+// FiguresPlan enumerates the union of cells behind the artifacts sel
+// selects (the IDs cmd/figures accepts). Overlapping cells — Figure 1 and
+// Figure 5 share the whole PB envelope — are deduplicated by RunPlan, so
+// prewarming the union costs each distinct run exactly once and the
+// per-driver RunPlan calls become no-ops.
+func FiguresPlan(o *Options, sel func(id string) bool) ([]sched.Cell, error) {
+	var cells []sched.Cell
+	if sel("F1") || sel("F2") {
+		cs, err := Figure1Plan(o)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	if sel("F3") {
+		cs, err := SvATPlan(o, PickBench(o, bench.Gcc))
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	if sel("F4") {
+		cs, err := SvATPlan(o, PickBench(o, bench.Mcf))
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	if sel("F5") {
+		cs, err := Figure5Plan(o)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cs...)
+	}
+	if sel("F6") {
+		cells = append(cells, Figure6Plan(o, PickBench(o, bench.Gcc), nil)...)
+	}
+	if sel("PROFILE") {
+		cells = append(cells, ProfilePlan(o)...)
+	}
+	if sel("ARCH") {
+		cells = append(cells, ArchPlan(o)...)
+	}
+	return cells, nil
+}
+
+// ArchPlan enumerates the architecture-level characterization cells
+// (§5.2): reference and techniques across the Table 3 configurations.
+func ArchPlan(o *Options) []sched.Cell {
+	cfgs := sim.ArchConfigs()
+	var cells []sched.Cell
+	for _, b := range o.Benches {
+		for i := range cfgs {
+			cells = append(cells, sched.Cell{Artifact: "ARCH", Phase: "reference",
+				Bench: b, Technique: core.Reference{}, Config: cfgs[i]})
+		}
+		for _, tech := range o.Techniques(b) {
+			for i := range cfgs {
+				cells = append(cells, sched.Cell{Artifact: "ARCH", Phase: "technique",
+					Bench: b, Technique: tech, Config: cfgs[i]})
+			}
+		}
+	}
+	return cells
+}

@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// parallelOptions clones the tiny test corpus with a worker count.
+func parallelOptions(workers int) *Options {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	o.Parallel = workers
+	o.Engine().Obs = obs.NewRegistry()
+	return o
+}
+
+// TestParallelDeterminismF1F5 is the tentpole guarantee: the rendered
+// Figure 1 and Figure 5 artifacts are byte-identical whether the plan
+// runs inline (Parallel 0), on one worker, or on eight.
+func TestParallelDeterminismF1F5(t *testing.T) {
+	render := func(workers int) (string, string) {
+		o := parallelOptions(workers)
+		f1, err := Figure1(o)
+		if err != nil {
+			t.Fatalf("workers=%d: figure 1: %v", workers, err)
+		}
+		f5, err := Figure5(o)
+		if err != nil {
+			t.Fatalf("workers=%d: figure 5: %v", workers, err)
+		}
+		return f1.Render(), f5.Render()
+	}
+	serialF1, serialF5 := render(0)
+	for _, workers := range []int{1, 8} {
+		gotF1, gotF5 := render(workers)
+		if gotF1 != serialF1 {
+			t.Errorf("Figure 1 render differs at %d workers:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serialF1, gotF1)
+		}
+		if gotF5 != serialF5 {
+			t.Errorf("Figure 5 render differs at %d workers:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serialF5, gotF5)
+		}
+	}
+}
+
+// TestParallelDeterminismSvAT: same guarantee for the speed-vs-accuracy
+// rows. The speed axis is real measured wall time (time.Since inside each
+// technique), so it is not reproducible across executions — two *serial*
+// runs already disagree on it. The deterministic content of a row — which
+// rows exist, their order, and the accuracy axis — must be byte-identical
+// at any worker count; per-cell timing is taken inside the technique run,
+// so scheduling overhead never leaks into the speed axis either way.
+func TestParallelDeterminismSvAT(t *testing.T) {
+	rows := func(workers int) string {
+		o := parallelOptions(workers)
+		res, err := SvAT(o, bench.Mcf)
+		if err != nil {
+			t.Fatalf("workers=%d: svat: %v", workers, err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s %d\n", res.Bench, res.Configs)
+		for _, p := range res.Points {
+			fmt.Fprintf(&sb, "%-36s %-10s %9.3f\n", p.Technique, p.Family, p.Accuracy)
+		}
+		return sb.String()
+	}
+	serial := rows(0)
+	for _, workers := range []int{1, 8} {
+		if got := rows(workers); got != serial {
+			t.Errorf("SvAT rows differ at %d workers:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestParallelSharesRunsAcrossFigures: a union plan over F1+F5 (shared
+// PB envelope) must pay each distinct run exactly once even at high
+// worker counts — single-flight plus plan-level dedup.
+func TestParallelSharesRunsAcrossFigures(t *testing.T) {
+	o := parallelOptions(8)
+	if _, err := Figure1(o); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterF1, _ := o.Engine().Stats()
+	if _, err := Figure5(o); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterF5, _ := o.Engine().Stats()
+	if runsAfterF5 != runsAfterF1 {
+		t.Errorf("Figure 5 re-ran %d cells that Figure 1 already warmed", runsAfterF5-runsAfterF1)
+	}
+	tel := o.SchedTelemetry()
+	if tel.Cells != runsAfterF1 {
+		t.Errorf("scheduler executed %d cells, engine ran %d — dedup mismatch", tel.Cells, runsAfterF1)
+	}
+	if tel.Workers != 8 {
+		t.Errorf("telemetry workers = %d, want 8", tel.Workers)
+	}
+}
+
+// TestParallelFaultIsolation: an always-failing technique under the
+// scheduler loses exactly its own cells; the surviving rows and the
+// failure report match a serial run of the same corpus.
+func TestParallelFaultIsolation(t *testing.T) {
+	newOpts := func(workers int) *Options {
+		good := core.RunZ{Z: 1000}
+		bad := faultinject.Wrap(core.RunZ{Z: 900}, alwaysError(100000))
+		o := tinyOptions()
+		o.Scale = sim.Scale{Unit: 20}
+		o.Benches = []bench.Name{bench.Mcf}
+		o.TechniquesFn = func(bench.Name) []core.Technique {
+			return []core.Technique{good, bad}
+		}
+		o.Parallel = workers
+		o.Engine().Obs = obs.NewRegistry()
+		return o
+	}
+	run := func(workers int) (string, int, int) {
+		o := newOpts(workers)
+		res, err := Figure6(o, bench.Mcf, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: figure aborted instead of degrading: %v", workers, err)
+		}
+		_, failed, skipped := o.Report().Counts()
+		return res.Render(), failed, skipped
+	}
+	serialRender, serialFailed, serialSkipped := run(0)
+	parRender, parFailed, parSkipped := run(4)
+	if parRender != serialRender {
+		t.Errorf("degraded Figure 6 render differs under the scheduler:\n--- serial ---\n%s--- parallel ---\n%s",
+			serialRender, parRender)
+	}
+	if parFailed != serialFailed || parSkipped != serialSkipped {
+		t.Errorf("report counts differ: serial %d/%d, parallel %d/%d (failed/skipped)",
+			serialFailed, serialSkipped, parFailed, parSkipped)
+	}
+	if parFailed == 0 {
+		t.Error("fault was not recorded at all")
+	}
+}
+
+// TestParallelPanicIsolation: a panicking technique in one worker must
+// not lose or duplicate the other workers' cells.
+func TestParallelPanicIsolation(t *testing.T) {
+	good := core.RunZ{Z: 1000}
+	bad := faultinject.Wrap(core.RunZ{Z: 900}, faultinject.Bernoulli(7, 1.0, faultinject.Panic, 100000))
+	o := tinyOptions()
+	o.Scale = sim.Scale{Unit: 20}
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = func(bench.Name) []core.Technique {
+		return []core.Technique{good, bad}
+	}
+	o.Parallel = 4
+	o.Engine().Obs = obs.NewRegistry()
+
+	res, err := Figure6(o, bench.Mcf, nil)
+	if err != nil {
+		t.Fatalf("figure aborted instead of degrading: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (both enhancements of the healthy technique)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Technique != good.Name() {
+			t.Errorf("unexpected surviving row for %s", row.Technique)
+		}
+	}
+	if got := o.Engine().Obs.Counter("engine_panics_total").Value(); got == 0 {
+		t.Error("panic was not routed through the engine's recovery")
+	}
+}
+
+// TestParallelCancellationDrains: cancelling the sweep context mid-plan
+// drains the scheduler queue promptly and the driver aborts with the
+// context error, exactly like the serial path.
+func TestParallelCancellationDrains(t *testing.T) {
+	hang := faultinject.Wrap(core.RunZ{Z: 1000}, faultinject.HangOn(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = func(bench.Name) []core.Technique {
+		return []core.Technique{hang, core.RunZ{Z: 900}}
+	}
+	o.Parallel = 4
+	o.Ctx = ctx
+	o.Engine().Obs = obs.NewRegistry()
+
+	start := time.Now()
+	_, err := SvAT(o, bench.Mcf)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled sweep did not abort")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("cancelled plan took %v to drain", elapsed)
+	}
+	tel := o.SchedTelemetry()
+	if tel.Cells+tel.Cancelled == 0 {
+		t.Error("scheduler telemetry recorded no activity")
+	}
+}
+
+// TestRunPlanSkipsWarmCells: scheduling the same plan twice must not
+// re-execute anything (the CLI union-prewarm path relies on this).
+func TestRunPlanSkipsWarmCells(t *testing.T) {
+	o := parallelOptions(4)
+	cells, err := SvATPlan(o, bench.Mcf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := o.RunPlan(cells)
+	if first.Cells == 0 {
+		t.Fatal("first plan executed no cells")
+	}
+	again := o.RunPlan(cells)
+	if again.Cells != 0 {
+		t.Errorf("re-scheduled plan executed %d cells, want 0 (all warm)", again.Cells)
+	}
+}
+
+// TestRunPlanNoopWhenSerial: at Parallel 0 the planner must not execute
+// anything — the inline path owns the work.
+func TestRunPlanNoopWhenSerial(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	cells, err := SvATPlan(o, bench.Mcf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel := o.RunPlan(cells); tel.Cells != 0 {
+		t.Errorf("serial RunPlan executed %d cells", tel.Cells)
+	}
+	if runs, hits := o.Engine().Stats(); runs != 0 || hits != 0 {
+		t.Errorf("serial RunPlan touched the engine: %d runs, %d hits", runs, hits)
+	}
+}
+
+// TestPlanShapes sanity-checks the enumerators' cell counts against the
+// corpus dimensions.
+func TestPlanShapes(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	design, err := o.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	techs := len(o.Techniques(bench.Mcf))
+
+	f1, err := Figure1Plan(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := design.Runs() * (techs + 1); len(f1) != want {
+		t.Errorf("Figure1Plan has %d cells, want %d", len(f1), want)
+	}
+	sv, err := SvATPlan(o, bench.Mcf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := design.Runs() * (techs + 1); len(sv) != want {
+		t.Errorf("SvATPlan has %d cells, want %d", len(sv), want)
+	}
+	f6 := Figure6Plan(o, bench.Mcf, nil)
+	if want := 3 * (techs + 1); len(f6) != want { // base + 2 enhancements
+		t.Errorf("Figure6Plan has %d cells, want %d", len(f6), want)
+	}
+	prof := ProfilePlan(o)
+	if want := techs + 1; len(prof) != want {
+		t.Errorf("ProfilePlan has %d cells, want %d", len(prof), want)
+	}
+	for _, c := range prof {
+		if !c.Profile {
+			t.Fatal("ProfilePlan cell without Profile set")
+		}
+	}
+	arch := ArchPlan(o)
+	if want := len(sim.ArchConfigs()) * (techs + 1); len(arch) != want {
+		t.Errorf("ArchPlan has %d cells, want %d", len(arch), want)
+	}
+	// Every enumerated cell must carry enough identity to schedule.
+	for _, c := range append(append(f1, sv...), f6...) {
+		if c.Technique == nil || c.Artifact == "" || c.Phase == "" {
+			t.Fatalf("underspecified cell: %+v", c)
+		}
+	}
+}
+
+// TestParallelProfileCharacterization: the profiling engine path is
+// deterministic under the scheduler too, and profiled cells do not leak
+// into the main engine.
+func TestParallelProfileCharacterization(t *testing.T) {
+	run := func(workers int) string {
+		o := parallelOptions(workers)
+		rows, err := ProfileCharacterization(o, 0.05)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return RenderProfileChar(rows)
+	}
+	serial := run(0)
+	if got := run(8); got != serial {
+		t.Errorf("profile characterization differs under the scheduler:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial, got)
+	}
+	o := parallelOptions(8)
+	if _, err := ProfileCharacterization(o, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if runs, _ := o.Engine().Stats(); runs != 0 {
+		t.Errorf("profiled cells leaked %d runs into the main engine", runs)
+	}
+	if runs, _ := o.ProfileEngine().Stats(); runs == 0 {
+		t.Error("profiling engine saw no runs")
+	}
+}
+
+// TestSchedMetricsExported: a scheduled plan populates the sched_*
+// series in the engine's registry.
+func TestSchedMetricsExported(t *testing.T) {
+	o := parallelOptions(4)
+	if _, err := SvAT(o, bench.Mcf); err != nil {
+		t.Fatal(err)
+	}
+	reg := o.Engine().Obs
+	if got := reg.Counter("sched_cells_total").Value(); got == 0 {
+		t.Error("sched_cells_total not incremented")
+	}
+	if got := reg.Gauge("sched_workers").Value(); got != 4 {
+		t.Errorf("sched_workers = %v, want 4", got)
+	}
+	if got := reg.Histogram("sched_cell_seconds", obs.LatencyBuckets).Count(); got == 0 {
+		t.Error("sched_cell_seconds not observed")
+	}
+	if got := reg.Gauge("sched_cells_inflight").Value(); got != 0 {
+		t.Errorf("sched_cells_inflight = %v after completion, want 0", got)
+	}
+}
+
+// TestEngineShardedEvictionBound: the FIFO bound stays global and exact
+// across cache shards.
+func TestEngineShardedEvictionBound(t *testing.T) {
+	e := NewEngine(sim.ScaleTest)
+	e.Obs = obs.NewRegistry()
+	e.MaxEntries = 4
+	cfg := sim.BaseConfig()
+	const keys = 20
+	for i := 0; i < keys; i++ {
+		if _, err := e.Run(bench.Mcf, core.RunZ{Z: float64(100 + i)}, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tel := e.Telemetry()
+	if tel.Entries != 4 {
+		t.Errorf("cache entries = %d, want exactly MaxEntries (4)", tel.Entries)
+	}
+	if tel.Evictions != keys-4 {
+		t.Errorf("evictions = %d, want %d", tel.Evictions, keys-4)
+	}
+	if tel.Runs != keys {
+		t.Errorf("runs = %d, want %d", tel.Runs, keys)
+	}
+}

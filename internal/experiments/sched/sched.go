@@ -1,0 +1,374 @@
+// Package sched is the deterministic parallel scheduler of the experiment
+// stack. The experiment drivers enumerate their work as declarative Cell
+// values (a plan); a Pool executes a plan on a bounded worker set and
+// returns one Outcome per cell, indexed by the cell's position in the
+// plan, so an assembly pass can rebuild tables and figures byte-identical
+// to a serial run at any worker count.
+//
+// Determinism contract: a cell's outcome depends only on the cell itself
+// (techniques seed their own xrand streams, and the engine's retry jitter
+// is keyed by the run's cache key), never on which worker ran it or in
+// which order. Each worker additionally owns a deterministically-seeded
+// RNG stream — derived from the pool seed and the worker index — so no
+// two workers ever share xrand state, and scheduling decisions that want
+// randomness stay reproducible.
+//
+// Fault contract: a panicking cell loses only itself (the panic is
+// recovered into its outcome's error); a cancelled context stops new
+// work immediately and drains the remaining queue by marking every
+// not-yet-started cell with the context's error, so Run always returns
+// exactly len(cells) outcomes — nothing is lost or duplicated.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// RetryClass declares how a cell's failures should be handled, so the
+// plan — not the code path that happens to execute it — decides the
+// policy. The experiments layer maps classes onto engine retry policies.
+type RetryClass int
+
+// The retry classes.
+const (
+	// RetryDefault applies the executing engine's configured policy.
+	RetryDefault RetryClass = iota
+	// RetryNone makes the first failure final regardless of the engine's
+	// policy (for cells whose artifact drops the whole series on any
+	// failure anyway, where retries only delay the verdict).
+	RetryNone
+)
+
+// String names the class.
+func (r RetryClass) String() string {
+	switch r {
+	case RetryDefault:
+		return "default"
+	case RetryNone:
+		return "none"
+	default:
+		return fmt.Sprintf("retry(%d)", int(r))
+	}
+}
+
+// Cell is one schedulable unit of experiment work: run one technique on
+// one benchmark under one machine configuration. Cells are pure data —
+// enumerating them does no simulation — so a driver's whole sweep can be
+// planned, deduplicated, and scheduled before any work starts.
+type Cell struct {
+	// Artifact names the table or figure the cell feeds ("F1", "F5",
+	// "SvAT(gcc)", "ARCH", ...), for telemetry and failure reports.
+	Artifact string
+
+	// Phase is the cell's role within its artifact: "reference" cells
+	// are the baselines every other cell is measured against,
+	// "technique" cells are the measurements themselves.
+	Phase string
+
+	Bench     bench.Name
+	Technique core.Technique
+	Config    sim.Config
+
+	// Profile requests the execution profile (the §5.2 characterization
+	// runs on a dedicated profiling engine; the flag is part of the
+	// cell's identity).
+	Profile bool
+
+	// Retry selects the failure-handling class for this cell.
+	Retry RetryClass
+}
+
+// Outcome is the result of one cell, tagged with its plan index and the
+// worker that produced it.
+type Outcome struct {
+	Cell   Cell
+	Index  int           // position in the plan; the assembly key
+	Res    core.Result   // zero when Err != nil
+	Err    error         // run failure, recovered panic, or ctx.Err() for drained cells
+	Wall   time.Duration // the cell's own wall-clock on its worker
+	Worker int           // index of the worker that ran the cell (-1 if drained)
+}
+
+// Worker is one executor of a pool. Its RNG stream is seeded from the
+// pool seed and the worker index, so streams are disjoint across workers
+// and identical across runs — no worker ever shares xrand state.
+type Worker struct {
+	Index int
+	RNG   *xrand.RNG
+}
+
+// RunFunc executes one cell on a worker. The experiments layer supplies
+// an engine-backed implementation; tests supply stubs.
+type RunFunc func(ctx context.Context, w *Worker, c Cell) (core.Result, error)
+
+// Pool executes plans on a bounded worker set. The zero value is usable:
+// it sizes itself to GOMAXPROCS, uses obs.Default, and a fixed seed.
+type Pool struct {
+	// Workers bounds concurrency; <= 0 uses GOMAXPROCS.
+	Workers int
+
+	// Obs receives the scheduler's instrumentation (sched_cells_total,
+	// sched_cell_failures_total, sched_cells_inflight, sched_queue_depth,
+	// sched_workers, sched_cell_seconds). Nil uses obs.Default.
+	Obs *obs.Registry
+
+	// Seed derives the per-worker RNG streams (0 uses a fixed default),
+	// so two pools with the same seed give worker i the same stream.
+	Seed uint64
+}
+
+// defaultSeed spells "sched"; any fixed value works, it only has to be
+// stable across runs.
+const defaultSeed = 0x7363686564
+
+func (p *Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p *Pool) registry() *obs.Registry {
+	if p.Obs != nil {
+		return p.Obs
+	}
+	return obs.Default
+}
+
+// NewWorker builds worker i's executor with its deterministic RNG
+// stream. Exposed so tests can assert stream disjointness and stability.
+func (p *Pool) NewWorker(i int) *Worker {
+	seed := p.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	// Offset by a large odd constant per worker; xrand.New splitmixes the
+	// seed, so nearby seeds still yield uncorrelated streams.
+	return &Worker{Index: i, RNG: xrand.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))}
+}
+
+// Telemetry summarizes one pool execution.
+type Telemetry struct {
+	Workers   int           `json:"workers"`
+	Cells     int           `json:"cells"`
+	Failed    int           `json:"failed"`       // cells whose RunFunc returned an error
+	Cancelled int           `json:"cancelled"`    // cells drained unstarted after cancellation
+	Wall      time.Duration `json:"wall_ns"`      // pool wall-clock, queue open to last cell done
+	CellWall  time.Duration `json:"cell_wall_ns"` // sum of per-cell wall-clock across workers
+}
+
+// Concurrency is the mean number of cells in flight: summed per-cell
+// wall time divided by the pool's wall-clock (1.0 = no overlap). On an
+// idle host with enough cores it equals the wall-clock speedup over a
+// one-worker pool; on an oversubscribed host it overstates speedup,
+// because time-sliced cells accumulate wall time without finishing
+// sooner — measured serial-versus-parallel walls (cmd/benchjson) are
+// the honest speedup figure.
+func (t Telemetry) Concurrency() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.CellWall) / float64(t.Wall)
+}
+
+// Utilization is the share of worker capacity spent running cells.
+func (t Telemetry) Utilization() float64 {
+	if t.Wall <= 0 || t.Workers <= 0 {
+		return 0
+	}
+	return float64(t.CellWall) / (float64(t.Wall) * float64(t.Workers))
+}
+
+// String formats the telemetry as a one-line CLI summary.
+func (t Telemetry) String() string {
+	s := fmt.Sprintf("sched: %d cells on %d workers in %v (cell wall %v, %.2fx concurrency, %.0f%% utilization)",
+		t.Cells, t.Workers, t.Wall.Round(time.Millisecond),
+		t.CellWall.Round(time.Millisecond), t.Concurrency(), 100*t.Utilization())
+	if t.Failed+t.Cancelled > 0 {
+		s += fmt.Sprintf(", %d failed, %d cancelled", t.Failed, t.Cancelled)
+	}
+	return s
+}
+
+// Merge accumulates another execution into t (for CLIs that schedule
+// several plans and report one line).
+func (t *Telemetry) Merge(u Telemetry) {
+	if u.Workers > t.Workers {
+		t.Workers = u.Workers
+	}
+	t.Cells += u.Cells
+	t.Failed += u.Failed
+	t.Cancelled += u.Cancelled
+	t.Wall += u.Wall
+	t.CellWall += u.CellWall
+}
+
+// Run executes every cell of the plan on the pool and returns one
+// outcome per cell, in plan order. Concurrency is bounded by Workers;
+// duplicate cells are safe (the engine's single-flight collapses them)
+// but plans should dedup for queue hygiene. Run never returns fewer
+// outcomes than cells: after cancellation the remaining queue is drained
+// with ctx.Err() outcomes.
+func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, Telemetry) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(cells)
+	outs := make([]Outcome, n)
+	workers := p.workers()
+	if workers > n && n > 0 {
+		workers = n
+	}
+	tel := Telemetry{Workers: workers, Cells: n}
+	if n == 0 {
+		return outs, tel
+	}
+
+	r := p.registry()
+	mCells := r.Counter("sched_cells_total")
+	mFail := r.Counter("sched_cell_failures_total")
+	mInflight := r.Gauge("sched_cells_inflight")
+	mQueue := r.Gauge("sched_queue_depth")
+	mWorkers := r.Gauge("sched_workers")
+	mLatency := r.Histogram("sched_cell_seconds", obs.LatencyBuckets)
+	mWorkers.Set(float64(workers))
+
+	queue := make(chan int, n)
+	for i := range cells {
+		queue <- i
+	}
+	close(queue)
+	mQueue.Set(float64(n))
+
+	var queued atomic.Int64
+	queued.Store(int64(n))
+	var cellWall, failed, cancelled atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wk *Worker) {
+			defer wg.Done()
+			for idx := range queue {
+				mQueue.Set(float64(queued.Add(-1)))
+				if err := ctx.Err(); err != nil {
+					// Drain: the campaign is being torn down, so the
+					// cell is marked cancelled without running.
+					outs[idx] = Outcome{Cell: cells[idx], Index: idx, Err: err, Worker: -1}
+					cancelled.Add(1)
+					continue
+				}
+				mInflight.Add(1)
+				t0 := time.Now()
+				res, err := runCell(ctx, wk, cells[idx], run)
+				wall := time.Since(t0)
+				mInflight.Add(-1)
+				mCells.Inc()
+				mLatency.Observe(wall.Seconds())
+				cellWall.Add(int64(wall))
+				if err != nil {
+					failed.Add(1)
+					mFail.Inc()
+				}
+				outs[idx] = Outcome{Cell: cells[idx], Index: idx, Res: res, Err: err,
+					Wall: wall, Worker: wk.Index}
+			}
+		}(p.NewWorker(w))
+	}
+	wg.Wait()
+
+	tel.Wall = time.Since(start)
+	tel.CellWall = time.Duration(cellWall.Load())
+	tel.Failed = int(failed.Load())
+	tel.Cancelled = int(cancelled.Load())
+	return outs, tel
+}
+
+// runCell invokes run with panic isolation: a crashing cell is converted
+// into its own error instead of killing the worker (which would strand
+// the rest of the queue).
+func runCell(ctx context.Context, w *Worker, c Cell, run RunFunc) (res core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &CellPanicError{Cell: c, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return run(ctx, w, c)
+}
+
+// CellPanicError is a panic recovered by the pool itself (the engine
+// already recovers technique panics; this catches crashes in the glue
+// around it).
+type CellPanicError struct {
+	Cell  Cell
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("sched: cell %s/%s panicked: %v", e.Cell.Artifact, e.Cell.Bench, e.Value)
+}
+
+// Map runs fn over items on the pool's workers and returns the results
+// in item order, plus a parallel slice of per-item errors. It is the
+// generic face of the scheduler for work that is not technique-shaped
+// (cmd/workload's per-input characterization rows). The same drain
+// semantics apply: after cancellation, remaining items get ctx.Err().
+func Map[T, R any](ctx context.Context, p *Pool, items []T, fn func(ctx context.Context, w *Worker, item T) (R, error)) ([]R, []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(items)
+	res := make([]R, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return res, errs
+	}
+	workers := p.workers()
+	if workers > n {
+		workers = n
+	}
+	queue := make(chan int, n)
+	for i := range items {
+		queue <- i
+	}
+	close(queue)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(wk *Worker) {
+			defer wg.Done()
+			for idx := range queue {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							errs[idx] = fmt.Errorf("sched: item %d panicked: %v", idx, v)
+						}
+					}()
+					res[idx], errs[idx] = fn(ctx, wk, items[idx])
+				}()
+			}
+		}(p.NewWorker(w))
+	}
+	wg.Wait()
+	return res, errs
+}

@@ -45,6 +45,13 @@ func SvAT(o *Options, b bench.Name) (*SvATResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Plan + schedule (no-op when Parallel is 0); the reference and
+	// technique sweeps below assemble from memoized outcomes.
+	cells, err := SvATPlan(o, b)
+	if err != nil {
+		return nil, err
+	}
+	o.RunPlan(cells)
 	artifact := "SvAT(" + string(b) + ")"
 
 	// Reference CPI vector and total wall time.
