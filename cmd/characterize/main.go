@@ -28,6 +28,7 @@ func main() {
 	flag.Parse()
 
 	o := experiments.DefaultOptions()
+	defer o.Close() // drop the sweep's shared functional-prefix checkpoints
 	scale, err := cliutil.ParseScale(*scaleFlag)
 	die(err)
 	o.Scale = scale

@@ -1,0 +1,344 @@
+// Package ckpt provides a shared, thread-safe, byte-bounded store of
+// architectural checkpoints keyed by (program identity, instruction
+// position). It generalizes the amortization the paper describes for
+// SimPoint checkpoints (§6.1) to every functional-prefix consumer: in a
+// Plackett-Burman sweep all ~44 configurations of one benchmark
+// fast-forward the very same config-independent prefix, so the first run
+// pays for it once and the rest restore a snapshot.
+//
+// The store is byte-bounded (checkpoints copy whole program memory) with
+// LRU eviction, and population is single-flight: under the parallel
+// experiment scheduler, concurrent runs that need the same prefix elect
+// one owner to execute it while the others wait for the snapshot instead
+// of burning a core each on identical functional execution.
+package ckpt
+
+import (
+	"container/list"
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/obs"
+	"repro/internal/program"
+)
+
+// ProgID identifies a program image: its name (benchmark/input/scale are
+// encoded in it by the bench builders) plus the image fingerprint, so two
+// images that merely share a name can never alias.
+type ProgID struct {
+	Name string
+	FP   uint64
+}
+
+// IDOf derives the store identity of a program.
+func IDOf(p *program.Program) ProgID {
+	return ProgID{Name: p.Name, FP: p.Fingerprint()}
+}
+
+// Key addresses one checkpoint: a program at an instruction position.
+type Key struct {
+	Prog ProgID
+	Pos  uint64
+}
+
+// entry is one resident checkpoint; list elements hold *entry.
+type entry struct {
+	key   Key
+	cp    *cpu.Checkpoint
+	bytes int64
+}
+
+// flight is one in-progress population; waiters block on done and read cp
+// afterwards (nil when the owner failed or produced nothing cacheable).
+type flight struct {
+	done chan struct{}
+	cp   *cpu.Checkpoint
+}
+
+// Stats is a point-in-time snapshot of the store's accounting.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Waits     int64 `json:"waits"` // single-flight waits on another run's population
+}
+
+// HitRate returns the fraction of Prefix requests served from the store.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Store is a byte-bounded LRU checkpoint cache with single-flight
+// population. The zero value is not useful; use New.
+type Store struct {
+	// Obs is the registry receiving the store's instrumentation
+	// (ckpt_hits_total, ckpt_misses_total, ckpt_evictions_total,
+	// ckpt_singleflight_waits_total, ckpt_resident_bytes,
+	// ckpt_entries). Nil uses obs.Default. Set before the first use.
+	Obs *obs.Registry
+
+	mu       sync.Mutex
+	maxBytes int64
+	lru      *list.List // front = most recently used
+	entries  map[Key]*list.Element
+	byProg   map[ProgID][]uint64 // resident positions, ascending
+	bytes    int64
+	inflight map[Key]*flight
+
+	hits, misses, evictions, waits int64
+
+	metricsOnce sync.Once
+	mHits       *obs.Counter
+	mMisses     *obs.Counter
+	mEvictions  *obs.Counter
+	mWaits      *obs.Counter
+	mBytes      *obs.Gauge
+	mEntries    *obs.Gauge
+}
+
+// New creates a store bounded to maxBytes of resident checkpoint data.
+func New(maxBytes int64) *Store {
+	return &Store{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		entries:  make(map[Key]*list.Element),
+		byProg:   make(map[ProgID][]uint64),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// initMetrics binds the registry series (lazily, so Obs can be assigned
+// after construction).
+func (s *Store) initMetrics() {
+	s.metricsOnce.Do(func() {
+		r := s.Obs
+		if r == nil {
+			r = obs.Default
+		}
+		s.mHits = r.Counter("ckpt_hits_total")
+		s.mMisses = r.Counter("ckpt_misses_total")
+		s.mEvictions = r.Counter("ckpt_evictions_total")
+		s.mWaits = r.Counter("ckpt_singleflight_waits_total")
+		s.mBytes = r.Gauge("ckpt_resident_bytes")
+		s.mEntries = r.Gauge("ckpt_entries")
+	})
+}
+
+// Prefix returns the checkpoint for (id, pos), populating the store when
+// absent. On a hit (including a successful single-flight wait) it returns
+// (cp, false, nil): the caller restores cp. On a miss this caller becomes
+// the owner: produce is invoked — its argument is the nearest resident
+// checkpoint at a position <= pos (nil when none), which the owner may
+// restore before executing forward — and must leave the caller's machine
+// at pos, returning its snapshot (or nil to cache nothing). The owner
+// gets (cp, true, err) back: its machine is already in place, no restore
+// needed. When a waited-on owner fails, waiters get (nil, false, nil) and
+// fall back to executing the prefix themselves. A cancelled ctx aborts a
+// wait with its error; the owner's population continues for the owner.
+func (s *Store) Prefix(ctx context.Context, id ProgID, pos uint64, produce func(near *cpu.Checkpoint, nearPos uint64) (*cpu.Checkpoint, error)) (*cpu.Checkpoint, bool, error) {
+	s.initMetrics()
+	k := Key{Prog: id, Pos: pos}
+
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		cp := el.Value.(*entry).cp
+		s.mu.Unlock()
+		s.mHits.Inc()
+		return cp, false, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.waits++
+		s.mu.Unlock()
+		s.mWaits.Inc()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if f.cp == nil {
+			return nil, false, nil // owner failed; caller falls back
+		}
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+		s.mHits.Inc()
+		return f.cp, false, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.misses++
+	near, nearPos := s.nearestLocked(id, pos)
+	s.mu.Unlock()
+	s.mMisses.Inc()
+
+	completed := false
+	defer func() {
+		if !completed { // produce panicked: release waiters empty-handed
+			s.finishFlight(k, f, nil)
+		}
+	}()
+	cp, err := produce(near, nearPos)
+	if err != nil {
+		cp = nil
+	}
+	completed = true
+	s.finishFlight(k, f, cp)
+	return cp, true, err
+}
+
+// finishFlight publishes a population result and releases the key. It is
+// also invoked from a deferred guard so a panicking produce cannot strand
+// waiters on a flight that will never complete.
+func (s *Store) finishFlight(k Key, f *flight, cp *cpu.Checkpoint) {
+	s.mu.Lock()
+	delete(s.inflight, k)
+	f.cp = cp
+	close(f.done)
+	if cp != nil {
+		s.putLocked(k, cp)
+	}
+	s.mu.Unlock()
+	if cp != nil {
+		s.updateGauges()
+	}
+}
+
+// Nearest returns the resident checkpoint with the largest position <=
+// pos for the program, counting neither hit nor miss, or (nil, 0).
+func (s *Store) Nearest(id ProgID, pos uint64) (*cpu.Checkpoint, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nearestLocked(id, pos)
+}
+
+// nearestLocked is Nearest under s.mu; it touches the LRU on success.
+func (s *Store) nearestLocked(id ProgID, pos uint64) (*cpu.Checkpoint, uint64) {
+	ps := s.byProg[id]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] > pos })
+	if i == 0 {
+		return nil, 0
+	}
+	p := ps[i-1]
+	el, ok := s.entries[Key{Prog: id, Pos: p}]
+	if !ok {
+		return nil, 0
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).cp, p
+}
+
+// Put inserts a checkpoint directly (tests; Prefix owners insert through
+// their produce return).
+func (s *Store) Put(id ProgID, pos uint64, cp *cpu.Checkpoint) {
+	s.initMetrics()
+	s.mu.Lock()
+	s.putLocked(Key{Prog: id, Pos: pos}, cp)
+	s.mu.Unlock()
+	s.updateGauges()
+}
+
+// putLocked inserts under s.mu, evicting LRU entries past the byte bound.
+// Checkpoints larger than the whole budget are not cached at all.
+func (s *Store) putLocked(k Key, cp *cpu.Checkpoint) {
+	cost := cp.Bytes()
+	if cost > s.maxBytes {
+		return
+	}
+	if el, ok := s.entries[k]; ok { // racing owners: keep the existing entry fresh
+		s.lru.MoveToFront(el)
+		return
+	}
+	el := s.lru.PushFront(&entry{key: k, cp: cp, bytes: cost})
+	s.entries[k] = el
+	s.insertPosLocked(k)
+	s.bytes += cost
+	for s.bytes > s.maxBytes && s.lru.Len() > 1 {
+		s.evictLocked(s.lru.Back())
+	}
+}
+
+// evictLocked removes one LRU element under s.mu.
+func (s *Store) evictLocked(el *list.Element) {
+	en := el.Value.(*entry)
+	s.lru.Remove(el)
+	delete(s.entries, en.key)
+	s.removePosLocked(en.key)
+	s.bytes -= en.bytes
+	s.evictions++
+	s.mEvictions.Inc()
+}
+
+// insertPosLocked records a resident position in the per-program sorted
+// index.
+func (s *Store) insertPosLocked(k Key) {
+	ps := s.byProg[k.Prog]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= k.Pos })
+	ps = append(ps, 0)
+	copy(ps[i+1:], ps[i:])
+	ps[i] = k.Pos
+	s.byProg[k.Prog] = ps
+}
+
+// removePosLocked drops a position from the per-program sorted index.
+func (s *Store) removePosLocked(k Key) {
+	ps := s.byProg[k.Prog]
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= k.Pos })
+	if i < len(ps) && ps[i] == k.Pos {
+		ps = append(ps[:i], ps[i+1:]...)
+	}
+	if len(ps) == 0 {
+		delete(s.byProg, k.Prog)
+	} else {
+		s.byProg[k.Prog] = ps
+	}
+}
+
+// updateGauges publishes the resident size outside s.mu.
+func (s *Store) updateGauges() {
+	s.mu.Lock()
+	b, n := s.bytes, s.lru.Len()
+	s.mu.Unlock()
+	s.mBytes.Set(float64(b))
+	s.mEntries.Set(float64(n))
+}
+
+// Stats snapshots the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:   s.lru.Len(),
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Waits:     s.waits,
+	}
+}
+
+// Reset drops every resident checkpoint and zeroes the counters (tests
+// and sweep teardown). In-progress populations are unaffected: their
+// waiters still receive the produced checkpoint, it just is not cached.
+func (s *Store) Reset() {
+	s.initMetrics()
+	s.mu.Lock()
+	s.lru.Init()
+	s.entries = make(map[Key]*list.Element)
+	s.byProg = make(map[ProgID][]uint64)
+	s.bytes = 0
+	s.hits, s.misses, s.evictions, s.waits = 0, 0, 0, 0
+	s.mu.Unlock()
+	s.updateGauges()
+}

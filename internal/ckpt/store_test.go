@@ -1,0 +1,253 @@
+package ckpt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/obs"
+	"repro/internal/program"
+)
+
+// testProgram builds a tiny distinct program per name so fingerprints and
+// memory footprints are real.
+func testProgram(t testing.TB, name string, memWords int) *program.Program {
+	t.Helper()
+	b := program.NewBuilder(name, memWords)
+	b.Li(1, int64(len(name))) // differs per name, so fingerprints differ
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return p
+}
+
+func snapAt(t testing.TB, p *program.Program, pos uint64) *cpu.Checkpoint {
+	t.Helper()
+	e := cpu.NewEmu(p)
+	e.Run(pos)
+	return e.Snapshot()
+}
+
+func TestStorePrefixHitMissAndNearest(t *testing.T) {
+	p := testProgram(t, "hitmiss", 1<<10)
+	id := IDOf(p)
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+
+	produced := 0
+	get := func(pos uint64) (*cpu.Checkpoint, bool) {
+		cp, owned, err := s.Prefix(context.Background(), id, pos, func(near *cpu.Checkpoint, nearPos uint64) (*cpu.Checkpoint, error) {
+			produced++
+			if near != nil && nearPos > pos {
+				t.Fatalf("nearest position %d beyond target %d", nearPos, pos)
+			}
+			return snapAt(t, p, pos), nil
+		})
+		if err != nil {
+			t.Fatalf("Prefix(%d): %v", pos, err)
+		}
+		return cp, owned
+	}
+
+	if cp, owned := get(1); !owned || cp == nil || cp.Count != 1 {
+		t.Fatalf("first Prefix: owned=%v cp=%v", owned, cp)
+	}
+	if cp, owned := get(1); owned || cp == nil {
+		t.Fatalf("second Prefix should hit: owned=%v cp=%v", owned, cp)
+	}
+	if produced != 1 {
+		t.Fatalf("produce ran %d times, want 1", produced)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+
+	// Nearest: position 1 is resident, so a Prefix at 2 sees it.
+	if cp, pos := s.Nearest(id, 2); cp == nil || pos != 1 {
+		t.Fatalf("Nearest(2) = (%v, %d), want resident checkpoint at 1", cp, pos)
+	}
+	if cp, pos := s.Nearest(id, 0); cp != nil || pos != 0 {
+		t.Fatalf("Nearest(0) = (%v, %d), want none", cp, pos)
+	}
+}
+
+func TestStoreCrossProgramIsolation(t *testing.T) {
+	pa := testProgram(t, "prog-a", 1<<10)
+	pb := testProgram(t, "prog-bb", 1<<10)
+	if IDOf(pa) == IDOf(pb) {
+		t.Fatal("distinct programs share an identity")
+	}
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+	s.Put(IDOf(pa), 1, snapAt(t, pa, 1))
+
+	if cp, _ := s.Nearest(IDOf(pb), 10); cp != nil {
+		t.Fatal("checkpoint leaked across program identities")
+	}
+	// Even a hand-forged cross-program restore is rejected by the
+	// fingerprint guard.
+	cp, _ := s.Nearest(IDOf(pa), 10)
+	if cp == nil {
+		t.Fatal("own program lookup failed")
+	}
+	if err := cpu.NewEmu(pb).Restore(cp); err == nil {
+		t.Fatal("Restore accepted a checkpoint from a different program")
+	}
+}
+
+func TestStoreEvictionBound(t *testing.T) {
+	p := testProgram(t, "evict", 1<<10)
+	id := IDOf(p)
+	one := snapAt(t, p, 0).Bytes()
+	s := New(3 * one) // room for three checkpoints
+	s.Obs = obs.NewRegistry()
+
+	for pos := uint64(0); pos < 8; pos++ {
+		s.Put(id, pos, snapAt(t, p, 0))
+	}
+	st := s.Stats()
+	if st.Bytes > 3*one {
+		t.Fatalf("resident bytes %d exceed bound %d", st.Bytes, 3*one)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if st.Evictions != 5 {
+		t.Fatalf("evictions = %d, want 5", st.Evictions)
+	}
+	// The survivors are the most recently inserted positions, and the
+	// position index followed the evictions.
+	if cp, pos := s.Nearest(id, 100); cp == nil || pos != 7 {
+		t.Fatalf("Nearest(100) = (%v, %d), want 7", cp, pos)
+	}
+	if cp, _ := s.Nearest(id, 4); cp != nil {
+		t.Fatal("evicted position still resolvable")
+	}
+
+	// An oversized checkpoint is refused outright.
+	tiny := New(one - 1)
+	tiny.Obs = obs.NewRegistry()
+	tiny.Put(id, 0, snapAt(t, p, 0))
+	if st := tiny.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized checkpoint was cached: %+v", st)
+	}
+}
+
+func TestStoreSingleFlight(t *testing.T) {
+	p := testProgram(t, "flight", 1<<10)
+	id := IDOf(p)
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+
+	const callers = 16
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cp, _, err := s.Prefix(context.Background(), id, 1, func(near *cpu.Checkpoint, nearPos uint64) (*cpu.Checkpoint, error) {
+				produced.Add(1)
+				return snapAt(t, p, 1), nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if cp == nil || cp.Count != 1 {
+				errs <- fmt.Errorf("bad checkpoint %+v", cp)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := produced.Load(); got != 1 {
+		t.Fatalf("produce ran %d times under %d concurrent callers, want 1", got, callers)
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1", st.Misses)
+	}
+	if st.Hits != callers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, callers-1)
+	}
+}
+
+func TestStoreOwnerFailureFallsBack(t *testing.T) {
+	p := testProgram(t, "fail", 1<<10)
+	id := IDOf(p)
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+
+	boom := errors.New("boom")
+	_, owned, err := s.Prefix(context.Background(), id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+		return nil, boom
+	})
+	if !owned || !errors.Is(err, boom) {
+		t.Fatalf("owner failure: owned=%v err=%v", owned, err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("failed population was cached: %+v", st)
+	}
+	// The key is released: the next caller owns a fresh population.
+	cp, owned, err := s.Prefix(context.Background(), id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+		return snapAt(t, p, 1), nil
+	})
+	if err != nil || !owned || cp == nil {
+		t.Fatalf("retry after failure: cp=%v owned=%v err=%v", cp, owned, err)
+	}
+}
+
+func TestStoreWaiterCancellation(t *testing.T) {
+	p := testProgram(t, "cancel", 1<<10)
+	id := IDOf(p)
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		s.Prefix(context.Background(), id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+			close(started)
+			<-release
+			return snapAt(t, p, 1), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := s.Prefix(ctx, id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+		t.Error("cancelled waiter must not own the population")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait returned %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestStoreReset(t *testing.T) {
+	p := testProgram(t, "reset", 1<<10)
+	id := IDOf(p)
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+	s.Put(id, 1, snapAt(t, p, 1))
+	s.Reset()
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Reset left state behind: %+v", st)
+	}
+	if cp, _ := s.Nearest(id, 10); cp != nil {
+		t.Fatal("Reset left a resident checkpoint")
+	}
+}

@@ -1,67 +1,181 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
+	"repro/internal/ckpt"
 	"repro/internal/cpu"
 	"repro/internal/sim"
-	"repro/internal/simpoint"
 )
 
-// ckptBudgetBytes caps the memory spent on cached SimPoint checkpoints per
-// benchmark plan; programs whose footprint would blow the budget simply
-// fall back to fast-forwarding.
-const ckptBudgetBytes = 128 << 20
+// The functional prefix of a technique run — fast-forwarding to the first
+// measurement region, or skipping to a profile window — depends only on
+// the program, never on the machine configuration. A multi-configuration
+// sweep (the Plackett-Burman design runs ~44 configurations per benchmark)
+// therefore re-executes the exact same instruction stream once per
+// configuration. The shared checkpoint store amortizes that work across
+// every consumer: the first run to need a prefix executes it and snapshots
+// the architectural state; later runs — including concurrent runs under
+// the parallel scheduler, via single-flight population — restore the
+// snapshot instead.
 
-// ckptCache memoizes architectural checkpoints across technique runs. The
-// key identifies the program (name + code size covers benchmark, input and
-// scale) and the instruction position.
-var ckptCache sync.Map // ckptKey -> *cpu.Checkpoint
+// DefaultCheckpointBudget bounds the resident bytes of the shared store.
+// Checkpoints copy whole program memories, so the bound is what keeps a
+// long sweep from accumulating snapshots without limit; the store evicts
+// least-recently-used entries past it.
+const DefaultCheckpointBudget = 256 << 20
 
-type ckptKey struct {
-	prog string
-	pos  uint64
+// minCkptPrefix is the shortest prefix (in instructions from program
+// start) worth checkpointing: below it, re-executing is cheaper than the
+// snapshot's memory copy and the store bookkeeping.
+const minCkptPrefix = 1 << 12
+
+var (
+	ckptMu      sync.Mutex
+	sharedCkpts = ckpt.New(DefaultCheckpointBudget)
+)
+
+// CheckpointStore returns the shared functional-prefix checkpoint store
+// (nil when disabled via SetCheckpointStore(nil)).
+func CheckpointStore() *ckpt.Store {
+	ckptMu.Lock()
+	defer ckptMu.Unlock()
+	return sharedCkpts
 }
 
-// ckptStore is the per-run view: enabled only when the plan's points fit
-// the budget.
-type ckptStore struct {
-	prog    string
-	enabled bool
+// SetCheckpointStore replaces the shared store; nil disables checkpointing
+// entirely (every prefix is executed). Tests and ablations use this to
+// isolate or size the store.
+func SetCheckpointStore(s *ckpt.Store) {
+	ckptMu.Lock()
+	defer ckptMu.Unlock()
+	sharedCkpts = s
 }
 
-func checkpointStore(r *sim.Runner, plan *simpoint.Plan, points int) ckptStore {
-	footprint := int64(r.Prog.MemWords) * 8 * int64(points)
-	return ckptStore{
-		prog:    fmt.Sprintf("%s/%d", r.Prog.Name, len(r.Prog.Code)),
-		enabled: footprint <= ckptBudgetBytes,
+// CheckpointStats snapshots the shared store's accounting (zero when
+// disabled).
+func CheckpointStats() ckpt.Stats {
+	if s := CheckpointStore(); s != nil {
+		return s.Stats()
+	}
+	return ckpt.Stats{}
+}
+
+// ResetCheckpointCache drops all cached checkpoints and zeroes the store's
+// counters (tests, ablations, and sweep teardown).
+func ResetCheckpointCache() {
+	if s := CheckpointStore(); s != nil {
+		s.Reset()
 	}
 }
 
-func (s ckptStore) load(pos uint64) *cpu.Checkpoint {
-	if !s.enabled {
+// ckptCtx adapts the experiment context to the store's cancellation.
+func ckptCtx(ctx Context) context.Context {
+	if ctx.Ctx != nil {
+		return ctx.Ctx
+	}
+	return context.Background()
+}
+
+// checkpointedFF advances the runner's architectural state to the absolute
+// position target (instructions from program start), serving the prefix
+// from the shared store when possible. It returns the number of
+// instructions actually executed functionally: a restored prefix costs —
+// and counts — nothing, preserving the "functional work done" semantics of
+// Result.FunctionalInstr.
+//
+// Restoring is exact, not approximate: a checkpoint captures the complete
+// architectural state and fast-forwarding touches no micro-architectural
+// state, so a run that restores is indistinguishable from one that
+// executed the prefix. TestCheckpointEquivalence pins this.
+func checkpointedFF(ctx Context, r *sim.Runner, target uint64) (uint64, error) {
+	cur := r.Emu.Count
+	if target <= cur {
+		return 0, nil
+	}
+	s := CheckpointStore()
+	if s == nil || target < minCkptPrefix || r.Core.InFlight() != 0 {
+		got := r.FastForward(target - cur)
+		return got, r.Err()
+	}
+	var executed uint64
+	cp, owned, err := s.Prefix(ckptCtx(ctx), ckpt.IDOf(r.Prog), target,
+		func(near *cpu.Checkpoint, nearPos uint64) (*cpu.Checkpoint, error) {
+			if near != nil && nearPos > r.Emu.Count {
+				sp := ctx.startSpan("ckpt-restore")
+				err := r.RestoreCheckpoint(near)
+				sp.End()
+				_ = err // a failed restore just means executing the whole prefix
+			}
+			if target > r.Emu.Count {
+				executed += r.FastForward(target - r.Emu.Count)
+			}
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			if r.Emu.Count != target {
+				return nil, nil // halted inside the prefix: nothing to cache
+			}
+			cp, err := r.Checkpoint()
+			if err != nil {
+				return nil, nil // pipeline not quiescent: run on, uncached
+			}
+			return cp, nil
+		})
+	switch {
+	case err != nil:
+		return executed, err
+	case owned:
+		return executed, nil // the machine is already at target
+	case cp == nil:
+		// The population owner failed; execute the prefix ourselves.
+		executed += r.FastForward(target - r.Emu.Count)
+		return executed, r.Err()
+	default:
+		sp := ctx.startSpan("ckpt-restore")
+		rerr := r.RestoreCheckpoint(cp)
+		sp.End()
+		if rerr != nil {
+			executed += r.FastForward(target - r.Emu.Count)
+		}
+		return executed, r.Err()
+	}
+}
+
+// emuSkipTo is checkpointedFF for a raw emulator: profile-collection
+// passes skip to their windows through the same store, so a technique's
+// measurement run and its profile run (and every later configuration's)
+// share one execution of each prefix.
+func emuSkipTo(ctx Context, e *cpu.Emu, target uint64) error {
+	if target <= e.Count {
 		return nil
 	}
-	if v, ok := ckptCache.Load(ckptKey{s.prog, pos}); ok {
-		return v.(*cpu.Checkpoint)
+	s := CheckpointStore()
+	if s == nil || target < minCkptPrefix {
+		return emuRun(ctx, e, target-e.Count, nil)
+	}
+	cp, owned, err := s.Prefix(ckptCtx(ctx), ckpt.IDOf(e.Prog), target,
+		func(near *cpu.Checkpoint, nearPos uint64) (*cpu.Checkpoint, error) {
+			if near != nil && nearPos > e.Count {
+				_ = e.Restore(near) // failure: execute from the current position
+			}
+			if err := emuRun(ctx, e, target-e.Count, nil); err != nil {
+				return nil, err
+			}
+			if e.Count != target {
+				return nil, nil // halted inside the prefix
+			}
+			return e.Snapshot(), nil
+		})
+	if err != nil || owned {
+		return err
+	}
+	if cp == nil {
+		return emuRun(ctx, e, target-e.Count, nil)
+	}
+	if e.Restore(cp) != nil {
+		return emuRun(ctx, e, target-e.Count, nil)
 	}
 	return nil
-}
-
-func (s ckptStore) save(pos uint64, r *sim.Runner) {
-	if !s.enabled {
-		return
-	}
-	cp, err := r.Checkpoint()
-	if err != nil {
-		return
-	}
-	ckptCache.Store(ckptKey{s.prog, pos}, cp)
-}
-
-// ResetCheckpointCache drops all cached checkpoints (tests and the memory
-// ablation use this).
-func ResetCheckpointCache() {
-	ckptCache = sync.Map{}
 }

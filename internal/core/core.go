@@ -243,7 +243,7 @@ func profileWindow(ctx Context, input bench.InputSet, skip, n uint64) (*cpu.Prof
 	}
 	e := cpu.NewEmu(p)
 	if skip > 0 {
-		if err := emuRun(ctx, e, skip, nil); err != nil {
+		if err := emuSkipTo(ctx, e, skip); err != nil {
 			return nil, err
 		}
 	}

@@ -100,6 +100,7 @@ func TestRunZMeasuresExactWindow(t *testing.T) {
 }
 
 func TestFFRunSkipsAndMeasures(t *testing.T) {
+	ResetCheckpointCache() // FunctionalInstr assertions need a cold prefix
 	ctx := testCtx(bench.VprRoute)
 	res, err := FFRun{X: 1000, Z: 500}.Run(ctx)
 	if err != nil {

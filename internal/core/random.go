@@ -93,12 +93,16 @@ func (t RandomSample) Run(ctx Context) (Result, error) {
 		if s < pos {
 			continue // overlapping sample; skip (random starts may collide)
 		}
-		gap := s - pos
-		if gap > funcWarm {
-			functional += r.FastForward(gap - funcWarm)
-			gap = funcWarm
+		if gap := s - pos; gap > funcWarm {
+			n, err := checkpointedFF(ctx, r, s-funcWarm)
+			if err != nil {
+				return Result{}, err
+			}
+			functional += n
 		}
-		functional += r.FunctionalWarm(gap)
+		if s > r.Emu.Count {
+			functional += r.FunctionalWarm(s - r.Emu.Count)
+		}
 		if t.W > 0 {
 			detailed += r.Detailed(t.W)
 		}
@@ -148,7 +152,7 @@ func (t RandomSample) sampledProfile(ctx Context, starts []uint64) (*cpu.Profile
 		if target < e.Count {
 			continue
 		}
-		if err := emuRun(ctx, e, target-e.Count, nil); err != nil {
+		if err := emuSkipTo(ctx, e, target); err != nil {
 			return nil, err
 		}
 		if err := emuRun(ctx, e, t.U, prof); err != nil {

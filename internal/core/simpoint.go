@@ -122,11 +122,6 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 		funcWarm = ctx.Scale.Instr(funcWarmM)
 	}
 
-	// Architectural checkpoints at each point's pre-warm position let
-	// successive configuration runs of the same plan skip the fast-forward
-	// — the amortization the paper describes for SimPoint users (§6.1).
-	ckpts := checkpointStore(r, plan, len(points))
-
 	var agg sim.Stats
 	var pos, detailed, functional uint64
 	for _, pt := range points {
@@ -140,21 +135,20 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 			warmStart = 0
 		}
 		// Pre-warm position: functional warming covers [ckPos, warmStart).
+		// The shared store amortizes the fast-forward to ckPos across
+		// technique repeats and configuration sweeps — the amortization the
+		// paper describes for SimPoint users (§6.1), generalized.
 		ckPos := uint64(0)
 		if warmStart > funcWarm {
 			ckPos = warmStart - funcWarm
 		}
 		if ckPos > pos {
-			if cp := ckpts.load(ckPos); cp != nil {
-				if err := r.RestoreCheckpoint(cp); err == nil {
-					pos = ckPos
-				}
+			n, err := checkpointedFF(ctx, r, ckPos)
+			if err != nil {
+				return Result{}, err
 			}
-		}
-		if ckPos > pos {
-			functional += r.FastForward(ckPos - pos)
-			pos = ckPos
-			ckpts.save(ckPos, r)
+			functional += n
+			pos = r.Emu.Count
 		}
 		if warmStart > pos {
 			functional += r.FunctionalWarm(warmStart - pos)

@@ -173,10 +173,8 @@ func (t SMARTS) sampledProfile(ctx Context, total uint64, n int) (*cpu.Profile, 
 			offset = rng.Uint64() % slack
 		}
 		start := uint64(i)*period + offset + t.W
-		if start > e.Count {
-			if err := emuRun(ctx, e, start-e.Count, nil); err != nil {
-				return nil, err
-			}
+		if err := emuSkipTo(ctx, e, start); err != nil {
+			return nil, err
 		}
 		if err := emuRun(ctx, e, t.U, prof); err != nil {
 			return nil, err

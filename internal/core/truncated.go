@@ -77,7 +77,10 @@ func (t FFRun) Run(ctx Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ff := r.FastForward(ctx.Scale.Instr(t.X))
+	ff, err := checkpointedFF(ctx, r, ctx.Scale.Instr(t.X))
+	if err != nil {
+		return Result{}, err
+	}
 	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
 	if err := r.Err(); err != nil {
 		return Result{}, err
@@ -129,7 +132,10 @@ func (t FFWURun) Run(ctx Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ff := r.FastForward(ctx.Scale.Instr(t.X))
+	ff, err := checkpointedFF(ctx, r, ctx.Scale.Instr(t.X))
+	if err != nil {
+		return Result{}, err
+	}
 	wuSpan := ctx.startSpan("warm-up")
 	wu := r.Detailed(ctx.Scale.Instr(t.Y)) // warm-up: detailed, unmeasured
 	wuSpan.End()

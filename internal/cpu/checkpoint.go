@@ -18,6 +18,20 @@ type Checkpoint struct {
 	PC     int32
 	Halted bool
 	Count  uint64
+
+	// Prog is the fingerprint of the program the snapshot was taken on
+	// (program.Program.Fingerprint). Restore rejects checkpoints whose
+	// fingerprint differs, so a checkpoint can never leak between two
+	// programs that merely share a memory size.
+	Prog uint64
+}
+
+// Bytes is the approximate resident size of the checkpoint, dominated by
+// the memory image copy. Byte-bounded checkpoint caches use it for their
+// eviction accounting.
+func (cp *Checkpoint) Bytes() int64 {
+	const fixed = int64(isa.NumIntRegs*8 + isa.NumFPRegs*8 + 64)
+	return int64(len(cp.Mem))*8 + fixed
 }
 
 // Snapshot captures the emulator's architectural state.
@@ -29,13 +43,21 @@ func (e *Emu) Snapshot() *Checkpoint {
 		PC:     e.PC,
 		Halted: e.Halted,
 		Count:  e.Count,
+		Prog:   e.Prog.Fingerprint(),
 	}
 	copy(cp.Mem, e.Mem)
 	return cp
 }
 
 // Restore rewinds the emulator to a checkpoint taken on the same program.
+// Checkpoints carrying a program fingerprint are verified against the
+// emulator's program; fingerprint-less checkpoints (hand-built in tests)
+// fall back to the memory-size check.
 func (e *Emu) Restore(cp *Checkpoint) error {
+	if cp.Prog != 0 && cp.Prog != e.Prog.Fingerprint() {
+		return fmt.Errorf("cpu: checkpoint program fingerprint %#x != %#x (%s): checkpoint from a different program",
+			cp.Prog, e.Prog.Fingerprint(), e.Prog.Name)
+	}
 	if len(cp.Mem) != len(e.Mem) {
 		return fmt.Errorf("cpu: checkpoint memory size %d != program memory %d (different program?)",
 			len(cp.Mem), len(e.Mem))

@@ -513,20 +513,19 @@ func (c *Core) dispatch() {
 		e := c.robAt(seq)
 		*e = robEntry{di: fe.di, seq: seq, depA: -1, depB: -1}
 
-		// Record data dependences on in-flight producers.
+		// Record data dependences on in-flight producers. The operand
+		// shape (which sources are register reads) is pre-decoded.
 		dep := func(r isa.Reg) int64 {
 			if r == isa.RegNone || r == 0 { // R0 always ready
 				return -1
 			}
 			return c.lastWriter[r]
 		}
-		switch e.di.Op {
-		case isa.NOP, isa.HALT, isa.LI, isa.FMOVI, isa.JMP, isa.JAL:
-		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SLTI,
-			isa.LD, isa.FLD, isa.JR, isa.FNEG, isa.ITOF, isa.FTOI:
+		d := &c.emu.dec[e.di.PC]
+		if d.readsA {
 			e.depA = dep(e.di.SrcA)
-		default:
-			e.depA = dep(e.di.SrcA)
+		}
+		if d.readsB {
 			e.depB = dep(e.di.SrcB)
 		}
 
@@ -598,10 +597,10 @@ func (c *Core) fetch() {
 
 		// Branch prediction: determine whether the frontend can keep
 		// fetching, must simply redirect (one-group bubble), or must wait
-		// for the branch to resolve.
+		// for the branch to resolve. The control kind is pre-decoded.
 		seqOfThis := c.nextSeq + int64(c.fqCount) - 1 // seq it will get at dispatch
-		switch {
-		case isa.IsCondBranch(di.Op):
+		switch c.emu.dec[di.PC].ctrl {
+		case ctrlCond:
 			correct := c.pred.Update(faddr, di.Taken)
 			if di.Taken {
 				_, btbHit := c.btb.Lookup(faddr)
@@ -621,7 +620,7 @@ func (c *Core) fetch() {
 				return
 			}
 			// correctly predicted not-taken: fall through, keep fetching
-		case di.Op == isa.JMP, di.Op == isa.JAL:
+		case ctrlJump:
 			if di.Op == isa.JAL {
 				c.ras.Push(di.PC + 1)
 			}
@@ -632,7 +631,7 @@ func (c *Core) fetch() {
 				return
 			}
 			return // redirect, end group
-		case di.Op == isa.JR:
+		case ctrlJR:
 			if c.ras.Pop(di.Next) {
 				return // correctly predicted return: redirect, end group
 			}

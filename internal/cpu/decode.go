@@ -1,0 +1,189 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// This file implements the pre-decoded instruction kernel: each static
+// program is decoded exactly once into a table of decInst templates, and
+// the hot loops — Emu.Step (executed for every dynamic instruction of
+// every fast-forward, warm, profile, and detailed phase) and the detailed
+// core's fetch/dispatch stages — index the table instead of re-deriving
+// class, immediate form, FP register offsets, and dependence shape from
+// the opcode on every dynamic instance.
+
+// decKind is the pre-resolved execution class Emu.Step switches on; it
+// collapses the per-op opcode switch into one dense dispatch whose cases
+// need no further opcode inspection.
+type decKind uint8
+
+const (
+	dNop decKind = iota
+	dIntRR
+	dIntRI
+	dLI
+	dFPArith
+	dFNeg
+	dFSlt
+	dIToF
+	dFToI
+	dFMovI
+	dLd
+	dSt
+	dFLd
+	dFSt
+	dBeq
+	dBne
+	dBlt
+	dBge
+	dJmp
+	dJal
+	dJr
+	dHalt
+)
+
+// ctrlKind classifies control transfers for the detailed frontend, which
+// previously re-tested IsCondBranch and compared opcodes per fetched
+// branch.
+type ctrlKind uint8
+
+const (
+	ctrlNone ctrlKind = iota
+	ctrlCond          // BEQ/BNE/BLT/BGE
+	ctrlJump          // JMP/JAL
+	ctrlJR
+)
+
+// decInst is one pre-decoded static instruction.
+type decInst struct {
+	// tmpl is the static portion of the DynInst record; Step copies it
+	// wholesale and fills only the dynamic fields (Addr/Taken/Next,
+	// Trivial when detection is on).
+	tmpl DynInst
+
+	kind decKind
+	ctrl ctrlKind
+
+	// base is the shared-ALU evaluation opcode with immediate forms
+	// already mapped to their register-register equivalent (immBaseOp
+	// applied at decode time).
+	base isa.Op
+
+	// fd/fa/fb are FP register file indices (Dst/SrcA/SrcB with FPBase
+	// already subtracted) for the kinds that use them.
+	fd, fa, fb uint8
+
+	imm    int64
+	fimm   float64 // FMOVI operand, bit pattern pre-converted
+	target int32
+
+	// leader marks the first instruction of its basic block (RunProfile's
+	// block-entry test).
+	leader bool
+
+	// readsA/readsB give the dispatch-stage dependence shape: whether
+	// SrcA/SrcB name an in-flight-trackable register operand.
+	readsA, readsB bool
+}
+
+// decodeProgram builds the decode table for a program.
+func decodeProgram(p *program.Program) []decInst {
+	dec := make([]decInst, len(p.Code))
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		d := &dec[pc]
+		d.tmpl = DynInst{
+			PC:    int32(pc),
+			Block: p.BlockOf[pc],
+			Op:    in.Op,
+			Class: isa.ClassOf(in.Op),
+			Dst:   in.Dst,
+			SrcA:  in.SrcA,
+			SrcB:  in.SrcB,
+		}
+		d.imm = in.Imm
+		d.target = in.Target
+		d.leader = p.Blocks[p.BlockOf[pc]].Start == pc
+
+		fp := func(r isa.Reg) uint8 { return uint8(r - isa.FPBase) }
+		switch in.Op {
+		case isa.NOP:
+			d.kind = dNop
+		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SLT,
+			isa.MUL, isa.DIV, isa.REM:
+			d.kind, d.base = dIntRR, in.Op
+			d.readsA, d.readsB = true, true
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SLTI:
+			d.kind, d.base = dIntRI, immBaseOp(in.Op)
+			d.readsA = true
+		case isa.LI:
+			d.kind = dLI
+		case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+			d.kind = dFPArith
+			d.fd, d.fa, d.fb = fp(in.Dst), fp(in.SrcA), fp(in.SrcB)
+			d.readsA, d.readsB = true, true
+		case isa.FNEG:
+			d.kind = dFNeg
+			d.fd, d.fa = fp(in.Dst), fp(in.SrcA)
+			d.readsA = true
+		case isa.FSLT:
+			d.kind = dFSlt
+			d.fa, d.fb = fp(in.SrcA), fp(in.SrcB)
+			d.readsA, d.readsB = true, true
+		case isa.ITOF:
+			d.kind = dIToF
+			d.fd = fp(in.Dst)
+			d.readsA = true
+		case isa.FTOI:
+			d.kind = dFToI
+			d.fa = fp(in.SrcA)
+			d.readsA = true
+		case isa.FMOVI:
+			d.kind = dFMovI
+			d.fd = fp(in.Dst)
+			d.fimm = math.Float64frombits(uint64(in.Imm))
+		case isa.LD:
+			d.kind = dLd
+			d.readsA = true
+		case isa.ST:
+			d.kind = dSt
+			d.readsA, d.readsB = true, true
+		case isa.FLD:
+			d.kind = dFLd
+			d.fd = fp(in.Dst)
+			d.readsA = true
+		case isa.FST:
+			d.kind = dFSt
+			d.fb = fp(in.SrcB)
+			d.readsA, d.readsB = true, true
+		case isa.BEQ:
+			d.kind, d.ctrl = dBeq, ctrlCond
+			d.readsA, d.readsB = true, true
+		case isa.BNE:
+			d.kind, d.ctrl = dBne, ctrlCond
+			d.readsA, d.readsB = true, true
+		case isa.BLT:
+			d.kind, d.ctrl = dBlt, ctrlCond
+			d.readsA, d.readsB = true, true
+		case isa.BGE:
+			d.kind, d.ctrl = dBge, ctrlCond
+			d.readsA, d.readsB = true, true
+		case isa.JMP:
+			d.kind, d.ctrl = dJmp, ctrlJump
+		case isa.JAL:
+			d.kind, d.ctrl = dJal, ctrlJump
+		case isa.JR:
+			d.kind, d.ctrl = dJr, ctrlJR
+			d.readsA = true
+		case isa.HALT:
+			d.kind = dHalt
+		default:
+			panic(fmt.Sprintf("cpu: unimplemented opcode %v at pc %d", in.Op, pc))
+		}
+	}
+	return dec
+}

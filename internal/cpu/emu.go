@@ -35,11 +35,15 @@ type Emu struct {
 	// DetectTrivial enables trivial-computation classification on each
 	// executed instruction (needed only by the TC enhancement study).
 	DetectTrivial bool
+
+	// dec is the program's decode table, built once per emulator; Step
+	// indexes it instead of re-decoding the opcode per dynamic instruction.
+	dec []decInst
 }
 
 // NewEmu creates an emulator with freshly initialized architectural state.
 func NewEmu(p *program.Program) *Emu {
-	e := &Emu{Prog: p}
+	e := &Emu{Prog: p, dec: decodeProgram(p)}
 	e.Reset()
 	return e
 }
@@ -74,24 +78,18 @@ func (e *Emu) ea(base isa.Reg, imm int64) uint64 {
 
 // Step executes one instruction, filling di with its dynamic record.
 // It returns false when the machine has halted (di is then invalid).
+//
+// The static portion of di is a single copy of the pre-decoded template
+// (see decode.go); the switch dispatches on the pre-resolved kind, so no
+// opcode classification, immediate-form mapping, or FP register offset
+// arithmetic happens per dynamic instruction.
 func (e *Emu) Step(di *DynInst) bool {
 	if e.Halted {
 		return false
 	}
-	p := e.Prog
 	pc := e.PC
-	in := &p.Code[pc]
-
-	di.PC = pc
-	di.Block = p.BlockOf[pc]
-	di.Op = in.Op
-	di.Class = isa.ClassOf(in.Op)
-	di.Dst = in.Dst
-	di.SrcA = in.SrcA
-	di.SrcB = in.SrcB
-	di.Addr = 0
-	di.Taken = false
-	di.Trivial = isa.NotTrivial
+	d := &e.dec[pc]
+	*di = d.tmpl
 
 	next := pc + 1
 	setInt := func(r isa.Reg, v int64) {
@@ -100,111 +98,110 @@ func (e *Emu) Step(di *DynInst) bool {
 		}
 	}
 
-	switch in.Op {
-	case isa.NOP:
-	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SLT,
-		isa.MUL, isa.DIV, isa.REM:
-		a, b := e.R[in.SrcA], e.R[in.SrcB]
+	switch d.kind {
+	case dNop:
+	case dIntRR:
+		a, b := e.R[di.SrcA], e.R[di.SrcB]
 		if e.DetectTrivial {
-			di.Trivial, _ = isa.TrivialInt(in.Op, a, b)
+			di.Trivial, _ = isa.TrivialInt(d.base, a, b)
 		}
-		setInt(in.Dst, intALU(in.Op, a, b))
-	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SHLI, isa.SHRI, isa.SLTI:
-		a := e.R[in.SrcA]
+		setInt(di.Dst, intALU(d.base, a, b))
+	case dIntRI:
+		a := e.R[di.SrcA]
 		if e.DetectTrivial {
-			di.Trivial, _ = isa.TrivialInt(immBaseOp(in.Op), a, in.Imm)
+			di.Trivial, _ = isa.TrivialInt(d.base, a, d.imm)
 		}
-		setInt(in.Dst, intALU(immBaseOp(in.Op), a, in.Imm))
-	case isa.LI:
-		setInt(in.Dst, in.Imm)
-	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
-		a, b := e.F[in.SrcA-isa.FPBase], e.F[in.SrcB-isa.FPBase]
+		setInt(di.Dst, intALU(d.base, a, d.imm))
+	case dLI:
+		setInt(di.Dst, d.imm)
+	case dFPArith:
+		a, b := e.F[d.fa], e.F[d.fb]
 		if e.DetectTrivial {
-			di.Trivial, _ = isa.TrivialFP(in.Op, a, b)
+			di.Trivial, _ = isa.TrivialFP(di.Op, a, b)
 		}
-		e.F[in.Dst-isa.FPBase] = fpALU(in.Op, a, b)
-	case isa.FNEG:
-		e.F[in.Dst-isa.FPBase] = -e.F[in.SrcA-isa.FPBase]
-	case isa.FSLT:
+		e.F[d.fd] = fpALU(di.Op, a, b)
+	case dFNeg:
+		e.F[d.fd] = -e.F[d.fa]
+	case dFSlt:
 		v := int64(0)
-		if e.F[in.SrcA-isa.FPBase] < e.F[in.SrcB-isa.FPBase] {
+		if e.F[d.fa] < e.F[d.fb] {
 			v = 1
 		}
-		setInt(in.Dst, v)
-	case isa.ITOF:
-		e.F[in.Dst-isa.FPBase] = float64(e.R[in.SrcA])
-	case isa.FTOI:
-		f := e.F[in.SrcA-isa.FPBase]
+		setInt(di.Dst, v)
+	case dIToF:
+		e.F[d.fd] = float64(e.R[di.SrcA])
+	case dFToI:
+		f := e.F[d.fa]
 		switch {
 		case math.IsNaN(f):
-			setInt(in.Dst, 0)
+			setInt(di.Dst, 0)
 		case f >= math.MaxInt64:
-			setInt(in.Dst, math.MaxInt64)
+			setInt(di.Dst, math.MaxInt64)
 		case f <= math.MinInt64:
-			setInt(in.Dst, math.MinInt64)
+			setInt(di.Dst, math.MinInt64)
 		default:
-			setInt(in.Dst, int64(f))
+			setInt(di.Dst, int64(f))
 		}
-	case isa.FMOVI:
-		e.F[in.Dst-isa.FPBase] = math.Float64frombits(uint64(in.Imm))
-	case isa.LD:
-		addr := e.ea(in.SrcA, in.Imm)
+	case dFMovI:
+		e.F[d.fd] = d.fimm
+	case dLd:
+		addr := e.ea(di.SrcA, d.imm)
 		di.Addr = addr
-		setInt(in.Dst, e.Mem[(addr>>3)&e.wordMask])
-	case isa.ST:
-		addr := e.ea(in.SrcA, in.Imm)
+		setInt(di.Dst, e.Mem[(addr>>3)&e.wordMask])
+	case dSt:
+		addr := e.ea(di.SrcA, d.imm)
 		di.Addr = addr
-		e.Mem[(addr>>3)&e.wordMask] = e.R[in.SrcB]
-	case isa.FLD:
-		addr := e.ea(in.SrcA, in.Imm)
+		e.Mem[(addr>>3)&e.wordMask] = e.R[di.SrcB]
+	case dFLd:
+		addr := e.ea(di.SrcA, d.imm)
 		di.Addr = addr
-		e.F[in.Dst-isa.FPBase] = math.Float64frombits(uint64(e.Mem[(addr>>3)&e.wordMask]))
-	case isa.FST:
-		addr := e.ea(in.SrcA, in.Imm)
+		e.F[d.fd] = math.Float64frombits(uint64(e.Mem[(addr>>3)&e.wordMask]))
+	case dFSt:
+		addr := e.ea(di.SrcA, d.imm)
 		di.Addr = addr
-		e.Mem[(addr>>3)&e.wordMask] = int64(math.Float64bits(e.F[in.SrcB-isa.FPBase]))
-	case isa.BEQ:
-		if e.R[in.SrcA] == e.R[in.SrcB] {
+		e.Mem[(addr>>3)&e.wordMask] = int64(math.Float64bits(e.F[d.fb]))
+	case dBeq:
+		if e.R[di.SrcA] == e.R[di.SrcB] {
 			di.Taken = true
-			next = in.Target
+			next = d.target
 		}
-	case isa.BNE:
-		if e.R[in.SrcA] != e.R[in.SrcB] {
+	case dBne:
+		if e.R[di.SrcA] != e.R[di.SrcB] {
 			di.Taken = true
-			next = in.Target
+			next = d.target
 		}
-	case isa.BLT:
-		if e.R[in.SrcA] < e.R[in.SrcB] {
+	case dBlt:
+		if e.R[di.SrcA] < e.R[di.SrcB] {
 			di.Taken = true
-			next = in.Target
+			next = d.target
 		}
-	case isa.BGE:
-		if e.R[in.SrcA] >= e.R[in.SrcB] {
+	case dBge:
+		if e.R[di.SrcA] >= e.R[di.SrcB] {
 			di.Taken = true
-			next = in.Target
+			next = d.target
 		}
-	case isa.JMP:
+	case dJmp:
 		di.Taken = true
-		next = in.Target
-	case isa.JAL:
-		setInt(in.Dst, int64(pc+1))
+		next = d.target
+	case dJal:
+		setInt(di.Dst, int64(pc+1))
 		di.Taken = true
-		next = in.Target
-	case isa.JR:
+		next = d.target
+	case dJr:
 		di.Taken = true
-		t := e.R[in.SrcA]
-		if t < 0 || t >= int64(len(p.Code)) {
+		t := e.R[di.SrcA]
+		if t < 0 || t >= int64(len(e.dec)) {
 			panic(fmt.Sprintf("cpu: %s: jr through r%d to out-of-range pc %d at pc %d",
-				p.Name, in.SrcA, t, pc))
+				e.Prog.Name, di.SrcA, t, pc))
 		}
 		next = int32(t)
-	case isa.HALT:
+	case dHalt:
 		e.Halted = true
 		e.Count++
 		di.Next = pc
 		return true
 	default:
-		panic(fmt.Sprintf("cpu: unimplemented opcode %v at pc %d", in.Op, pc))
+		panic(fmt.Sprintf("cpu: unimplemented opcode %v at pc %d", di.Op, pc))
 	}
 
 	di.Next = next
@@ -390,17 +387,16 @@ func (p *Profile) AddWeighted(other *Profile, weight float64) {
 }
 
 // RunProfile executes up to n instructions while accumulating the
-// execution profile.
+// execution profile. Block entry is the pre-decoded leader flag, so the
+// hot loop never chases the Blocks slice.
 func (e *Emu) RunProfile(n uint64, prof *Profile) uint64 {
 	var di DynInst
 	var done uint64
-	blocks := e.Prog.Blocks
 	for done < n && e.Step(&di) {
 		done++
-		b := di.Block
-		prof.Instrs[b]++
-		if int(di.PC) == blocks[b].Start {
-			prof.Entries[b]++
+		prof.Instrs[di.Block]++
+		if e.dec[di.PC].leader {
+			prof.Entries[di.Block]++
 		}
 	}
 	prof.Total += done

@@ -489,6 +489,16 @@ type Options struct {
 	schedTel sched.Telemetry
 }
 
+// Close releases sweep-scoped shared state: the functional-prefix
+// checkpoints a long sweep accumulates in the shared store (see
+// core.CheckpointStore) are dropped so back-to-back sweeps in one process
+// start cold and bounded. The engine caches themselves are per-Options and
+// need no teardown. Drivers that own an Options for a whole process run
+// should defer this.
+func (o *Options) Close() {
+	core.ResetCheckpointCache()
+}
+
 // DefaultOptions returns the default corpus: every benchmark, the
 // representative catalogue, the unfolded 44-run design, CLI scale.
 func DefaultOptions() *Options {

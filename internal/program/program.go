@@ -10,7 +10,10 @@
 package program
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sync"
 
 	"repro/internal/isa"
 )
@@ -47,6 +50,11 @@ type Program struct {
 
 	// DataInit holds initial memory words, applied at reset.
 	DataInit []DataSegment
+
+	// Fingerprint cache; programs are immutable after construction, so the
+	// hash is computed at most once.
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // DataSegment is a run of initial data-memory words starting at WordAddr.
@@ -57,6 +65,42 @@ type DataSegment struct {
 
 // NumBlocks returns the number of static basic blocks.
 func (p *Program) NumBlocks() int { return len(p.Blocks) }
+
+// Fingerprint returns a 64-bit FNV-1a hash of the program image: name,
+// entry point, memory size, every instruction, and the initial data.
+// Checkpoint consumers key on it so a snapshot taken on one program can
+// never be restored into another that merely shares a memory size. The
+// hash is computed once; programs are immutable after construction.
+func (p *Program) Fingerprint() uint64 {
+	p.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		w64 := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		h.Write([]byte(p.Name))
+		w64(uint64(p.Entry))
+		w64(uint64(p.MemWords))
+		w64(uint64(len(p.Code)))
+		for i := range p.Code {
+			in := &p.Code[i]
+			w64(uint64(in.Op) | uint64(uint8(in.Dst))<<8 |
+				uint64(uint8(in.SrcA))<<16 | uint64(uint8(in.SrcB))<<24 |
+				uint64(uint32(in.Target))<<32)
+			w64(uint64(in.Imm))
+		}
+		for _, seg := range p.DataInit {
+			w64(uint64(seg.WordAddr))
+			w64(uint64(len(seg.Words)))
+			for _, v := range seg.Words {
+				w64(uint64(v))
+			}
+		}
+		p.fp = h.Sum64()
+	})
+	return p.fp
+}
 
 // Validate checks structural invariants: every control-transfer target is in
 // range and lands on a block leader, every register is valid, memory size is
