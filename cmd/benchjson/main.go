@@ -11,6 +11,10 @@
 // speedup, and worker utilization are recorded so CI on a multi-core
 // runner can verify the parallel path actually scales.
 //
+// Finally it measures the flight recorder (internal/obs.Journal): the
+// per-event cost of the disabled fast path and the enabled ring insert,
+// so the "free when off" property is a number, not a claim.
+//
 // Usage:
 //
 //	benchjson [-benches gcc,mcf] [-iters 3] [-parallel N] [-out BENCH_obs.json]
@@ -31,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/experiments/sched"
+	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sim"
 )
@@ -57,6 +62,11 @@ type Baseline struct {
 	// Ckpt compares a mini multi-configuration sweep with the shared
 	// functional-prefix checkpoint store disabled versus enabled.
 	Ckpt *CkptBaseline `json:"ckpt,omitempty"`
+
+	// Journal measures the flight recorder: the cost of a Record call with
+	// the recorder off (the always-on tax every instrumented code path
+	// pays) and on (ring insert + timestamp), plus sustained events/sec.
+	Journal *JournalBaseline `json:"journal,omitempty"`
 }
 
 // SchedBaseline is the serial-versus-parallel scheduler comparison. Cells
@@ -95,7 +105,19 @@ func main() {
 	itersFlag := flag.Int("iters", 3, "iterations per benchmark (best is kept)")
 	outFlag := flag.String("out", "BENCH_obs.json", "output file")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "workers for the scheduler comparison")
+	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	run, err := cliutil.StartRun("benchjson", obsFlags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	die := func(err error) {
+		if err != nil {
+			run.Fatal(err)
+		}
+	}
 	die(cliutil.ValidatePositive("-iters", *itersFlag))
 	die(cliutil.ValidateParallel(*parallel))
 
@@ -174,6 +196,11 @@ func main() {
 		cb.Configs, cb.Bench, time.Duration(cb.OffWallNS).Round(time.Microsecond),
 		time.Duration(cb.OnWallNS).Round(time.Microsecond), cb.Speedup, cb.Hits, cb.Misses)
 
+	jb := measureJournal(*itersFlag)
+	base.Journal = &jb
+	fmt.Fprintf(os.Stderr, "journal  %d events: off %.2f ns/event, on %.1f ns/event (%.1fM events/sec)\n",
+		jb.Events, jb.DisabledNSPerEvent, jb.EnabledNSPerEvent, jb.EventsPerSec/1e6)
+
 	f, err := os.Create(*outFlag)
 	die(err)
 	enc := json.NewEncoder(f)
@@ -181,6 +208,56 @@ func main() {
 	die(enc.Encode(base))
 	die(f.Close())
 	fmt.Fprintln(os.Stderr, "wrote", *outFlag)
+	run.Exit(0)
+}
+
+// JournalBaseline is the flight-recorder cost measurement: the recorder-off
+// Record path (a nil-or-disabled check every instrumented code path pays
+// unconditionally — the zero-alloc fast path pinned by TestJournalDisabledZeroAlloc),
+// the recorder-on path (timestamp + ring insert under the journal mutex),
+// and the sustained single-threaded throughput with the recorder on.
+type JournalBaseline struct {
+	Capacity           int     `json:"capacity"`
+	Events             int     `json:"events"`
+	DisabledNSPerEvent float64 `json:"disabled_ns_per_event"`
+	EnabledNSPerEvent  float64 `json:"enabled_ns_per_event"`
+	EventsPerSec       float64 `json:"events_per_sec"`
+}
+
+// measureJournal times the disabled and enabled Record paths, best of
+// iters, on a private journal so the process-wide recorder is untouched.
+func measureJournal(iters int) JournalBaseline {
+	const events = 1 << 16
+	j := obs.NewJournal(obs.DefaultJournalCapacity)
+	ev := obs.Event{Kind: obs.EvCellFinish, Actor: 3, Subject: "benchjson/journal", N: 1, DurNS: 1}
+	best := func(enabled bool) time.Duration {
+		j.SetEnabled(enabled)
+		var bestWall time.Duration
+		for i := 0; i < iters; i++ {
+			j.Reset()
+			start := time.Now()
+			for k := 0; k < events; k++ {
+				j.Record(ev)
+			}
+			wall := time.Since(start)
+			if i == 0 || wall < bestWall {
+				bestWall = wall
+			}
+		}
+		return bestWall
+	}
+	off := best(false)
+	on := best(true)
+	out := JournalBaseline{
+		Capacity:           obs.DefaultJournalCapacity,
+		Events:             events,
+		DisabledNSPerEvent: float64(off.Nanoseconds()) / events,
+		EnabledNSPerEvent:  float64(on.Nanoseconds()) / events,
+	}
+	if on > 0 {
+		out.EventsPerSec = float64(events) / on.Seconds()
+	}
+	return out
 }
 
 // measureSched runs the same enhancement-study plan (base plus enhanced
@@ -309,11 +386,4 @@ func measureCkpt(b bench.Name, configs int) (CkptBaseline, error) {
 		out.Speedup = float64(offWall) / float64(onWall)
 	}
 	return out, nil
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
 }

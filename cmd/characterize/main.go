@@ -4,6 +4,10 @@
 // Usage:
 //
 //	characterize -method bottleneck|profile|arch [-bench mcf] [-scale test|cli|full] [-full] [-parallel N]
+//
+// Observability: -debug-addr serves /statusz, /eventsz, /tracez and pprof
+// while the sweep runs; -manifest and -trace-out write the run manifest
+// and a Chrome trace on exit. See docs/observability.md.
 package main
 
 import (
@@ -21,14 +25,25 @@ func main() {
 	benchFlag := flag.String("bench", "mcf", "benchmark")
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial tables")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
+	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
+	run, err := cliutil.StartRun("characterize", obsFlags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	die := func(err error) {
+		if err != nil {
+			run.Fatal(err)
+		}
+	}
+
 	o := experiments.DefaultOptions()
-	defer o.Close() // drop the sweep's shared functional-prefix checkpoints
+	run.OnClose(o.Close) // after the manifest snapshot, not a defer
 	scale, err := cliutil.ParseScale(*scaleFlag)
 	die(err)
 	o.Scale = scale
@@ -37,11 +52,11 @@ func main() {
 	o.Benches = []bench.Name{bench.Name(*benchFlag)}
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
-	die(cliutil.ValidateAddr(*metricsAddr))
-	die(cliutil.ServeMetrics(*metricsAddr))
 	ctx, stop := cliutil.SignalContext(*timeout)
 	defer stop()
 	o.Ctx = ctx
+	run.SetContext(ctx)
+	o.RegisterSections(run)
 
 	switch *methodFlag {
 	case "bottleneck":
@@ -59,19 +74,13 @@ func main() {
 	default:
 		die(fmt.Errorf("unknown method %q", *methodFlag))
 	}
-	fmt.Fprintln(os.Stderr, o.Engine().Telemetry())
+	run.Log.Infof("%s", o.Engine().Telemetry())
 	if tel := o.SchedTelemetry(); tel.Cells > 0 || tel.Cancelled > 0 {
-		fmt.Fprintln(os.Stderr, tel)
+		run.Log.Infof("%s", tel)
 	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())
-		os.Exit(1)
+		run.Exit(1)
 	}
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
-	}
+	run.Exit(0)
 }

@@ -7,6 +7,10 @@
 //	figures [-scale test|cli|full] [-benches gzip,mcf,...] [-full] [-foldover] [-only T1,F1,...] [-parallel N]
 //
 // Artifacts: T1 T2 T3 SURVEY F1 F2 F3 F4 F5 F6 F7 PROFILE ARCH
+//
+// Observability: -debug-addr serves /statusz, /eventsz, /tracez and pprof
+// while the sweep runs; -manifest and -trace-out write the run manifest
+// and a Chrome trace on exit. See docs/observability.md.
 package main
 
 import (
@@ -28,14 +32,27 @@ func main() {
 	foldFlag := flag.Bool("foldover", false, "fold the PB design (88 configurations instead of 44)")
 	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH)")
 	jsonFlag := flag.String("json", "", "also write machine-readable results to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial figures")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
+	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
+	run, err := cliutil.StartRun("figures", obsFlags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	die := func(err error) {
+		if err != nil {
+			run.Fatal(err)
+		}
+	}
+
 	o := experiments.DefaultOptions()
-	defer o.Close() // drop the sweep's shared functional-prefix checkpoints
+	// Teardown order matters: the manifest must snapshot ckpt/engine state
+	// before Close resets it, so Close is an OnClose hook, not a defer.
+	run.OnClose(o.Close)
 	scale, err := cliutil.ParseScale(*scaleFlag)
 	die(err)
 	o.Scale = scale
@@ -50,11 +67,11 @@ func main() {
 	}
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
-	die(cliutil.ValidateAddr(*metricsAddr))
-	die(cliutil.ServeMetrics(*metricsAddr))
 	ctx, stop := cliutil.SignalContext(*timeout)
 	defer stop()
 	o.Ctx = ctx
+	run.SetContext(ctx)
+	o.RegisterSections(run)
 
 	want := map[string]bool{}
 	if *onlyFlag != "" {
@@ -153,15 +170,16 @@ func main() {
 		die(experiments.WriteJSON(f, artifacts))
 		die(f.Close())
 	}
-	fmt.Fprintf(os.Stderr, "done in %v; %s\n",
+	run.Log.Infof("done in %v; %s",
 		time.Since(start).Round(time.Millisecond), o.Engine().Telemetry())
 	if tel := o.SchedTelemetry(); tel.Cells > 0 || tel.Cancelled > 0 {
-		fmt.Fprintln(os.Stderr, tel)
+		run.Log.Infof("%s", tel)
 	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())
-		os.Exit(1)
+		run.Exit(1)
 	}
+	run.Exit(0)
 }
 
 func joinFams(r *experiments.SvATResult) string {
@@ -174,11 +192,4 @@ func joinFams(r *experiments.SvATResult) string {
 
 func emit(id, body string) {
 	fmt.Printf("==================== %s ====================\n%s\n", id, body)
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
-	}
 }

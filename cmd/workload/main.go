@@ -7,6 +7,10 @@
 //
 //	workload [-bench mcf] [-scale test|cli|full] [-parallel N]   # one benchmark, all inputs
 //	workload -all                                                 # every benchmark, reference input
+//
+// Observability: -debug-addr serves /statusz, /eventsz, /tracez and pprof
+// while the characterization runs; -manifest and -trace-out write the run
+// manifest and a Chrome trace on exit. See docs/observability.md.
 package main
 
 import (
@@ -27,22 +31,22 @@ func main() {
 	benchFlag := flag.String("bench", "mcf", "benchmark")
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	allFlag := flag.Bool("all", false, "characterize every benchmark's reference input")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "workers characterizing benchmarks concurrently")
+	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	flag.Parse()
 
-	scale, err := cliutil.ParseScale(*scaleFlag)
+	run, err := cliutil.StartRun("workload", obsFlags)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "workload:", err)
 		os.Exit(2)
 	}
-	if err := cliutil.ValidateParallel(*parallel); err != nil {
-		fmt.Fprintln(os.Stderr, "workload:", err)
-		os.Exit(2)
+
+	scale, err := cliutil.ParseScale(*scaleFlag)
+	if err != nil {
+		run.Fatal(err)
 	}
-	if err := cliutil.ServeMetrics(*metricsAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "workload:", err)
-		os.Exit(1)
+	if err := cliutil.ValidateParallel(*parallel); err != nil {
+		run.Fatal(err)
 	}
 
 	type job struct {
@@ -75,11 +79,11 @@ func main() {
 		"benchmark", "input", "dyn-instr", "blocks", "code", "load%", "store%", "fp%", "br%", "mem(KB)", "hot-blk%")
 	for i, r := range rows {
 		if errs[i] != nil {
-			fmt.Fprintln(os.Stderr, "workload:", errs[i])
-			os.Exit(1)
+			run.Fatal(errs[i])
 		}
 		fmt.Print(r)
 	}
+	run.Exit(0)
 }
 
 func row(b bench.Name, in bench.InputSet, scale sim.Scale) (string, error) {

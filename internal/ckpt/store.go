@@ -17,6 +17,7 @@ import (
 	"container/list"
 	"context"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/cpu"
@@ -86,6 +87,11 @@ type Store struct {
 	// ckpt_entries). Nil uses obs.Default. Set before the first use.
 	Obs *obs.Registry
 
+	// Journal receives the store's flight-recorder events (hit, miss,
+	// evict, keyed "prog@pos"). Nil uses obs.DefaultJournal, disabled by
+	// default and free when off.
+	Journal *obs.Journal
+
 	mu       sync.Mutex
 	maxBytes int64
 	lru      *list.List // front = most recently used
@@ -133,6 +139,26 @@ func (s *Store) initMetrics() {
 	})
 }
 
+// journal returns the store's flight recorder (never nil).
+func (s *Store) journal() *obs.Journal {
+	if s.Journal != nil {
+		return s.Journal
+	}
+	return obs.DefaultJournal
+}
+
+// eventKey renders a checkpoint key for journal subjects.
+func eventKey(k Key) string {
+	return k.Prog.Name + "@" + strconv.FormatUint(k.Pos, 10)
+}
+
+// record emits one store event when the flight recorder is on.
+func (s *Store) record(kind obs.EventKind, k Key, n int64) {
+	if j := s.journal(); j.Enabled() {
+		j.Record(obs.Event{Kind: kind, Actor: -1, Subject: eventKey(k), N: n})
+	}
+}
+
 // Prefix returns the checkpoint for (id, pos), populating the store when
 // absent. On a hit (including a successful single-flight wait) it returns
 // (cp, false, nil): the caller restores cp. On a miss this caller becomes
@@ -155,6 +181,7 @@ func (s *Store) Prefix(ctx context.Context, id ProgID, pos uint64, produce func(
 		cp := el.Value.(*entry).cp
 		s.mu.Unlock()
 		s.mHits.Inc()
+		s.record(obs.EvCkptHit, k, cp.Bytes())
 		return cp, false, nil
 	}
 	if f, ok := s.inflight[k]; ok {
@@ -173,6 +200,7 @@ func (s *Store) Prefix(ctx context.Context, id ProgID, pos uint64, produce func(
 		s.hits++
 		s.mu.Unlock()
 		s.mHits.Inc()
+		s.record(obs.EvCkptHit, k, f.cp.Bytes())
 		return f.cp, false, nil
 	}
 	f := &flight{done: make(chan struct{})}
@@ -181,6 +209,7 @@ func (s *Store) Prefix(ctx context.Context, id ProgID, pos uint64, produce func(
 	near, nearPos := s.nearestLocked(id, pos)
 	s.mu.Unlock()
 	s.mMisses.Inc()
+	s.record(obs.EvCkptMiss, k, int64(nearPos))
 
 	completed := false
 	defer func() {
@@ -277,6 +306,7 @@ func (s *Store) evictLocked(el *list.Element) {
 	s.bytes -= en.bytes
 	s.evictions++
 	s.mEvictions.Inc()
+	s.record(obs.EvCkptEvict, en.key, en.bytes)
 }
 
 // insertPosLocked records a resident position in the per-program sorted

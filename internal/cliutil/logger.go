@@ -1,0 +1,145 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+// The log levels.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int8(l))
+	}
+}
+
+// ParseLevel maps a -log-level flag value onto a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// Logger is the CLIs' shared structured logger, replacing the ad-hoc
+// fmt.Fprintf(os.Stderr, ...) lines. Two formats behind one call site:
+//
+//	text:  2026-08-05T12:00:00.000Z INFO  figures: done in 1.2s
+//	json:  {"ts":"...","ts_ns":...,"level":"info","cmd":"figures","msg":"done in 1.2s"}
+//
+// Both carry the event timestamp down to nanoseconds (ts_ns in JSON, the
+// RFC 3339 prefix in text) on the same clock the journal stamps events
+// with, so log lines and flight-recorder entries correlate directly.
+// A nil *Logger drops everything, so plumbing is optional.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	cmd   string
+	json  bool
+	level Level
+}
+
+// NewLogger builds a logger writing to w. format is "text" or "json";
+// level gates which calls emit anything.
+func NewLogger(w io.Writer, cmd, format string, level Level) (*Logger, error) {
+	var js bool
+	switch format {
+	case "text", "":
+		js = false
+	case "json":
+		js = true
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+	return &Logger{w: w, cmd: cmd, json: js, level: level}, nil
+}
+
+// logLine is the JSON wire form.
+type logLine struct {
+	TS     string `json:"ts"`
+	TSNano int64  `json:"ts_ns"`
+	Level  string `json:"level"`
+	Cmd    string `json:"cmd"`
+	Msg    string `json:"msg"`
+}
+
+func (l *Logger) log(lv Level, format string, args ...any) {
+	if l == nil || lv < l.level {
+		return
+	}
+	now := time.Now()
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.json {
+		b, err := json.Marshal(logLine{
+			TS: now.UTC().Format(time.RFC3339Nano), TSNano: now.UnixNano(),
+			Level: lv.String(), Cmd: l.cmd, Msg: msg,
+		})
+		if err != nil {
+			return
+		}
+		b = append(b, '\n')
+		_, _ = l.w.Write(b)
+		return
+	}
+	fmt.Fprintf(l.w, "%s %-5s %s: %s\n",
+		now.UTC().Format("2006-01-02T15:04:05.000Z"), levelTag(lv), l.cmd, msg)
+}
+
+func levelTag(lv Level) string {
+	switch lv {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "?"
+	}
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.log(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.log(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.log(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.log(LevelError, format, args...) }

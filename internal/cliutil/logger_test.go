@@ -1,0 +1,96 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "figures", "text", LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Infof("done in %s", "1.2s")
+	line := buf.String()
+	if !strings.Contains(line, "INFO") || !strings.Contains(line, "figures: done in 1.2s") {
+		t.Fatalf("text line = %q", line)
+	}
+	if !strings.Contains(line, "T") || !strings.HasSuffix(strings.Fields(line)[0], "Z") {
+		t.Fatalf("text line missing RFC3339-style UTC timestamp: %q", line)
+	}
+}
+
+func TestLoggerLevelGating(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "t", "text", LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debugf("hidden")
+	log.Infof("hidden")
+	log.Warnf("visible-warn")
+	log.Errorf("visible-error")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("below-level lines leaked: %q", out)
+	}
+	if !strings.Contains(out, "visible-warn") || !strings.Contains(out, "visible-error") {
+		t.Fatalf("at/above-level lines missing: %q", out)
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "svat", "json", LevelDebug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Warnf("cell %s failed", "F1/gcc")
+	var line struct {
+		TS     string `json:"ts"`
+		TSNano int64  `json:"ts_ns"`
+		Level  string `json:"level"`
+		Cmd    string `json:"cmd"`
+		Msg    string `json:"msg"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json log line invalid: %v (%q)", err, buf.String())
+	}
+	if line.Level != "warn" || line.Cmd != "svat" || line.Msg != "cell F1/gcc failed" {
+		t.Fatalf("json line = %+v", line)
+	}
+	if line.TSNano == 0 || line.TS == "" {
+		t.Fatalf("json line missing journal-correlatable timestamps: %+v", line)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var log *Logger
+	log.Debugf("a")
+	log.Infof("b")
+	log.Warnf("c")
+	log.Errorf("d") // must not panic
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "t", "yaml", LevelInfo); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}

@@ -1,0 +1,385 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	rtdebug "runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/debugz"
+)
+
+// ObsFlags is the observability flag surface every experiment CLI shares:
+// metrics exposition, the debugz introspection server, the run manifest,
+// the Chrome-trace export, the flight recorder, and the structured
+// logger. Register with AddObsFlags, then hand the parsed values to
+// StartRun.
+type ObsFlags struct {
+	MetricsAddr string
+	DebugAddr   string
+	Manifest    string
+	TraceOut    string
+	Journal     bool
+	LogFormat   string
+	LogLevel    string
+}
+
+// AddObsFlags registers the shared observability flags on fs (normally
+// flag.CommandLine) and returns the struct they parse into.
+func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
+	f := &ObsFlags{}
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve the debugz introspection surface (/statusz, /eventsz, /tracez, /metrics, pprof) on this address")
+	fs.StringVar(&f.Manifest, "manifest", "", "write the run manifest (args, host, per-subsystem telemetry, journal tail) to this file on exit")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event file of the run (chrome://tracing, Perfetto) to this file on exit")
+	fs.BoolVar(&f.Journal, "journal", false, "enable the event journal even without -debug-addr/-manifest/-trace-out")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text or json")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn, or error")
+	return f
+}
+
+// journalWanted reports whether any flag needs the flight recorder on.
+func (f *ObsFlags) journalWanted() bool {
+	return f.Journal || f.DebugAddr != "" || f.Manifest != "" || f.TraceOut != ""
+}
+
+// Manifest is the run's self-describing artifact: what ran, on what
+// host, with which arguments, how it ended, and every subsystem's final
+// telemetry — written as manifest.json on exit and dumped to stderr as a
+// post-mortem when the run fails or is interrupted. Published together
+// with a figure, it makes a degraded partial artifact debuggable and a
+// complete one reproducible.
+type Manifest struct {
+	Command   string    `json:"command"`
+	Args      []string  `json:"args"`
+	StartTime time.Time `json:"start_time"`
+	WallNS    int64     `json:"wall_ns"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitRev     string `json:"git_rev,omitempty"`
+
+	// Outcome is "ok", "failed", or "interrupted"; Error carries the
+	// failure's rendered chain.
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+
+	// Sections holds the per-subsystem telemetry the CLI registered
+	// (plan progress, engine, scheduler, checkpoint store, failed cells).
+	Sections map[string]any `json:"sections,omitempty"`
+
+	// JournalTail is the flight recorder's most recent window.
+	JournalTail []obs.Event `json:"journal_tail,omitempty"`
+}
+
+// manifestTailEvents bounds the journal tail embedded in a manifest.
+const manifestTailEvents = 256
+
+// gitRev reads the VCS revision stamped into the binary by the Go
+// toolchain (empty for plain `go test` binaries).
+func gitRev() string {
+	bi, ok := rtdebug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Run owns one CLI invocation's observability lifetime: the logger, the
+// flight recorder, the debugz server, and the exit-time manifest. The
+// teardown contract (see TestRunFinishBeforeClosers) is: Finish snapshots
+// every registered section and the journal *first*, then runs the
+// OnClose hooks — so a manifest can never record state a closer already
+// reset (the zeroed-ckpt-stats bug class).
+type Run struct {
+	Name    string
+	Log     *Logger
+	Journal *obs.Journal
+	Debug   *debugz.Server
+
+	flags *ObsFlags
+	args  []string
+	start time.Time
+	ctx   context.Context
+
+	mu       sync.Mutex
+	names    []string
+	sections map[string]func() any
+	closers  []func()
+	finished bool
+	manifest *Manifest
+}
+
+// StartRun validates the observability flags and brings the run's
+// surface up: logger, flight recorder (when any consumer flag wants it),
+// metrics exposition, and the debugz server. It does not install signal
+// handling — pair it with SignalContext and hand the context over via
+// SetContext so an interrupt is classified in the manifest.
+func StartRun(name string, f *ObsFlags) (*Run, error) {
+	if f == nil {
+		f = &ObsFlags{LogFormat: "text", LogLevel: "info"}
+	}
+	if err := ValidateAddr(f.MetricsAddr); err != nil {
+		return nil, err
+	}
+	if f.DebugAddr != "" {
+		if err := ValidateAddr(f.DebugAddr); err != nil {
+			return nil, fmt.Errorf("invalid -debug-addr: %v", err)
+		}
+	}
+	level, err := ParseLevel(f.LogLevel)
+	if err != nil {
+		return nil, err
+	}
+	log, err := NewLogger(os.Stderr, name, f.LogFormat, level)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Run{
+		Name: name, Log: log, Journal: obs.DefaultJournal,
+		flags: f, args: append([]string(nil), os.Args[1:]...),
+		start: time.Now(), sections: map[string]func() any{},
+	}
+	if f.journalWanted() {
+		r.Journal.SetEnabled(true)
+	}
+	if f.MetricsAddr != "" {
+		bound, err := obs.Default.Serve(f.MetricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		log.Infof("metrics: serving http://%s/metrics and /metrics.json", bound)
+	}
+	if f.DebugAddr != "" {
+		r.Debug = debugz.New(name, obs.Default, r.Journal)
+		bound, err := r.Debug.Serve(f.DebugAddr)
+		if err != nil {
+			return nil, err
+		}
+		log.Infof("debugz: serving http://%s/ (/statusz, /eventsz, /tracez, /metrics, /debug/pprof/)", bound)
+	}
+	return r, nil
+}
+
+// SetContext attaches the run-lifetime context so Finish can classify a
+// SIGINT/timeout teardown as "interrupted" rather than "failed".
+func (r *Run) SetContext(ctx context.Context) {
+	if r == nil {
+		return
+	}
+	r.ctx = ctx
+}
+
+// AddSection registers a named telemetry section, evaluated once at
+// Finish for the manifest and per-request for /statusz. fn must be safe
+// for concurrent use (statusz calls it mid-run).
+func (r *Run) AddSection(name string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.sections[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.sections[name] = fn
+	r.mu.Unlock()
+	if r.Debug != nil {
+		r.Debug.AddSection(name, fn)
+	}
+}
+
+// OnClose registers teardown that must run *after* the manifest snapshot
+// (checkpoint-store reset, option teardown). Closers run in registration
+// order, exactly once, from Finish/Exit/Fatal.
+func (r *Run) OnClose(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.closers = append(r.closers, fn)
+	r.mu.Unlock()
+}
+
+// BuildManifest snapshots the run into a Manifest without finishing it
+// (Finish calls it; tests and mid-run dumps may too).
+func (r *Run) BuildManifest(runErr error) Manifest {
+	m := Manifest{
+		Command:    r.Name,
+		Args:       r.args,
+		StartTime:  r.start,
+		WallNS:     time.Since(r.start).Nanoseconds(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitRev:     gitRev(),
+		Outcome:    "ok",
+	}
+	if runErr != nil {
+		m.Outcome = "failed"
+		m.Error = runErr.Error()
+	}
+	if r.ctx != nil && r.ctx.Err() != nil {
+		m.Outcome = "interrupted"
+		if m.Error == "" {
+			m.Error = r.ctx.Err().Error()
+		}
+	}
+	if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+		m.Outcome = "interrupted"
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fns := make([]func() any, len(names))
+	for i, n := range names {
+		fns[i] = r.sections[n]
+	}
+	r.mu.Unlock()
+	if len(names) > 0 {
+		m.Sections = make(map[string]any, len(names))
+		for i, n := range names {
+			m.Sections[n] = fns[i]()
+		}
+	}
+	m.JournalTail = r.Journal.Tail(manifestTailEvents)
+	return m
+}
+
+// Finish ends the run: it snapshots the manifest (sections first, then
+// the journal tail), writes the -manifest and -trace-out artifacts, dumps
+// a post-mortem to stderr when the run failed or was interrupted, and
+// only then runs the OnClose hooks. Safe to call more than once; only
+// the first call acts. Returns the manifest it wrote.
+func (r *Run) Finish(runErr error) *Manifest {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.finished {
+		m := r.manifest
+		r.mu.Unlock()
+		return m
+	}
+	r.finished = true
+	r.mu.Unlock()
+
+	m := r.BuildManifest(runErr)
+	r.mu.Lock()
+	r.manifest = &m
+	r.mu.Unlock()
+
+	if r.flags != nil && r.flags.TraceOut != "" {
+		if err := writeFileWith(r.flags.TraceOut, func(w io.Writer) error {
+			var t *obs.Tracer // sweeps are journal-only; simrun-style tracers export via /tracez
+			return obs.WriteChromeTrace(w, t, r.Journal)
+		}); err != nil {
+			r.Log.Errorf("trace-out: %v", err)
+		} else {
+			r.Log.Infof("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)", r.flags.TraceOut)
+		}
+	}
+	if r.flags != nil && r.flags.Manifest != "" {
+		if err := writeFileWith(r.flags.Manifest, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(m)
+		}); err != nil {
+			r.Log.Errorf("manifest: %v", err)
+		} else {
+			r.Log.Infof("wrote %s", r.flags.Manifest)
+		}
+	}
+	if m.Outcome != "ok" {
+		r.dumpPostMortem(m)
+	}
+
+	r.mu.Lock()
+	closers := append([]func(){}, r.closers...)
+	r.closers = nil
+	r.mu.Unlock()
+	for _, fn := range closers {
+		fn()
+	}
+	return &m
+}
+
+// dumpPostMortem writes the failure artifact to stderr: the manifest
+// (minus the embedded tail) followed by the journal tail as JSONL, so a
+// failed or interrupted run always leaves a post-mortem even when no
+// -manifest path was given.
+func (r *Run) dumpPostMortem(m Manifest) {
+	r.Log.Errorf("run %s: dumping post-mortem (manifest + journal tail)", m.Outcome)
+	noTail := m
+	noTail.JournalTail = nil
+	b, err := json.MarshalIndent(noTail, "", "  ")
+	if err == nil {
+		fmt.Fprintln(os.Stderr, "--- manifest ---")
+		fmt.Fprintln(os.Stderr, string(b))
+	}
+	fmt.Fprintln(os.Stderr, "--- journal tail ---")
+	_ = r.Journal.WriteTail(os.Stderr, manifestTailEvents)
+}
+
+// Exit finishes the run and exits the process. A non-zero code without a
+// more specific error is recorded as a generic failure so the manifest
+// and post-mortem reflect the exit status.
+func (r *Run) Exit(code int) {
+	var err error
+	if code != 0 {
+		err = fmt.Errorf("exit status %d", code)
+	}
+	r.Finish(err)
+	os.Exit(code)
+}
+
+// Fatal logs the error, finishes the run as failed (writing the manifest
+// and post-mortem), and exits 1. It replaces the CLIs' bare
+// fmt.Fprintln(os.Stderr, ...); os.Exit(1) pattern, which skipped all
+// teardown.
+func (r *Run) Fatal(err error) {
+	if r == nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r.Log.Errorf("%v", err)
+	r.Finish(err)
+	os.Exit(1)
+}
+
+// writeFileWith creates path and streams fn into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

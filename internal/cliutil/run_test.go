@@ -1,0 +1,192 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// resetJournal isolates a test from the process-wide flight recorder.
+func resetJournal(t *testing.T) {
+	t.Helper()
+	obs.DefaultJournal.Reset()
+	t.Cleanup(func() {
+		obs.DefaultJournal.SetEnabled(false)
+		obs.DefaultJournal.Reset()
+	})
+}
+
+// TestRunFinishBeforeClosers pins the teardown contract the manifest
+// depends on: Finish snapshots every section *before* the OnClose hooks
+// run, so state a closer resets (the checkpoint store) still appears live
+// in the manifest.
+func TestRunFinishBeforeClosers(t *testing.T) {
+	resetJournal(t)
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
+	run, err := StartRun("testrun", &ObsFlags{
+		Manifest: manifestPath, LogFormat: "text", LogLevel: "error",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stat := 42 // stands in for ckpt residency: live until "reset"
+	run.AddSection("ckpt", func() any { return stat })
+	closed := 0
+	run.OnClose(func() { stat = 0; closed++ })
+	run.Journal.Record(obs.Event{Kind: obs.EvCkptHit, Subject: "prog@100", N: 64})
+
+	m := run.Finish(nil)
+	if closed != 1 {
+		t.Fatalf("closer ran %d times, want 1", closed)
+	}
+	if m.Outcome != "ok" {
+		t.Fatalf("outcome = %q, want ok", m.Outcome)
+	}
+	if got := m.Sections["ckpt"]; got != 42 {
+		t.Fatalf("manifest snapshotted ckpt section after the closer reset it: got %v, want 42", got)
+	}
+	if len(m.JournalTail) != 1 || m.JournalTail[0].Kind != obs.EvCkptHit {
+		t.Fatalf("manifest journal tail = %+v", m.JournalTail)
+	}
+
+	// The manifest file must exist and parse back to the same snapshot.
+	b, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Manifest
+	if err := json.Unmarshal(b, &onDisk); err != nil {
+		t.Fatalf("manifest file is not JSON: %v", err)
+	}
+	if onDisk.Command != "testrun" || onDisk.Sections["ckpt"].(float64) != 42 {
+		t.Fatalf("on-disk manifest = %+v", onDisk)
+	}
+}
+
+func TestRunFinishIdempotent(t *testing.T) {
+	resetJournal(t)
+	run, err := StartRun("idem", &ObsFlags{Journal: true, LogFormat: "text", LogLevel: "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := 0
+	run.OnClose(func() { closed++ })
+	m1 := run.Finish(nil)
+	m2 := run.Finish(errors.New("late error must not reopen the run"))
+	if closed != 1 {
+		t.Fatalf("closers ran %d times, want 1", closed)
+	}
+	if m1 != m2 {
+		t.Fatalf("second Finish returned a different manifest: %p vs %p", m1, m2)
+	}
+	if m2.Outcome != "ok" {
+		t.Fatalf("second Finish mutated the outcome to %q", m2.Outcome)
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	resetJournal(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	run, err := StartRun("tracer", &ObsFlags{TraceOut: tracePath, LogFormat: "text", LogLevel: "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Journal.Record(obs.Event{Kind: obs.EvCellFinish, Actor: 0,
+		Subject: "F1/gcc/reference/pb-row-00", DurNS: 1000})
+	run.Finish(nil)
+
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("trace file is not JSON: %v", err)
+	}
+	var slice, workerTrack bool
+	for _, e := range out.TraceEvents {
+		if e["ph"] == "X" && e["name"] == "F1/gcc/reference/pb-row-00" {
+			slice = true
+		}
+		if e["ph"] == "M" {
+			if args, ok := e["args"].(map[string]any); ok && args["name"] == "worker 0" {
+				workerTrack = true
+			}
+		}
+	}
+	if !slice || !workerTrack {
+		t.Fatalf("trace file missing cell slice (%v) or worker track (%v):\n%s", slice, workerTrack, b)
+	}
+}
+
+func TestBuildManifestOutcomeClassification(t *testing.T) {
+	resetJournal(t)
+	run, err := StartRun("classify", &ObsFlags{LogFormat: "text", LogLevel: "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := run.BuildManifest(nil); m.Outcome != "ok" || m.Error != "" {
+		t.Fatalf("nil error => %q/%q", m.Outcome, m.Error)
+	}
+	if m := run.BuildManifest(errors.New("boom")); m.Outcome != "failed" || m.Error != "boom" {
+		t.Fatalf("plain error => %q/%q", m.Outcome, m.Error)
+	}
+	if m := run.BuildManifest(context.Canceled); m.Outcome != "interrupted" {
+		t.Fatalf("context.Canceled => %q", m.Outcome)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	run.SetContext(ctx)
+	if m := run.BuildManifest(nil); m.Outcome != "interrupted" || m.Error == "" {
+		t.Fatalf("cancelled run context => %q/%q", m.Outcome, m.Error)
+	}
+}
+
+func TestStartRunValidation(t *testing.T) {
+	if _, err := StartRun("bad", &ObsFlags{DebugAddr: "no-port", LogFormat: "text", LogLevel: "info"}); err == nil {
+		t.Fatal("invalid -debug-addr accepted")
+	}
+	if _, err := StartRun("bad", &ObsFlags{LogFormat: "yaml", LogLevel: "info"}); err == nil {
+		t.Fatal("invalid -log-format accepted")
+	}
+	if _, err := StartRun("bad", &ObsFlags{LogFormat: "text", LogLevel: "loud"}); err == nil {
+		t.Fatal("invalid -log-level accepted")
+	}
+}
+
+func TestStartRunEnablesJournalWhenWanted(t *testing.T) {
+	resetJournal(t)
+	run, err := StartRun("wantj", &ObsFlags{Journal: true, LogFormat: "text", LogLevel: "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Journal.Enabled() {
+		t.Fatal("-journal did not enable the flight recorder")
+	}
+}
+
+func TestStartRunDebugAddrServesStatus(t *testing.T) {
+	resetJournal(t)
+	run, err := StartRun("dbg", &ObsFlags{DebugAddr: "127.0.0.1:0", LogFormat: "text", LogLevel: "error"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Debug == nil {
+		t.Fatal("-debug-addr did not build a debugz server")
+	}
+	if !run.Journal.Enabled() {
+		t.Fatal("-debug-addr did not enable the flight recorder")
+	}
+	// Sections registered on the run must propagate to the debugz server.
+	run.AddSection("plan", func() any { return "live" })
+}

@@ -76,6 +76,11 @@ type Engine struct {
 	// runs issued through this engine (0 = sim.DefaultCheckEvery).
 	CheckEvery uint64
 
+	// Journal receives the engine's flight-recorder events (request
+	// dedup, retries, recovered panics). Nil uses obs.DefaultJournal,
+	// disabled by default and free when off.
+	Journal *obs.Journal
+
 	shards [cacheShards]engineShard
 
 	// FIFO eviction bookkeeping, global so MaxEntries means what it says
@@ -126,6 +131,14 @@ func NewEngine(scale sim.Scale) *Engine {
 		e.shards[i].inflight = make(map[string]*inflightRun)
 	}
 	return e
+}
+
+// journal returns the engine's flight recorder (never nil).
+func (e *Engine) journal() *obs.Journal {
+	if e.Journal != nil {
+		return e.Journal
+	}
+	return obs.DefaultJournal
 }
 
 // shard returns the shard owning a run key.
@@ -278,10 +291,16 @@ func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Techniq
 		s.mu.Unlock()
 		e.hits.Add(1)
 		e.mHits.Inc()
+		if j := e.journal(); j.Enabled() {
+			j.Record(obs.Event{Kind: obs.EvEngineDedup, Actor: -1, Subject: k, Detail: "cache"})
+		}
 		return r, nil
 	}
 	if f, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
+		if j := e.journal(); j.Enabled() {
+			j.Record(obs.Event{Kind: obs.EvEngineDedup, Actor: -1, Subject: k, Detail: "inflight"})
+		}
 		select {
 		case <-f.done:
 		case <-ctx.Done():
@@ -395,6 +414,10 @@ func (e *Engine) attempt(ctx context.Context, b bench.Name, tech core.Technique,
 			break
 		}
 		e.mRetries.Inc()
+		if j := e.journal(); j.Enabled() {
+			j.Record(obs.Event{Kind: obs.EvCellRetry, Actor: -1, Subject: key,
+				Detail: err.Error(), N: int64(attempts)})
+		}
 		if serr := sleepCtx(ctx, pol.delay(attempts, rng)); serr != nil {
 			err = serr
 			break
@@ -417,6 +440,11 @@ func (e *Engine) runOnce(ctx context.Context, b bench.Name, tech core.Technique,
 		if v := recover(); v != nil {
 			e.mPanics.Inc()
 			err = &PanicError{Value: v, Stack: debug.Stack()}
+			if j := e.journal(); j.Enabled() {
+				j.Record(obs.Event{Kind: obs.EvCellPanic, Actor: -1,
+					Subject: string(b) + "/" + tech.Name() + "/" + cfg.Name,
+					Detail:  fmt.Sprint(v)})
+			}
 		}
 	}()
 	runCtx := ctx
@@ -487,6 +515,9 @@ type Options struct {
 	warmMu   sync.Mutex
 	warm     map[string]warmOutcome
 	schedTel sched.Telemetry
+
+	// progress is the live plan-execution accounting behind PlanStatus.
+	progress planProgress
 }
 
 // Close releases sweep-scoped shared state: the functional-prefix

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// withFlightRecorder enables the process-wide journal for one test and
+// restores the disabled default afterwards.
+func withFlightRecorder(t *testing.T) *obs.Journal {
+	t.Helper()
+	j := obs.DefaultJournal
+	j.Reset()
+	j.SetEnabled(true)
+	t.Cleanup(func() {
+		j.SetEnabled(false)
+		j.Reset()
+	})
+	return j
+}
+
+// alwaysTransient fails every one of the first n calls retryably.
+func alwaysTransient(n int) faultinject.Plan {
+	p := faultinject.Plan{Faults: map[int]faultinject.Kind{}}
+	for i := 1; i <= n; i++ {
+		p.Faults[i] = faultinject.Transient
+	}
+	return p
+}
+
+// TestManifestNamesFailedCell is the failure post-mortem acceptance test:
+// a sweep with one injected always-failing cell must leave a manifest and
+// journal tail that name the failed cell, show its retries, and preserve
+// the error chain down to the injected fault.
+func TestManifestNamesFailedCell(t *testing.T) {
+	j := withFlightRecorder(t)
+
+	run, err := cliutil.StartRun("experiments-test", &cliutil.ObsFlags{
+		Journal: true, LogFormat: "text", LogLevel: "error",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := core.RunZ{Z: 1000}
+	bad := faultinject.Wrap(core.RunZ{Z: 900}, alwaysTransient(1000))
+	o := tinyOptions()
+	o.Scale = sim.Scale{Unit: 20}
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = func(bench.Name) []core.Technique { return []core.Technique{good, bad} }
+	o.Parallel = 2
+	o.Engine().Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond}
+	o.RegisterSections(run)
+
+	if _, err := Figure6(o, bench.Mcf, nil); err != nil {
+		t.Fatalf("figure aborted instead of degrading: %v", err)
+	}
+	if !o.Report().HasFailures() {
+		t.Fatal("injected fault produced no reported failure")
+	}
+
+	// The CLI would call run.Exit(1) here; BuildManifest with the same
+	// error is the snapshot that exit path writes.
+	m := run.BuildManifest(fmt.Errorf("exit status 1"))
+	if m.Outcome != "failed" {
+		t.Fatalf("outcome = %q, want failed", m.Outcome)
+	}
+
+	// Manifest sections: the plan accounting must balance and count the
+	// casualty; the cells section must name it.
+	ps, ok := m.Sections["plan"].(PlanStatus)
+	if !ok {
+		t.Fatalf("plan section is %T", m.Sections["plan"])
+	}
+	if ps.Planned == 0 || ps.Done != ps.Planned || ps.InFlight != 0 || ps.Pending != 0 {
+		t.Fatalf("final plan status unbalanced: %+v", ps)
+	}
+	if ps.Failed < 1 {
+		t.Fatalf("plan status shows no failures: %+v", ps)
+	}
+	cells, ok := m.Sections["cells"].([]Cell)
+	if !ok || len(cells) == 0 {
+		t.Fatalf("cells section = %#v, want the failed cell", m.Sections["cells"])
+	}
+	if cells[0].Technique != bad.Name() || cells[0].Status != CellFailed {
+		t.Fatalf("failed cell = %+v, want technique %s failed", cells[0], bad.Name())
+	}
+
+	// Error chain: report cell -> *RunError -> injected *FaultError.
+	var re *RunError
+	if !errors.As(cells[0].Err, &re) {
+		t.Fatalf("cell error %v does not unwrap to *RunError", cells[0].Err)
+	}
+	if re.Attempts != 2 {
+		t.Fatalf("RunError attempts = %d, want 2 (one retry)", re.Attempts)
+	}
+	var fe *faultinject.FaultError
+	if !errors.As(cells[0].Err, &fe) {
+		t.Fatalf("cell error %v does not unwrap to the injected fault", cells[0].Err)
+	}
+
+	// Journal tail: a retry event and a failed cell_finish naming the cell.
+	tail := m.JournalTail
+	if len(tail) == 0 {
+		t.Fatal("manifest has no journal tail")
+	}
+	var sawRetry, sawFailedFinish bool
+	for _, e := range tail {
+		if e.Kind == obs.EvCellRetry && strings.Contains(e.Detail, "injected fault") && e.N >= 1 {
+			sawRetry = true
+		}
+		if e.Kind == obs.EvCellFinish && e.Detail != "" &&
+			strings.Contains(e.Subject, bad.Name()) && strings.Contains(e.Detail, "injected fault") {
+			sawFailedFinish = true
+		}
+	}
+	if !sawRetry {
+		t.Errorf("journal tail has no cell_retry naming the injected fault: %+v", tail)
+	}
+	if !sawFailedFinish {
+		t.Errorf("journal tail has no failed cell_finish naming %s", bad.Name())
+	}
+	_ = j
+}
+
+// TestPlanStatusInvariant samples PlanStatus concurrently with a running
+// plan and checks the accounting identity Done + InFlight + Pending ==
+// Planned at every instant, and the settled Done == Planned at the end —
+// the consistency contract between /statusz mid-run and the final
+// manifest.
+func TestPlanStatusInvariant(t *testing.T) {
+	o := tinyOptions()
+	o.Scale = sim.Scale{Unit: 20}
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = func(bench.Name) []core.Technique {
+		return []core.Technique{core.RunZ{Z: 1000}}
+	}
+	o.Parallel = 2
+
+	cells := Figure6Plan(o, bench.Mcf, nil)
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := o.PlanStatus()
+			if st.Done+st.InFlight+st.Pending != st.Planned ||
+				st.Done < 0 || st.InFlight < 0 || st.Pending < 0 {
+				violations.Add(1)
+			}
+		}
+	}()
+	o.RunPlan(cells)
+	close(stop)
+
+	if violations.Load() > 0 {
+		t.Fatalf("plan status invariant violated %d times mid-run", violations.Load())
+	}
+	st := o.PlanStatus()
+	if st.Planned == 0 {
+		t.Fatal("plan recorded no cells")
+	}
+	if st.Done != st.Planned || st.InFlight != 0 || st.Pending != 0 || st.Failed != 0 {
+		t.Fatalf("settled status unbalanced: %+v", st)
+	}
+	if st.ElapsedNS <= 0 {
+		t.Fatalf("settled status has no elapsed time: %+v", st)
+	}
+	if st.ETANS != 0 {
+		t.Fatalf("finished plan still advertises an ETA: %+v", st)
+	}
+}
+
+// TestRegisterSections wires an option set into a sink and checks every
+// section evaluates without touching lazy state unsafely.
+func TestRegisterSections(t *testing.T) {
+	o := tinyOptions()
+	got := map[string]func() any{}
+	o.RegisterSections(sinkFunc(func(name string, fn func() any) { got[name] = fn }))
+	for _, want := range []string{"plan", "engine", "sched", "ckpt", "cells"} {
+		fn, ok := got[want]
+		if !ok {
+			t.Fatalf("section %q not registered (got %v)", want, keys(got))
+		}
+		fn() // must not panic
+	}
+}
+
+type sinkFunc func(name string, fn func() any)
+
+func (s sinkFunc) AddSection(name string, fn func() any) { s(name, fn) }
+
+func keys(m map[string]func() any) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -94,18 +96,39 @@ func (o *Options) RunPlan(cells []sched.Cell) sched.Telemetry {
 		return sched.Telemetry{}
 	}
 
+	o.progress.planned.Add(int64(len(todo)))
+	o.progress.startNS.CompareAndSwap(0, time.Now().UnixNano())
+
 	pool := &sched.Pool{Workers: o.Parallel, Obs: eng.Obs, Seed: o.SchedSeed}
+	var ran atomic.Int64 // cells this plan actually executed (vs drained)
 	run := func(ctx context.Context, w *sched.Worker, c sched.Cell) (core.Result, error) {
+		o.progress.inflight.Add(1)
 		e := eng
 		if c.Profile {
 			e = peng
 		}
+		var res core.Result
+		var err error
 		if c.Retry == sched.RetryNone {
-			return e.RunContextPolicy(ctx, c.Bench, c.Technique, c.Config, RetryPolicy{})
+			res, err = e.RunContextPolicy(ctx, c.Bench, c.Technique, c.Config, RetryPolicy{})
+		} else {
+			res, err = e.RunContext(ctx, c.Bench, c.Technique, c.Config)
 		}
-		return e.RunContext(ctx, c.Bench, c.Technique, c.Config)
+		if err != nil {
+			o.progress.failed.Add(1)
+		}
+		o.progress.inflight.Add(-1)
+		o.progress.done.Add(1)
+		ran.Add(1)
+		return res, err
 	}
 	outs, tel := pool.Run(o.ctx(), todo, run)
+	// Drained cells (cancellation) never enter the run closure; settle
+	// them as done+failed so the final PlanStatus keeps Done == Planned.
+	if drained := int64(len(outs)) - ran.Load(); drained > 0 {
+		o.progress.done.Add(drained)
+		o.progress.failed.Add(drained)
+	}
 
 	o.warmMu.Lock()
 	if o.warm == nil {

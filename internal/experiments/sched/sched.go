@@ -90,6 +90,20 @@ type Cell struct {
 	Retry RetryClass
 }
 
+// Label renders the cell's human identity for telemetry, journal events,
+// and failure reports: artifact/bench/technique/config.
+func (c Cell) Label() string {
+	tech := "?"
+	if c.Technique != nil {
+		tech = c.Technique.Name()
+	}
+	cfg := c.Config.Name
+	if cfg == "" {
+		cfg = "unnamed"
+	}
+	return c.Artifact + "/" + string(c.Bench) + "/" + tech + "/" + cfg
+}
+
 // Outcome is the result of one cell, tagged with its plan index and the
 // worker that produced it.
 type Outcome struct {
@@ -127,6 +141,11 @@ type Pool struct {
 	// Seed derives the per-worker RNG streams (0 uses a fixed default),
 	// so two pools with the same seed give worker i the same stream.
 	Seed uint64
+
+	// Journal receives the pool's flight-recorder events (cell start,
+	// finish, drain) tagged with the executing worker's index. Nil uses
+	// obs.DefaultJournal, which is disabled by default and free when off.
+	Journal *obs.Journal
 }
 
 // defaultSeed spells "sched"; any fixed value works, it only has to be
@@ -145,6 +164,13 @@ func (p *Pool) registry() *obs.Registry {
 		return p.Obs
 	}
 	return obs.Default
+}
+
+func (p *Pool) journal() *obs.Journal {
+	if p.Journal != nil {
+		return p.Journal
+	}
+	return obs.DefaultJournal
 }
 
 // NewWorker builds worker i's executor with its deterministic RNG
@@ -262,6 +288,7 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 		wg.Add(1)
 		go func(wk *Worker) {
 			defer wg.Done()
+			jnl := p.journal()
 			for idx := range queue {
 				mQueue.Set(float64(queued.Add(-1)))
 				if err := ctx.Err(); err != nil {
@@ -269,11 +296,19 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 					// cell is marked cancelled without running.
 					outs[idx] = Outcome{Cell: cells[idx], Index: idx, Err: err, Worker: -1}
 					cancelled.Add(1)
+					if jnl.Enabled() {
+						jnl.Record(obs.Event{Kind: obs.EvSchedDrain, Actor: int32(wk.Index),
+							Subject: cells[idx].Label(), Detail: err.Error(), N: int64(idx)})
+					}
 					continue
 				}
 				mInflight.Add(1)
+				if jnl.Enabled() {
+					jnl.Record(obs.Event{Kind: obs.EvCellStart, Actor: int32(wk.Index),
+						Subject: cells[idx].Label(), N: int64(idx)})
+				}
 				t0 := time.Now()
-				res, err := runCell(ctx, wk, cells[idx], run)
+				res, err := runCell(ctx, wk, cells[idx], run, jnl)
 				wall := time.Since(t0)
 				mInflight.Add(-1)
 				mCells.Inc()
@@ -282,6 +317,14 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 				if err != nil {
 					failed.Add(1)
 					mFail.Inc()
+				}
+				if jnl.Enabled() {
+					ev := obs.Event{Kind: obs.EvCellFinish, Actor: int32(wk.Index),
+						Subject: cells[idx].Label(), N: int64(idx), DurNS: int64(wall)}
+					if err != nil {
+						ev.Detail = err.Error()
+					}
+					jnl.Record(ev)
 				}
 				outs[idx] = Outcome{Cell: cells[idx], Index: idx, Res: res, Err: err,
 					Wall: wall, Worker: wk.Index}
@@ -300,10 +343,14 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 // runCell invokes run with panic isolation: a crashing cell is converted
 // into its own error instead of killing the worker (which would strand
 // the rest of the queue).
-func runCell(ctx context.Context, w *Worker, c Cell, run RunFunc) (res core.Result, err error) {
+func runCell(ctx context.Context, w *Worker, c Cell, run RunFunc, jnl *obs.Journal) (res core.Result, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			err = &CellPanicError{Cell: c, Value: v, Stack: debug.Stack()}
+			if jnl.Enabled() {
+				jnl.Record(obs.Event{Kind: obs.EvCellPanic, Actor: int32(w.Index),
+					Subject: c.Label(), Detail: fmt.Sprint(v)})
+			}
 		}
 	}()
 	return run(ctx, w, c)

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// planProgress is the sweep's live progress accounting, updated by the
+// scheduler's run closure with atomics so /statusz can read it mid-run
+// without touching any engine or pool lock.
+type planProgress struct {
+	planned  atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	inflight atomic.Int64
+	startNS  atomic.Int64 // first cell submission, Unix nanos
+}
+
+// PlanStatus is a point-in-time view of plan execution: how many cells
+// the schedulers were handed, how many finished (and of those, failed),
+// how many are executing right now, and a naive rate-based ETA. The
+// invariant Done + InFlight + Pending == Planned holds at every instant,
+// and at Finish time Done == Planned — the consistency /statusz readers
+// and the final manifest are checked against.
+type PlanStatus struct {
+	Planned  int64 `json:"planned"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	InFlight int64 `json:"in_flight"`
+	Pending  int64 `json:"pending"`
+
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// ETANS extrapolates the remaining wall-clock from the mean pace so
+	// far (0 until the first cell completes, and for a finished plan).
+	ETANS int64 `json:"eta_ns"`
+}
+
+// PlanStatus snapshots the option set's plan progress. Safe for
+// concurrent use at any point in the sweep.
+func (o *Options) PlanStatus() PlanStatus {
+	// Read done before inflight: a cell finishing between the two loads
+	// can only make the derived Pending over-count, never go negative.
+	st := PlanStatus{
+		Done:     o.progress.done.Load(),
+		Failed:   o.progress.failed.Load(),
+		InFlight: o.progress.inflight.Load(),
+		Planned:  o.progress.planned.Load(),
+	}
+	st.Pending = st.Planned - st.Done - st.InFlight
+	if st.Pending < 0 {
+		st.Pending = 0
+	}
+	if start := o.progress.startNS.Load(); start > 0 {
+		st.ElapsedNS = time.Now().UnixNano() - start
+		if st.Done > 0 && st.Pending+st.InFlight > 0 {
+			st.ETANS = st.ElapsedNS / st.Done * (st.Pending + st.InFlight)
+		}
+	}
+	return st
+}
+
+// SectionSink receives named live-telemetry sections; both
+// cliutil.Run and debugz.Server satisfy it.
+type SectionSink interface {
+	AddSection(name string, fn func() any)
+}
+
+// RegisterSections wires the option set's telemetry into a status sink:
+// plan progress, engine and scheduler telemetry, checkpoint-store
+// residency, and the failed/skipped cell list. Every closure is safe for
+// concurrent use mid-run, so the same registration serves both the live
+// /statusz surface and the exit-time manifest. Call before the sweep
+// starts (it resolves the lazy engine and report, which are not
+// concurrency-safe to first-touch mid-run).
+func (o *Options) RegisterSections(s SectionSink) {
+	eng := o.Engine()
+	rep := o.Report()
+	s.AddSection("plan", func() any { return o.PlanStatus() })
+	s.AddSection("engine", func() any { return eng.Telemetry() })
+	s.AddSection("sched", func() any { return o.SchedTelemetry() })
+	s.AddSection("ckpt", func() any { return core.CheckpointStats() })
+	s.AddSection("cells", func() any { return rep.Cells() })
+}

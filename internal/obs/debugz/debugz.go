@@ -1,0 +1,218 @@
+// Package debugz is the live introspection surface of a run: one HTTP
+// server exposing the process's metrics registry, the flight-recorder
+// journal, a Chrome-trace download of the run so far, per-subsystem
+// status sections, and net/http/pprof — mounted by every experiment CLI
+// behind the shared -debug-addr flag. Where the metrics endpoint answers
+// "what are the counters", /statusz answers "what is the run doing right
+// now": in-flight cells, plan progress and ETA, scheduler utilization,
+// checkpoint-store residency, whatever sections the CLI registered.
+package debugz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Server serves the introspection surface for one run. Construct with
+// New; zero value is not useful.
+type Server struct {
+	reg     *obs.Registry
+	journal *obs.Journal
+	start   time.Time
+
+	mu       sync.Mutex
+	command  string
+	sections map[string]func() any
+	names    []string // registration order, for stable /statusz output
+	tracer   *obs.Tracer
+}
+
+// New builds a server over a registry and journal (either may be nil;
+// nil falls back to the obs package defaults).
+func New(command string, reg *obs.Registry, j *obs.Journal) *Server {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if j == nil {
+		j = obs.DefaultJournal
+	}
+	return &Server{
+		command: command, reg: reg, journal: j,
+		start: time.Now(), sections: map[string]func() any{},
+	}
+}
+
+// AddSection registers a named /statusz section. fn is called per request
+// and must be safe for concurrent use; its result is JSON-marshalled.
+// Re-registering a name replaces the section.
+func (s *Server) AddSection(name string, fn func() any) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sections[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.sections[name] = fn
+}
+
+// SetTracer attaches a span tracer whose trees are included in /tracez
+// (most sweeps are journal-only; simrun-style single runs have one).
+func (s *Server) SetTracer(t *obs.Tracer) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tracer = t
+	s.mu.Unlock()
+}
+
+// Status is the /statusz payload.
+type Status struct {
+	Command       string         `json:"command"`
+	PID           int            `json:"pid"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	GoVersion     string         `json:"go_version"`
+	GOMAXPROCS    int            `json:"gomaxprocs"`
+	Goroutines    int            `json:"goroutines"`
+	JournalEvents uint64         `json:"journal_events"`
+	Sections      map[string]any `json:"sections,omitempty"`
+}
+
+// snapshot evaluates every section into a Status.
+func (s *Server) snapshot() Status {
+	s.mu.Lock()
+	names := append([]string(nil), s.names...)
+	fns := make([]func() any, len(names))
+	for i, n := range names {
+		fns[i] = s.sections[n]
+	}
+	command := s.command
+	s.mu.Unlock()
+
+	st := Status{
+		Command:       command,
+		PID:           os.Getpid(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Goroutines:    runtime.NumGoroutine(),
+		JournalEvents: s.journal.Total(),
+	}
+	if len(names) > 0 {
+		st.Sections = make(map[string]any, len(names))
+		for i, n := range names {
+			st.Sections[n] = fns[i]()
+		}
+	}
+	return st
+}
+
+// Handler returns the introspection mux:
+//
+//	/statusz       live run status (JSON)
+//	/eventsz       journal tail as JSON lines (?n=256 bounds it)
+//	/tracez        Chrome trace_event download of the run so far
+//	/metrics       Prometheus text exposition
+//	/metrics.json  registry snapshot
+//	/debug/pprof/  the standard pprof surface
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.snapshot())
+	})
+	mux.HandleFunc("/eventsz", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // whole resident tail by default
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n: want a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.journal.WriteTail(w, n)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		t := s.tracer
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_ = obs.WriteChromeTrace(w, t, s.journal)
+	})
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/metrics.json", s.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		s.writeIndex(w)
+	})
+	return mux
+}
+
+// writeIndex renders the landing page: a plain list of endpoints plus the
+// registered section names, so a human pointed at -debug-addr can
+// navigate without docs.
+func (s *Server) writeIndex(w io.Writer) {
+	s.mu.Lock()
+	names := append([]string(nil), s.names...)
+	command := s.command
+	s.mu.Unlock()
+	sort.Strings(names)
+	fmt.Fprintf(w, "%s debugz\n\n", command)
+	fmt.Fprintln(w, "/statusz       live run status (sections: "+join(names)+")")
+	fmt.Fprintln(w, "/eventsz       flight-recorder tail (JSONL; ?n=256)")
+	fmt.Fprintln(w, "/tracez        Chrome trace_event download (chrome://tracing, Perfetto)")
+	fmt.Fprintln(w, "/metrics       Prometheus text exposition")
+	fmt.Fprintln(w, "/metrics.json  metrics snapshot")
+	fmt.Fprintln(w, "/debug/pprof/  pprof surface")
+}
+
+func join(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Serve binds addr and serves the introspection surface in a background
+// goroutine for the remainder of the process, returning the bound
+// address (":0" picks a free port).
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debugz: listener: %w", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,164 @@
+package debugz
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*Server, *obs.Registry, *obs.Journal, *httptest.Server) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	j := obs.NewJournal(32)
+	j.SetEnabled(true)
+	s := New("testcmd", reg, j)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, reg, j, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestStatusz(t *testing.T) {
+	s, _, j, ts := newTestServer(t)
+	s.AddSection("plan", func() any { return map[string]int{"planned": 44, "done": 10} })
+	j.Record(obs.Event{Kind: obs.EvCellStart, Actor: 0, Subject: "F1/gcc/reference/pb-row-00"})
+
+	code, body := get(t, ts.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz status %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("statusz is not JSON: %v\n%s", err, body)
+	}
+	if st.Command != "testcmd" || st.PID == 0 || st.GOMAXPROCS < 1 {
+		t.Fatalf("statusz host fields wrong: %+v", st)
+	}
+	if st.JournalEvents != 1 {
+		t.Fatalf("JournalEvents = %d, want 1", st.JournalEvents)
+	}
+	plan, ok := st.Sections["plan"].(map[string]any)
+	if !ok || plan["planned"].(float64) != 44 {
+		t.Fatalf("plan section = %v", st.Sections)
+	}
+}
+
+func TestEventsz(t *testing.T) {
+	_, _, j, ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		j.Record(obs.Event{Kind: obs.EvCkptHit, Subject: "prog@100", N: int64(i)})
+	}
+	code, body := get(t, ts.URL+"/eventsz?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("eventsz status %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("eventsz?n=2 returned %d lines:\n%s", len(lines), body)
+	}
+	var ev obs.Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("eventsz line not JSON: %v", err)
+	}
+	if ev.N != 4 {
+		t.Fatalf("last event n = %d, want 4 (newest)", ev.N)
+	}
+	if code, _ := get(t, ts.URL+"/eventsz?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad n returned %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/eventsz?n=-3"); code != http.StatusBadRequest {
+		t.Fatalf("negative n returned %d, want 400", code)
+	}
+}
+
+func TestTracez(t *testing.T) {
+	_, _, j, ts := newTestServer(t)
+	j.Record(obs.Event{Kind: obs.EvCellFinish, Actor: 0, Subject: "F1/gcc/reference/pb-row-00", DurNS: 1000})
+	code, body := get(t, ts.URL+"/tracez")
+	if code != http.StatusOK {
+		t.Fatalf("tracez status %d", code)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("tracez is not JSON: %v\n%s", err, body)
+	}
+	var workerTrack bool
+	for _, e := range out.TraceEvents {
+		if e["ph"] == "M" {
+			if args, ok := e["args"].(map[string]any); ok && args["name"] == "worker 0" {
+				workerTrack = true
+			}
+		}
+	}
+	if !workerTrack {
+		t.Fatalf("tracez output has no worker track: %s", body)
+	}
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	_, reg, _, ts := newTestServer(t)
+	reg.Counter("debugz_test_total").Inc()
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "debugz_test_total 1") {
+		t.Fatalf("metrics status %d body %q", code, body)
+	}
+	code, body = get(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics.json status %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json is not a snapshot: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Name != "debugz_test_total" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestPprofAndIndex(t *testing.T) {
+	s, _, _, ts := newTestServer(t)
+	s.AddSection("engine", func() any { return nil })
+	code, body := get(t, ts.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("pprof cmdline status %d body %q", code, body)
+	}
+	code, body = get(t, ts.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/statusz") || !strings.Contains(body, "engine") {
+		t.Fatalf("index status %d body %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/nonesuch"); code != http.StatusNotFound {
+		t.Fatalf("unknown path returned %d, want 404", code)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	s := New("bindcmd", obs.NewRegistry(), obs.NewJournal(8))
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, "http://"+addr+"/statusz")
+	if code != http.StatusOK || !strings.Contains(body, "bindcmd") {
+		t.Fatalf("served statusz status %d body %q", code, body)
+	}
+}

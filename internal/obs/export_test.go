@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusLabelEscaping checks the exposition escapes the three
+// characters the text format reserves in label values: backslash, double
+// quote, and newline.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("escape_total", L("path", `C:\tmp`), L("quote", `say "hi"`), L("nl", "a\nb")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`path="C:\\tmp"`, `quote="say \"hi\""`, `nl="a\nb"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "a\nb\"") {
+		t.Errorf("raw newline leaked into a label value:\n%s", out)
+	}
+}
+
+// TestPrometheusNonFiniteGauges checks NaN and the infinities render in
+// the spellings Prometheus parsers accept.
+func TestPrometheusNonFiniteGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan").Set(math.NaN())
+	r.Gauge("g_posinf").Set(math.Inf(1))
+	r.Gauge("g_neginf").Set(math.Inf(-1))
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"g_nan NaN\n", "g_posinf +Inf\n", "g_neginf -Inf\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusDeterministicOrdering registers series in scrambled order
+// and checks two expositions are byte-identical and sorted by series
+// identity — diffable scrape output.
+func TestPrometheusDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", L("b", "2")).Inc()
+	r.Counter("zz_total", L("b", "1")).Inc()
+	r.Counter("aa_total").Inc()
+	r.Gauge("mm_gauge").Set(1)
+
+	var first, second strings.Builder
+	if err := r.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("two expositions differ:\n%s\n---\n%s", first.String(), second.String())
+	}
+	out := first.String()
+	aa := strings.Index(out, "aa_total")
+	b1 := strings.Index(out, `zz_total{b="1"}`)
+	b2 := strings.Index(out, `zz_total{b="2"}`)
+	if aa < 0 || b1 < 0 || b2 < 0 || !(aa < b1 && b1 < b2) {
+		t.Fatalf("series out of order (aa=%d b1=%d b2=%d):\n%s", aa, b1, b2, out)
+	}
+	// One TYPE header per metric name, even with several labelled series.
+	if n := strings.Count(out, "# TYPE zz_total counter"); n != 1 {
+		t.Fatalf("zz_total has %d TYPE headers, want 1:\n%s", n, out)
+	}
+}
+
+// TestPrometheusHistogramInfBucket checks the +Inf bucket bound renders
+// as le="+Inf", not as a formatted float.
+func TestPrometheusHistogramInfBucket(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", []float64{0.1, 1}).Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `h_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("missing +Inf bucket:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalDisabledZeroAlloc pins the recorder's core promise: Record on
+// a disabled (or nil) journal allocates nothing, so the execution stack can
+// record unconditionally at zero cost in the default configuration.
+func TestJournalDisabledZeroAlloc(t *testing.T) {
+	j := NewJournal(64)
+	ev := Event{Kind: EvCellFinish, Actor: 2, Subject: "F1/gcc/reference/pb-row-00", N: 7, DurNS: 42}
+	if n := testing.AllocsPerRun(1000, func() { j.Record(ev) }); n != 0 {
+		t.Fatalf("disabled Record allocated %v times per call, want 0", n)
+	}
+	var nilJ *Journal
+	if n := testing.AllocsPerRun(1000, func() { nilJ.Record(ev) }); n != 0 {
+		t.Fatalf("nil Record allocated %v times per call, want 0", n)
+	}
+	if j.Len() != 0 || j.Total() != 0 {
+		t.Fatalf("disabled journal stored events: len=%d total=%d", j.Len(), j.Total())
+	}
+}
+
+func TestJournalRecordAndTail(t *testing.T) {
+	j := NewJournal(8)
+	j.SetEnabled(true)
+	for i := 0; i < 5; i++ {
+		j.Record(Event{Kind: EvCellStart, Actor: int32(i), N: int64(i)})
+	}
+	if j.Len() != 5 || j.Total() != 5 {
+		t.Fatalf("len=%d total=%d, want 5/5", j.Len(), j.Total())
+	}
+	tail := j.Tail(0)
+	if len(tail) != 5 {
+		t.Fatalf("Tail(0) returned %d events, want 5", len(tail))
+	}
+	for i, e := range tail {
+		if e.Seq != uint64(i) || e.N != int64(i) {
+			t.Fatalf("tail[%d] = seq %d n %d, want %d/%d", i, e.Seq, e.N, i, i)
+		}
+		if e.TimeNS == 0 {
+			t.Fatalf("tail[%d] has no timestamp", i)
+		}
+	}
+	if got := j.Tail(2); len(got) != 2 || got[0].N != 3 || got[1].N != 4 {
+		t.Fatalf("Tail(2) = %+v, want events 3 and 4", got)
+	}
+}
+
+// TestJournalWraparound overwrites the ring several times over and checks
+// the tail is exactly the newest cap events, still in order.
+func TestJournalWraparound(t *testing.T) {
+	const capacity = 16
+	j := NewJournal(capacity)
+	j.SetEnabled(true)
+	const total = capacity*3 + 5
+	for i := 0; i < total; i++ {
+		j.Record(Event{Kind: EvPhase, N: int64(i)})
+	}
+	if j.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", j.Len(), capacity)
+	}
+	if j.Total() != total {
+		t.Fatalf("Total = %d, want %d", j.Total(), total)
+	}
+	tail := j.Tail(0)
+	if len(tail) != capacity {
+		t.Fatalf("tail has %d events, want %d", len(tail), capacity)
+	}
+	for i, e := range tail {
+		want := int64(total - capacity + i)
+		if e.N != want || e.Seq != uint64(want) {
+			t.Fatalf("tail[%d] = n %d seq %d, want %d", i, e.N, e.Seq, want)
+		}
+	}
+}
+
+// TestJournalConcurrent hammers the ring from many goroutines (run under
+// -race in CI) and checks nothing is lost and the tail stays coherent.
+func TestJournalConcurrent(t *testing.T) {
+	const workers, each = 8, 500
+	j := NewJournal(64) // much smaller than the event count: constant wraparound
+	j.SetEnabled(true)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Record(Event{Kind: EvCkptHit, Actor: int32(w), N: int64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if j.Total() != workers*each {
+		t.Fatalf("Total = %d, want %d", j.Total(), workers*each)
+	}
+	tail := j.Tail(0)
+	if len(tail) != 64 {
+		t.Fatalf("tail has %d events, want 64", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].Seq != tail[i-1].Seq+1 {
+			t.Fatalf("tail seq not contiguous: %d then %d", tail[i-1].Seq, tail[i].Seq)
+		}
+	}
+}
+
+func TestJournalSinkJSONL(t *testing.T) {
+	j := NewJournal(4)
+	j.SetEnabled(true)
+	var buf bytes.Buffer
+	j.SetSink(&buf)
+	j.Record(Event{Kind: EvCellRetry, Actor: 1, Subject: "gcc|smarts|cfg", Detail: "boom", N: 2})
+	j.Record(Event{Kind: EvCkptEvict, Subject: "prog@1000", N: 4096})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("sink line 0 is not JSON: %v", err)
+	}
+	if got["kind"] != "cell_retry" || got["detail"] != "boom" {
+		t.Fatalf("sink line 0 = %v", got)
+	}
+	if _, ok := got["dur_ns"]; ok {
+		t.Fatalf("zero dur_ns should be omitted: %v", got)
+	}
+}
+
+func TestJournalReset(t *testing.T) {
+	j := NewJournal(4)
+	j.SetEnabled(true)
+	j.Record(Event{Kind: EvPhase})
+	j.Reset()
+	if j.Len() != 0 || j.Total() != 0 {
+		t.Fatalf("after Reset: len=%d total=%d", j.Len(), j.Total())
+	}
+	if !j.Enabled() {
+		t.Fatal("Reset must not disable the journal")
+	}
+	j.Record(Event{Kind: EvPhase})
+	if got := j.Tail(0); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("post-Reset record = %+v, want seq 0", got)
+	}
+}
+
+func TestJournalWriteTail(t *testing.T) {
+	j := NewJournal(8)
+	j.SetEnabled(true)
+	j.Record(Event{Kind: EvSchedDrain, Actor: 0, Subject: "F1/gcc/?/pb-row-01", Detail: "context canceled"})
+	var buf bytes.Buffer
+	if err := j.WriteTail(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"sched_drain"`) || !strings.Contains(buf.String(), "context canceled") {
+		t.Fatalf("WriteTail output missing fields: %s", buf.String())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvNone, EvCellStart, EvCellFinish, EvCellRetry, EvCellPanic,
+		EvCkptHit, EvCkptMiss, EvCkptEvict, EvEngineDedup, EvSchedDrain, EvPhase}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}

@@ -142,6 +142,24 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// Start returns the span's start time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Attrs returns a copy of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
 // Duration returns the span's wall-clock (0 until End).
 func (s *Span) Duration() time.Duration {
 	if s == nil {

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file exports the observability layer's data — phase span trees and
+// the flight-recorder journal — in the Chrome trace_event format, so a
+// run can be opened in chrome://tracing or https://ui.perfetto.dev and
+// inspected on a timeline. The mapping:
+//
+//   - tracer spans render as nested complete ("X") slices on the "main"
+//     track (tid 0), exactly mirroring the Render() tree;
+//   - journal cell_finish events render as complete slices on one track
+//     per scheduler worker (tid = worker+1), reconstructing the parallel
+//     sweep's timeline from the recorder alone — no per-worker tracer is
+//     needed;
+//   - the remaining journal events (retries, panics, checkpoint traffic,
+//     engine dedup, drains, phase boundaries) render as instant ("i")
+//     events on their actor's track.
+//
+// The output is a JSON object {"traceEvents": [...]} with timestamps in
+// microseconds relative to the earliest datum, the format both viewers
+// parse natively.
+
+// traceEvent is one trace_event entry. Dur uses a pointer so instant
+// events omit it entirely (Perfetto rejects "i" events with dur).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const tracePID = 1
+
+// chromeTrace is the file-level envelope.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders a tracer's span trees and a journal's events
+// as one Chrome trace_event file. Either source may be nil; with both
+// nil the output is a valid empty trace.
+func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal) error {
+	var events []Event
+	if j != nil {
+		events = j.Tail(0)
+	}
+	roots := t.Roots()
+
+	// The time base is the earliest datum in either source, so all
+	// timestamps are small non-negative microsecond offsets.
+	var base int64
+	for _, e := range events {
+		start := e.TimeNS - e.DurNS
+		if base == 0 || start < base {
+			base = start
+		}
+	}
+	var walkBase func(s *Span)
+	walkBase = func(s *Span) {
+		if st := s.Start().UnixNano(); base == 0 || (st != 0 && st < base) {
+			base = st
+		}
+		for _, c := range s.Children() {
+			walkBase(c)
+		}
+	}
+	for _, r := range roots {
+		walkBase(r)
+	}
+
+	usSince := func(ns int64) float64 { return float64(ns-base) / 1e3 }
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	tracks := map[int]string{0: "main"}
+
+	// Tracer spans: nested complete slices on the main track.
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		dur := float64(s.Duration()) / 1e3
+		ev := traceEvent{
+			Name: s.Name(), Phase: "X",
+			TS: usSince(s.Start().UnixNano()), Dur: &dur,
+			PID: tracePID, TID: 0,
+		}
+		if attrs := s.Attrs(); len(attrs) > 0 || s.Instr() > 0 {
+			ev.Args = map[string]any{}
+			for _, a := range attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			if n := s.Instr(); n > 0 {
+				ev.Args["instr"] = n
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+		for _, c := range s.Children() {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+
+	// Journal events: cell completions become per-worker slices, the rest
+	// instants on their actor's track.
+	for _, e := range events {
+		tid := 0
+		if e.Actor >= 0 {
+			tid = int(e.Actor) + 1
+			if _, ok := tracks[tid]; !ok {
+				tracks[tid] = fmt.Sprintf("worker %d", e.Actor)
+			}
+		}
+		switch e.Kind {
+		case EvCellStart:
+			// The matching cell_finish carries the full slice; starts
+			// stay out of the timeline to avoid double-drawing.
+			continue
+		case EvCellFinish:
+			dur := float64(e.DurNS) / 1e3
+			ev := traceEvent{
+				Name: e.Subject, Phase: "X",
+				TS: usSince(e.TimeNS - e.DurNS), Dur: &dur,
+				PID: tracePID, TID: tid,
+			}
+			if e.Detail != "" {
+				ev.Args = map[string]any{"error": e.Detail}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		default:
+			ev := traceEvent{
+				Name: e.Kind.String(), Phase: "i", Scope: "t",
+				TS:  usSince(e.TimeNS),
+				PID: tracePID, TID: tid,
+				Args: map[string]any{},
+			}
+			if e.Subject != "" {
+				ev.Args["subject"] = e.Subject
+			}
+			if e.Detail != "" {
+				ev.Args["detail"] = e.Detail
+			}
+			if e.N != 0 {
+				ev.Args["n"] = e.N
+			}
+			if e.DurNS != 0 {
+				ev.Args["dur"] = time.Duration(e.DurNS).String()
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+
+	// Track-name metadata, one per tid seen (sorted for determinism).
+	for tid := 0; tid <= maxKey(tracks); tid++ {
+		name, ok := tracks[tid]
+		if !ok {
+			continue
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func maxKey(m map[int]string) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses WriteChromeTrace output back into a generic envelope.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) map[string]any {
+	t.Helper()
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func traceEvents(t *testing.T, out map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := out["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("no traceEvents array in %v", out)
+	}
+	evs := make([]map[string]any, len(raw))
+	for i, e := range raw {
+		evs[i] = e.(map[string]any)
+	}
+	return evs
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeTrace(t, &buf)
+	if evs := traceEvents(t, out); len(evs) != 1 {
+		// Only the "main" thread_name metadata event.
+		t.Fatalf("empty trace has %d events, want 1 metadata event: %v", len(evs), evs)
+	}
+}
+
+// TestChromeTraceWorkerTracks replays a two-worker journal and checks each
+// worker gets its own track: a complete slice per cell_finish, a
+// thread_name metadata record per tid, instants for the other kinds.
+func TestChromeTraceWorkerTracks(t *testing.T) {
+	j := NewJournal(64)
+	j.SetEnabled(true)
+	base := time.Now().UnixNano()
+	// Worker 0 ran two cells, worker 1 one cell (which failed after a retry).
+	j.Record(Event{Kind: EvCellStart, Actor: 0, Subject: "F1/gcc/reference/pb-row-00", TimeNS: base})
+	j.Record(Event{Kind: EvCellFinish, Actor: 0, Subject: "F1/gcc/reference/pb-row-00", TimeNS: base + 1e6, DurNS: 1e6})
+	j.Record(Event{Kind: EvCellRetry, Actor: -1, Subject: "gcc|smarts|pb-row-01", Detail: "transient", N: 1, TimeNS: base + 2e6})
+	j.Record(Event{Kind: EvCellFinish, Actor: 1, Subject: "F1/gcc/smarts/pb-row-01", Detail: "injected fault", TimeNS: base + 3e6, DurNS: 2e6})
+	j.Record(Event{Kind: EvCellFinish, Actor: 0, Subject: "F1/gcc/simpoint/pb-row-02", TimeNS: base + 4e6, DurNS: 5e5})
+	j.Record(Event{Kind: EvPhase, Actor: -1, Subject: "detailed", N: 1000, DurNS: 3e5, TimeNS: base + 4e6})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, j); err != nil {
+		t.Fatal(err)
+	}
+	evs := traceEvents(t, decodeTrace(t, &buf))
+
+	slicesPerTID := map[float64]int{}
+	trackNames := map[float64]string{}
+	instants := 0
+	for _, e := range evs {
+		switch e["ph"] {
+		case "X":
+			slicesPerTID[e["tid"].(float64)]++
+			if e["dur"] == nil {
+				t.Fatalf("complete event without dur: %v", e)
+			}
+			if ts := e["ts"].(float64); ts < 0 {
+				t.Fatalf("negative timestamp %v in %v", ts, e)
+			}
+		case "M":
+			args := e["args"].(map[string]any)
+			trackNames[e["tid"].(float64)] = args["name"].(string)
+		case "i":
+			instants++
+			if _, ok := e["dur"]; ok {
+				t.Fatalf("instant event carries dur: %v", e)
+			}
+		}
+	}
+	// cell_start must not be drawn (the finish carries the slice).
+	if slicesPerTID[1] != 2 {
+		t.Fatalf("worker 0 track has %d slices, want 2 (got %v)", slicesPerTID[1], slicesPerTID)
+	}
+	if slicesPerTID[2] != 1 {
+		t.Fatalf("worker 1 track has %d slices, want 1 (got %v)", slicesPerTID[2], slicesPerTID)
+	}
+	if trackNames[0] != "main" || trackNames[1] != "worker 0" || trackNames[2] != "worker 1" {
+		t.Fatalf("track names = %v", trackNames)
+	}
+	if instants != 2 { // retry + phase
+		t.Fatalf("got %d instant events, want 2", instants)
+	}
+	// The failed cell's slice must carry the error.
+	found := false
+	for _, e := range evs {
+		if e["ph"] == "X" && e["name"] == "F1/gcc/smarts/pb-row-01" {
+			args, _ := e["args"].(map[string]any)
+			if args["error"] == "injected fault" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("failed cell's slice does not carry its error")
+	}
+}
+
+// TestChromeTraceSpans renders a tracer's nested spans onto the main track.
+func TestChromeTraceSpans(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("run", Str("bench", "gcc"))
+	child := tr.StartSpan("detailed")
+	child.AddInstr(5000)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	evs := traceEvents(t, decodeTrace(t, &buf))
+	var names []string
+	for _, e := range evs {
+		if e["ph"] == "X" {
+			if e["tid"].(float64) != 0 {
+				t.Fatalf("span rendered off the main track: %v", e)
+			}
+			names = append(names, e["name"].(string))
+		}
+	}
+	if len(names) != 2 || names[0] != "run" || names[1] != "detailed" {
+		t.Fatalf("span slices = %v, want [run detailed]", names)
+	}
+	for _, e := range evs {
+		if e["name"] == "detailed" {
+			args := e["args"].(map[string]any)
+			if args["instr"].(float64) != 5000 {
+				t.Fatalf("detailed span lost its instr arg: %v", e)
+			}
+		}
+	}
+}

@@ -241,8 +241,14 @@ func NewRunner(p *program.Program, cfg Config) (*Runner, error) {
 	}, nil
 }
 
-// instrumented reports whether any observability sink is attached.
-func (r *Runner) instrumented() bool { return r.Trace != nil || r.Metrics != nil }
+// instrumented reports whether any observability sink is attached. The
+// process-wide flight recorder counts as one: when it is enabled the
+// phases take the measured path so their boundary events carry real
+// wall-clock; when it is off (the default) the check is a single atomic
+// load and the uninstrumented fast path is unchanged.
+func (r *Runner) instrumented() bool {
+	return r.Trace != nil || r.Metrics != nil || obs.DefaultJournal.Enabled()
+}
 
 // DefaultCheckEvery is the default cancellation polling interval, in
 // instructions. It is small enough that a cancelled run stops within a few
@@ -310,7 +316,8 @@ func (r *Runner) chunked(n uint64, step func(c, hard uint64) uint64) uint64 {
 	return got
 }
 
-// finishPhase closes a phase span and records the phase's registry series.
+// finishPhase closes a phase span, records the phase's registry series,
+// and stamps a phase-boundary event into the flight recorder.
 func (r *Runner) finishPhase(sp *obs.Span, phase string, n uint64, start time.Time) {
 	sp.AddInstr(n)
 	sp.End()
@@ -318,6 +325,10 @@ func (r *Runner) finishPhase(sp *obs.Span, phase string, n uint64, start time.Ti
 		r.Metrics.Counter("sim_instructions_total", obs.L("phase", phase)).Add(n)
 		r.Metrics.Histogram("sim_phase_seconds", obs.LatencyBuckets, obs.L("phase", phase)).
 			Observe(time.Since(start).Seconds())
+	}
+	if j := obs.DefaultJournal; j.Enabled() {
+		j.Record(obs.Event{Kind: obs.EvPhase, Actor: -1, Subject: phase,
+			N: int64(n), DurNS: int64(time.Since(start))})
 	}
 }
 
@@ -403,11 +414,16 @@ func (r *Runner) Window() Stats {
 // window's architectural statistics annotated.
 func (r *Runner) MeasureDetailed(n uint64) Stats {
 	sp := r.Trace.StartSpan("measure")
+	start := time.Now()
 	r.Mark()
 	r.Detailed(n)
 	w := r.Window()
 	annotateWindow(sp, w)
 	sp.End()
+	if j := obs.DefaultJournal; j.Enabled() {
+		j.Record(obs.Event{Kind: obs.EvPhase, Actor: -1, Subject: "measure",
+			N: int64(w.Instructions), DurNS: int64(time.Since(start))})
+	}
 	return w
 }
 
