@@ -1,0 +1,71 @@
+// Command benchdiff compares two performance baselines written by
+// cmd/benchjson and exits non-zero when the new one regresses. It is the
+// other half of the perf gate: benchjson measures, benchdiff judges.
+//
+// Comparisons are tolerance-aware and min-of-iters aware: both files
+// record best-of-N walls, so deltas are min-vs-min, and each block has
+// its own allowed worsening (see internal/benchfmt.DefaultTolerances for
+// why the defaults are generous). Structural checks — a benchmark or
+// block missing from the new file, deterministic instruction counts that
+// changed, a scheduler plan of a different size, a checkpoint store that
+// never hits — fail the gate regardless of tolerances, and are the only
+// checks applied under -structural-only (the mode CI uses against a
+// baseline committed from a different machine).
+//
+// Usage:
+//
+//	benchdiff [flags] old.json new.json
+//
+// Exit status: 0 when the comparison passes, 1 on regression, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	tol := benchfmt.DefaultTolerances()
+	flag.Float64Var(&tol.EntryPct, "tol-entry", tol.EntryPct,
+		"allowed per-benchmark ns/instr worsening, percent")
+	flag.Float64Var(&tol.SchedPct, "tol-sched", tol.SchedPct,
+		"allowed scheduler wall worsening, percent")
+	flag.Float64Var(&tol.CkptPct, "tol-ckpt", tol.CkptPct,
+		"allowed checkpoint-on ns/instr worsening, percent")
+	flag.Float64Var(&tol.JournalPct, "tol-journal", tol.JournalPct,
+		"allowed flight-recorder per-event worsening, percent")
+	flag.BoolVar(&tol.StructuralOnly, "structural-only", false,
+		"skip timing comparisons; check only host-independent structure")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := benchfmt.Read(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	new, err := benchfmt.Read(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	cmp := benchfmt.Compare(old, new, tol)
+	fmt.Print(cmp.Render())
+	if cmp.Regressed() {
+		fmt.Fprintln(os.Stderr, "benchdiff: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}

@@ -1,15 +1,17 @@
 // Command benchjson measures the reference technique at the test scale
 // and writes a machine-readable baseline (ns per simulated instruction and
 // host MIPS per benchmark) so performance regressions can be diffed by CI
-// or scripts. Each entry also measures the run with cancellation polling
-// active (a live context attached) and records the relative overhead; the
-// robustness layer promises this stays under 2%. The checked-in
-// BENCH_obs.json at the repo root was produced by this command.
+// or scripts — see cmd/benchdiff for the comparator and internal/benchfmt
+// for the format. Each entry also measures the run with cancellation
+// polling active (a live context attached) and records the relative
+// overhead; the robustness layer promises this stays under 2%. The
+// checked-in BENCH_obs.json at the repo root was produced by this command.
 //
 // It also measures the experiment scheduler: the same plan of cells is
 // executed on one worker and on -parallel workers, and the wall times,
-// speedup, and worker utilization are recorded so CI on a multi-core
-// runner can verify the parallel path actually scales.
+// speedup, worker utilization, and per-cell latency quantiles are
+// recorded so CI on a multi-core runner can verify the parallel path
+// actually scales.
 //
 // Finally it measures the flight recorder (internal/obs.Journal): the
 // per-event cost of the disabled fast path and the enabled ring insert,
@@ -22,7 +24,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,74 +32,14 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/benchfmt"
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/experiments/sched"
 	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sim"
 )
-
-// Baseline is the file-level envelope: one entry per benchmark plus
-// enough host context to judge whether a comparison is apples-to-apples.
-type Baseline struct {
-	Technique string `json:"technique"`
-	Scale     string `json:"scale"`
-	GoVersion string `json:"go_version"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	// GOMAXPROCS is the scheduler's actual processor budget, which on
-	// container-limited CI runners is smaller than NumCPU — the value a
-	// wall-clock comparison actually ran under.
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Iters      int     `json:"iters"`
-	Entries    []Entry `json:"entries"`
-
-	// Sched compares one scheduler pass over the same experiment plan at
-	// one worker versus -parallel workers.
-	Sched *SchedBaseline `json:"sched,omitempty"`
-
-	// Ckpt compares a mini multi-configuration sweep with the shared
-	// functional-prefix checkpoint store disabled versus enabled.
-	Ckpt *CkptBaseline `json:"ckpt,omitempty"`
-
-	// Journal measures the flight recorder: the cost of a Record call with
-	// the recorder off (the always-on tax every instrumented code path
-	// pays) and on (ring insert + timestamp), plus sustained events/sec.
-	Journal *JournalBaseline `json:"journal,omitempty"`
-}
-
-// SchedBaseline is the serial-versus-parallel scheduler comparison. Cells
-// counts distinct experiment runs in the plan; Speedup is the serial wall
-// divided by the parallel wall (~1.0 on a single-core host, approaching
-// Workers on an idle multi-core runner); Utilization is busy worker-time
-// over Workers x wall for the parallel pass.
-type SchedBaseline struct {
-	Workers        int     `json:"workers"`
-	Cells          int     `json:"cells"`
-	SerialWallNS   int64   `json:"serial_wall_ns"`
-	ParallelWallNS int64   `json:"parallel_wall_ns"`
-	Speedup        float64 `json:"speedup"`
-	Utilization    float64 `json:"utilization"`
-}
-
-// Entry records the best-of-N run for one benchmark, without and with
-// cancellation polling.
-type Entry struct {
-	Bench          string  `json:"bench"`
-	SimulatedInstr uint64  `json:"simulated_instr"`
-	WallNS         int64   `json:"wall_ns"`
-	NSPerInstr     float64 `json:"ns_per_instr"`
-	HostMIPS       float64 `json:"host_mips"`
-	CPI            float64 `json:"cpi"`
-
-	// CancelWallNS is the best wall-clock with a cancellable context
-	// attached (the runner chunks execution and polls every CheckEvery
-	// instructions); CancelOverheadPct is its relative cost in percent.
-	CancelWallNS      int64   `json:"cancel_wall_ns"`
-	CancelOverheadPct float64 `json:"cancel_overhead_pct"`
-}
 
 func main() {
 	benchFlag := flag.String("benches", "gcc,mcf", "comma-separated benchmarks to baseline")
@@ -121,7 +62,8 @@ func main() {
 	die(cliutil.ValidatePositive("-iters", *itersFlag))
 	die(cliutil.ValidateParallel(*parallel))
 
-	base := Baseline{
+	base := benchfmt.Baseline{
+		Stamp:      benchfmt.StampNow(),
 		Technique:  core.Reference{}.Name(),
 		Scale:      "test",
 		GoVersion:  runtime.Version(),
@@ -145,13 +87,13 @@ func main() {
 		// ratio of the two minima (pairing a lucky baseline iteration with
 		// an unlucky polled one would report scheduling noise as polling
 		// cost).
-		var best Entry
+		var best benchfmt.Entry
 		var bestPolled int64
 		for i := 0; i < *itersFlag; i++ {
 			res, err := core.Reference{}.Run(plain)
 			die(err)
 			tel := res.Telemetry()
-			e := Entry{
+			e := benchfmt.Entry{
 				Bench:          string(b),
 				SimulatedInstr: tel.SimulatedInstr,
 				WallNS:         tel.Wall.Nanoseconds(),
@@ -172,6 +114,13 @@ func main() {
 		cancel()
 		best.CancelWallNS = bestPolled
 		best.CancelOverheadPct = 100 * (float64(best.CancelWallNS) - float64(best.WallNS)) / float64(best.WallNS)
+		// Both walls are independent minima, so on a noisy host the
+		// polled minimum can land below the plain one; that is sampling
+		// noise, not a speedup, and reporting it as negative overhead
+		// makes downstream deltas meaningless. Clamp at zero.
+		if best.CancelOverheadPct < 0 {
+			best.CancelOverheadPct = 0
+		}
 		base.Entries = append(base.Entries, best)
 		fmt.Fprintf(os.Stderr, "%-8s %d instr in %v (%.1f ns/instr, %.1f host-MIPS, cancel-poll %+.2f%%)\n",
 			best.Bench, best.SimulatedInstr, time.Duration(best.WallNS).Round(time.Microsecond),
@@ -185,9 +134,10 @@ func main() {
 	sb, err := measureSched(benches, *parallel)
 	die(err)
 	base.Sched = &sb
-	fmt.Fprintf(os.Stderr, "sched    %d cells on %d workers: serial %v, parallel %v (%.2fx, %.0f%% utilized)\n",
+	fmt.Fprintf(os.Stderr, "sched    %d cells on %d workers: serial %v, parallel %v (%.2fx, %.0f%% utilized, cell p50/p99 %v/%v)\n",
 		sb.Cells, sb.Workers, time.Duration(sb.SerialWallNS).Round(time.Microsecond),
-		time.Duration(sb.ParallelWallNS).Round(time.Microsecond), sb.Speedup, 100*sb.Utilization)
+		time.Duration(sb.ParallelWallNS).Round(time.Microsecond), sb.Speedup, 100*sb.Utilization,
+		time.Duration(sb.P50NS).Round(time.Microsecond), time.Duration(sb.P99NS).Round(time.Microsecond))
 
 	cb, err := measureCkpt(benches[0], 8)
 	die(err)
@@ -201,32 +151,14 @@ func main() {
 	fmt.Fprintf(os.Stderr, "journal  %d events: off %.2f ns/event, on %.1f ns/event (%.1fM events/sec)\n",
 		jb.Events, jb.DisabledNSPerEvent, jb.EnabledNSPerEvent, jb.EventsPerSec/1e6)
 
-	f, err := os.Create(*outFlag)
-	die(err)
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	die(enc.Encode(base))
-	die(f.Close())
+	die(benchfmt.Write(*outFlag, &base))
 	fmt.Fprintln(os.Stderr, "wrote", *outFlag)
 	run.Exit(0)
 }
 
-// JournalBaseline is the flight-recorder cost measurement: the recorder-off
-// Record path (a nil-or-disabled check every instrumented code path pays
-// unconditionally — the zero-alloc fast path pinned by TestJournalDisabledZeroAlloc),
-// the recorder-on path (timestamp + ring insert under the journal mutex),
-// and the sustained single-threaded throughput with the recorder on.
-type JournalBaseline struct {
-	Capacity           int     `json:"capacity"`
-	Events             int     `json:"events"`
-	DisabledNSPerEvent float64 `json:"disabled_ns_per_event"`
-	EnabledNSPerEvent  float64 `json:"enabled_ns_per_event"`
-	EventsPerSec       float64 `json:"events_per_sec"`
-}
-
 // measureJournal times the disabled and enabled Record paths, best of
 // iters, on a private journal so the process-wide recorder is untouched.
-func measureJournal(iters int) JournalBaseline {
+func measureJournal(iters int) benchfmt.JournalBaseline {
 	const events = 1 << 16
 	j := obs.NewJournal(obs.DefaultJournalCapacity)
 	ev := obs.Event{Kind: obs.EvCellFinish, Actor: 3, Subject: "benchjson/journal", N: 1, DurNS: 1}
@@ -248,7 +180,7 @@ func measureJournal(iters int) JournalBaseline {
 	}
 	off := best(false)
 	on := best(true)
-	out := JournalBaseline{
+	out := benchfmt.JournalBaseline{
 		Capacity:           obs.DefaultJournalCapacity,
 		Events:             events,
 		DisabledNSPerEvent: float64(off.Nanoseconds()) / events,
@@ -263,34 +195,40 @@ func measureJournal(iters int) JournalBaseline {
 // measureSched runs the same enhancement-study plan (base plus enhanced
 // configurations, reference plus every representative technique, per
 // benchmark) through the experiment scheduler twice — one worker, then
-// `workers` — on fresh engines, and reports the wall-time comparison.
-func measureSched(benches []bench.Name, workers int) (SchedBaseline, error) {
-	pass := func(n int) (sched.Telemetry, error) {
+// `workers` — on fresh engines, and reports the wall-time comparison
+// plus the parallel pass's per-cell latency quantiles.
+func measureSched(benches []bench.Name, workers int) (benchfmt.SchedBaseline, error) {
+	pass := func(n int) (*experiments.Options, error) {
 		o := experiments.DefaultOptions()
 		o.Scale = sim.ScaleTest
 		o.Benches = benches
 		o.Parallel = n
 		for _, b := range benches {
 			if tel := o.RunPlan(experiments.Figure6Plan(o, b, nil)); tel.Failed > 0 {
-				return sched.Telemetry{}, fmt.Errorf("scheduler pass at %d workers: %d cells failed", n, tel.Failed)
+				return nil, fmt.Errorf("scheduler pass at %d workers: %d cells failed", n, tel.Failed)
 			}
 		}
-		return o.SchedTelemetry(), nil
+		return o, nil
 	}
-	serial, err := pass(1)
+	serialOpts, err := pass(1)
 	if err != nil {
-		return SchedBaseline{}, err
+		return benchfmt.SchedBaseline{}, err
 	}
-	par, err := pass(workers)
+	parOpts, err := pass(workers)
 	if err != nil {
-		return SchedBaseline{}, err
+		return benchfmt.SchedBaseline{}, err
 	}
-	out := SchedBaseline{
+	serial, par := serialOpts.SchedTelemetry(), parOpts.SchedTelemetry()
+	lat := parOpts.CostSummary().CellLatency
+	out := benchfmt.SchedBaseline{
 		Workers:        workers,
 		Cells:          par.Cells,
 		SerialWallNS:   serial.Wall.Nanoseconds(),
 		ParallelWallNS: par.Wall.Nanoseconds(),
 		Utilization:    par.Utilization(),
+		P50NS:          lat.P50NS,
+		P95NS:          lat.P95NS,
+		P99NS:          lat.P99NS,
 	}
 	if par.Wall > 0 {
 		out.Speedup = float64(serial.Wall) / float64(par.Wall)
@@ -298,39 +236,19 @@ func measureSched(benches []bench.Name, workers int) (SchedBaseline, error) {
 	return out, nil
 }
 
-// CkptBaseline is the before/after comparison for the shared
-// functional-prefix checkpoint store over a mini Plackett-Burman sweep:
-// one FF X + Run Z technique on one benchmark across the design's first
-// Configs rows. The fast-forward prefix is configuration-independent, so
-// with the store on it is executed exactly once (Misses) and restored by
-// every other configuration (Hits). NSPerInstr uses the store-off sweep's
-// instruction total as the denominator for both walls: it is nanoseconds
-// per instruction of simulation work *covered*, so the on/off values are
-// directly comparable.
-type CkptBaseline struct {
-	Bench         string  `json:"bench"`
-	Configs       int     `json:"configs"`
-	OffWallNS     int64   `json:"off_wall_ns"`
-	OnWallNS      int64   `json:"on_wall_ns"`
-	OffNSPerInstr float64 `json:"off_ns_per_instr"`
-	OnNSPerInstr  float64 `json:"on_ns_per_instr"`
-	Speedup       float64 `json:"speedup"`
-	Hits          int64   `json:"hits"`
-	Misses        int64   `json:"misses"`
-	Evictions     int64   `json:"evictions"`
-	Bytes         int64   `json:"bytes"`
-}
-
-// measureCkpt runs the mini sweep twice — store disabled, then a fresh
-// store — and errors if the enabled sweep records no checkpoint hits (the
-// amortization CI asserts on).
-func measureCkpt(b bench.Name, configs int) (CkptBaseline, error) {
+// measureCkpt runs a mini multi-configuration sweep twice — store
+// disabled, then a fresh store — and errors if the enabled sweep records
+// no checkpoint hits (the amortization CI asserts on). The fast-forward
+// prefix is configuration-independent, so with the store on it is
+// executed exactly once (Misses) and restored by every other
+// configuration (Hits).
+func measureCkpt(b bench.Name, configs int) (benchfmt.CkptBaseline, error) {
 	design, err := pb.New(sim.NumParams, false)
 	if err != nil {
-		return CkptBaseline{}, err
+		return benchfmt.CkptBaseline{}, err
 	}
 	if design.Runs() < configs {
-		return CkptBaseline{}, fmt.Errorf("PB design has %d rows, need %d", design.Runs(), configs)
+		return benchfmt.CkptBaseline{}, fmt.Errorf("PB design has %d rows, need %d", design.Runs(), configs)
 	}
 	tech := core.FFRun{X: 2000, Z: 500}
 	sweep := func() (time.Duration, uint64, error) {
@@ -356,19 +274,19 @@ func measureCkpt(b bench.Name, configs int) (CkptBaseline, error) {
 	offWall, offInstr, err := sweep()
 	core.SetCheckpointStore(store)
 	if err != nil {
-		return CkptBaseline{}, err
+		return benchfmt.CkptBaseline{}, err
 	}
 	core.ResetCheckpointCache()
 	onWall, _, err := sweep()
 	if err != nil {
-		return CkptBaseline{}, err
+		return benchfmt.CkptBaseline{}, err
 	}
 	st := core.CheckpointStats()
 	core.ResetCheckpointCache()
 	if st.Hits < 1 {
-		return CkptBaseline{}, fmt.Errorf("checkpoint store recorded no hits over %d configurations (%+v)", configs, st)
+		return benchfmt.CkptBaseline{}, fmt.Errorf("checkpoint store recorded no hits over %d configurations (%+v)", configs, st)
 	}
-	out := CkptBaseline{
+	out := benchfmt.CkptBaseline{
 		Bench:     string(b),
 		Configs:   configs,
 		OffWallNS: offWall.Nanoseconds(),

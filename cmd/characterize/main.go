@@ -25,6 +25,7 @@ func main() {
 	benchFlag := flag.String("bench", "mcf", "benchmark")
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
+	costOut := flag.String("cost-out", "", "write per-cell cost attribution and aggregate cost tables (JSON) to this file")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial tables")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
@@ -77,6 +78,13 @@ func main() {
 	run.Log.Infof("%s", o.Engine().Telemetry())
 	if tel := o.SchedTelemetry(); tel.Cells > 0 || tel.Cancelled > 0 {
 		run.Log.Infof("%s", tel)
+	}
+	if *costOut != "" {
+		f, err := os.Create(*costOut)
+		die(err)
+		die(o.WriteCostJSON(f))
+		die(f.Close())
+		run.Log.Infof("wrote %s", *costOut)
 	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())

@@ -32,6 +32,7 @@ func main() {
 	foldFlag := flag.Bool("foldover", false, "fold the PB design (88 configurations instead of 44)")
 	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH)")
 	jsonFlag := flag.String("json", "", "also write machine-readable results to this file")
+	costOut := flag.String("cost-out", "", "write per-cell cost attribution and aggregate cost tables (JSON) to this file")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial figures")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
@@ -169,6 +170,13 @@ func main() {
 		die(err)
 		die(experiments.WriteJSON(f, artifacts))
 		die(f.Close())
+	}
+	if *costOut != "" {
+		f, err := os.Create(*costOut)
+		die(err)
+		die(o.WriteCostJSON(f))
+		die(f.Close())
+		run.Log.Infof("wrote %s", *costOut)
 	}
 	run.Log.Infof("done in %v; %s",
 		time.Since(start).Round(time.Millisecond), o.Engine().Telemetry())

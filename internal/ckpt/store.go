@@ -358,6 +358,16 @@ func (s *Store) Stats() Stats {
 	}
 }
 
+// Counters returns just the hit/miss counters. The scheduler brackets
+// every cell with this read to attribute checkpoint traffic, so it skips
+// the full Stats construction and holds the lock for two loads.
+func (s *Store) Counters() (hits, misses int64) {
+	s.mu.Lock()
+	hits, misses = s.hits, s.misses
+	s.mu.Unlock()
+	return hits, misses
+}
+
 // Reset drops every resident checkpoint and zeroes the counters (tests
 // and sweep teardown). In-progress populations are unaffected: their
 // waiters still receive the produced checkpoint, it just is not cached.

@@ -30,6 +30,12 @@ type ObsFlags struct {
 	Journal     bool
 	LogFormat   string
 	LogLevel    string
+
+	// RuntimeSample is the runtime health sampler's interval. 0 (the
+	// default) auto-enables at obs.DefaultSampleInterval whenever another
+	// observability surface (-debug-addr, -metrics-addr, -manifest) is
+	// active; a negative value disables sampling outright.
+	RuntimeSample time.Duration
 }
 
 // AddObsFlags registers the shared observability flags on fs (normally
@@ -43,7 +49,26 @@ func AddObsFlags(fs *flag.FlagSet) *ObsFlags {
 	fs.BoolVar(&f.Journal, "journal", false, "enable the event journal even without -debug-addr/-manifest/-trace-out")
 	fs.StringVar(&f.LogFormat, "log-format", "text", "structured log format: text or json")
 	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn, or error")
+	fs.DurationVar(&f.RuntimeSample, "runtime-sample", 0, "runtime health sampling interval (0 = auto with -debug-addr/-metrics-addr/-manifest, negative = off)")
 	return f
+}
+
+// runtimeSampleInterval resolves the sampler policy: an explicit
+// interval wins, auto mode samples at the default interval when any
+// surface that would show the samples is active, and a negative value
+// keeps the sampler off (its disabled path costs nothing — pinned by
+// TestRuntimeSamplerDisabledZeroAlloc).
+func (f *ObsFlags) runtimeSampleInterval() time.Duration {
+	if f.RuntimeSample != 0 {
+		if f.RuntimeSample < 0 {
+			return 0
+		}
+		return f.RuntimeSample
+	}
+	if f.DebugAddr != "" || f.MetricsAddr != "" || f.Manifest != "" {
+		return obs.DefaultSampleInterval
+	}
+	return 0
 }
 
 // journalWanted reports whether any flag needs the flight recorder on.
@@ -181,6 +206,20 @@ func StartRun(name string, f *ObsFlags) (*Run, error) {
 			return nil, err
 		}
 		log.Infof("debugz: serving http://%s/ (/statusz, /eventsz, /tracez, /metrics, /debug/pprof/)", bound)
+	}
+	if iv := f.runtimeSampleInterval(); iv > 0 {
+		s := obs.DefaultRuntimeSampler
+		s.Interval = iv
+		s.Start()
+		// The "runtime" section reads the last sample; after Stop (an
+		// OnClose hook, so it runs post-manifest) the final sample and
+		// the run's peaks stay readable, so the manifest records the
+		// high-water marks.
+		r.AddSection("runtime", func() any {
+			st, _ := s.Last()
+			return st
+		})
+		r.OnClose(s.Stop)
 	}
 	return r, nil
 }

@@ -62,6 +62,16 @@ func CheckpointStats() ckpt.Stats {
 	return ckpt.Stats{}
 }
 
+// CheckpointCounters returns the shared store's hit/miss counters (zero
+// when disabled) without building a full Stats snapshot — the
+// scheduler's per-cell cost bracketing rides this.
+func CheckpointCounters() (hits, misses int64) {
+	if s := CheckpointStore(); s != nil {
+		return s.Counters()
+	}
+	return 0, 0
+}
+
 // ResetCheckpointCache drops all cached checkpoints and zeroes the store's
 // counters (tests, ablations, and sweep teardown).
 func ResetCheckpointCache() {

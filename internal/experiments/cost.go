@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/experiments/sched"
+)
+
+// This file is the aggregation layer over the scheduler's per-cell
+// CostReports: RunPlan appends every outcome to a ledger in plan order,
+// and CostSummary folds the ledger into per-technique, per-benchmark,
+// and per-artifact cost tables — the paper's "cost of a technique" axis
+// made first-class, alongside its error axis.
+//
+// Determinism: the ledger is appended plan-by-plan in plan order, and a
+// row's scheduling-independent fields (cell and failure counts,
+// instruction counts) are identical at any worker count. Host-cost
+// fields (wall, CPU, allocation, checkpoint deltas, retry/dedup spend)
+// are attribution, not accounting — see sched.CostReport — so the
+// comparison view Deterministic() zeroes them.
+
+// CellCost is one scheduled cell's identity and attributed cost, in plan
+// order. Drained cells (cancellation) appear with Failed=true and a zero
+// CostReport.
+type CellCost struct {
+	Artifact  string           `json:"artifact"`
+	Phase     string           `json:"phase"`
+	Bench     bench.Name       `json:"bench"`
+	Technique string           `json:"technique"`
+	Config    string           `json:"config"`
+	Worker    int              `json:"worker"` // -1 when drained
+	Failed    bool             `json:"failed,omitempty"`
+	Cost      sched.CostReport `json:"cost"`
+}
+
+// CostRow aggregates the cells sharing one grouping key (a technique, a
+// benchmark, or an artifact).
+type CostRow struct {
+	Key    string `json:"key"`
+	Cells  int64  `json:"cells"`
+	Failed int64  `json:"failed"`
+
+	WallNS     int64 `json:"wall_ns"`
+	CPUNS      int64 `json:"cpu_ns"`
+	AllocBytes int64 `json:"alloc_bytes"`
+
+	SimulatedInstr  uint64 `json:"simulated_instr"`
+	DetailedInstr   uint64 `json:"detailed_instr"`
+	FunctionalInstr uint64 `json:"functional_instr"`
+	// NSPerInstr is the row's aggregate wall nanoseconds per simulated
+	// instruction (0 when the row simulated nothing).
+	NSPerInstr float64 `json:"ns_per_instr"`
+
+	CkptHits   int64 `json:"ckpt_hits"`
+	CkptMisses int64 `json:"ckpt_misses"`
+	Retries    int64 `json:"retries"`
+	Dedups     int64 `json:"dedups"`
+}
+
+// add folds one cell into the row.
+func (r *CostRow) add(c CellCost) {
+	r.Cells++
+	if c.Failed {
+		r.Failed++
+	}
+	r.WallNS += c.Cost.WallNS
+	r.CPUNS += c.Cost.CPUNS
+	r.AllocBytes += c.Cost.AllocBytes
+	r.SimulatedInstr += c.Cost.SimulatedInstr
+	r.DetailedInstr += c.Cost.DetailedInstr
+	r.FunctionalInstr += c.Cost.FunctionalInstr
+	r.CkptHits += c.Cost.CkptHits
+	r.CkptMisses += c.Cost.CkptMisses
+	r.Retries += c.Cost.Retries
+	if c.Cost.Dedup {
+		r.Dedups++
+	}
+}
+
+// finish derives the row's quotient fields after aggregation.
+func (r *CostRow) finish() {
+	if r.SimulatedInstr > 0 {
+		r.NSPerInstr = float64(r.WallNS) / float64(r.SimulatedInstr)
+	}
+}
+
+// LatencyQuantiles is the nearest-rank p50/p95/p99 of cell wall-clock,
+// over executed (non-drained) cells.
+type LatencyQuantiles struct {
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+// CostSummary is the aggregated cost table of a sweep: one total row,
+// plus breakdowns by technique, benchmark, and artifact (each sorted by
+// key), and cell-latency quantiles. It feeds /statusz's "cost" section,
+// the exit manifest, and the -cost-out JSON.
+type CostSummary struct {
+	Total       CostRow          `json:"total"`
+	ByTechnique []CostRow        `json:"by_technique"`
+	ByBench     []CostRow        `json:"by_bench"`
+	ByArtifact  []CostRow        `json:"by_artifact"`
+	CellLatency LatencyQuantiles `json:"cell_latency"`
+}
+
+// Deterministic returns a copy of the summary with every host-cost field
+// zeroed, leaving only the scheduling-independent fields: cell and
+// failure counts and instruction counts. Two sweeps over the same corpus
+// produce identical Deterministic views at any worker count (pinned by
+// TestCostSummaryDeterministicAcrossWorkers), which is what makes the
+// view safe to diff across runs and hosts.
+func (s CostSummary) Deterministic() CostSummary {
+	strip := func(rows []CostRow) []CostRow {
+		out := make([]CostRow, len(rows))
+		for i, r := range rows {
+			out[i] = r.deterministic()
+		}
+		return out
+	}
+	return CostSummary{
+		Total:       s.Total.deterministic(),
+		ByTechnique: strip(s.ByTechnique),
+		ByBench:     strip(s.ByBench),
+		ByArtifact:  strip(s.ByArtifact),
+	}
+}
+
+func (r CostRow) deterministic() CostRow {
+	r.WallNS, r.CPUNS, r.AllocBytes, r.NSPerInstr = 0, 0, 0, 0
+	r.CkptHits, r.CkptMisses, r.Retries, r.Dedups = 0, 0, 0, 0
+	return r
+}
+
+// costCellOf converts one scheduler outcome.
+func costCellOf(out sched.Outcome) CellCost {
+	tech := ""
+	if out.Cell.Technique != nil {
+		tech = out.Cell.Technique.Name()
+	}
+	return CellCost{
+		Artifact:  out.Cell.Artifact,
+		Phase:     out.Cell.Phase,
+		Bench:     out.Cell.Bench,
+		Technique: tech,
+		Config:    out.Cell.Config.Name,
+		Worker:    out.Worker,
+		Failed:    out.Err != nil,
+		Cost:      out.Cost,
+	}
+}
+
+// recordCosts appends a plan's outcomes (already in plan order) to the
+// option set's cost ledger.
+func (o *Options) recordCosts(outs []sched.Outcome) {
+	o.costMu.Lock()
+	for _, out := range outs {
+		o.costCells = append(o.costCells, costCellOf(out))
+	}
+	o.costMu.Unlock()
+}
+
+// CostCells returns a copy of the cost ledger: every scheduled cell's
+// attributed cost, in plan execution order across all plans run so far.
+func (o *Options) CostCells() []CellCost {
+	o.costMu.Lock()
+	defer o.costMu.Unlock()
+	out := make([]CellCost, len(o.costCells))
+	copy(out, o.costCells)
+	return out
+}
+
+// CostSummary aggregates the cost ledger. Safe for concurrent use
+// mid-sweep (the snapshot covers plans completed so far).
+func (o *Options) CostSummary() CostSummary {
+	return SummarizeCosts(o.CostCells())
+}
+
+// SummarizeCosts folds a cell ledger into a CostSummary. Aggregation is
+// pure integer addition in ledger order, then rows sort by key, so the
+// result is independent of how cells were scheduled.
+func SummarizeCosts(cells []CellCost) CostSummary {
+	var s CostSummary
+	byTech := map[string]*CostRow{}
+	byBench := map[string]*CostRow{}
+	byArt := map[string]*CostRow{}
+	row := func(m map[string]*CostRow, key string) *CostRow {
+		r, ok := m[key]
+		if !ok {
+			r = &CostRow{Key: key}
+			m[key] = r
+		}
+		return r
+	}
+	var walls []int64
+	for _, c := range cells {
+		s.Total.add(c)
+		row(byTech, c.Technique).add(c)
+		row(byBench, string(c.Bench)).add(c)
+		row(byArt, c.Artifact).add(c)
+		if c.Worker >= 0 {
+			walls = append(walls, c.Cost.WallNS)
+		}
+	}
+	s.Total.Key = "total"
+	s.Total.finish()
+	s.ByTechnique = sortedRows(byTech)
+	s.ByBench = sortedRows(byBench)
+	s.ByArtifact = sortedRows(byArt)
+	s.CellLatency = latencyQuantiles(walls)
+	return s
+}
+
+func sortedRows(m map[string]*CostRow) []CostRow {
+	rows := make([]CostRow, 0, len(m))
+	for _, r := range m {
+		r.finish()
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows
+}
+
+// latencyQuantiles computes nearest-rank quantiles over cell wall times.
+func latencyQuantiles(walls []int64) LatencyQuantiles {
+	if len(walls) == 0 {
+		return LatencyQuantiles{}
+	}
+	sorted := make([]int64, len(walls))
+	copy(sorted, walls)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) int64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return LatencyQuantiles{P50NS: rank(0.50), P95NS: rank(0.95), P99NS: rank(0.99)}
+}
+
+// costDocument is the -cost-out JSON shape: the aggregate tables plus
+// the raw per-cell ledger for downstream analysis.
+type costDocument struct {
+	CostSummary
+	Cells []CellCost `json:"cells"`
+}
+
+// WriteCostJSON writes the sweep's cost attribution — summary tables and
+// the full per-cell ledger — as indented JSON (the CLIs' -cost-out).
+func (o *Options) WriteCostJSON(w io.Writer) error {
+	doc := costDocument{CostSummary: o.CostSummary(), Cells: o.CostCells()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// runCostPlan executes the Figure 6 plan (small: refs + techniques over
+// three configurations) on a fresh tiny corpus at the given worker count
+// and returns the options for cost inspection.
+func runCostPlan(t *testing.T, workers int) *Options {
+	t.Helper()
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	o.Parallel = workers
+	o.Engine().Obs = obs.NewRegistry()
+	cells := Figure6Plan(o, bench.Mcf, nil)
+	o.RunPlan(cells)
+	return o
+}
+
+// sumRows folds a breakdown back together field-wise, for checking it
+// against the summary's Total row.
+func sumRows(rows []CostRow) CostRow {
+	var total CostRow
+	for _, r := range rows {
+		total.Cells += r.Cells
+		total.Failed += r.Failed
+		total.WallNS += r.WallNS
+		total.CPUNS += r.CPUNS
+		total.AllocBytes += r.AllocBytes
+		total.SimulatedInstr += r.SimulatedInstr
+		total.DetailedInstr += r.DetailedInstr
+		total.FunctionalInstr += r.FunctionalInstr
+		total.CkptHits += r.CkptHits
+		total.CkptMisses += r.CkptMisses
+		total.Retries += r.Retries
+		total.Dedups += r.Dedups
+	}
+	return total
+}
+
+// TestCostSummaryTotalsConsistent is the acceptance check for the cost
+// tables: every breakdown (technique, benchmark, artifact) sums exactly
+// to the run's aggregate Total row.
+func TestCostSummaryTotalsConsistent(t *testing.T) {
+	o := runCostPlan(t, 4)
+	s := o.CostSummary()
+	if s.Total.Cells == 0 {
+		t.Fatal("cost summary recorded no cells")
+	}
+	if s.Total.Failed != 0 {
+		t.Fatalf("unexpected failed cells: %+v", s.Total)
+	}
+	if s.Total.WallNS <= 0 || s.Total.SimulatedInstr == 0 {
+		t.Fatalf("implausible total: %+v", s.Total)
+	}
+	if s.Total.NSPerInstr <= 0 {
+		t.Errorf("total ns/instr = %v, want > 0", s.Total.NSPerInstr)
+	}
+	want := s.Total
+	want.Key, want.NSPerInstr = "", 0
+	for _, group := range []struct {
+		name string
+		rows []CostRow
+	}{
+		{"by_technique", s.ByTechnique},
+		{"by_bench", s.ByBench},
+		{"by_artifact", s.ByArtifact},
+	} {
+		got := sumRows(group.rows)
+		if got != want {
+			t.Errorf("%s rows do not sum to the aggregate:\n got  %+v\n want %+v",
+				group.name, got, want)
+		}
+	}
+	if int64(len(o.CostCells())) != s.Total.Cells {
+		t.Errorf("ledger has %d cells, summary says %d", len(o.CostCells()), s.Total.Cells)
+	}
+	if s.CellLatency.P50NS <= 0 || s.CellLatency.P99NS < s.CellLatency.P50NS {
+		t.Errorf("implausible latency quantiles: %+v", s.CellLatency)
+	}
+}
+
+// TestCostSummaryDeterministicAcrossWorkers pins the comparison view:
+// the Deterministic() cost tables are identical at one worker and eight.
+// The shared checkpoint store is disabled for the comparison because
+// cross-cell prefix sharing makes each cell's FunctionalInstr depend on
+// which cell populated a prefix first — an ordering artifact, not a cost
+// property (Deterministic already zeroes the ckpt hit/miss attribution).
+func TestCostSummaryDeterministicAcrossWorkers(t *testing.T) {
+	old := core.CheckpointStore()
+	core.SetCheckpointStore(nil)
+	defer core.SetCheckpointStore(old)
+
+	a := runCostPlan(t, 1).CostSummary().Deterministic()
+	b := runCostPlan(t, 8).CostSummary().Deterministic()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("deterministic cost views differ across worker counts:\n 1 worker: %+v\n 8 workers: %+v", a, b)
+	}
+	if a.Total.WallNS != 0 || a.Total.CkptHits != 0 || a.Total.Dedups != 0 {
+		t.Errorf("Deterministic left host-cost fields set: %+v", a.Total)
+	}
+	if a.Total.SimulatedInstr == 0 {
+		t.Error("Deterministic dropped the instruction counts")
+	}
+}
+
+// TestWriteCostJSONAndLatencyMetrics: the -cost-out document carries the
+// summary plus the full ledger, and the per-technique cell-latency
+// histograms landed in the registry with quantile estimates.
+func TestWriteCostJSONAndLatencyMetrics(t *testing.T) {
+	o := runCostPlan(t, 2)
+	var buf bytes.Buffer
+	if err := o.WriteCostJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total       CostRow           `json:"total"`
+		ByTechnique []CostRow         `json:"by_technique"`
+		Cells       []json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("cost JSON does not parse: %v", err)
+	}
+	if int64(len(doc.Cells)) != doc.Total.Cells || doc.Total.Cells == 0 {
+		t.Errorf("document has %d cells, total says %d", len(doc.Cells), doc.Total.Cells)
+	}
+	if len(doc.ByTechnique) == 0 {
+		t.Error("cost JSON has no per-technique rows")
+	}
+
+	snap := o.Engine().Obs.Snapshot()
+	var histCells uint64
+	for _, h := range snap.Histograms {
+		if h.Name != "cost_cell_seconds" {
+			continue
+		}
+		histCells += h.Count
+		if h.Count > 0 && h.P50 <= 0 {
+			t.Errorf("series %v has count %d but p50 %v", h.Labels, h.Count, h.P50)
+		}
+	}
+	if histCells != uint64(doc.Total.Cells) {
+		t.Errorf("cost_cell_seconds observed %d cells, want %d", histCells, doc.Total.Cells)
+	}
+}

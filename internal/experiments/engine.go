@@ -256,6 +256,33 @@ func (e *Engine) Run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Re
 // a cell's declared retry class. Note the single-flight caveat: when two
 // callers race on the same key, the first one in applies its policy.
 func (e *Engine) RunContextPolicy(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, pol RetryPolicy) (core.Result, error) {
+	res, _, err := e.runContext(ctx, b, tech, cfg, pol)
+	return res, err
+}
+
+// RunInfo describes how the engine satisfied one request, for the cost
+// attribution layer: where the result came from and what retry spend the
+// request itself incurred (a cache or single-flight answer costs no
+// retries of its own, whatever the owning run spent).
+type RunInfo struct {
+	// Source is "fresh" (this caller executed the run), "cache" (answered
+	// from the memo table), or "inflight" (joined another caller's run —
+	// including inheriting its failure).
+	Source string
+	// Retries counts the transient-failure re-attempts this request spent
+	// (always 0 for cache/inflight answers).
+	Retries int
+}
+
+// RunContextInfo is RunContext returning, additionally, how the request
+// was satisfied. The scheduler's cost bracketing rides this to mark
+// deduplicated cells and attribute retry spend.
+func (e *Engine) RunContextInfo(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, RunInfo, error) {
+	return e.runContext(ctx, b, tech, cfg, e.Retry)
+}
+
+// RunContextPolicyInfo is RunContextPolicy returning RunInfo.
+func (e *Engine) RunContextPolicyInfo(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, pol RetryPolicy) (core.Result, RunInfo, error) {
 	return e.runContext(ctx, b, tech, cfg, pol)
 }
 
@@ -272,13 +299,14 @@ func (e *Engine) RunContextPolicy(ctx context.Context, b bench.Name, tech core.T
 // runner's cancellation-check budget and returns an error satisfying
 // errors.Is(err, ctx.Err()).
 func (e *Engine) RunContext(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
-	return e.runContext(ctx, b, tech, cfg, e.Retry)
+	res, _, err := e.runContext(ctx, b, tech, cfg, e.Retry)
+	return res, err
 }
 
-// runContext is the shared body of RunContext and RunContextPolicy: look
-// up the key's shard, join an in-flight run or own a fresh one, and
-// settle the shard's cache and the engine's (atomic) accounting.
-func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, pol RetryPolicy) (core.Result, error) {
+// runContext is the shared body of the RunContext variants: look up the
+// key's shard, join an in-flight run or own a fresh one, and settle the
+// shard's cache and the engine's (atomic) accounting.
+func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, pol RetryPolicy) (core.Result, RunInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -294,7 +322,7 @@ func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Techniq
 		if j := e.journal(); j.Enabled() {
 			j.Record(obs.Event{Kind: obs.EvEngineDedup, Actor: -1, Subject: k, Detail: "cache"})
 		}
-		return r, nil
+		return r, RunInfo{Source: "cache"}, nil
 	}
 	if f, ok := s.inflight[k]; ok {
 		s.mu.Unlock()
@@ -307,16 +335,16 @@ func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Techniq
 			// The waiter's own context ended; the in-flight run keeps
 			// going for its owner.
 			e.mCancels.Inc()
-			return core.Result{}, ctx.Err()
+			return core.Result{}, RunInfo{Source: "inflight"}, ctx.Err()
 		}
 		if f.err != nil {
 			e.sharedErrs.Add(1)
 			e.mSharedErrs.Inc()
-			return core.Result{}, f.err
+			return core.Result{}, RunInfo{Source: "inflight"}, f.err
 		}
 		e.hits.Add(1)
 		e.mHits.Inc()
-		return f.res, nil
+		return f.res, RunInfo{Source: "inflight"}, nil
 	}
 	f := &inflightRun{done: make(chan struct{})}
 	s.inflight[k] = f
@@ -344,13 +372,13 @@ func (e *Engine) runContext(ctx context.Context, b bench.Name, tech core.Techniq
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			e.mCancels.Inc()
 		}
-		return core.Result{}, err
+		return core.Result{}, RunInfo{Source: "fresh", Retries: retried}, err
 	}
 	e.runs.Add(1)
 	e.freshWallNS.Add(int64(elapsed))
 	e.mRuns.Inc()
 	e.recordInsert(k)
-	return res, nil
+	return res, RunInfo{Source: "fresh", Retries: retried}, nil
 }
 
 // recordInsert appends a freshly cached key to the global FIFO order and
@@ -515,6 +543,11 @@ type Options struct {
 	warmMu   sync.Mutex
 	warm     map[string]warmOutcome
 	schedTel sched.Telemetry
+
+	// Cost ledger: every scheduled cell's attributed cost, appended in
+	// plan order by RunPlan (see cost.go).
+	costMu    sync.Mutex
+	costCells []CellCost
 
 	// progress is the live plan-execution accounting behind PlanStatus.
 	progress planProgress

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/enhance"
 	"repro/internal/experiments/sched"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -108,12 +109,17 @@ func (o *Options) RunPlan(cells []sched.Cell) sched.Telemetry {
 			e = peng
 		}
 		var res core.Result
+		var info RunInfo
 		var err error
 		if c.Retry == sched.RetryNone {
-			res, err = e.RunContextPolicy(ctx, c.Bench, c.Technique, c.Config, RetryPolicy{})
+			res, info, err = e.RunContextPolicyInfo(ctx, c.Bench, c.Technique, c.Config, RetryPolicy{})
 		} else {
-			res, err = e.RunContext(ctx, c.Bench, c.Technique, c.Config)
+			res, info, err = e.RunContextInfo(ctx, c.Bench, c.Technique, c.Config)
 		}
+		// Annotate the worker's cost scratch: the pool folds Notes into
+		// the outcome's CostReport (see sched.CellNotes).
+		w.Notes.Retries = int64(info.Retries)
+		w.Notes.Dedup = info.Source != "" && info.Source != "fresh"
 		if err != nil {
 			o.progress.failed.Add(1)
 		}
@@ -128,6 +134,25 @@ func (o *Options) RunPlan(cells []sched.Cell) sched.Telemetry {
 	if drained := int64(len(outs)) - ran.Load(); drained > 0 {
 		o.progress.done.Add(drained)
 		o.progress.failed.Add(drained)
+	}
+	o.recordCosts(outs)
+	// Per-technique cell-latency distributions for /metrics.json and
+	// quantile reporting (executed cells only — drained cells have no
+	// latency of their own).
+	reg := eng.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	for _, out := range outs {
+		if out.Worker < 0 {
+			continue
+		}
+		tech := ""
+		if out.Cell.Technique != nil {
+			tech = out.Cell.Technique.Name()
+		}
+		reg.Histogram("cost_cell_seconds", obs.LatencyBuckets,
+			obs.L("technique", tech)).Observe(out.Wall.Seconds())
 	}
 
 	o.warmMu.Lock()

@@ -113,6 +113,52 @@ type Outcome struct {
 	Err    error         // run failure, recovered panic, or ctx.Err() for drained cells
 	Wall   time.Duration // the cell's own wall-clock on its worker
 	Worker int           // index of the worker that ran the cell (-1 if drained)
+	Cost   CostReport    // the cell's host-cost attribution (zero for drained cells)
+}
+
+// CostReport attributes one cell's execution cost: what the host spent
+// (wall, CPU, allocation), what simulation work it bought (instruction
+// counts, ns per instruction), and how the caching layers behaved while
+// it ran. The aggregation layer above (experiments.CostSummary) folds
+// these into per-technique and per-benchmark cost tables.
+//
+// Field provenance splits in two. Wall and the instruction counts are
+// per-cell exact and independent of scheduling. CPUNS, AllocBytes, and
+// the checkpoint deltas are process-global counters bracketed around the
+// cell — exact at one worker, attributed-by-overlap at N (a concurrent
+// cell's allocations land in whichever bracket is open), so they are
+// cost attribution, not accounting identities.
+type CostReport struct {
+	WallNS int64 `json:"wall_ns"`
+	// CPUNS is the user-CPU delta over the cell, at the GC-cycle
+	// granularity /cpu/classes exposes (short cells may read 0).
+	CPUNS      int64 `json:"cpu_ns"`
+	AllocBytes int64 `json:"alloc_bytes"`
+
+	SimulatedInstr  uint64 `json:"simulated_instr"`
+	DetailedInstr   uint64 `json:"detailed_instr"`
+	FunctionalInstr uint64 `json:"functional_instr"`
+	// NSPerInstr is wall nanoseconds per simulated instruction, the
+	// paper's cost axis (0 when the cell simulated nothing).
+	NSPerInstr float64 `json:"ns_per_instr"`
+
+	CkptHits   int64 `json:"ckpt_hits"`
+	CkptMisses int64 `json:"ckpt_misses"`
+
+	// Retries and Dedup come from the RunFunc via Worker.Notes: how many
+	// transient-failure retries the engine spent, and whether the result
+	// was answered by cache/single-flight instead of a fresh run.
+	Retries int64 `json:"retries"`
+	Dedup   bool  `json:"dedup,omitempty"`
+}
+
+// CellNotes carries per-cell annotations from the RunFunc back to the
+// pool's cost accounting. The pool zeroes the executing worker's Notes
+// before each cell; the RunFunc may fill them; the pool folds them into
+// the outcome's CostReport. Worker-local, so no synchronization.
+type CellNotes struct {
+	Retries int64
+	Dedup   bool
 }
 
 // Worker is one executor of a pool. Its RNG stream is seeded from the
@@ -121,6 +167,12 @@ type Outcome struct {
 type Worker struct {
 	Index int
 	RNG   *xrand.RNG
+
+	// Notes is the RunFunc's per-cell cost annotation scratch (see
+	// CellNotes); the pool resets it before every cell.
+	Notes CellNotes
+
+	host *obs.HostReader // per-worker, so cost reads never allocate or contend
 }
 
 // RunFunc executes one cell on a worker. The experiments layer supplies
@@ -182,7 +234,11 @@ func (p *Pool) NewWorker(i int) *Worker {
 	}
 	// Offset by a large odd constant per worker; xrand.New splitmixes the
 	// seed, so nearby seeds still yield uncorrelated streams.
-	return &Worker{Index: i, RNG: xrand.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1)))}
+	return &Worker{
+		Index: i,
+		RNG:   xrand.New(seed ^ (0x9e3779b97f4a7c15 * uint64(i+1))),
+		host:  obs.NewHostReader(),
+	}
 }
 
 // Telemetry summarizes one pool execution.
@@ -307,9 +363,14 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 					jnl.Record(obs.Event{Kind: obs.EvCellStart, Actor: int32(wk.Index),
 						Subject: cells[idx].Label(), N: int64(idx)})
 				}
+				wk.Notes = CellNotes{}
+				ckHits0, ckMiss0 := core.CheckpointCounters()
+				host0 := wk.host.Read()
 				t0 := time.Now()
 				res, err := runCell(ctx, wk, cells[idx], run, jnl)
 				wall := time.Since(t0)
+				host1 := wk.host.Read()
+				ckHits1, ckMiss1 := core.CheckpointCounters()
 				mInflight.Add(-1)
 				mCells.Inc()
 				mLatency.Observe(wall.Seconds())
@@ -326,8 +387,23 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 					}
 					jnl.Record(ev)
 				}
+				cost := CostReport{
+					WallNS:          int64(wall),
+					CPUNS:           host1.UserCPUNS - host0.UserCPUNS,
+					AllocBytes:      int64(host1.AllocBytes - host0.AllocBytes),
+					DetailedInstr:   res.DetailedInstr,
+					FunctionalInstr: res.FunctionalInstr,
+					SimulatedInstr:  res.DetailedInstr + res.FunctionalInstr,
+					CkptHits:        ckHits1 - ckHits0,
+					CkptMisses:      ckMiss1 - ckMiss0,
+					Retries:         wk.Notes.Retries,
+					Dedup:           wk.Notes.Dedup,
+				}
+				if cost.SimulatedInstr > 0 {
+					cost.NSPerInstr = float64(cost.WallNS) / float64(cost.SimulatedInstr)
+				}
 				outs[idx] = Outcome{Cell: cells[idx], Index: idx, Res: res, Err: err,
-					Wall: wall, Worker: wk.Index}
+					Wall: wall, Worker: wk.Index, Cost: cost}
 			}
 		}(p.NewWorker(w))
 	}

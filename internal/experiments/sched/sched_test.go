@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -269,5 +271,74 @@ func TestMapCancelDrains(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("item %d err = %v, want context.Canceled", i, err)
 		}
+	}
+}
+
+// TestPoolCostAttribution: every completed cell carries a CostReport with
+// its wall time, its instruction counts, the ns/instr quotient, and the
+// RunFunc's Notes (retries, dedup) — and Notes are reset between cells,
+// so one cell's annotations never leak into the next.
+func TestPoolCostAttribution(t *testing.T) {
+	p := &Pool{Workers: 1, Obs: obs.NewRegistry()}
+	outs, _ := p.Run(context.Background(), planOf(3),
+		func(ctx context.Context, w *Worker, c Cell) (core.Result, error) {
+			if w.Notes != (CellNotes{}) {
+				t.Errorf("Notes not reset before cell %s: %+v", c.Config.Name, w.Notes)
+			}
+			if c.Config.Name == "cfg-1" {
+				w.Notes.Retries = 2
+				w.Notes.Dedup = true
+			}
+			time.Sleep(time.Millisecond)
+			return core.Result{DetailedInstr: 1000, FunctionalInstr: 3000}, nil
+		})
+	for i, o := range outs {
+		cost := o.Cost
+		if cost.WallNS <= 0 || cost.WallNS != int64(o.Wall) {
+			t.Errorf("cell %d wall_ns = %d (Wall %v)", i, cost.WallNS, o.Wall)
+		}
+		if cost.DetailedInstr != 1000 || cost.FunctionalInstr != 3000 || cost.SimulatedInstr != 4000 {
+			t.Errorf("cell %d instr = %+v", i, cost)
+		}
+		if want := float64(cost.WallNS) / 4000; cost.NSPerInstr != want {
+			t.Errorf("cell %d ns/instr = %v, want %v", i, cost.NSPerInstr, want)
+		}
+		if cost.AllocBytes < 0 {
+			t.Errorf("cell %d alloc delta %d < 0", i, cost.AllocBytes)
+		}
+		wantRetries, wantDedup := int64(0), false
+		if i == 1 {
+			wantRetries, wantDedup = 2, true
+		}
+		if cost.Retries != wantRetries || cost.Dedup != wantDedup {
+			t.Errorf("cell %d notes = retries %d dedup %v, want %d %v",
+				i, cost.Retries, cost.Dedup, wantRetries, wantDedup)
+		}
+	}
+}
+
+// TestPoolCostCkptDeltas: cells that hit or miss the shared checkpoint
+// store see those events in their own cost bracket.
+func TestPoolCostCkptDeltas(t *testing.T) {
+	old := core.CheckpointStore()
+	defer core.SetCheckpointStore(old)
+	st := ckpt.New(1 << 20)
+	core.SetCheckpointStore(st)
+
+	p := &Pool{Workers: 1}
+	outs, _ := p.Run(context.Background(), planOf(2),
+		func(ctx context.Context, w *Worker, c Cell) (core.Result, error) {
+			// First cell misses (and populates), second hits.
+			_, _, err := st.Prefix(ctx, ckpt.ProgID{Name: "t"}, 100,
+				func(near *cpu.Checkpoint, nearPos uint64) (*cpu.Checkpoint, error) {
+					return &cpu.Checkpoint{Count: 100}, nil
+				})
+			return core.Result{}, err
+		})
+	if h, m := outs[0].Cost.CkptHits, outs[0].Cost.CkptMisses; h != 0 || m != 1 {
+		t.Errorf("cell 0 ckpt deltas = %d hits %d misses, want 0/1", h, m)
+	}
+	if h, m := outs[1].Cost.CkptHits, outs[1].Cost.CkptMisses; h != 1 || m != 0 {
+		t.Errorf("cell 1 ckpt deltas = %d hits %d misses, want 1/0", h, m)
 	}
 }

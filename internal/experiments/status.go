@@ -81,5 +81,6 @@ func (o *Options) RegisterSections(s SectionSink) {
 	s.AddSection("engine", func() any { return eng.Telemetry() })
 	s.AddSection("sched", func() any { return o.SchedTelemetry() })
 	s.AddSection("ckpt", func() any { return core.CheckpointStats() })
+	s.AddSection("cost", func() any { return o.CostSummary() })
 	s.AddSection("cells", func() any { return rep.Cells() })
 }

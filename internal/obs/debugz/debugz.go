@@ -82,12 +82,24 @@ func (s *Server) SetTracer(t *obs.Tracer) {
 
 // Status is the /statusz payload.
 type Status struct {
-	Command       string         `json:"command"`
-	PID           int            `json:"pid"`
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	GoVersion     string         `json:"go_version"`
-	GOMAXPROCS    int            `json:"gomaxprocs"`
-	Goroutines    int            `json:"goroutines"`
+	Command       string  `json:"command"`
+	PID           int     `json:"pid"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+
+	// Goroutines and PeakGoroutines come from the runtime health sampler
+	// when it is running — a consistent sample plus the run's high-water
+	// mark, instead of a point-in-time count that misses spikes between
+	// requests. Without a sampler, Goroutines falls back to a direct
+	// runtime read and the peak is omitted.
+	Goroutines     int   `json:"goroutines"`
+	PeakGoroutines int64 `json:"peak_goroutines,omitempty"`
+
+	// Runtime is the sampler's full last sample (heap, GC, pause
+	// estimates); nil when the sampler is off.
+	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`
+
 	JournalEvents uint64         `json:"journal_events"`
 	Sections      map[string]any `json:"sections,omitempty"`
 }
@@ -109,8 +121,14 @@ func (s *Server) snapshot() Status {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Goroutines:    runtime.NumGoroutine(),
 		JournalEvents: s.journal.Total(),
+	}
+	if rs, ok := obs.DefaultRuntimeSampler.Last(); ok {
+		st.Goroutines = int(rs.Goroutines)
+		st.PeakGoroutines = rs.PeakGoroutines
+		st.Runtime = &rs
+	} else {
+		st.Goroutines = runtime.NumGoroutine()
 	}
 	if len(names) > 0 {
 		st.Sections = make(map[string]any, len(names))

@@ -162,3 +162,41 @@ func TestServeBindsAndServes(t *testing.T) {
 		t.Fatalf("served statusz status %d body %q", code, body)
 	}
 }
+
+// TestStatuszRuntimeSampler pins the sampler-backed goroutine reporting:
+// with the process sampler running, /statusz serves the sampled current
+// and peak counts plus the full runtime block; without it, the count
+// falls back to a direct runtime read and the peak is omitted.
+func TestStatuszRuntimeSampler(t *testing.T) {
+	_, _, _, ts := newTestServer(t)
+
+	// No sampler: fallback path.
+	obs.DefaultRuntimeSampler.Stop()
+	_, body := get(t, ts.URL+"/statusz")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Goroutines < 1 {
+		t.Errorf("fallback goroutines = %d, want >= 1", st.Goroutines)
+	}
+	hadSample := st.Runtime != nil
+
+	obs.DefaultRuntimeSampler.Start()
+	defer obs.DefaultRuntimeSampler.Stop()
+	_, body = get(t, ts.URL+"/statusz")
+	st = Status{}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Runtime == nil {
+		t.Fatal("statusz missing runtime block with sampler running")
+	}
+	if st.PeakGoroutines < int64(1) || int64(st.Goroutines) > st.PeakGoroutines {
+		t.Errorf("goroutines %d / peak %d inconsistent", st.Goroutines, st.PeakGoroutines)
+	}
+	if st.Runtime.HeapBytes == 0 {
+		t.Errorf("runtime block empty: %+v", st.Runtime)
+	}
+	_ = hadSample // a previously-started process sampler may have left a sample; both paths above are valid
+}

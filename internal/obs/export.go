@@ -29,10 +29,17 @@ type GaugePoint struct {
 // HistogramPoint is one histogram series in a snapshot, with cumulative
 // bucket counts.
 type HistogramPoint struct {
-	Name    string            `json:"name"`
-	Labels  []Label           `json:"labels,omitempty"`
-	Count   uint64            `json:"count"`
-	Sum     float64           `json:"sum"`
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+
+	// P50/P95/P99 are interpolated quantile estimates over the bucketed
+	// observations (see Histogram.Quantile); zero on an empty series.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+
 	Buckets []HistogramBucket `json:"buckets"`
 }
 
@@ -74,7 +81,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, e := range hists {
 		s.Histograms = append(s.Histograms, HistogramPoint{
 			Name: e.name, Labels: e.labels,
-			Count: e.h.Count(), Sum: e.h.Sum(), Buckets: e.h.Buckets(),
+			Count: e.h.Count(), Sum: e.h.Sum(),
+			P50: e.h.Quantile(0.50), P95: e.h.Quantile(0.95), P99: e.h.Quantile(0.99),
+			Buckets: e.h.Buckets(),
 		})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool {

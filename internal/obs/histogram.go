@@ -113,6 +113,48 @@ func (b *BucketBound) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations by
+// linear interpolation inside the bucket holding the target rank, the
+// same estimator Prometheus's histogram_quantile uses. The first bucket
+// interpolates from zero (the natural floor for the duration and size
+// distributions this package records); ranks landing in the trailing
+// +Inf bucket clamp to the highest finite bound, since the true spread
+// above it is unknown. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n < rank || n == 0 {
+			cum += n
+			continue
+		}
+		if i >= len(h.bounds) {
+			// +Inf bucket: no finite upper bound to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-cum)/n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Buckets returns the cumulative bucket counts, Prometheus-style.
 func (h *Histogram) Buckets() []HistogramBucket {
 	if h == nil {

@@ -34,7 +34,13 @@ const (
 	// A runner phase (fast-forward, functional-warm, detailed, measure)
 	// completed.
 	EvPhase
+	// A runtime health sample (goroutines, heap, GC pause) was taken by
+	// the background sampler.
+	EvRuntimeSample
 )
+
+// evKindMax is the last valid kind, the bound UnmarshalText scans to.
+const evKindMax = EvRuntimeSample
 
 // String names the kind in snake_case (the JSON wire form).
 func (k EventKind) String() string {
@@ -61,6 +67,8 @@ func (k EventKind) String() string {
 		return "sched_drain"
 	case EvPhase:
 		return "phase"
+	case EvRuntimeSample:
+		return "runtime_sample"
 	default:
 		return "unknown"
 	}
@@ -74,7 +82,7 @@ func (k EventKind) MarshalText() ([]byte, error) { return []byte(k.String()), ni
 // round-trip through encoding/json.
 func (k *EventKind) UnmarshalText(b []byte) error {
 	name := string(b)
-	for c := EvNone; c <= EvPhase; c++ {
+	for c := EvNone; c <= evKindMax; c++ {
 		if c.String() == name {
 			*k = c
 			return nil

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The runtime/metrics samples the sampler and the per-cell cost readers
+// draw from. All are cheap scalar reads except the GC pause histogram.
+const (
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricHeapBytes  = "/memory/classes/heap/objects:bytes"
+	metricAllocBytes = "/gc/heap/allocs:bytes"
+	metricGCCycles   = "/gc/cycles/total:gc-cycles"
+	metricGCPauses   = "/gc/pauses:seconds"
+	metricUserCPU    = "/cpu/classes/user:cpu-seconds"
+)
+
+// RuntimeStats is one sample of process health: scheduler, heap, and
+// garbage-collector state, plus the peaks observed since the sampler
+// started. Samples counts how many ticks produced it (0 = never sampled).
+type RuntimeStats struct {
+	TimeNS          int64  `json:"ts_ns"`
+	Goroutines      int64  `json:"goroutines"`
+	PeakGoroutines  int64  `json:"peak_goroutines"`
+	HeapBytes       uint64 `json:"heap_bytes"`
+	PeakHeapBytes   uint64 `json:"peak_heap_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	GCCycles        uint64 `json:"gc_cycles"`
+	// GCPauseTotalNS estimates cumulative stop-the-world pause time from
+	// the /gc/pauses:seconds bucket midpoints (the runtime exports the
+	// distribution, not the exact total).
+	GCPauseTotalNS int64  `json:"gc_pause_total_ns"`
+	Samples        uint64 `json:"samples"`
+}
+
+// DefaultSampleInterval is the runtime sampler's tick when none is set.
+const DefaultSampleInterval = time.Second
+
+// RuntimeSampler periodically records process health — goroutine count,
+// heap residency, cumulative allocation, GC cycles and pause time — into
+// a metrics registry (runtime_* gauges), the flight-recorder journal
+// (EvRuntimeSample, when enabled), and a last-sample snapshot /statusz
+// reads for current-plus-peak reporting.
+//
+// The zero value is a valid disabled sampler: Last on a sampler that was
+// never started is one atomic load and allocates nothing (pinned by
+// TestRuntimeSamplerDisabledZeroAlloc), so surfaces consult it
+// unconditionally and fall back when it reports no data.
+type RuntimeSampler struct {
+	// Interval between samples; 0 uses DefaultSampleInterval. Set before
+	// Start.
+	Interval time.Duration
+
+	// Obs receives the runtime_* gauges. Nil uses Default. Set before
+	// Start.
+	Obs *Registry
+
+	// Journal receives EvRuntimeSample events (N = goroutines). Nil uses
+	// DefaultJournal, disabled by default and free when off.
+	Journal *Journal
+
+	running atomic.Bool
+	sampled atomic.Bool // at least one sample exists; gates Last's fast path
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	last    RuntimeStats
+	samples []metrics.Sample
+
+	mGoroutines  *Gauge
+	mGoroPeak    *Gauge
+	mHeap        *Gauge
+	mHeapPeak    *Gauge
+	mTotalAlloc  *Gauge
+	mGCCycles    *Gauge
+	mGCPauseTot  *Gauge
+	metricsBound bool
+}
+
+// DefaultRuntimeSampler is the process-wide sampler the CLIs start via
+// cliutil and debugz consults for /statusz. Disabled until Started.
+var DefaultRuntimeSampler = &RuntimeSampler{}
+
+func (s *RuntimeSampler) registry() *Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return Default
+}
+
+func (s *RuntimeSampler) journal() *Journal {
+	if s.Journal != nil {
+		return s.Journal
+	}
+	return DefaultJournal
+}
+
+func (s *RuntimeSampler) interval() time.Duration {
+	if s.Interval > 0 {
+		return s.Interval
+	}
+	return DefaultSampleInterval
+}
+
+// Running reports whether the background ticker is live.
+func (s *RuntimeSampler) Running() bool {
+	return s != nil && s.running.Load()
+}
+
+// Last returns the most recent sample and whether one exists. On a nil
+// or never-started sampler it is a single atomic load with no
+// allocation, so read paths consult it unconditionally.
+func (s *RuntimeSampler) Last() (RuntimeStats, bool) {
+	if s == nil || !s.sampled.Load() {
+		return RuntimeStats{}, false
+	}
+	s.mu.Lock()
+	st := s.last
+	s.mu.Unlock()
+	return st, true
+}
+
+// Start takes an immediate sample and begins ticking in a background
+// goroutine. Idempotent: a running sampler is left alone.
+func (s *RuntimeSampler) Start() {
+	if s == nil || !s.running.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	s.bindLocked()
+	s.sampleLocked()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		t := time.NewTicker(s.interval())
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				s.mu.Lock()
+				s.sampleLocked()
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and waits for the sampling goroutine to exit.
+// The last sample (and the peaks) stay readable, so an exit-time
+// manifest written after Stop still records the run's high-water marks.
+// Idempotent; safe on a never-started sampler.
+func (s *RuntimeSampler) Stop() {
+	if s == nil || !s.running.CompareAndSwap(true, false) {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// bindLocked resolves the gauge series and the preallocated sample
+// buffer once (under mu).
+func (s *RuntimeSampler) bindLocked() {
+	if s.metricsBound {
+		return
+	}
+	s.metricsBound = true
+	r := s.registry()
+	s.mGoroutines = r.Gauge("runtime_goroutines")
+	s.mGoroPeak = r.Gauge("runtime_goroutines_peak")
+	s.mHeap = r.Gauge("runtime_heap_bytes")
+	s.mHeapPeak = r.Gauge("runtime_heap_bytes_peak")
+	s.mTotalAlloc = r.Gauge("runtime_total_alloc_bytes")
+	s.mGCCycles = r.Gauge("runtime_gc_cycles")
+	s.mGCPauseTot = r.Gauge("runtime_gc_pause_total_ns")
+	s.samples = []metrics.Sample{
+		{Name: metricGoroutines},
+		{Name: metricHeapBytes},
+		{Name: metricAllocBytes},
+		{Name: metricGCCycles},
+		{Name: metricGCPauses},
+	}
+}
+
+// sampleLocked reads the runtime metrics, folds them into last (tracking
+// peaks), publishes the gauges, and journals the sample.
+func (s *RuntimeSampler) sampleLocked() {
+	metrics.Read(s.samples)
+	st := RuntimeStats{
+		TimeNS:         time.Now().UnixNano(),
+		Samples:        s.last.Samples + 1,
+		PeakGoroutines: s.last.PeakGoroutines,
+		PeakHeapBytes:  s.last.PeakHeapBytes,
+	}
+	for i := range s.samples {
+		v := &s.samples[i].Value
+		switch s.samples[i].Name {
+		case metricGoroutines:
+			if v.Kind() == metrics.KindUint64 {
+				st.Goroutines = int64(v.Uint64())
+			}
+		case metricHeapBytes:
+			if v.Kind() == metrics.KindUint64 {
+				st.HeapBytes = v.Uint64()
+			}
+		case metricAllocBytes:
+			if v.Kind() == metrics.KindUint64 {
+				st.TotalAllocBytes = v.Uint64()
+			}
+		case metricGCCycles:
+			if v.Kind() == metrics.KindUint64 {
+				st.GCCycles = v.Uint64()
+			}
+		case metricGCPauses:
+			if v.Kind() == metrics.KindFloat64Histogram {
+				st.GCPauseTotalNS = int64(histTotalSeconds(v.Float64Histogram()) * 1e9)
+			}
+		}
+	}
+	if st.Goroutines > st.PeakGoroutines {
+		st.PeakGoroutines = st.Goroutines
+	}
+	if st.HeapBytes > st.PeakHeapBytes {
+		st.PeakHeapBytes = st.HeapBytes
+	}
+	s.last = st
+	s.sampled.Store(true)
+
+	s.mGoroutines.Set(float64(st.Goroutines))
+	s.mGoroPeak.Set(float64(st.PeakGoroutines))
+	s.mHeap.Set(float64(st.HeapBytes))
+	s.mHeapPeak.Set(float64(st.PeakHeapBytes))
+	s.mTotalAlloc.Set(float64(st.TotalAllocBytes))
+	s.mGCCycles.Set(float64(st.GCCycles))
+	s.mGCPauseTot.Set(float64(st.GCPauseTotalNS))
+	if j := s.journal(); j.Enabled() {
+		j.Record(Event{Kind: EvRuntimeSample, Actor: -1, Subject: "runtime",
+			N: st.Goroutines, DurNS: st.GCPauseTotalNS})
+	}
+}
+
+// histTotalSeconds estimates the mass of a runtime Float64Histogram by
+// summing count x bucket-midpoint; infinite edge buckets fall back to
+// their finite side. The runtime exports pause *distributions*, so the
+// total is an estimate — good to a bucket width, which is what a health
+// surface needs.
+func histTotalSeconds(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			mid = hi
+		} else if math.IsInf(hi, 1) {
+			mid = lo
+		}
+		total += float64(n) * mid
+	}
+	return total
+}
+
+// HostCounters is a point-in-time read of the process-cumulative cost
+// counters the scheduler attributes to cells by delta: heap bytes
+// allocated and user CPU time. AllocBytes is exact; UserCPUNS comes from
+// /cpu/classes/user:cpu-seconds, which the runtime updates at
+// GC-cycle granularity, so short windows may read as zero.
+type HostCounters struct {
+	AllocBytes uint64
+	UserCPUNS  int64
+}
+
+// HostReader reads HostCounters through a preallocated sample buffer so
+// repeated per-cell reads allocate nothing. Not safe for concurrent use;
+// each scheduler worker owns one.
+type HostReader struct {
+	samples []metrics.Sample
+}
+
+// NewHostReader returns a reader with its buffer bound.
+func NewHostReader() *HostReader {
+	return &HostReader{samples: []metrics.Sample{
+		{Name: metricAllocBytes},
+		{Name: metricUserCPU},
+	}}
+}
+
+// Read samples the counters.
+func (r *HostReader) Read() HostCounters {
+	if r == nil {
+		return HostCounters{}
+	}
+	metrics.Read(r.samples)
+	var out HostCounters
+	for i := range r.samples {
+		v := &r.samples[i].Value
+		switch r.samples[i].Name {
+		case metricAllocBytes:
+			if v.Kind() == metrics.KindUint64 {
+				out.AllocBytes = v.Uint64()
+			}
+		case metricUserCPU:
+			if v.Kind() == metrics.KindFloat64 {
+				out.UserCPUNS = int64(v.Float64() * 1e9)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSamplerSamplesOnStart(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(64)
+	j.SetEnabled(true)
+	s := &RuntimeSampler{Interval: time.Hour, Obs: reg, Journal: j}
+	s.Start()
+	defer s.Stop()
+
+	st, ok := s.Last()
+	if !ok {
+		t.Fatal("Last() reported no sample after Start")
+	}
+	if st.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", st.Goroutines)
+	}
+	if st.PeakGoroutines < st.Goroutines {
+		t.Errorf("peak %d < current %d", st.PeakGoroutines, st.Goroutines)
+	}
+	if st.HeapBytes == 0 || st.TotalAllocBytes == 0 {
+		t.Errorf("heap=%d alloc=%d, want nonzero", st.HeapBytes, st.TotalAllocBytes)
+	}
+	if st.Samples != 1 {
+		t.Errorf("samples = %d, want 1", st.Samples)
+	}
+	if g := reg.Gauge("runtime_goroutines").Value(); g < 1 {
+		t.Errorf("runtime_goroutines gauge = %v, want >= 1", g)
+	}
+	evs := j.Tail(0)
+	if len(evs) != 1 || evs[0].Kind != EvRuntimeSample {
+		t.Fatalf("journal = %+v, want one runtime_sample", evs)
+	}
+	if evs[0].N != st.Goroutines {
+		t.Errorf("event N = %d, want goroutines %d", evs[0].N, st.Goroutines)
+	}
+}
+
+func TestRuntimeSamplerPeakSticksAcrossStop(t *testing.T) {
+	s := &RuntimeSampler{Interval: time.Hour, Obs: NewRegistry(), Journal: NewJournal(8)}
+	s.Start()
+	before, _ := s.Last()
+	s.Stop()
+	after, ok := s.Last()
+	if !ok {
+		t.Fatal("sample lost after Stop")
+	}
+	if after.PeakGoroutines != before.PeakGoroutines {
+		t.Errorf("peak changed across Stop: %d -> %d", before.PeakGoroutines, after.PeakGoroutines)
+	}
+	// Start again: idempotence of the pair, peaks keep accumulating.
+	s.Start()
+	s.Start()
+	s.Stop()
+	s.Stop()
+}
+
+func TestRuntimeSamplerTicks(t *testing.T) {
+	s := &RuntimeSampler{Interval: 5 * time.Millisecond, Obs: NewRegistry(), Journal: NewJournal(8)}
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, _ := s.Last()
+		if st.Samples >= 3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampler recorded %d samples in 2s, want >= 3", st.Samples)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRuntimeSamplerDisabledZeroAlloc pins the disabled-path contract:
+// consulting a sampler that was never started (including the package
+// default in a process with no -runtime-sample) costs one atomic load
+// and zero allocations, and so does a nil sampler.
+func TestRuntimeSamplerDisabledZeroAlloc(t *testing.T) {
+	s := &RuntimeSampler{}
+	var nilS *RuntimeSampler
+	var ok bool
+	if n := testing.AllocsPerRun(1000, func() {
+		_, ok = s.Last()
+	}); n != 0 {
+		t.Errorf("disabled sampler Last allocates %v per call, want 0", n)
+	}
+	if ok {
+		t.Error("disabled sampler reported a sample")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_, _ = nilS.Last()
+		nilS.Start() // nil-safe no-ops
+		nilS.Stop()
+		_ = nilS.Running()
+	}); n != 0 {
+		t.Errorf("nil sampler paths allocate %v per call, want 0", n)
+	}
+}
+
+// TestHostReaderReusesBuffer pins that the per-cell cost read path does
+// not allocate once the reader's sample buffer is bound.
+func TestHostReaderReusesBuffer(t *testing.T) {
+	r := NewHostReader()
+	r.Read() // warm the metrics descriptors
+	if n := testing.AllocsPerRun(1000, func() { r.Read() }); n != 0 {
+		t.Errorf("HostReader.Read allocates %v per call, want 0", n)
+	}
+	before := r.Read()
+	garbage := make([]byte, 1<<20)
+	_ = garbage[0]
+	runtime.KeepAlive(garbage)
+	after := r.Read()
+	if after.AllocBytes <= before.AllocBytes {
+		t.Errorf("alloc counter did not advance: %d -> %d", before.AllocBytes, after.AllocBytes)
+	}
+	var nilR *HostReader
+	if c := nilR.Read(); c != (HostCounters{}) {
+		t.Errorf("nil reader read %+v, want zero", c)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1]: every one lands in the first
+	// bucket, so quantiles interpolate from 0 toward 1.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("p50 = %v, want in (0,1]", q)
+	}
+	// Shift mass into the (2,4] bucket; p99 should land there.
+	for i := 0; i < 900; i++ {
+		h.Observe(3)
+	}
+	if q := h.Quantile(0.99); q <= 2 || q > 4 {
+		t.Errorf("p99 = %v, want in (2,4]", q)
+	}
+	if q := h.Quantile(0.05); q <= 0 || q > 1 {
+		t.Errorf("p05 = %v, want in (0,1]", q)
+	}
+	// Values beyond every bound clamp to the last finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Quantile(0.9); q != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", q)
+	}
+	// Empty and nil are zero.
+	var hn *Histogram
+	if hn.Quantile(0.5) != 0 || newHistogram([]float64{1}).Quantile(0.5) != 0 {
+		t.Error("empty/nil quantile not 0")
+	}
+	// Out-of-range q clamps instead of panicking.
+	if q := h.Quantile(-1); q < 0 {
+		t.Errorf("q=-1 gave %v", q)
+	}
+	if q := h.Quantile(2); q <= 0 {
+		t.Errorf("q=2 gave %v", q)
+	}
+}
+
+func TestSnapshotHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_seconds", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %d, want 1", len(snap.Histograms))
+	}
+	hp := snap.Histograms[0]
+	if hp.P50 <= 1 || hp.P50 > 2 {
+		t.Errorf("snapshot p50 = %v, want in (1,2]", hp.P50)
+	}
+	if hp.P95 <= 1 || hp.P99 <= 1 {
+		t.Errorf("p95=%v p99=%v, want > 1", hp.P95, hp.P99)
+	}
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"p50"`, `"p95"`, `"p99"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics JSON missing %s", want)
+		}
+	}
+}
