@@ -18,6 +18,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/experiments/sched"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
+	stateFlags := cliutil.AddStateFlags(flag.CommandLine)
 	flag.Parse()
 
 	run, err := cliutil.StartRun("characterize", obsFlags)
@@ -53,10 +55,36 @@ func main() {
 	o.Benches = []bench.Name{bench.Name(*benchFlag)}
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
-	ctx, stop := cliutil.SignalContext(*timeout)
+	die(stateFlags.Validate())
+	o.CellTimeout = stateFlags.CellTimeout
+	ctx, stop := cliutil.SignalContext(*timeout, run.SignalDump)
 	defer stop()
 	o.Ctx = ctx
 	run.SetContext(ctx)
+
+	// Durable run state keyed to the selected method's plan; sections are
+	// registered after so the manifest carries the runstate telemetry.
+	var plan []sched.Cell
+	switch *methodFlag {
+	case "bottleneck":
+		plan, err = experiments.Figure1Plan(o)
+		die(err)
+	case "profile":
+		plan = experiments.ProfilePlan(o)
+	case "arch":
+		plan = experiments.ArchPlan(o)
+	}
+	sinfo, err := o.OpenRunState(experiments.StateConfig{
+		Dir: stateFlags.StateDir, Resume: stateFlags.Resume,
+		FsyncEvery: stateFlags.StateFsync, Command: "characterize",
+	}, plan)
+	die(err)
+	if sinfo != nil && sinfo.Resumed {
+		run.Log.Infof("runstate: resumed %s — %d of %d recorded cells replayed", sinfo.Path, sinfo.Warmed, sinfo.Replayed)
+		if sinfo.Torn != nil {
+			run.Log.Warnf("runstate: dropped torn tail (%d bytes: %s)", sinfo.Torn.Bytes, sinfo.Torn.Reason)
+		}
+	}
 	o.RegisterSections(run)
 
 	switch *methodFlag {

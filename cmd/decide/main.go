@@ -19,9 +19,10 @@ import (
 )
 
 func main() {
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	flag.Parse()
-	if err := cliutil.ServeMetrics(*metricsAddr); err != nil {
+	run, err := cliutil.StartRun("decide", obsFlags)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "decide:", err)
 		os.Exit(1)
 	}
@@ -33,7 +34,7 @@ func main() {
 		for _, c := range experiments.Criteria() {
 			fmt.Println("  " + c)
 		}
-		return
+		run.Exit(0)
 	}
 	var prefs []experiments.Criterion
 	for _, a := range flag.Args() {
@@ -41,8 +42,7 @@ func main() {
 	}
 	fam, err := tree.Recommend(prefs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "decide:", err)
-		os.Exit(1)
+		run.Fatal(err)
 	}
 	fmt.Printf("Recommended technique family: %s\n\n", fam)
 	for _, c := range prefs {
@@ -55,4 +55,5 @@ func main() {
 		}
 		fmt.Println()
 	}
+	run.Exit(0)
 }

@@ -37,6 +37,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
+	stateFlags := cliutil.AddStateFlags(flag.CommandLine)
 	flag.Parse()
 
 	run, err := cliutil.StartRun("figures", obsFlags)
@@ -68,11 +69,14 @@ func main() {
 	}
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
-	ctx, stop := cliutil.SignalContext(*timeout)
+	die(stateFlags.Validate())
+	o.CellTimeout = stateFlags.CellTimeout
+	// SignalDump gives orchestrators a mid-run post-mortem the moment a
+	// SIGINT/SIGTERM lands, even if graceful teardown never completes.
+	ctx, stop := cliutil.SignalContext(*timeout, run.SignalDump)
 	defer stop()
 	o.Ctx = ctx
 	run.SetContext(ctx)
-	o.RegisterSections(run)
 
 	want := map[string]bool{}
 	if *onlyFlag != "" {
@@ -95,6 +99,21 @@ func main() {
 	// run once, and the per-driver RunPlan calls below become no-ops.
 	union, err := experiments.FiguresPlan(o, sel)
 	die(err)
+	// Durable run state: the union plan is the sweep identity, so open
+	// (or resume) the log against it before any cell executes. Sections
+	// registered after, so the manifest gets the "runstate" section.
+	sinfo, err := o.OpenRunState(experiments.StateConfig{
+		Dir: stateFlags.StateDir, Resume: stateFlags.Resume,
+		FsyncEvery: stateFlags.StateFsync, Command: "figures",
+	}, union)
+	die(err)
+	if sinfo != nil && sinfo.Resumed {
+		run.Log.Infof("runstate: resumed %s — %d of %d recorded cells replayed", sinfo.Path, sinfo.Warmed, sinfo.Replayed)
+		if sinfo.Torn != nil {
+			run.Log.Warnf("runstate: dropped torn tail (%d bytes: %s)", sinfo.Torn.Bytes, sinfo.Torn.Reason)
+		}
+	}
+	o.RegisterSections(run)
 	o.RunPlan(union)
 	if sel("T1") {
 		emit("T1", experiments.Table1(o.Benches[0]))

@@ -6,12 +6,17 @@
 //
 //	simrun -bench mcf [-input reference] [-tech reference|smarts|simpoint|runz|ffrun|ffwurun]
 //	       [-scale test|cli|full] [-config base|1|2|3|4] [-z 1000] [-x 2000] [-y 10] [-u 1000] [-w 2000]
-//	       [-trace] [-metrics] [-metrics-addr :8080]
+//	       [-trace] [-metrics] [-timeout 5m]
 //
 // -trace prints the run's nested phase trace (fast-forward → warm-up →
 // measure, with wall-clock, instruction counts, and host MIPS per phase);
-// -metrics dumps the metrics registry in Prometheus text and JSON forms;
-// -metrics-addr serves the registry over HTTP for the process lifetime.
+// -metrics dumps the metrics registry in Prometheus text and JSON forms.
+//
+// Observability: simrun shares the flight-recorder surface of the sweep
+// CLIs — -debug-addr serves /statusz, /eventsz, /tracez and pprof while
+// the run executes; -manifest and -trace-out write the run manifest and a
+// Chrome trace on exit; -journal, -log-format, and -log-level control the
+// event journal and the structured logger. See docs/observability.md.
 package main
 
 import (
@@ -42,12 +47,23 @@ func main() {
 	maxkFlag := flag.Int("maxk", 100, "SimPoint max_k")
 	traceFlag := flag.Bool("trace", false, "print the nested phase trace of the run")
 	metricsFlag := flag.Bool("metrics", false, "dump the metrics registry (Prometheus text and JSON)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address")
+	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
+	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	run, err := cliutil.StartRun("simrun", obsFlags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simrun:", err)
+		os.Exit(1)
+	}
+	die := func(err error) {
+		if err != nil {
+			run.Fatal(err)
+		}
+	}
 
 	scale, err := cliutil.ParseScale(*scaleFlag)
 	die(err)
-	die(cliutil.ValidateAddr(*metricsAddr))
 	die(cliutil.ValidatePositiveF("-z", *zFlag))
 	die(cliutil.ValidateNonNegativeF("-x", *xFlag))
 	die(cliutil.ValidateNonNegativeF("-y", *yFlag))
@@ -83,13 +99,15 @@ func main() {
 		die(fmt.Errorf("unknown technique %q", *techFlag))
 	}
 
-	die(cliutil.ServeMetrics(*metricsAddr))
+	cctx, stop := cliutil.SignalContext(*timeout, run.SignalDump)
+	defer stop()
+	run.SetContext(cctx)
 
-	ctx := core.Context{Bench: bench.Name(*benchFlag), Config: cfg, Scale: scale}
+	ctx := core.Context{Bench: bench.Name(*benchFlag), Config: cfg, Scale: scale, Ctx: cctx}
 	if *traceFlag {
 		ctx.Trace = obs.NewTracer()
 	}
-	if *metricsFlag || *metricsAddr != "" {
+	if *metricsFlag || obsFlags.MetricsAddr != "" {
 		ctx.Metrics = obs.Default
 	}
 	res, err := tech.Run(ctx)
@@ -125,11 +143,5 @@ func main() {
 		fmt.Println()
 		die(cliutil.DumpMetrics(os.Stdout))
 	}
-}
-
-func die(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simrun:", err)
-		os.Exit(1)
-	}
+	run.Exit(0)
 }

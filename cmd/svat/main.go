@@ -30,6 +30,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
+	stateFlags := cliutil.AddStateFlags(flag.CommandLine)
 	flag.Parse()
 
 	run, err := cliutil.StartRun("svat", obsFlags)
@@ -53,10 +54,28 @@ func main() {
 	o.FailFast = *failFast
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
-	ctx, stop := cliutil.SignalContext(*timeout)
+	die(stateFlags.Validate())
+	o.CellTimeout = stateFlags.CellTimeout
+	ctx, stop := cliutil.SignalContext(*timeout, run.SignalDump)
 	defer stop()
 	o.Ctx = ctx
 	run.SetContext(ctx)
+
+	// Durable run state keyed to this benchmark's SvAT plan; registered
+	// sections follow so the manifest carries the runstate telemetry.
+	plan, err := experiments.SvATPlan(o, bench.Name(*benchFlag))
+	die(err)
+	sinfo, err := o.OpenRunState(experiments.StateConfig{
+		Dir: stateFlags.StateDir, Resume: stateFlags.Resume,
+		FsyncEvery: stateFlags.StateFsync, Command: "svat",
+	}, plan)
+	die(err)
+	if sinfo != nil && sinfo.Resumed {
+		run.Log.Infof("runstate: resumed %s — %d of %d recorded cells replayed", sinfo.Path, sinfo.Warmed, sinfo.Replayed)
+		if sinfo.Torn != nil {
+			run.Log.Warnf("runstate: dropped torn tail (%d bytes: %s)", sinfo.Torn.Bytes, sinfo.Torn.Reason)
+		}
+	}
 	o.RegisterSections(run)
 
 	res, err := experiments.SvAT(o, bench.Name(*benchFlag))

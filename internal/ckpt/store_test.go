@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/obs"
@@ -249,5 +250,76 @@ func TestStoreReset(t *testing.T) {
 	}
 	if cp, _ := s.Nearest(id, 10); cp != nil {
 		t.Fatal("Reset left a resident checkpoint")
+	}
+}
+
+// TestStoreWaiterReleasedOnOwnerCancellation: when the populating owner
+// is cancelled mid-produce (the hang watchdog's signature move), it must
+// still release the flight — waiters unblock promptly with the
+// owner-failed fallback (nil, false, nil) instead of waiting forever on a
+// population that will never arrive.
+func TestStoreWaiterReleasedOnOwnerCancellation(t *testing.T) {
+	p := testProgram(t, "owner-cancel", 1<<10)
+	id := IDOf(p)
+	s := New(64 << 20)
+	s.Obs = obs.NewRegistry()
+
+	octx, cancelOwner := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, owned, err := s.Prefix(octx, id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+			close(started)
+			<-octx.Done() // a watchdog-cancelled populate unwinds here
+			return nil, octx.Err()
+		})
+		if !owned {
+			t.Error("first caller did not own the population")
+		}
+		ownerDone <- err
+	}()
+	<-started
+
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		cp, owned, err := s.Prefix(context.Background(), id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+			t.Error("waiter must not own the population while the flight is live")
+			return nil, nil
+		})
+		if cp != nil || owned || err != nil {
+			t.Errorf("waiter got (%v, %v, %v), want the owner-failed fallback (nil, false, nil)", cp, owned, err)
+		}
+	}()
+
+	// Only cancel once the waiter is provably parked on the flight, so
+	// the test never degenerates into two sequential owners.
+	for deadline := time.Now().Add(10 * time.Second); s.Stats().Waits == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered on the in-flight population")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelOwner()
+	select {
+	case err := <-ownerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("owner returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled owner never returned")
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked after the owner was cancelled: flight never released")
+	}
+
+	// The key is free again: a fresh caller owns a successful population.
+	cp, owned, err := s.Prefix(context.Background(), id, 1, func(*cpu.Checkpoint, uint64) (*cpu.Checkpoint, error) {
+		return snapAt(t, p, 1), nil
+	})
+	if err != nil || !owned || cp == nil {
+		t.Fatalf("retry after cancelled owner: cp=%v owned=%v err=%v", cp, owned, err)
 	}
 }

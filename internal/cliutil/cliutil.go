@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -108,15 +109,65 @@ func ValidateNonNegativeF(name string, v float64) error {
 // cancelled on SIGINT or SIGTERM, and additionally deadlined when timeout
 // is positive. The second return stops signal delivery and releases the
 // timer; mains should defer it.
-func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
-	ctx, cancelSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+//
+// The optional onSignal hooks run at signal-receipt time, before the
+// context is cancelled — the place to dump a mid-run manifest post-mortem
+// (see Run.SignalDump), so an orchestrator's SIGTERM always yields an
+// artifact even if the graceful teardown afterwards wedges. A second
+// signal skips all grace and exits hard with the conventional 128+signum
+// status, so a stuck process can always be killed with two Ctrl-Cs.
+func SignalContext(timeout time.Duration, onSignal ...func(os.Signal)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	quit := make(chan struct{})
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		delivered := 0
+		for {
+			select {
+			case <-quit:
+				return
+			case sig := <-ch:
+				delivered++
+				if delivered > 1 {
+					fmt.Fprintf(os.Stderr, "second signal (%v): exiting immediately\n", sig)
+					os.Exit(128 + signum(sig))
+				}
+				for _, fn := range onSignal {
+					if fn != nil {
+						fn(sig)
+					}
+				}
+				cancel()
+			}
+		}
+	}()
+	var stopOnce sync.Once
+	stop := func() {
+		stopOnce.Do(func() {
+			signal.Stop(ch)
+			close(quit)
+		})
+		cancel()
+	}
 	if timeout <= 0 {
-		return ctx, cancelSignals
+		return ctx, stop
 	}
 	tctx, cancelTimeout := context.WithTimeout(ctx, timeout)
 	return tctx, func() {
 		cancelTimeout()
-		cancelSignals()
+		stop()
+	}
+}
+
+// signum maps the signals SignalContext handles onto their exit-status
+// convention.
+func signum(sig os.Signal) int {
+	switch sig {
+	case syscall.SIGTERM:
+		return int(syscall.SIGTERM)
+	default: // os.Interrupt
+		return int(syscall.SIGINT)
 	}
 }
 

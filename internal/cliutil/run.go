@@ -384,6 +384,38 @@ func (r *Run) dumpPostMortem(m Manifest) {
 	_ = r.Journal.WriteTail(os.Stderr, manifestTailEvents)
 }
 
+// SignalDump is the onSignal hook for SignalContext: it writes a
+// point-in-time manifest post-mortem the moment a SIGINT/SIGTERM arrives,
+// before the graceful teardown even starts. Orchestrators that SIGTERM a
+// sweep therefore always get a post-mortem — even when a wedged cell
+// keeps the process from ever reaching Finish. The -manifest file (if
+// configured) is overwritten by the final Finish on a successful graceful
+// exit, so the signal-time snapshot only survives when it is the last
+// word.
+func (r *Run) SignalDump(sig os.Signal) {
+	if r == nil {
+		return
+	}
+	if j := r.Journal; j.Enabled() {
+		j.Record(obs.Event{Kind: obs.EvSignal, Actor: -1, Subject: sig.String()})
+	}
+	r.Log.Errorf("received %v: dumping mid-run manifest, then shutting down gracefully (send again to exit immediately)", sig)
+	m := r.BuildManifest(fmt.Errorf("signal: %v", sig))
+	m.Outcome = "interrupted"
+	if r.flags != nil && r.flags.Manifest != "" {
+		if err := writeFileWith(r.flags.Manifest, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(m)
+		}); err != nil {
+			r.Log.Errorf("manifest: %v", err)
+		} else {
+			r.Log.Infof("wrote %s (signal-time snapshot)", r.flags.Manifest)
+		}
+	}
+	r.dumpPostMortem(m)
+}
+
 // Exit finishes the run and exits the process. A non-zero code without a
 // more specific error is recorded as a generic failure so the manifest
 // and post-mortem reflect the exit status.

@@ -1,0 +1,99 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSignalContextHookRunsBeforeCancel: a real SIGTERM runs the onSignal
+// hooks while the context is still live (the post-mortem dump must see a
+// running process), then cancels it. One signal only — the second-signal
+// hard-exit path must never fire in tests.
+func TestSignalContextHookRunsBeforeCancel(t *testing.T) {
+	ctxCh := make(chan context.Context, 1)
+	hookLive := make(chan bool, 1)
+	ctx, stop := SignalContext(0, func(sig os.Signal) {
+		if sig != syscall.SIGTERM {
+			t.Errorf("hook saw %v, want SIGTERM", sig)
+		}
+		c := <-ctxCh
+		hookLive <- c.Err() == nil
+	})
+	defer stop()
+	ctxCh <- ctx
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case live := <-hookLive:
+		if !live {
+			t.Error("context already cancelled when the hook ran; mid-run dumps would see a dead run")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("onSignal hook never ran")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("context not cancelled after SIGTERM")
+	}
+}
+
+// TestSignalDumpWritesManifestSnapshot: Run.SignalDump (the hook the
+// sweep CLIs pass to SignalContext) records an EvSignal journal event and
+// writes a signal-time -manifest snapshot with outcome "interrupted".
+func TestSignalDumpWritesManifestSnapshot(t *testing.T) {
+	resetJournal(t)
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "manifest.json")
+	run, err := StartRun("testrun", &ObsFlags{
+		Manifest: manifestPath, LogFormat: "text", LogLevel: "error",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run.SignalDump(syscall.SIGTERM)
+
+	b, err := os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatalf("signal-time manifest not written: %v", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Outcome != "interrupted" {
+		t.Errorf("snapshot outcome = %q, want interrupted", m.Outcome)
+	}
+	var sawSignal bool
+	for _, ev := range obs.DefaultJournal.Tail(64) {
+		if ev.Kind == obs.EvSignal && ev.Subject == syscall.SIGTERM.String() {
+			sawSignal = true
+		}
+	}
+	if !sawSignal {
+		t.Error("no EvSignal journal event recorded")
+	}
+	// A graceful Finish afterwards overwrites the snapshot with the
+	// final manifest — the snapshot only survives as the last word.
+	run.Finish(nil)
+	b, err = os.ReadFile(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Outcome != "ok" {
+		t.Errorf("final manifest outcome = %q, want ok (graceful exit has the last word)", m.Outcome)
+	}
+}

@@ -1,0 +1,43 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// StateFlags is the crash-safety flag surface shared by the sweep CLIs
+// (figures, svat, characterize): the durable run-state log and the cell
+// hang watchdog. Register with AddStateFlags, Validate after parsing, and
+// hand the values to experiments.StateConfig / Options.CellTimeout.
+type StateFlags struct {
+	StateDir    string
+	Resume      bool
+	StateFsync  int
+	CellTimeout time.Duration
+}
+
+// AddStateFlags registers the crash-safety flags on fs (normally
+// flag.CommandLine) and returns the struct they parse into.
+func AddStateFlags(fs *flag.FlagSet) *StateFlags {
+	f := &StateFlags{}
+	fs.StringVar(&f.StateDir, "state-dir", "", "directory for the durable run-state log: every completed cell is appended to <dir>/run.wal so a killed sweep can be resumed with -resume")
+	fs.BoolVar(&f.Resume, "resume", false, "resume from the run-state log in -state-dir: completed cells replay from the log and only unfinished cells execute (refused if the plan changed)")
+	fs.IntVar(&f.StateFsync, "state-fsync", 1, "fsync the run-state log every N appended records (1 = every record, 0 = never; larger trades crash durability for speed)")
+	fs.DurationVar(&f.CellTimeout, "cell-timeout", 0, "hang watchdog: cancel and fail any cell whose runner makes no progress for this long, dumping goroutine stacks to the journal (0 = off)")
+	return f
+}
+
+// Validate rejects inconsistent combinations before a long run starts.
+func (f *StateFlags) Validate() error {
+	if f.Resume && f.StateDir == "" {
+		return fmt.Errorf("-resume requires -state-dir")
+	}
+	if f.StateFsync < 0 {
+		return fmt.Errorf("invalid -state-fsync %d: must be >= 0", f.StateFsync)
+	}
+	if f.CellTimeout < 0 {
+		return fmt.Errorf("invalid -cell-timeout %v: must be >= 0", f.CellTimeout)
+	}
+	return nil
+}

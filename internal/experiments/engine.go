@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -22,7 +23,9 @@ import (
 	"repro/internal/experiments/sched"
 	"repro/internal/obs"
 	"repro/internal/pb"
+	"repro/internal/runstate"
 	"repro/internal/sim"
+	"repro/internal/watchdog"
 	"repro/internal/xrand"
 )
 
@@ -76,6 +79,15 @@ type Engine struct {
 	// runs issued through this engine (0 = sim.DefaultCheckEvery).
 	CheckEvery uint64
 
+	// CellTimeout arms the hang watchdog: an attempt whose runner makes
+	// no progress (no heartbeat from the chunked cancellation polling)
+	// for this long is cancelled, its goroutine stacks are dumped into
+	// the journal, and the attempt fails with a typed *HangError that
+	// the retry policy treats as transient. 0 (the default) disables the
+	// watchdog and keeps the historical zero-overhead run path. Set
+	// before the first Run.
+	CellTimeout time.Duration
+
 	// Journal receives the engine's flight-recorder events (request
 	// dedup, retries, recovered panics). Nil uses obs.DefaultJournal,
 	// disabled by default and free when off.
@@ -113,6 +125,7 @@ type Engine struct {
 	mPanics     *obs.Counter
 	mCancels    *obs.Counter
 	mSharedErrs *obs.Counter
+	mHangs      *obs.Counter
 }
 
 // inflightRun is one fresh run in progress; waiters block on done and read
@@ -166,6 +179,7 @@ func (e *Engine) initMetrics() {
 		e.mPanics = r.Counter("engine_panics_total")
 		e.mCancels = r.Counter("engine_cancellations_total")
 		e.mSharedErrs = r.Counter("engine_shared_errors_total")
+		e.mHangs = r.Counter("engine_hangs_total")
 	})
 }
 
@@ -431,7 +445,7 @@ func (e *Engine) attempt(ctx context.Context, b bench.Name, tech core.Technique,
 	for {
 		attempts++
 		start := time.Now()
-		res, err = e.runOnce(ctx, b, tech, cfg)
+		res, err = e.runGuarded(ctx, b, tech, cfg, key)
 		elapsed := time.Since(start)
 		total += elapsed
 		e.mLatency.Observe(elapsed.Seconds())
@@ -459,6 +473,65 @@ func (e *Engine) attempt(ctx context.Context, b bench.Name, tech core.Technique,
 		}
 	}
 	return core.Result{}, err, total, attempts - 1
+}
+
+// hangStackBudget bounds the stack dump embedded in a journal event's
+// Detail (the full capture stays on the *HangError).
+const hangStackBudget = 8 << 10
+
+// runGuarded wraps one attempt with the hang watchdog when CellTimeout is
+// set: the attempt runs under a cancellable context carrying a progress
+// heartbeat that the runner's chunked polling beats. If the heartbeat
+// goes quiet for a full CellTimeout, the watchdog captures every
+// goroutine's stack, records an EvHang journal event, and cancels the
+// attempt's context — the wedged run unwinds through the runner's normal
+// cancellation path and the attempt fails with a typed *HangError instead
+// of blocking its scheduler worker forever.
+func (e *Engine) runGuarded(ctx context.Context, b bench.Name, tech core.Technique, cfg sim.Config, key string) (core.Result, error) {
+	if e.CellTimeout <= 0 {
+		return e.runOnce(ctx, b, tech, cfg)
+	}
+	hb := &watchdog.Heartbeat{}
+	// Always derive a cancellable context: runOnce strips a bare
+	// context.Background() down to nil (no chunk polling), which would
+	// starve the heartbeat; the derived context keeps polling active.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var stall struct {
+		sync.Mutex
+		stack []byte
+		idle  time.Duration
+		beats int64
+	}
+	wd := watchdog.Watch(hb, e.CellTimeout, func(idle time.Duration, beats int64) {
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		stall.Lock()
+		stall.stack, stall.idle, stall.beats = buf, idle, beats
+		stall.Unlock()
+		e.mHangs.Inc()
+		if j := e.journal(); j.Enabled() {
+			detail := buf
+			if len(detail) > hangStackBudget {
+				detail = detail[:hangStackBudget]
+			}
+			j.Record(obs.Event{Kind: obs.EvHang, Actor: -1, Subject: key,
+				Detail: string(detail), N: beats, DurNS: int64(idle)})
+		}
+		cancel() // unwind the stalled run
+	})
+	res, err := e.runOnce(watchdog.WithHeartbeat(cctx, hb), b, tech, cfg)
+	wd.Stop() // joins the monitor: the stall capture below is race-free
+	if wd.Fired() {
+		stall.Lock()
+		defer stall.Unlock()
+		return core.Result{}, &HangError{
+			Key: key, Timeout: e.CellTimeout,
+			Idle: stall.idle, Beats: stall.beats, Stack: stall.stack,
+		}
+	}
+	return res, err
 }
 
 // runOnce performs a single technique run, converting a panic into a
@@ -529,6 +602,10 @@ type Options struct {
 	// sched package default).
 	SchedSeed uint64
 
+	// CellTimeout arms the engines' hang watchdog (see Engine.CellTimeout).
+	// Set before the first Engine()/ProfileEngine() call.
+	CellTimeout time.Duration
+
 	// Report collects per-cell outcomes; created on first use via
 	// Report(). Assign one to share a report across drivers.
 	report *RunReport
@@ -549,6 +626,10 @@ type Options struct {
 	costMu    sync.Mutex
 	costCells []CellCost
 
+	// state is the durable run-state log (nil unless OpenRunState
+	// attached one); guarded by warmMu like the warm map it feeds.
+	state *runstate.Log
+
 	// progress is the live plan-execution accounting behind PlanStatus.
 	progress planProgress
 }
@@ -556,11 +637,19 @@ type Options struct {
 // Close releases sweep-scoped shared state: the functional-prefix
 // checkpoints a long sweep accumulates in the shared store (see
 // core.CheckpointStore) are dropped so back-to-back sweeps in one process
-// start cold and bounded. The engine caches themselves are per-Options and
+// start cold and bounded, and the durable run-state log (if any) is
+// fsynced and closed. The engine caches themselves are per-Options and
 // need no teardown. Drivers that own an Options for a whole process run
 // should defer this.
 func (o *Options) Close() {
 	core.ResetCheckpointCache()
+	o.warmMu.Lock()
+	st := o.state
+	o.state = nil
+	o.warmMu.Unlock()
+	if st != nil {
+		_ = st.Close()
+	}
 }
 
 // DefaultOptions returns the default corpus: every benchmark, the
@@ -576,6 +665,7 @@ func DefaultOptions() *Options {
 func (o *Options) Engine() *Engine {
 	if o.engine == nil {
 		o.engine = NewEngine(o.Scale)
+		o.engine.CellTimeout = o.CellTimeout
 	}
 	return o.engine
 }
@@ -591,6 +681,7 @@ func (o *Options) ProfileEngine() *Engine {
 		pe.Obs = o.Engine().Obs
 		pe.Retry = o.Engine().Retry
 		pe.CheckEvery = o.Engine().CheckEvery
+		pe.CellTimeout = o.Engine().CellTimeout
 		o.profileEngine = pe
 	}
 	return o.profileEngine

@@ -31,6 +31,7 @@ const (
 	PhaseRun      = "run"      // the technique returned an error
 	PhasePanic    = "panic"    // the technique panicked (recovered)
 	PhaseCanceled = "canceled" // the context was cancelled or its deadline expired
+	PhaseHang     = "hang"     // the hang watchdog cancelled a stalled run
 )
 
 // Error implements error.
@@ -51,6 +52,33 @@ type PanicError struct {
 
 // Error implements error.
 func (e *PanicError) Error() string { return fmt.Sprintf("technique panicked: %v", e.Value) }
+
+// HangError is the watchdog's verdict on a stalled run: the runner's
+// progress heartbeat went quiet for a full CellTimeout window, so the
+// engine cancelled the attempt and captured every goroutine's stack.
+//
+// HangError deliberately does NOT wrap the context.Canceled the cancelled
+// attempt returned: the cancellation was the watchdog's own doing, not the
+// caller's, and retry policies short-circuit on cancellation. Instead it
+// advertises Transient() = true, so a policy with retry budget re-attempts
+// the cell — a hang is often a scheduling accident, and a deterministic
+// one will trip the watchdog again and fail the cell after MaxAttempts.
+type HangError struct {
+	Key     string        // engine run key of the stalled attempt
+	Timeout time.Duration // the configured CellTimeout
+	Idle    time.Duration // how long the heartbeat had been quiet
+	Beats   int64         // heartbeats observed before the stall
+	Stack   []byte        // all-goroutine stacks captured at the stall
+}
+
+// Error implements error.
+func (e *HangError) Error() string {
+	return fmt.Sprintf("run stalled: no runner heartbeat for %v (cell timeout %v, %d beats before stall; %d bytes of goroutine stacks captured)",
+		e.Idle.Round(time.Millisecond), e.Timeout, e.Beats, len(e.Stack))
+}
+
+// Transient marks hangs retryable (see the type comment).
+func (e *HangError) Transient() bool { return true }
 
 // transienter marks errors that are worth retrying. Any error in a chain
 // can implement it; fault injectors and flaky backends tag their errors
@@ -167,7 +195,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // classifyPhase derives the RunError phase from an attempt's failure.
 func classifyPhase(err error) string {
 	var pe *PanicError
+	var he *HangError
 	switch {
+	case errors.As(err, &he):
+		return PhaseHang
 	case errors.As(err, &pe):
 		return PhasePanic
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments/sched"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// hangEngine builds an engine with the watchdog armed and a private
+// registry/journal so assertions don't race other tests.
+func hangEngine(timeout time.Duration, attempts int) (*Engine, *obs.Journal) {
+	eng := NewEngine(sim.Scale{Unit: 100})
+	eng.Obs = obs.NewRegistry()
+	eng.CellTimeout = timeout
+	// Poll (and beat) every 2Ki instructions: under -race a default
+	// 64Ki-instruction chunk can take longer than the watchdog window,
+	// and a *progressing* run must never look stalled.
+	eng.CheckEvery = 2048
+	eng.Retry = RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond}
+	j := obs.NewJournal(256)
+	j.SetEnabled(true)
+	eng.Journal = j
+	return eng, j
+}
+
+// TestWatchdogHangRetriedToSuccess: an injected hang on the first call is
+// cancelled by the watchdog, classified transient, and retried — the
+// second attempt succeeds, so a one-off scheduling accident costs one
+// CellTimeout, not the sweep.
+func TestWatchdogHangRetriedToSuccess(t *testing.T) {
+	eng, j := hangEngine(250*time.Millisecond, 2)
+	tech := faultinject.Wrap(core.RunZ{Z: 500}, faultinject.HangOn(1))
+	res, err := eng.Run(bench.Mcf, tech, sim.BaseConfig())
+	if err != nil {
+		t.Fatalf("hang was not retried to success: %v", err)
+	}
+	if res.Stats.Instructions == 0 {
+		t.Error("retried run returned empty stats")
+	}
+	if got := tech.Calls(); got != 2 {
+		t.Errorf("technique called %d times, want 2 (hang + successful retry)", got)
+	}
+	if got := eng.Obs.Counter("engine_hangs_total").Value(); got != 1 {
+		t.Errorf("engine_hangs_total = %d, want 1", got)
+	}
+	var sawHang, sawRetry bool
+	for _, ev := range j.Tail(64) {
+		switch ev.Kind {
+		case obs.EvHang:
+			sawHang = true
+		case obs.EvCellRetry:
+			sawRetry = true
+		}
+	}
+	if !sawHang || !sawRetry {
+		t.Errorf("journal saw hang=%v retry=%v, want both", sawHang, sawRetry)
+	}
+}
+
+// TestWatchdogHangExhaustsAttempts: with no retry budget the hang becomes
+// a typed *HangError inside a *RunError with Phase "hang", carrying the
+// goroutine stacks the watchdog captured; the journal's EvHang event
+// embeds a (bounded) stack dump.
+func TestWatchdogHangExhaustsAttempts(t *testing.T) {
+	eng, j := hangEngine(100*time.Millisecond, 1)
+	tech := faultinject.Wrap(core.RunZ{Z: 500}, faultinject.HangOn(1))
+	_, err := eng.Run(bench.Mcf, tech, sim.BaseConfig())
+	if err == nil {
+		t.Fatal("hang with MaxAttempts=1 returned nil error")
+	}
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("error %v does not chain to *HangError", err)
+	}
+	if he.Timeout != 100*time.Millisecond {
+		t.Errorf("HangError.Timeout = %v, want the configured CellTimeout", he.Timeout)
+	}
+	if len(he.Stack) == 0 {
+		t.Error("HangError carries no goroutine stacks")
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Phase != PhaseHang {
+		t.Fatalf("error %v is not a *RunError with Phase %q", err, PhaseHang)
+	}
+	// The watchdog's own cancellation must not masquerade as a caller
+	// cancellation — that would short-circuit retry policies.
+	if errors.Is(err, context.Canceled) {
+		t.Error("HangError unwraps to context.Canceled; retry policies would never retry hangs")
+	}
+	var sawStack bool
+	for _, ev := range j.Tail(64) {
+		if ev.Kind == obs.EvHang && ev.Detail != "" {
+			sawStack = true
+		}
+	}
+	if !sawStack {
+		t.Error("no EvHang journal event with a stack dump")
+	}
+}
+
+// TestRunPlanHangNeverDeadlocksPool: a hanging cell inside a scheduled
+// plan fails (or retries) without wedging its worker — the pool drains
+// the whole plan and the healthy cells all complete.
+func TestRunPlanHangNeverDeadlocksPool(t *testing.T) {
+	o := resumeOptions(4)
+	eng := o.Engine()
+	// Generous timeout and tight polling: healthy cells share the CPU
+	// with the hanging one, and a descheduled-but-progressing cell must
+	// never trip the watchdog — not even under -race.
+	eng.CellTimeout = 2 * time.Second
+	eng.CheckEvery = 2048
+	eng.Retry = RetryPolicy{MaxAttempts: 1}
+
+	hang := faultinject.Wrap(core.RunZ{Z: 123}, faultinject.HangOn(1))
+	cells := []sched.Cell{
+		{Artifact: "T", Phase: "technique", Bench: bench.Mcf, Technique: hang, Config: sim.BaseConfig()},
+	}
+	for _, tech := range tinyTechniques(bench.Mcf) {
+		cells = append(cells, sched.Cell{Artifact: "T", Phase: "technique",
+			Bench: bench.Mcf, Technique: tech, Config: sim.BaseConfig()})
+	}
+
+	done := make(chan sched.Telemetry, 1)
+	go func() { done <- o.RunPlan(cells) }()
+	var tel sched.Telemetry
+	select {
+	case tel = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunPlan did not return: hanging cell deadlocked the pool")
+	}
+	if tel.Cells != len(cells) || tel.Failed != 1 {
+		t.Errorf("telemetry = %+v, want %d cells with exactly the hanging one failed", tel, len(cells))
+	}
+	_, err, ok := o.warmLookup(o.cellKey(cells[0]))
+	if !ok || err == nil {
+		t.Fatalf("hanging cell outcome = (%v, %v), want a memoized failure", err, ok)
+	}
+	var he *HangError
+	if !errors.As(err, &he) {
+		t.Errorf("hanging cell failed with %v, want *HangError", err)
+	}
+	for _, c := range cells[1:] {
+		if _, err, ok := o.warmLookup(o.cellKey(c)); !ok || err != nil {
+			t.Errorf("healthy cell %s: outcome (%v, %v), want memoized success", c.Label(), err, ok)
+		}
+	}
+}

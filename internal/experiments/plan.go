@@ -10,6 +10,7 @@ import (
 	"repro/internal/enhance"
 	"repro/internal/experiments/sched"
 	"repro/internal/obs"
+	"repro/internal/runstate"
 	"repro/internal/sim"
 )
 
@@ -120,6 +121,23 @@ func (o *Options) RunPlan(cells []sched.Cell) sched.Telemetry {
 		// the outcome's CostReport (see sched.CellNotes).
 		w.Notes.Retries = int64(info.Retries)
 		w.Notes.Dedup = info.Source != "" && info.Source != "fresh"
+		// Durable run state: append the settled outcome before the cell
+		// is reported done, so a crash after this point never loses it
+		// and a crash before it simply re-runs the cell (exactly-once
+		// across process deaths, at-least-once execution).
+		if st := o.stateLog(); st != nil {
+			rec := runstate.CellRecord{
+				Key: o.cellKeyLocked(c, eng, peng), Cell: c.Label(), WallNS: int64(res.Wall),
+			}
+			if err != nil {
+				rec.Err = err.Error()
+			} else {
+				rec.OK = true
+				r := res
+				rec.Res = &r
+			}
+			_ = st.Append(rec) // append errors are sticky on the log, surfaced via RunStateStats
+		}
 		if err != nil {
 			o.progress.failed.Add(1)
 		}

@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/runstate"
+)
+
+// resumeTechniques is an even smaller catalogue than tinyTechniques: the
+// kill-at-every-boundary test re-runs the plan's tail once per boundary,
+// so the plan must stay single-digit cells to keep the quadratic sweep
+// cheap.
+func resumeTechniques(bench.Name) []core.Technique {
+	return []core.Technique{
+		core.SMARTS{U: 500, W: 1000},
+		core.RunZ{Z: 1000},
+	}
+}
+
+// resumeOptions builds a deterministic tiny corpus for the durable-state
+// tests. Two calls produce identical plans — and therefore identical plan
+// fingerprints — which is the property every resume test leans on.
+func resumeOptions(workers int) *Options {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = resumeTechniques
+	o.Parallel = workers
+	o.Engine().Obs = obs.NewRegistry()
+	return o
+}
+
+// figure6Render runs the Figure 6 sweep and returns its rendered artifact.
+func figure6Render(t *testing.T, o *Options) string {
+	t.Helper()
+	res, err := Figure6(o, bench.Mcf, nil)
+	if err != nil {
+		t.Fatalf("figure 6: %v", err)
+	}
+	return res.Render()
+}
+
+// openState is OpenRunState with the test boilerplate folded in.
+func openState(t *testing.T, o *Options, dir string, resume bool) *RunStateInfo {
+	t.Helper()
+	info, err := o.OpenRunState(StateConfig{
+		Dir: dir, Resume: resume, FsyncEvery: 1, Command: "test",
+	}, Figure6Plan(o, bench.Mcf, nil))
+	if err != nil {
+		t.Fatalf("OpenRunState(resume=%v): %v", resume, err)
+	}
+	if info == nil {
+		t.Fatal("OpenRunState returned nil info for a non-empty dir")
+	}
+	return info
+}
+
+// TestResumeKillAtEveryCellBoundary is the tentpole acceptance test: a
+// sweep killed after completing exactly k cells — for every k from 0 to
+// the full plan — resumes from the state log, re-executes only the N-k
+// unfinished cells (pinned via the engine's fresh-run counter), and
+// renders a byte-identical artifact. The prefix logs stand in for the
+// kill: the write-ahead log is append-only and fsynced per record, so a
+// process killed between cells k and k+1 leaves exactly the first k
+// records — the same bytes Create+Append write here.
+func TestResumeKillAtEveryCellBoundary(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// Clean run, with the log attached so it records every cell.
+			dir := t.TempDir()
+			o := resumeOptions(workers)
+			openState(t, o, dir, false)
+			clean := figure6Render(t, o)
+			o.Close()
+
+			hdr, recs, torn, err := runstate.ReadAll(filepath.Join(dir, StateFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if torn != nil {
+				t.Fatalf("clean log reports torn tail: %+v", torn)
+			}
+			n := len(recs)
+			if n == 0 || n != hdr.PlanCells {
+				t.Fatalf("log has %d records, header plans %d cells", n, hdr.PlanCells)
+			}
+			for i, r := range recs {
+				if !r.OK || r.Res == nil {
+					t.Fatalf("record %d is not a success: %+v", i, r)
+				}
+			}
+
+			// Every boundary is exhaustive at 1 worker; at 8 workers the
+			// representative kill points (empty, first, middle, last,
+			// complete) keep the quadratic sweep affordable under -race
+			// while still proving byte-identity across worker counts.
+			ks := make([]int, 0, n+1)
+			if workers == 1 {
+				for k := 0; k <= n; k++ {
+					ks = append(ks, k)
+				}
+			} else {
+				ks = append(ks, 0, 1, n/2, n-1, n)
+			}
+			for _, k := range ks {
+				kdir := t.TempDir()
+				path := filepath.Join(kdir, StateFile)
+				log, err := runstate.Create(path, hdr, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range recs[:k] {
+					if err := log.Append(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := log.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				ro := resumeOptions(workers)
+				info := openState(t, ro, kdir, true)
+				if !info.Resumed || info.Warmed != k || info.Replayed != k {
+					t.Fatalf("k=%d: resume info = %+v, want warmed=replayed=%d", k, info, k)
+				}
+				got := figure6Render(t, ro)
+				if got != clean {
+					t.Errorf("k=%d: resumed render differs from clean run:\n--- clean ---\n%s--- resumed ---\n%s",
+						k, clean, got)
+				}
+				runs, _ := ro.Engine().Stats()
+				if runs != n-k {
+					t.Errorf("k=%d: engine executed %d fresh runs, want exactly %d (only unfinished cells)",
+						k, runs, n-k)
+				}
+				ro.Close()
+			}
+		})
+	}
+}
+
+// TestResumeTornFinalRecord: a crash mid-append leaves a torn final
+// record. Resume must truncate it (journaling the truncation), replay the
+// intact prefix, and re-run only the torn cell — still byte-identical.
+func TestResumeTornFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	o := resumeOptions(1)
+	openState(t, o, dir, false)
+	clean := figure6Render(t, o)
+	o.Close()
+	path := filepath.Join(dir, StateFile)
+
+	_, recs, _, err := runstate.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(recs)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	obs.DefaultJournal.SetEnabled(true)
+	defer obs.DefaultJournal.SetEnabled(false)
+
+	ro := resumeOptions(1)
+	info := openState(t, ro, dir, true)
+	if !info.Resumed || info.Torn == nil {
+		t.Fatalf("resume info = %+v, want resumed with a torn tail", info)
+	}
+	if info.Replayed != n-1 || info.Warmed != n-1 {
+		t.Fatalf("replayed %d / warmed %d records, want %d (all but the torn one)",
+			info.Replayed, info.Warmed, n-1)
+	}
+	var sawTruncate bool
+	for _, ev := range obs.DefaultJournal.Tail(64) {
+		if ev.Kind == obs.EvStateTruncate {
+			sawTruncate = true
+		}
+	}
+	if !sawTruncate {
+		t.Error("no EvStateTruncate journal event recorded for the torn tail")
+	}
+
+	got := figure6Render(t, ro)
+	if got != clean {
+		t.Errorf("resumed render differs after torn-tail truncation:\n--- clean ---\n%s--- resumed ---\n%s", clean, got)
+	}
+	runs, _ := ro.Engine().Stats()
+	if runs != 1 {
+		t.Errorf("engine executed %d fresh runs, want exactly 1 (the torn cell)", runs)
+	}
+	ro.Close()
+
+	// The truncation is physical: a second scan sees a clean log with the
+	// re-run cell appended back.
+	_, recs2, torn2, err := runstate.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn2 != nil {
+		t.Errorf("log still torn after resume: %+v", torn2)
+	}
+	if len(recs2) != n {
+		t.Errorf("log has %d records after resume, want %d (prefix + re-run cell)", len(recs2), n)
+	}
+}
+
+// TestResumeRefusesFingerprintMismatch: a log written by a different
+// sweep (here: a different technique catalogue) must refuse to resume
+// rather than silently mix incompatible results.
+func TestResumeRefusesFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	o := resumeOptions(1)
+	openState(t, o, dir, false)
+	o.Close()
+
+	other := resumeOptions(1)
+	// Trim the catalogue: a smaller technique set is a different sweep.
+	other.TechniquesFn = func(b bench.Name) []core.Technique {
+		return resumeTechniques(b)[:1]
+	}
+	_, err := other.OpenRunState(StateConfig{
+		Dir: dir, Resume: true, FsyncEvery: 1, Command: "test",
+	}, Figure6Plan(other, bench.Mcf, nil))
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("resume with a different plan returned %v, want fingerprint-mismatch refusal", err)
+	}
+}
+
+// TestResumeFreshDirStartsFresh: -resume against an empty state dir
+// degrades to a fresh start so wrappers can pass -resume unconditionally.
+func TestResumeFreshDirStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	o := resumeOptions(1)
+	info := openState(t, o, dir, true)
+	if info.Resumed || info.Warmed != 0 {
+		t.Fatalf("resume on empty dir = %+v, want a fresh start", info)
+	}
+	figure6Render(t, o)
+	o.Close()
+	if _, err := os.Stat(filepath.Join(dir, StateFile)); err != nil {
+		t.Fatalf("fresh start did not create the log: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestPoolPanicDuringCancellationDrain combines the two failure modes: a
+// cell cancels the campaign and then panics. The pool must (a) convert
+// the panic into that cell's own *CellPanicError, (b) drain the still
+// queued cells with the context error without running them, and (c)
+// preserve exactly-once semantics — every cell is either executed once or
+// drained once, never both, never neither.
+func TestPoolPanicDuringCancellationDrain(t *testing.T) {
+	const n = 60
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ran := make([]atomic.Int64, n)
+	p := &Pool{Workers: 2, Obs: obs.NewRegistry()}
+	done := make(chan struct{})
+	var outs []Outcome
+	var tel Telemetry
+	go func() {
+		defer close(done)
+		outs, tel = p.Run(ctx, planOf(n),
+			func(ctx context.Context, w *Worker, c Cell) (core.Result, error) {
+				idx, _ := strconv.Atoi(c.Config.Name[len("cfg-"):])
+				ran[idx].Add(1)
+				if idx == 0 {
+					cancel()
+					panic("cancel then crash")
+				}
+				time.Sleep(time.Millisecond)
+				return core.Result{Stats: sim.Stats{Cycles: 1, Instructions: 1}}, nil
+			})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool did not drain after cancel+panic")
+	}
+
+	if len(outs) != n {
+		t.Fatalf("got %d outcomes, want %d", len(outs), n)
+	}
+	var pe *CellPanicError
+	if outs[0].Err == nil || !errors.As(outs[0].Err, &pe) {
+		t.Fatalf("panicking cell outcome = %v, want *CellPanicError", outs[0].Err)
+	}
+	executed, drained := 0, 0
+	for i, o := range outs {
+		if o.Worker >= 0 {
+			executed++
+			if got := ran[i].Load(); got != 1 {
+				t.Errorf("executed cell %d ran %d times, want 1", i, got)
+			}
+			continue
+		}
+		drained++
+		if got := ran[i].Load(); got != 0 {
+			t.Errorf("drained cell %d ran %d times, want 0", i, got)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("drained cell %d error = %v, want context.Canceled", i, o.Err)
+		}
+	}
+	if executed+drained != n {
+		t.Errorf("executed %d + drained %d != %d cells", executed, drained, n)
+	}
+	if drained == 0 {
+		t.Error("no cells drained: cancellation landed after the whole queue ran, test proves nothing")
+	}
+	if tel.Cancelled != drained {
+		t.Errorf("telemetry cancelled = %d, want %d", tel.Cancelled, drained)
+	}
+	if tel.Failed < 1 {
+		t.Errorf("telemetry failed = %d, want >= 1 (the panicking cell)", tel.Failed)
+	}
+}

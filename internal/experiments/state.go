@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments/sched"
+	"repro/internal/obs"
+	"repro/internal/runstate"
+)
+
+// This file wires the durable run-state layer (package runstate) into the
+// experiment stack. The contract with RunPlan is deliberately tiny:
+//
+//   - OpenRunState attaches a write-ahead log to the Options; RunPlan's
+//     run closure appends one record per completed cell (see plan.go).
+//   - On resume, every replayed *success* is injected into the warm
+//     outcome map before any plan runs, so RunPlan skips those cells and
+//     the assembly pass reads the replayed results — byte-identical
+//     figures, because assembly cannot tell a replayed result from a
+//     fresh one. Recorded failures are NOT warmed: a deterministic
+//     failure re-fails identically and a transient one earns its retry,
+//     which keeps error chains live instead of reconstructed.
+//   - The plan fingerprint in the log's header pins the sweep identity;
+//     resuming under a different corpus/scale/design refuses loudly
+//     rather than silently mixing incompatible results.
+
+// StateFile is the write-ahead log's name inside -state-dir.
+const StateFile = "run.wal"
+
+// StateConfig selects the durable-run-state behavior for a sweep.
+type StateConfig struct {
+	// Dir is the state directory ("" disables durable state entirely).
+	Dir string
+	// Resume replays an existing log in Dir instead of starting fresh.
+	// With no log present, Resume degrades to a fresh start (so a
+	// wrapper can always pass -resume).
+	Resume bool
+	// FsyncEvery is the log's durability policy: fsync per N appended
+	// records (1 = every record, 0 = never).
+	FsyncEvery int
+	// Command names the writing CLI in the log header (diagnostics only).
+	Command string
+}
+
+// RunStateInfo reports what OpenRunState did, for CLI logging.
+type RunStateInfo struct {
+	Path     string               `json:"path"`
+	Resumed  bool                 `json:"resumed"`
+	Warmed   int                  `json:"warmed"`   // successes replayed into the warm map
+	Replayed int                  `json:"replayed"` // total records replayed (incl. failures)
+	Torn     *runstate.Truncation `json:"torn,omitempty"`
+}
+
+// PlanFingerprint derives the sweep identity from a plan: the scale plus
+// the sorted, deduplicated engine keys of every cell. Engine keys embed
+// benchmark, technique permutation, canonical configuration, and profile
+// mode, so any change to the corpus or design changes the fingerprint.
+// Worker count and scheduling deliberately do not participate — a sweep
+// may be resumed at a different -parallel.
+func (o *Options) PlanFingerprint(cells []sched.Cell) uint64 {
+	eng := o.Engine()
+	var peng *Engine
+	for _, c := range cells {
+		if c.Profile {
+			peng = o.ProfileEngine()
+			break
+		}
+	}
+	seen := make(map[string]bool, len(cells))
+	keys := make([]string, 0, len(cells))
+	for _, c := range cells {
+		k := o.cellKeyLocked(c, eng, peng)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	parts = append(parts, "scale="+strconv.FormatUint(o.Scale.Unit, 10))
+	parts = append(parts, keys...)
+	return runstate.Fingerprint(parts...)
+}
+
+// OpenRunState creates (or, under cfg.Resume, reopens) the run-state log
+// for a sweep whose full plan is cells, and attaches it to the Options:
+// from here on RunPlan appends every completed cell, and replayed
+// successes answer their cells without re-execution. A fingerprint
+// mismatch on resume is a hard error — the log belongs to a different
+// sweep. Returns nil info when cfg.Dir is empty. The log is closed by
+// Options.Close.
+func (o *Options) OpenRunState(cfg StateConfig, cells []sched.Cell) (*RunStateInfo, error) {
+	if cfg.Dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(cfg.Dir, StateFile)
+	fp := o.PlanFingerprint(cells)
+	info := &RunStateInfo{Path: path}
+
+	if cfg.Resume {
+		if _, err := os.Stat(path); err == nil {
+			log, hdr, recs, torn, err := runstate.Resume(path, cfg.FsyncEvery)
+			if err != nil {
+				return nil, err
+			}
+			if hdr.Fingerprint != fp {
+				log.Close()
+				return nil, fmt.Errorf(
+					"runstate: refusing to resume %s: plan fingerprint mismatch (log %016x, plan %016x) — the log was written by a different sweep (scale, benches, techniques, configurations, or design changed); use a fresh -state-dir",
+					path, hdr.Fingerprint, fp)
+			}
+			info.Resumed = true
+			info.Replayed = len(recs)
+			info.Torn = torn
+			info.Warmed = o.attachRunState(log, recs)
+			if j := obs.DefaultJournal; j.Enabled() {
+				j.Record(obs.Event{Kind: obs.EvStateResume, Actor: -1, Subject: path,
+					N: int64(info.Warmed)})
+			}
+			return info, nil
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+		// No log yet: -resume on a fresh directory starts fresh.
+	}
+
+	log, err := runstate.Create(path, runstate.Header{
+		Command:     cfg.Command,
+		Fingerprint: fp,
+		Scale:       o.Scale.Unit,
+		PlanCells:   planCellCount(o, cells),
+		CreatedNS:   time.Now().UnixNano(),
+	}, cfg.FsyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	o.attachRunState(log, nil)
+	return info, nil
+}
+
+// planCellCount is the deduplicated cell count stamped into the header.
+func planCellCount(o *Options, cells []sched.Cell) int {
+	eng := o.Engine()
+	var peng *Engine
+	for _, c := range cells {
+		if c.Profile {
+			peng = o.ProfileEngine()
+			break
+		}
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		seen[o.cellKeyLocked(c, eng, peng)] = true
+	}
+	return len(seen)
+}
+
+// attachRunState installs the log and warms every replayed success.
+// Returns the number of cells warmed.
+func (o *Options) attachRunState(log *runstate.Log, recs []runstate.CellRecord) int {
+	warmed := 0
+	o.warmMu.Lock()
+	o.state = log
+	for _, r := range recs {
+		if !r.OK || r.Res == nil {
+			continue
+		}
+		if o.warm == nil {
+			o.warm = make(map[string]warmOutcome, len(recs))
+		}
+		if _, ok := o.warm[r.Key]; ok {
+			continue
+		}
+		o.warm[r.Key] = warmOutcome{res: *r.Res}
+		warmed++
+	}
+	o.warmMu.Unlock()
+	return warmed
+}
+
+// stateLog returns the attached run-state log, or nil.
+func (o *Options) stateLog() *runstate.Log {
+	o.warmMu.Lock()
+	defer o.warmMu.Unlock()
+	return o.state
+}
+
+// RunStateStats snapshots the attached log for the manifest's "runstate"
+// section (zero value when no log is attached).
+func (o *Options) RunStateStats() runstate.Stats {
+	return o.stateLog().Stats()
+}

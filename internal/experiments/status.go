@@ -83,4 +83,9 @@ func (o *Options) RegisterSections(s SectionSink) {
 	s.AddSection("ckpt", func() any { return core.CheckpointStats() })
 	s.AddSection("cost", func() any { return o.CostSummary() })
 	s.AddSection("cells", func() any { return rep.Cells() })
+	// Durable-run-state telemetry, only when a log is attached (so the
+	// section is registered after OpenRunState in the CLIs).
+	if o.stateLog() != nil {
+		s.AddSection("runstate", func() any { return o.RunStateStats() })
+	}
 }

@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the chaos-harness half of the package: process-level fault
+// primitives for crash-safety tests. Crash points simulate a process dying
+// at a named code location (the durable run-state log arms them around its
+// append path), and TornWriter simulates the torn final write a SIGKILL or
+// power loss leaves behind. Both are deterministic: a crash fires on an
+// exact hit count and a torn writer cuts at an exact byte offset.
+
+// CrashError is the panic value a fired crash point raises. Tests recover
+// it to emulate process death at an exact instruction in the code under
+// test; anything else recovering it should re-panic.
+type CrashError struct {
+	Point string // the crash point that fired
+	Hit   int    // 1-based hit count at which it fired
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("injected crash at %q (hit %d)", e.Point, e.Hit)
+}
+
+// crashArmed gates the registry: when false (the default), CrashHere is a
+// single atomic load and nothing else, so instrumented production paths
+// pay nothing outside chaos tests.
+var crashArmed atomic.Bool
+
+var (
+	crashMu     sync.Mutex
+	crashPoints map[string]*crashPoint
+)
+
+type crashPoint struct {
+	after int // fire on the after-th hit (1-based)
+	hits  int
+}
+
+// ArmCrash arms a named crash point: the after-th call to
+// CrashHere(point) panics with a *CrashError. after < 1 means the first
+// hit. Arming is cumulative; DisarmCrashes clears everything. Tests that
+// arm must defer DisarmCrashes.
+func ArmCrash(point string, after int) {
+	if after < 1 {
+		after = 1
+	}
+	crashMu.Lock()
+	if crashPoints == nil {
+		crashPoints = map[string]*crashPoint{}
+	}
+	crashPoints[point] = &crashPoint{after: after}
+	crashMu.Unlock()
+	crashArmed.Store(true)
+}
+
+// DisarmCrashes clears every armed crash point and restores the zero-cost
+// CrashHere fast path.
+func DisarmCrashes() {
+	crashMu.Lock()
+	crashPoints = nil
+	crashMu.Unlock()
+	crashArmed.Store(false)
+}
+
+// CrashHere is the instrumentation call sites place at crash-consistency
+// boundaries (e.g. before and after a WAL append's durable write). With
+// nothing armed it costs one atomic load. When the named point is armed
+// and its hit count is reached, it panics with a *CrashError — the
+// in-process stand-in for SIGKILL at exactly that point.
+func CrashHere(point string) {
+	if !crashArmed.Load() {
+		return
+	}
+	crashMu.Lock()
+	p := crashPoints[point]
+	if p == nil {
+		crashMu.Unlock()
+		return
+	}
+	p.hits++
+	fire := p.hits == p.after
+	hit := p.hits
+	crashMu.Unlock()
+	if fire {
+		panic(&CrashError{Point: point, Hit: hit})
+	}
+}
+
+// TornWriter passes through to an underlying writer until limit bytes have
+// been written, silently discards everything after, and *reports full
+// success either way* — exactly what a page-cache write followed by
+// process death looks like to the caller. Wrapping a WAL file with it
+// produces a torn final record for corruption-tolerant readers to chew on.
+type TornWriter struct {
+	W     io.Writer
+	Limit int64 // bytes actually persisted before the "kill"
+
+	written int64
+}
+
+// Write implements io.Writer with the torn semantics above.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	keep := t.Limit - t.written
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > int64(len(p)) {
+		keep = int64(len(p))
+	}
+	if keep > 0 {
+		if n, err := t.W.Write(p[:keep]); err != nil {
+			t.written += int64(n)
+			return n, err
+		}
+		t.written += keep
+	}
+	return len(p), nil // lie: the tail never reached the device
+}

@@ -10,6 +10,7 @@ package faultinject
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/xrand"
@@ -121,6 +122,14 @@ type Technique struct {
 	Inner core.Technique
 	Plan  Plan
 
+	// HangFor bounds Hang faults: a hanging call returns a transient
+	// *FaultError after this long even if nothing cancels it. Zero (the
+	// default) hangs until the context is cancelled. Either way a
+	// cancelled context unwinds the hang immediately — a bounded hang
+	// never sleeps out its remaining duration once cancelled, so
+	// watchdog tests under -race stay fast.
+	HangFor time.Duration
+
 	mu    sync.Mutex
 	calls int
 }
@@ -161,13 +170,35 @@ func (t *Technique) Run(ctx core.Context) (core.Result, error) {
 	case Panic:
 		panic(&FaultError{Call: call})
 	case Hang:
-		if ctx.Ctx == nil {
-			// Refuse to hang forever: without a context nothing could
-			// ever cancel the run.
-			return core.Result{}, fmt.Errorf("faultinject: hang fault on call %d needs a cancellable context", call)
-		}
-		<-ctx.Ctx.Done()
-		return core.Result{}, ctx.Ctx.Err()
+		return t.hang(ctx, call)
 	}
 	return t.Inner.Run(ctx)
+}
+
+// hang blocks until the run's context cancels or the bounded HangFor
+// duration elapses, whichever comes first. Cancellation always wins the
+// select, so a watchdog that cancels a hung cell unwinds it promptly
+// instead of waiting out the remaining hang budget.
+func (t *Technique) hang(ctx core.Context, call int) (core.Result, error) {
+	if ctx.Ctx == nil && t.HangFor <= 0 {
+		// Refuse to hang forever: without a context or a bound nothing
+		// could ever end the run.
+		return core.Result{}, fmt.Errorf("faultinject: hang fault on call %d needs a cancellable context", call)
+	}
+	var timeout <-chan time.Time
+	if t.HangFor > 0 {
+		tm := time.NewTimer(t.HangFor)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	var done <-chan struct{}
+	if ctx.Ctx != nil {
+		done = ctx.Ctx.Done()
+	}
+	select {
+	case <-done:
+		return core.Result{}, ctx.Ctx.Err()
+	case <-timeout:
+		return core.Result{}, &FaultError{Call: call, Retryable: true}
+	}
 }

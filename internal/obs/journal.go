@@ -37,10 +37,23 @@ const (
 	// A runtime health sample (goroutines, heap, GC pause) was taken by
 	// the background sampler.
 	EvRuntimeSample
+	// The hang watchdog declared a cell stalled: no runner heartbeat for
+	// a full -cell-timeout window. Detail carries the goroutine stacks
+	// captured at the stall (truncated to the journal's detail budget).
+	EvHang
+	// The durable run-state log dropped a torn or corrupt tail on open
+	// (crash mid-append); N is the number of bytes truncated.
+	EvStateTruncate
+	// A sweep resumed from a durable run-state log; N is the number of
+	// completed cells replayed into the warm outcome map.
+	EvStateResume
+	// The process received a termination signal and dumped a mid-run
+	// manifest post-mortem; Subject names the signal.
+	EvSignal
 )
 
 // evKindMax is the last valid kind, the bound UnmarshalText scans to.
-const evKindMax = EvRuntimeSample
+const evKindMax = EvSignal
 
 // String names the kind in snake_case (the JSON wire form).
 func (k EventKind) String() string {
@@ -69,6 +82,14 @@ func (k EventKind) String() string {
 		return "phase"
 	case EvRuntimeSample:
 		return "runtime_sample"
+	case EvHang:
+		return "hang"
+	case EvStateTruncate:
+		return "state_truncate"
+	case EvStateResume:
+		return "state_resume"
+	case EvSignal:
+		return "signal"
 	default:
 		return "unknown"
 	}

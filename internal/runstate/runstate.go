@@ -1,0 +1,452 @@
+// Package runstate is the durable run-state layer: an append-only,
+// per-record-checksummed write-ahead log of experiment cell outcomes. A
+// sweep appends one record per completed cell (keyed by the engine's
+// canonical run key); a killed sweep reopens the log, replays the
+// completed cells into its warm outcome map, and re-executes only what is
+// missing — exactly-once across process deaths, with byte-identical
+// rendered figures (the assembly pass cannot tell a replayed result from
+// a fresh one).
+//
+// # On-disk format
+//
+// The log is a sequence of framed records:
+//
+//	[u32 LE payload length][u32 LE CRC-32C of payload][payload JSON]
+//
+// Record 0 is a Header carrying the format version and the plan
+// fingerprint; every later record is a CellRecord. Appends are a single
+// O_APPEND write of one whole frame under a mutex, fsynced per the
+// configured policy, so a record is either fully present or part of a
+// torn tail. The reader is corruption-tolerant: it stops at the first
+// frame whose length, checksum, or JSON does not verify and truncates the
+// file back to the last good frame — a crash mid-append costs at most the
+// record being written, never the log.
+package runstate
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// Version is the on-disk format version stamped into every header.
+const Version = 1
+
+// maxRecordBytes bounds a single frame, so a corrupt length prefix cannot
+// ask the reader for gigabytes. Profiled cell results are the largest
+// records and stay far below this.
+const maxRecordBytes = 64 << 20
+
+// frameHeaderLen is the fixed prefix of every frame: payload length plus
+// payload CRC.
+const frameHeaderLen = 8
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the sweeps run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Crash points armed by chaos tests around the append path (see
+// faultinject.ArmCrash): "runstate.append.pre" fires before the frame
+// write (record lost), "runstate.append.post" after write+sync (record
+// durable).
+const (
+	CrashAppendPre  = "runstate.append.pre"
+	CrashAppendPost = "runstate.append.post"
+)
+
+// Header is record 0 of every log: enough identity to refuse resuming a
+// log written by a different sweep.
+type Header struct {
+	Version     int    `json:"version"`
+	Command     string `json:"command,omitempty"` // CLI that wrote the log
+	Fingerprint uint64 `json:"fingerprint"`       // plan fingerprint (see experiments.PlanFingerprint)
+	Scale       uint64 `json:"scale,omitempty"`   // sim scale unit
+	PlanCells   int    `json:"plan_cells,omitempty"`
+	CreatedNS   int64  `json:"created_ns,omitempty"`
+}
+
+// CellRecord is one completed cell outcome. Failures are recorded for
+// bookkeeping (and so a resumed run can report what previously failed)
+// but are not replayed into the warm map — a deterministic failure simply
+// re-fails, and a transient one gets its retry.
+type CellRecord struct {
+	Key    string       `json:"key"`            // engine run key (canonical cell identity)
+	Cell   string       `json:"cell,omitempty"` // human-readable label
+	OK     bool         `json:"ok"`
+	Err    string       `json:"err,omitempty"`
+	Res    *core.Result `json:"res,omitempty"`
+	WallNS int64        `json:"wall_ns,omitempty"`
+}
+
+// Truncation describes a torn or corrupt tail the reader dropped.
+type Truncation struct {
+	Offset int64  `json:"offset"` // file offset the log was cut back to
+	Bytes  int64  `json:"bytes"`  // bytes dropped
+	Reason string `json:"reason"` // what failed to verify
+}
+
+// envelope is the JSON payload of one frame: exactly one of the fields is
+// set.
+type envelope struct {
+	H *Header     `json:"h,omitempty"`
+	C *CellRecord `json:"c,omitempty"`
+}
+
+// Log is an open run-state log. All methods are safe for concurrent use;
+// Append serializes writers internally.
+type Log struct {
+	mu         sync.Mutex
+	f          *os.File
+	path       string
+	fsyncEvery int // fsync per N appends; 0 = never, 1 = every record
+	sinceSync  int
+	appended   int
+	replayed   int
+	lastErr    error
+	header     Header
+	closed     bool
+}
+
+// Create starts a fresh log at path (truncating any previous one) and
+// writes the header record. fsyncEvery is the durability policy: fsync
+// after every fsyncEvery-th append (1 = every record, 0 = never — the
+// page cache decides).
+func Create(path string, h Header, fsyncEvery int) (*Log, error) {
+	if h.Version == 0 {
+		h.Version = Version
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path, fsyncEvery: fsyncEvery, header: h}
+	frame, err := encodeFrame(envelope{H: &h})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runstate: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Resume opens an existing log, replays every verifiable record, and
+// truncates any torn tail (recording the truncation in the process-wide
+// journal as an EvStateTruncate event). The returned records are the
+// replayable history; the log is positioned for further appends.
+func Resume(path string, fsyncEvery int) (*Log, Header, []CellRecord, *Truncation, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, Header{}, nil, nil, err
+	}
+	h, recs, trunc, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, Header{}, nil, nil, err
+	}
+	if trunc != nil {
+		if err := f.Truncate(trunc.Offset); err != nil {
+			f.Close()
+			return nil, Header{}, nil, nil, fmt.Errorf("runstate: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, Header{}, nil, nil, err
+		}
+		if j := obs.DefaultJournal; j.Enabled() {
+			j.Record(obs.Event{Kind: obs.EvStateTruncate, Actor: -1, Subject: path,
+				Detail: trunc.Reason, N: trunc.Bytes})
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, Header{}, nil, nil, err
+	}
+	l := &Log{f: f, path: path, fsyncEvery: fsyncEvery, header: h, replayed: len(recs)}
+	return l, h, recs, trunc, nil
+}
+
+// ReadAll scans a log without opening it for appends: header, verifiable
+// records, and any torn tail it *would* truncate (the file is not
+// modified). Tests and tooling use it to inspect a log a sweep owns.
+func ReadAll(path string) (Header, []CellRecord, *Truncation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	defer f.Close()
+	return scan(f)
+}
+
+// scan reads frames from the start of f until EOF or the first frame that
+// fails to verify, returning the decoded history and a Truncation
+// describing the bad tail (nil when the log is clean).
+func scan(f *os.File) (Header, []CellRecord, *Truncation, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return Header{}, nil, nil, err
+	}
+	r := newCountingReader(f)
+	var hdr Header
+	var recs []CellRecord
+	sawHeader := false
+	for {
+		goodEnd := r.offset
+		payload, reason, err := readFrame(r)
+		if err != nil {
+			return Header{}, nil, nil, err
+		}
+		if payload == nil {
+			if reason == "" { // clean EOF
+				return hdr, recs, nil, checkHeader(sawHeader)
+			}
+			end, err := f.Seek(0, io.SeekEnd)
+			if err != nil {
+				return Header{}, nil, nil, err
+			}
+			return hdr, recs, &Truncation{Offset: goodEnd, Bytes: end - goodEnd, Reason: reason},
+				checkHeader(sawHeader)
+		}
+		var env envelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			end, serr := f.Seek(0, io.SeekEnd)
+			if serr != nil {
+				return Header{}, nil, nil, serr
+			}
+			return hdr, recs, &Truncation{Offset: goodEnd, Bytes: end - goodEnd,
+				Reason: "payload is not valid JSON: " + err.Error()}, checkHeader(sawHeader)
+		}
+		switch {
+		case env.H != nil:
+			if sawHeader {
+				return Header{}, nil, nil, fmt.Errorf("runstate: duplicate header record")
+			}
+			if env.H.Version != Version {
+				return Header{}, nil, nil, fmt.Errorf("runstate: unsupported log version %d (want %d)", env.H.Version, Version)
+			}
+			hdr = *env.H
+			sawHeader = true
+		case env.C != nil:
+			if !sawHeader {
+				return Header{}, nil, nil, fmt.Errorf("runstate: cell record before header")
+			}
+			recs = append(recs, *env.C)
+		}
+	}
+}
+
+// checkHeader converts "no header seen" into the error an empty or
+// header-torn log surfaces.
+func checkHeader(saw bool) error {
+	if !saw {
+		return fmt.Errorf("runstate: log has no intact header record")
+	}
+	return nil
+}
+
+// countingReader tracks the byte offset of a buffered sequential read.
+type countingReader struct {
+	r      io.Reader
+	offset int64
+}
+
+func newCountingReader(r io.Reader) *countingReader { return &countingReader{r: r} }
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.offset += int64(n)
+	return n, err
+}
+
+// readFrame reads one frame. Returns (payload, "", nil) on success,
+// (nil, "", nil) on clean EOF, (nil, reason, nil) on a torn/corrupt frame,
+// and a non-nil error only for real I/O failures.
+func readFrame(r io.Reader) ([]byte, string, error) {
+	var head [frameHeaderLen]byte
+	n, err := io.ReadFull(r, head[:])
+	if err == io.EOF && n == 0 {
+		return nil, "", nil
+	}
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		return nil, fmt.Sprintf("torn frame header (%d of %d bytes)", n, frameHeaderLen), nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	length := binary.LittleEndian.Uint32(head[0:4])
+	sum := binary.LittleEndian.Uint32(head[4:8])
+	if length == 0 || length > maxRecordBytes {
+		return nil, fmt.Sprintf("implausible frame length %d", length), nil
+	}
+	payload := make([]byte, length)
+	if m, err := io.ReadFull(r, payload); err != nil {
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			return nil, fmt.Sprintf("torn payload (%d of %d bytes)", m, length), nil
+		}
+		return nil, "", err
+	}
+	if got := crc32.Checksum(payload, crcTable); got != sum {
+		return nil, fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", sum, got), nil
+	}
+	return payload, "", nil
+}
+
+// encodeFrame marshals an envelope into one framed record.
+func encodeFrame(env envelope) ([]byte, error) {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("runstate: record of %d bytes exceeds frame bound", len(payload))
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	return frame, nil
+}
+
+// Append durably records one cell outcome: a single whole-frame write
+// under the log's mutex, fsynced per the policy. The first append error
+// is sticky (see Err) — a sweep keeps running when its state disk fails,
+// it just stops being resumable — and later appends become no-ops so one
+// bad disk does not log an error per cell.
+func (l *Log) Append(rec CellRecord) error {
+	if l == nil {
+		return nil
+	}
+	faultinject.CrashHere(CrashAppendPre)
+	frame, err := encodeFrame(envelope{C: &rec})
+	if err != nil {
+		return l.stick(err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.lastErr != nil {
+		return l.lastErr
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.lastErr = fmt.Errorf("runstate: append: %w", err)
+		return l.lastErr
+	}
+	l.appended++
+	l.sinceSync++
+	if l.fsyncEvery > 0 && l.sinceSync >= l.fsyncEvery {
+		if err := l.f.Sync(); err != nil {
+			l.lastErr = fmt.Errorf("runstate: fsync: %w", err)
+			return l.lastErr
+		}
+		l.sinceSync = 0
+	}
+	faultinject.CrashHere(CrashAppendPost)
+	return nil
+}
+
+// stick records the first append-path error.
+func (l *Log) stick(err error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastErr == nil {
+		l.lastErr = err
+	}
+	return l.lastErr
+}
+
+// Header returns the log's header record.
+func (l *Log) Header() Header {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.header
+}
+
+// Appended returns the number of records this process appended.
+func (l *Log) Appended() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Replayed returns the number of records replayed when the log was
+// resumed (0 for a fresh log).
+func (l *Log) Replayed() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed
+}
+
+// Err returns the sticky append error, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}
+
+// Stats is the log's telemetry snapshot for manifests and /statusz.
+type Stats struct {
+	Path     string `json:"path"`
+	Appended int    `json:"appended"`
+	Replayed int    `json:"replayed"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Stats snapshots the log.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := Stats{Path: l.path, Appended: l.appended, Replayed: l.replayed}
+	if l.lastErr != nil {
+		s.Error = l.lastErr.Error()
+	}
+	return s
+}
+
+// Close fsyncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Fingerprint hashes an ordered list of identity parts (FNV-64a with NUL
+// separators). The experiments layer feeds it the sweep scale and the
+// sorted, deduplicated engine keys of the plan, so any change to the
+// corpus — benches, techniques, configurations, design, profile mode —
+// yields a different fingerprint and a refused resume.
+func Fingerprint(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,364 @@
+package runstate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func testHeader() Header {
+	return Header{Command: "test", Fingerprint: 0xdeadbeef, Scale: 200, PlanCells: 3}
+}
+
+func testRecord(i int) CellRecord {
+	return CellRecord{
+		Key: "bench|tech|cfg|p=false/" + strings.Repeat("x", i),
+		OK:  true,
+		Res: &core.Result{
+			Stats:         sim.Stats{Cycles: uint64(1000 + i), Instructions: uint64(500 + i)},
+			DetailedInstr: uint64(500 + i),
+			Wall:          time.Duration(i) * time.Millisecond,
+			Simulations:   1,
+		},
+		WallNS: int64(i) * 1e6,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CellRecord{testRecord(1), testRecord(2), {Key: "failed|cell", Err: "boom"}}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Appended(); got != 3 {
+		t.Fatalf("Appended = %d, want 3", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	h, recs, trunc, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc != nil {
+		t.Fatalf("clean log reported truncation: %+v", trunc)
+	}
+	if h.Fingerprint != 0xdeadbeef || h.Version != Version || h.Command != "test" {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(recs))
+	}
+	for i, r := range recs[:2] {
+		if r.Key != want[i].Key || !r.OK || r.Res == nil {
+			t.Fatalf("record %d mismatch: %+v", i, r)
+		}
+		if r.Res.Stats.Cycles != want[i].Res.Stats.Cycles || r.Res.Wall != want[i].Res.Wall {
+			t.Fatalf("record %d result not round-tripped: got %+v want %+v", i, r.Res, want[i].Res)
+		}
+	}
+	if recs[2].OK || recs[2].Err != "boom" {
+		t.Fatalf("failure record mismatch: %+v", recs[2])
+	}
+}
+
+func TestResumeAppendsAfterHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, h, recs, trunc, err := Resume(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc != nil || len(recs) != 1 || h.Fingerprint != 0xdeadbeef {
+		t.Fatalf("resume: recs=%d trunc=%v header=%+v", len(recs), trunc, h)
+	}
+	if got := l2.Replayed(); got != 1 {
+		t.Fatalf("Replayed = %d, want 1", got)
+	}
+	if err := l2.Append(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, err = ReadAll(path)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("after resume+append: recs=%d err=%v", len(recs), err)
+	}
+}
+
+// TestTornTailTruncated pins the corruption-tolerant reader: a record cut
+// mid-frame (process death during the write) is dropped, everything
+// before it survives, the file is physically truncated, and the event
+// lands in the journal.
+func TestTornTailTruncated(t *testing.T) {
+	j := obs.DefaultJournal
+	j.Reset()
+	j.SetEnabled(true)
+	defer func() { j.SetEnabled(false); j.Reset() }()
+
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record: drop the last 5 bytes of its frame.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _, recs, trunc, err := Resume(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records after torn tail, want 2", len(recs))
+	}
+	if trunc == nil || trunc.Bytes == 0 {
+		t.Fatalf("no truncation reported: %+v", trunc)
+	}
+	// The file itself must be cut back to the last good frame: a second
+	// resume sees a clean log.
+	if fi2, err := os.Stat(path); err != nil || fi2.Size() != trunc.Offset {
+		t.Fatalf("file not truncated: size=%d want %d (err=%v)", fi2.Size(), trunc.Offset, err)
+	}
+	found := false
+	for _, e := range j.Tail(0) {
+		if e.Kind == obs.EvStateTruncate && e.N == trunc.Bytes {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no EvStateTruncate journal event recorded; tail: %+v", j.Tail(0))
+	}
+
+	// Appending after the truncation extends the clean prefix.
+	if err := l2.Append(testRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, trunc, err = ReadAll(path)
+	if err != nil || trunc != nil || len(recs) != 3 {
+		t.Fatalf("after re-append: recs=%d trunc=%v err=%v", len(recs), trunc, err)
+	}
+}
+
+// TestTornWriterInjection produces the torn tail with the chaos harness's
+// TornWriter instead of byte surgery: a full frame "written" through a
+// torn writer persists only its prefix, and the reader drops it.
+func TestTornWriterInjection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	frame, err := encodeFrame(envelope{C: &CellRecord{Key: "torn", OK: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &faultinject.TornWriter{W: f, Limit: int64(len(frame)) / 2}
+	if n, err := tw.Write(frame); err != nil || n != len(frame) {
+		t.Fatalf("torn write reported (%d, %v), want full success", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, trunc, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || trunc == nil {
+		t.Fatalf("torn-writer tail: recs=%d trunc=%+v", len(recs), trunc)
+	}
+	if trunc.Bytes != int64(len(frame))/2 {
+		t.Fatalf("truncation dropped %d bytes, want %d", trunc.Bytes, len(frame)/2)
+	}
+}
+
+// TestCorruptRecordTruncates flips one payload byte mid-log: the reader
+// must stop at the checksum mismatch and keep only the prefix.
+func TestCorruptRecordTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for i := 1; i <= 3; i++ {
+		fi, _ := os.Stat(path)
+		offsets = append(offsets, fi.Size())
+		if err := l.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one byte inside record 2's payload.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, offsets[1]+frameHeaderLen+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, recs, trunc, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("kept %d records past a corrupt frame, want 1", len(recs))
+	}
+	if trunc == nil || !strings.Contains(trunc.Reason, "checksum") {
+		t.Fatalf("truncation = %+v, want checksum reason", trunc)
+	}
+}
+
+func TestResumeEmptyOrHeaderlessLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := Resume(path, 1); err == nil {
+		t.Fatal("resuming an empty file succeeded; want header error")
+	}
+}
+
+// TestCrashPointAtomicity drives the faultinject crash points around
+// Append: dying before the write loses exactly the in-flight record;
+// dying after write+sync keeps it. Either way the log stays readable.
+func TestCrashPointAtomicity(t *testing.T) {
+	for _, tc := range []struct {
+		point string
+		want  int // records surviving the crash
+	}{
+		{CrashAppendPre, 1},
+		{CrashAppendPost, 2},
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			defer faultinject.DisarmCrashes()
+			path := filepath.Join(t.TempDir(), "run.wal")
+			l, err := Create(path, testHeader(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Append(testRecord(1)); err != nil {
+				t.Fatal(err)
+			}
+			faultinject.ArmCrash(tc.point, 1)
+			func() {
+				defer func() {
+					ce, ok := recover().(*faultinject.CrashError)
+					if !ok || ce.Point != tc.point {
+						t.Fatalf("recovered %v, want CrashError at %s", ce, tc.point)
+					}
+				}()
+				_ = l.Append(testRecord(2))
+				t.Errorf("append survived an armed crash point %s", tc.point)
+			}()
+			faultinject.DisarmCrashes()
+			// The "process" died: do not Close, just reopen.
+			_, recs, trunc, err := ReadAll(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trunc != nil {
+				t.Fatalf("crash at a record boundary left a torn tail: %+v", trunc)
+			}
+			if len(recs) != tc.want {
+				t.Fatalf("%d records survived crash at %s, want %d", len(recs), tc.point, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendErrorSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Appending to a closed log is a no-op returning the sticky state.
+	if err := l.Append(testRecord(1)); err != nil {
+		t.Fatalf("append after close returned %v, want nil sticky state", err)
+	}
+	if got := l.Stats(); got.Appended != 0 {
+		t.Fatalf("closed log recorded an append: %+v", got)
+	}
+}
+
+func TestFingerprintOrderAndContent(t *testing.T) {
+	a := Fingerprint("scale=200", "k1", "k2")
+	b := Fingerprint("scale=200", "k1", "k2")
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == Fingerprint("scale=200", "k2", "k1") {
+		t.Fatal("fingerprint ignores order")
+	}
+	if a == Fingerprint("scale=1000", "k1", "k2") {
+		t.Fatal("fingerprint ignores scale")
+	}
+	// NUL separation: ("ab","c") and ("a","bc") must differ.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("fingerprint concatenation is ambiguous")
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/watchdog"
+)
+
+// TestRunnerBeatsHeartbeat: a context carrying a watchdog heartbeat is
+// beaten once per cancellation-poll chunk, so a progressing run proves
+// liveness to the hang watchdog.
+func TestRunnerBeatsHeartbeat(t *testing.T) {
+	r, err := NewRunner(tinyProgram(t, 10000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := &watchdog.Heartbeat{}
+	r.Ctx = watchdog.WithHeartbeat(context.Background(), hb)
+	r.CheckEvery = 64
+	if got := r.FastForward(1000); got != 1000 {
+		t.Fatalf("fast-forward ran %d instructions, want 1000", got)
+	}
+	// 1000 instructions at CheckEvery=64 crosses ~15 chunk boundaries.
+	if beats := hb.Beats(); beats < 10 {
+		t.Errorf("heartbeat beat %d times over 1000 instructions at CheckEvery=64, want >= 10", beats)
+	}
+}
+
+// TestRunnerNoHeartbeatNoBeat: a plain context neither panics nor beats —
+// the nil-heartbeat path must stay a no-op.
+func TestRunnerNoHeartbeatNoBeat(t *testing.T) {
+	r, err := NewRunner(tinyProgram(t, 10000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Ctx = context.Background()
+	r.CheckEvery = 64
+	if got := r.FastForward(500); got != 500 {
+		t.Fatalf("fast-forward ran %d instructions, want 500", got)
+	}
+	if r.hb != nil {
+		t.Error("runner resolved a heartbeat from a context that carries none")
+	}
+}

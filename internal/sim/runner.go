@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/program"
+	"repro/internal/watchdog"
 )
 
 // Stats is the aggregate outcome of a measurement window: the architectural
@@ -199,6 +200,12 @@ type Runner struct {
 
 	stopErr error // first context error observed; sticky
 
+	// Heartbeat plumbing for the hang watchdog: resolved lazily from Ctx
+	// on the first interrupted() poll, then beaten once per chunk. A
+	// context without a heartbeat costs one value lookup per run.
+	hb        *watchdog.Heartbeat
+	hbChecked bool
+
 	markCore cpu.CoreStats
 	markHier mem.Snapshot
 	markPred struct{ lookups, miss uint64 }
@@ -266,6 +273,11 @@ func (r *Runner) checkEvery() uint64 {
 }
 
 // interrupted polls the context (if any), latching the first error seen.
+// It doubles as the hang watchdog's progress heartbeat: the chunk loop
+// lands here once per CheckEvery instructions, so beating on every poll
+// proves the machine is still retiring instructions. A stalled run — one
+// that stops reaching this poll — stops beating, and the watchdog cancels
+// the context this same poll observes.
 func (r *Runner) interrupted() bool {
 	if r.stopErr != nil {
 		return true
@@ -273,6 +285,11 @@ func (r *Runner) interrupted() bool {
 	if r.Ctx == nil {
 		return false
 	}
+	if !r.hbChecked {
+		r.hbChecked = true
+		r.hb = watchdog.FromContext(r.Ctx)
+	}
+	r.hb.Beat() // nil-safe no-op without a watchdog
 	if err := r.Ctx.Err(); err != nil {
 		r.stopErr = err
 		return true

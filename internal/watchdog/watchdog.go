@@ -1,0 +1,138 @@
+// Package watchdog detects stalled simulation cells. A Heartbeat is an
+// atomic progress counter the runner's chunked cancellation polling bumps
+// once per instruction chunk; Watch spawns a monitor that fires when the
+// counter stops advancing for a full timeout window. The engine arms one
+// watchdog per cell attempt and, on stall, dumps goroutine stacks into the
+// flight recorder and cancels the cell's context — turning a wedged cell
+// into an ordinary (retryable) failure instead of a hung worker pool.
+//
+// The design deliberately measures *progress*, not wall-clock: a slow cell
+// that keeps retiring instructions never trips the watchdog, however long
+// it runs, while a cell whose runner stops polling (deadlock, unbounded
+// blocking call, livelock outside the chunk loop) trips it after exactly
+// one quiet timeout.
+package watchdog
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat is a progress counter shared between a producer (the runner's
+// chunk loop) and a Watchdog. The zero value is ready to use. Beat is one
+// atomic add, cheap enough for once-per-chunk call sites.
+type Heartbeat struct {
+	n atomic.Int64
+}
+
+// Beat records one unit of forward progress.
+func (h *Heartbeat) Beat() {
+	if h == nil {
+		return
+	}
+	h.n.Add(1)
+}
+
+// Beats returns the number of beats recorded so far.
+func (h *Heartbeat) Beats() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// ctxKey is the context key carrying a *Heartbeat down the run stack.
+type ctxKey struct{}
+
+// WithHeartbeat attaches hb to ctx so layers below (the sim runner) can
+// report progress without any new plumbing through core.Context.
+func WithHeartbeat(ctx context.Context, hb *Heartbeat) context.Context {
+	return context.WithValue(ctx, ctxKey{}, hb)
+}
+
+// FromContext extracts the heartbeat attached by WithHeartbeat, or nil.
+func FromContext(ctx context.Context) *Heartbeat {
+	if ctx == nil {
+		return nil
+	}
+	hb, _ := ctx.Value(ctxKey{}).(*Heartbeat)
+	return hb
+}
+
+// Watchdog monitors one Heartbeat. It fires at most once; after firing (or
+// after Stop) its goroutine exits.
+type Watchdog struct {
+	fired    atomic.Bool
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// pollBounds clamp the monitor's sampling interval: responsive enough that
+// a stall is detected soon after the timeout elapses, coarse enough that
+// an armed watchdog is invisible in profiles.
+const (
+	minPoll = time.Millisecond
+	maxPoll = 250 * time.Millisecond
+)
+
+// Watch monitors hb and calls onStall (once, from the monitor goroutine)
+// if no beat lands for a full timeout window. idle is how long the counter
+// had been quiet when the stall was declared; beats is its final value.
+// A timeout <= 0 disables monitoring entirely (Fired stays false).
+// Always Stop the returned watchdog; Stop joins the monitor goroutine, so
+// after it returns onStall either ran to completion or never will.
+func Watch(hb *Heartbeat, timeout time.Duration, onStall func(idle time.Duration, beats int64)) *Watchdog {
+	w := &Watchdog{stop: make(chan struct{}), done: make(chan struct{})}
+	if timeout <= 0 {
+		close(w.done)
+		return w
+	}
+	poll := timeout / 8
+	if poll < minPoll {
+		poll = minPoll
+	}
+	if poll > maxPoll {
+		poll = maxPoll
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		last := hb.Beats()
+		lastChange := time.Now()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				cur := hb.Beats()
+				if cur != last {
+					last = cur
+					lastChange = time.Now()
+					continue
+				}
+				if idle := time.Since(lastChange); idle >= timeout {
+					w.fired.Store(true)
+					if onStall != nil {
+						onStall(idle, cur)
+					}
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// Stop ends monitoring and joins the monitor goroutine. Safe to call more
+// than once and after a fire.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Fired reports whether the watchdog declared a stall.
+func (w *Watchdog) Fired() bool { return w.fired.Load() }

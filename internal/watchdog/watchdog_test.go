@@ -1,0 +1,112 @@
+package watchdog
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHeartbeatContextRoundTrip(t *testing.T) {
+	hb := &Heartbeat{}
+	ctx := WithHeartbeat(context.Background(), hb)
+	if got := FromContext(ctx); got != hb {
+		t.Fatalf("FromContext = %p, want %p", got, hb)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext on bare context = %p, want nil", got)
+	}
+	if got := FromContext(nil); got != nil {
+		t.Fatalf("FromContext(nil) = %p, want nil", got)
+	}
+	hb.Beat()
+	hb.Beat()
+	if got := hb.Beats(); got != 2 {
+		t.Fatalf("Beats = %d, want 2", got)
+	}
+}
+
+func TestNilHeartbeatSafe(t *testing.T) {
+	var hb *Heartbeat
+	hb.Beat() // must not panic
+	if got := hb.Beats(); got != 0 {
+		t.Fatalf("nil Beats = %d, want 0", got)
+	}
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	hb := &Heartbeat{}
+	var idleSeen atomic.Int64
+	fired := make(chan struct{})
+	w := Watch(hb, 30*time.Millisecond, func(idle time.Duration, beats int64) {
+		idleSeen.Store(int64(idle))
+		close(fired)
+	})
+	defer w.Stop()
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired on a silent heartbeat")
+	}
+	if !w.Fired() {
+		t.Fatal("Fired() = false after onStall ran")
+	}
+	if got := time.Duration(idleSeen.Load()); got < 30*time.Millisecond {
+		t.Fatalf("reported idle %v < timeout", got)
+	}
+}
+
+func TestWatchdogQuietWhileProgressing(t *testing.T) {
+	hb := &Heartbeat{}
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				hb.Beat()
+			}
+		}
+	}()
+	w := Watch(hb, 60*time.Millisecond, func(time.Duration, int64) {
+		t.Error("watchdog fired despite steady beats")
+	})
+	time.Sleep(300 * time.Millisecond)
+	w.Stop()
+	close(stop)
+	if w.Fired() {
+		t.Fatal("Fired() = true for a progressing heartbeat")
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	hb := &Heartbeat{}
+	w := Watch(hb, 0, func(time.Duration, int64) {
+		t.Error("disabled watchdog fired")
+	})
+	w.Stop() // returns immediately; no goroutine was started
+	if w.Fired() {
+		t.Fatal("disabled watchdog reports Fired")
+	}
+}
+
+// TestWatchdogStopJoins pins the join contract: after Stop returns, the
+// onStall callback either completed or will never run — the engine relies
+// on this to read the captured stack without a race.
+func TestWatchdogStopJoins(t *testing.T) {
+	hb := &Heartbeat{}
+	var ran atomic.Bool
+	w := Watch(hb, 20*time.Millisecond, func(time.Duration, int64) {
+		time.Sleep(10 * time.Millisecond) // force Stop to wait for us
+		ran.Store(true)
+	})
+	time.Sleep(50 * time.Millisecond) // give it time to fire
+	w.Stop()
+	if w.Fired() && !ran.Load() {
+		t.Fatal("Stop returned while onStall was still running")
+	}
+	w.Stop() // idempotent
+}
