@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func main() {
 	outFlag := flag.String("out", "BENCH_obs.json", "output file")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "workers for the scheduler comparison")
 	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
+	traceFlags := cliutil.AddTraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	run, err := cliutil.StartRun("benchjson", obsFlags)
@@ -61,6 +63,7 @@ func main() {
 	}
 	die(cliutil.ValidatePositive("-iters", *itersFlag))
 	die(cliutil.ValidateParallel(*parallel))
+	die(traceFlags.Validate())
 
 	base := benchfmt.Baseline{
 		Stamp:      benchfmt.StampNow(),
@@ -146,6 +149,15 @@ func main() {
 		cb.Configs, cb.Bench, time.Duration(cb.OffWallNS).Round(time.Microsecond),
 		time.Duration(cb.OnWallNS).Round(time.Microsecond), cb.Speedup, cb.Hits, cb.Misses)
 
+	if traceFlags.Mode == "auto" {
+		tb, err := measureTrace(benches[0], 8, traceFlags.Budget)
+		die(err)
+		base.Trace = &tb
+		fmt.Fprintf(os.Stderr, "trace    %d-config sweep on %s: off %v, on %v (%.2fx; %d hits, %d misses)\n",
+			tb.Configs, tb.Bench, time.Duration(tb.OffWallNS).Round(time.Microsecond),
+			time.Duration(tb.OnWallNS).Round(time.Microsecond), tb.Speedup, tb.Hits, tb.Misses)
+	}
+
 	jb := measureJournal(*itersFlag)
 	base.Journal = &jb
 	fmt.Fprintf(os.Stderr, "journal  %d events: off %.2f ns/event, on %.1f ns/event (%.1fM events/sec)\n",
@@ -203,6 +215,10 @@ func measureSched(benches []bench.Name, workers int) (benchfmt.SchedBaseline, er
 		o.Scale = sim.ScaleTest
 		o.Benches = benches
 		o.Parallel = n
+		// Trace replay off for both passes: the serial-versus-parallel
+		// comparison should measure the scheduler, not which pass got to
+		// record the shared windows.
+		o.TraceMode = "off"
 		for _, b := range benches {
 			if tel := o.RunPlan(experiments.Figure6Plan(o, b, nil)); tel.Failed > 0 {
 				return nil, fmt.Errorf("scheduler pass at %d workers: %d cells failed", n, tel.Failed)
@@ -243,31 +259,15 @@ func measureSched(benches []bench.Name, workers int) (benchfmt.SchedBaseline, er
 // executed exactly once (Misses) and restored by every other
 // configuration (Hits).
 func measureCkpt(b bench.Name, configs int) (benchfmt.CkptBaseline, error) {
-	design, err := pb.New(sim.NumParams, false)
-	if err != nil {
-		return benchfmt.CkptBaseline{}, err
-	}
-	if design.Runs() < configs {
-		return benchfmt.CkptBaseline{}, fmt.Errorf("PB design has %d rows, need %d", design.Runs(), configs)
-	}
 	tech := core.FFRun{X: 2000, Z: 500}
-	sweep := func() (time.Duration, uint64, error) {
-		start := time.Now()
-		var instr uint64
-		for i := 0; i < configs; i++ {
-			cfg, err := sim.PBConfig(design.Rows[i])
-			if err != nil {
-				return 0, 0, err
-			}
-			cfg.Name = fmt.Sprintf("pb-row-%02d", i)
-			res, err := tech.Run(core.Context{Bench: b, Config: cfg, Scale: sim.ScaleTest})
-			if err != nil {
-				return 0, 0, err
-			}
-			instr += res.DetailedInstr + res.FunctionalInstr
-		}
-		return time.Since(start), instr, nil
-	}
+	sweep := func() (time.Duration, uint64, error) { return pbSweep(b, configs, tech) }
+
+	// The trace store is detached for both arms so the comparison
+	// isolates checkpointing from record/replay (measureTrace covers the
+	// latter).
+	traceStore := core.TraceStore()
+	core.SetTraceStore(nil)
+	defer core.SetTraceStore(traceStore)
 
 	store := core.CheckpointStore()
 	core.SetCheckpointStore(nil)
@@ -287,6 +287,97 @@ func measureCkpt(b bench.Name, configs int) (benchfmt.CkptBaseline, error) {
 		return benchfmt.CkptBaseline{}, fmt.Errorf("checkpoint store recorded no hits over %d configurations (%+v)", configs, st)
 	}
 	out := benchfmt.CkptBaseline{
+		Bench:     string(b),
+		Configs:   configs,
+		OffWallNS: offWall.Nanoseconds(),
+		OnWallNS:  onWall.Nanoseconds(),
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Bytes:     st.Bytes,
+	}
+	if offInstr > 0 {
+		out.OffNSPerInstr = float64(offWall.Nanoseconds()) / float64(offInstr)
+		out.OnNSPerInstr = float64(onWall.Nanoseconds()) / float64(offInstr)
+	}
+	if onWall > 0 {
+		out.Speedup = float64(offWall) / float64(onWall)
+	}
+	return out, nil
+}
+
+// pbSweep runs tech over the first `configs` rows of the unfolded PB
+// envelope — one benchmark, many configurations, the sweep shape both
+// caching layers amortize — and returns the wall time plus the total
+// executed (detailed + functional) instructions.
+func pbSweep(b bench.Name, configs int, tech core.Technique) (time.Duration, uint64, error) {
+	design, err := pb.New(sim.NumParams, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	if design.Runs() < configs {
+		return 0, 0, fmt.Errorf("PB design has %d rows, need %d", design.Runs(), configs)
+	}
+	start := time.Now()
+	var instr uint64
+	for i := 0; i < configs; i++ {
+		cfg, err := sim.PBConfig(design.Rows[i])
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg.Name = fmt.Sprintf("pb-row-%02d", i)
+		res, err := tech.Run(core.Context{Bench: b, Config: cfg, Scale: sim.ScaleTest})
+		if err != nil {
+			return 0, 0, err
+		}
+		instr += res.DetailedInstr + res.FunctionalInstr
+	}
+	return time.Since(start), instr, nil
+}
+
+// measureTrace runs the same mini multi-configuration sweep twice — trace
+// store disabled, then a fresh store bounded to budget — with the
+// checkpoint store detached for both arms, so the comparison isolates
+// record-once/replay-many from prefix checkpointing. It errors if the
+// enabled sweep records no replay hits (the structural property CI gates
+// on). The functional stream is configuration-independent, so with the
+// store on the measured window is recorded once (Misses) and replayed by
+// every other configuration (Hits); replaying configurations also skip
+// the functional prefix entirely, which is where the speedup comes from.
+func measureTrace(b bench.Name, configs int, budget int64) (benchfmt.TraceBaseline, error) {
+	// A long functional prefix and a short measured window: the sweep
+	// shape where record-once/replay-many pays. With the store off every
+	// configuration re-emulates the X-unit prefix; with it on, replaying
+	// configurations skip the prefix entirely and consume the recorded
+	// window, so only the owner pays for X. (X must stay inside the
+	// benchmark's run length at the test scale or the recorded window is
+	// empty: gcc retires ~2.25M instructions, X here is 2M.)
+	tech := core.FFRun{X: 10000, Z: 200}
+	sweep := func() (time.Duration, uint64, error) { return pbSweep(b, configs, tech) }
+
+	ckptStore := core.CheckpointStore()
+	core.SetCheckpointStore(nil)
+	defer core.SetCheckpointStore(ckptStore)
+
+	oldTrace := core.TraceStore()
+	defer core.SetTraceStore(oldTrace)
+
+	core.SetTraceStore(nil)
+	offWall, offInstr, err := sweep()
+	if err != nil {
+		return benchfmt.TraceBaseline{}, err
+	}
+
+	core.SetTraceStore(trace.New(budget))
+	onWall, _, err := sweep()
+	if err != nil {
+		return benchfmt.TraceBaseline{}, err
+	}
+	st := core.TraceStats()
+	if st.Hits < 1 {
+		return benchfmt.TraceBaseline{}, fmt.Errorf("trace store recorded no replay hits over %d configurations (%+v)", configs, st)
+	}
+	out := benchfmt.TraceBaseline{
 		Bench:     string(b),
 		Configs:   configs,
 		OffWallNS: offWall.Nanoseconds(),

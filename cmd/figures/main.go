@@ -38,6 +38,7 @@ func main() {
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	stateFlags := cliutil.AddStateFlags(flag.CommandLine)
+	traceFlags := cliutil.AddTraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	run, err := cliutil.StartRun("figures", obsFlags)
@@ -71,6 +72,9 @@ func main() {
 	o.Parallel = *parallel
 	die(stateFlags.Validate())
 	o.CellTimeout = stateFlags.CellTimeout
+	die(traceFlags.Validate())
+	o.TraceMode = traceFlags.Mode
+	o.TraceBudget = traceFlags.Budget
 	// SignalDump gives orchestrators a mid-run post-mortem the moment a
 	// SIGINT/SIGTERM lands, even if graceful teardown never completes.
 	ctx, stop := cliutil.SignalContext(*timeout, run.SignalDump)

@@ -31,6 +31,7 @@ func main() {
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
 	obsFlags := cliutil.AddObsFlags(flag.CommandLine)
 	stateFlags := cliutil.AddStateFlags(flag.CommandLine)
+	traceFlags := cliutil.AddTraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	run, err := cliutil.StartRun("svat", obsFlags)
@@ -56,6 +57,9 @@ func main() {
 	o.Parallel = *parallel
 	die(stateFlags.Validate())
 	o.CellTimeout = stateFlags.CellTimeout
+	die(traceFlags.Validate())
+	o.TraceMode = traceFlags.Mode
+	o.TraceBudget = traceFlags.Budget
 	ctx, stop := cliutil.SignalContext(*timeout, run.SignalDump)
 	defer stop()
 	o.Ctx = ctx

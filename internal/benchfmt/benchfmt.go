@@ -78,6 +78,11 @@ type Baseline struct {
 	// functional-prefix checkpoint store disabled versus enabled.
 	Ckpt *CkptBaseline `json:"ckpt,omitempty"`
 
+	// Trace compares a mini multi-configuration sweep with the
+	// record-once/replay-many functional trace store disabled versus
+	// enabled.
+	Trace *TraceBaseline `json:"trace,omitempty"`
+
 	// Journal measures the flight recorder: the cost of a Record call
 	// with the recorder off (the always-on tax every instrumented code
 	// path pays) and on, plus sustained events/sec.
@@ -131,6 +136,26 @@ type SchedBaseline struct {
 // denominator for both walls: nanoseconds per instruction of simulation
 // work *covered*, so the on/off values are directly comparable.
 type CkptBaseline struct {
+	Bench         string  `json:"bench"`
+	Configs       int     `json:"configs"`
+	OffWallNS     int64   `json:"off_wall_ns"`
+	OnWallNS      int64   `json:"on_wall_ns"`
+	OffNSPerInstr float64 `json:"off_ns_per_instr"`
+	OnNSPerInstr  float64 `json:"on_ns_per_instr"`
+	Speedup       float64 `json:"speedup"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	Bytes         int64   `json:"bytes"`
+}
+
+// TraceBaseline is the before/after comparison for the shared functional
+// trace store over a mini multi-configuration sweep (both arms run with
+// the checkpoint store detached, so the comparison isolates record/replay
+// from prefix checkpointing). NSPerInstr uses the store-off sweep's
+// instruction total as the denominator for both walls, exactly like
+// CkptBaseline.
+type TraceBaseline struct {
 	Bench         string  `json:"bench"`
 	Configs       int     `json:"configs"`
 	OffWallNS     int64   `json:"off_wall_ns"`

@@ -16,6 +16,7 @@ type Tolerances struct {
 	EntryPct   float64 // per-benchmark ns/instr
 	SchedPct   float64 // scheduler serial/parallel walls
 	CkptPct    float64 // checkpoint-on ns/instr
+	TracePct   float64 // trace-replay-on ns/instr
 	JournalPct float64 // flight-recorder per-event costs
 
 	// StructuralOnly skips every timing comparison and keeps only the
@@ -28,7 +29,7 @@ type Tolerances struct {
 
 // DefaultTolerances returns the standard gate.
 func DefaultTolerances() Tolerances {
-	return Tolerances{EntryPct: 25, SchedPct: 40, CkptPct: 40, JournalPct: 50}
+	return Tolerances{EntryPct: 25, SchedPct: 40, CkptPct: 40, TracePct: 40, JournalPct: 50}
 }
 
 // Delta is one compared metric.
@@ -146,6 +147,23 @@ func Compare(old, new *Baseline, tol Tolerances) *Comparison {
 		}
 		if !tol.StructuralOnly {
 			c.check("ckpt on_ns_per_instr", old.Ckpt.OnNSPerInstr, new.Ckpt.OnNSPerInstr, tol.CkptPct)
+		}
+	}
+
+	switch {
+	case old.Trace == nil:
+	case new.Trace == nil:
+		c.problem("trace block present in old baseline but missing from new")
+	default:
+		// A trace store that never replays over a multi-configuration
+		// sweep means record-once/replay-many is broken outright — that
+		// fails the gate even in structural-only mode.
+		if new.Trace.Hits == 0 {
+			c.problem("trace store recorded zero replay hits over %d configurations (record/replay broken)",
+				new.Trace.Configs)
+		}
+		if !tol.StructuralOnly {
+			c.check("trace on_ns_per_instr", old.Trace.OnNSPerInstr, new.Trace.OnNSPerInstr, tol.TracePct)
 		}
 	}
 

@@ -236,19 +236,15 @@ func emuRun(ctx Context, e *cpu.Emu, n uint64, prof *cpu.Profile) error {
 
 // profileWindow functionally profiles the dynamic window [skip, skip+n) of
 // a benchmark/input pair — the measured profile of a truncated technique.
+// The window replays a recorded trace region when one covers it and falls
+// back to checkpointed emulation otherwise.
 func profileWindow(ctx Context, input bench.InputSet, skip, n uint64) (*cpu.Profile, error) {
 	p, err := bench.Build(ctx.Bench, input, ctx.Scale)
 	if err != nil {
 		return nil, err
 	}
-	e := cpu.NewEmu(p)
-	if skip > 0 {
-		if err := emuSkipTo(ctx, e, skip); err != nil {
-			return nil, err
-		}
-	}
 	prof := cpu.NewProfile(p)
-	if err := emuRun(ctx, e, n, prof); err != nil {
+	if err := newProfSource(ctx, cpu.NewEmu(p)).window(skip, n, prof); err != nil {
 		return nil, err
 	}
 	return prof, nil

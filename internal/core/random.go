@@ -89,28 +89,45 @@ func (t RandomSample) Run(ctx Context) (Result, error) {
 		if err := r.Err(); err != nil {
 			return Result{}, err
 		}
-		pos := r.Emu.Count
+		pos := r.Position()
 		if s < pos {
 			continue // overlapping sample; skip (random starts may collide)
 		}
+		// A span is shareable across configurations when its start is
+		// configuration independent: the deterministic s-funcWarm target
+		// after a long-gap skip, or the program start. A short gap leaves
+		// the span starting wherever the previous drain finished, which
+		// differs per configuration.
+		share := pos == 0
 		if gap := s - pos; gap > funcWarm {
-			n, err := checkpointedFF(ctx, r, s-funcWarm)
+			n, err := skipTo(ctx, r, s-funcWarm)
 			if err != nil {
 				return Result{}, err
 			}
 			functional += n
+			share = true
 		}
-		if s > r.Emu.Count {
-			functional += r.FunctionalWarm(s - r.Emu.Count)
+		spanStart := r.Position()
+		var got uint64
+		var win sim.Stats
+		n, err := tracedSpan(ctx, r, (s-spanStart)+t.W+t.U, share, func() error {
+			if s > spanStart {
+				functional += r.FunctionalWarm(s - spanStart)
+			}
+			if t.W > 0 {
+				detailed += r.Detailed(t.W)
+			}
+			r.Mark()
+			got = r.Detailed(t.U)
+			win = r.Window()
+			r.Drain()
+			detailed += got
+			return r.Err()
+		})
+		functional += n
+		if err != nil {
+			return Result{}, err
 		}
-		if t.W > 0 {
-			detailed += r.Detailed(t.W)
-		}
-		r.Mark()
-		got := r.Detailed(t.U)
-		win := r.Window()
-		r.Drain()
-		detailed += got
 		if got == 0 {
 			break
 		}
@@ -145,20 +162,17 @@ func (t RandomSample) sampledProfile(ctx Context, starts []uint64) (*cpu.Profile
 	if err != nil {
 		return nil, err
 	}
-	e := cpu.NewEmu(p)
+	ps := newProfSource(ctx, cpu.NewEmu(p))
 	prof := cpu.NewProfile(p)
 	for _, s := range starts {
 		target := s + t.W
-		if target < e.Count {
+		if target < ps.pos() {
 			continue
 		}
-		if err := emuSkipTo(ctx, e, target); err != nil {
+		if err := ps.window(target, t.U, prof); err != nil {
 			return nil, err
 		}
-		if err := emuRun(ctx, e, t.U, prof); err != nil {
-			return nil, err
-		}
-		if e.Halted {
+		if ps.done() {
 			break
 		}
 	}

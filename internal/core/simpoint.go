@@ -142,40 +142,59 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 		if warmStart > funcWarm {
 			ckPos = warmStart - funcWarm
 		}
+		// A span is shareable when it starts at the deterministic ckPos
+		// skip target (or the program start); a point close on the heels
+		// of the previous one starts wherever that drain finished, which
+		// differs per configuration.
+		share := pos == 0
 		if ckPos > pos {
-			n, err := checkpointedFF(ctx, r, ckPos)
+			n, err := skipTo(ctx, r, ckPos)
 			if err != nil {
 				return Result{}, err
 			}
 			functional += n
-			pos = r.Emu.Count
+			pos = r.Position()
+			share = true
 		}
-		if warmStart > pos {
-			functional += r.FunctionalWarm(warmStart - pos)
-			pos = warmStart
+		spanStart := pos
+		want := plan.Cfg.IntervalInstr
+		if pt.Start > spanStart {
+			want += pt.Start - spanStart
 		}
-		if t.UseAssumeHit {
-			r.SetAssumeHit(true)
+		var w sim.Stats
+		n2, err := tracedSpan(ctx, r, want, share, func() error {
+			pos := spanStart // span-relative stream tracking
+			if warmStart > pos {
+				functional += r.FunctionalWarm(warmStart - pos)
+				pos = warmStart
+			}
+			if t.UseAssumeHit {
+				r.SetAssumeHit(true)
+			}
+			if pt.Start > pos {
+				wuSpan := ctx.startSpan("warm-up")
+				detailed += r.Detailed(pt.Start - pos) // detailed warm-up, unmeasured
+				wuSpan.End()
+			}
+			mSpan := ctx.startSpan("measure", obs.Float("weight", pt.Weight))
+			r.Mark()
+			n := r.Detailed(plan.Cfg.IntervalInstr)
+			w = r.Window()
+			mSpan.End()
+			if t.UseAssumeHit {
+				r.SetAssumeHit(false)
+			}
+			// Finish in-flight work so the next point starts from a clean
+			// pipeline (their timing is warm-up, not measurement).
+			r.Drain()
+			detailed += n
+			return r.Err()
+		})
+		functional += n2
+		if err != nil {
+			return Result{}, err
 		}
-		if pt.Start > pos {
-			wuSpan := ctx.startSpan("warm-up")
-			detailed += r.Detailed(pt.Start - pos) // detailed warm-up, unmeasured
-			wuSpan.End()
-			pos = pt.Start
-		}
-		mSpan := ctx.startSpan("measure", obs.Float("weight", pt.Weight))
-		r.Mark()
-		n := r.Detailed(plan.Cfg.IntervalInstr)
-		w := r.Window()
-		mSpan.End()
-		if t.UseAssumeHit {
-			r.SetAssumeHit(false)
-		}
-		// Finish in-flight work so the next point starts from a clean
-		// pipeline (their timing is warm-up, not measurement).
-		r.Drain()
-		pos = r.Emu.Count
-		detailed += n
+		pos = r.Position()
 		agg.AddWeighted(w, pt.Weight)
 		if r.Done() {
 			break

@@ -84,8 +84,11 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 		if slack > 0 {
 			offset = rng.Uint64() % slack
 		}
+		// SMARTS spans start wherever the previous drain finished, so they
+		// are never shareable across configurations: the pass emulates
+		// throughout instead of going through the trace store.
 		start := uint64(i)*period + offset
-		if pos := r.Emu.Count; start > pos {
+		if pos := r.Position(); start > pos {
 			functional += r.FunctionalWarm(start - pos)
 		}
 		if w > 0 {
@@ -159,24 +162,21 @@ func (t SMARTS) sampledProfile(ctx Context, total uint64, n int) (*cpu.Profile, 
 	if err != nil {
 		return nil, err
 	}
-	e := cpu.NewEmu(p)
+	ps := newProfSource(ctx, cpu.NewEmu(p))
 	prof := cpu.NewProfile(p)
 	period := total / uint64(n)
 	if period < 4*(t.U+t.W) {
 		period = 4 * (t.U + t.W)
 	}
 	rng := xrand.New(0x534d54) // same placement as the measurement pass
-	for i := 0; i < 4*n && !e.Halted; i++ {
+	for i := 0; i < 4*n && !ps.done(); i++ {
 		slack := period - t.U - t.W
 		offset := uint64(0)
 		if slack > 0 {
 			offset = rng.Uint64() % slack
 		}
 		start := uint64(i)*period + offset + t.W
-		if err := emuSkipTo(ctx, e, start); err != nil {
-			return nil, err
-		}
-		if err := emuRun(ctx, e, t.U, prof); err != nil {
+		if err := ps.window(start, t.U, prof); err != nil {
 			return nil, err
 		}
 	}

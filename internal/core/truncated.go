@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/sim"
 )
 
 // RunZ simulates only the first Z paper-M instructions of the reference
@@ -31,15 +32,21 @@ func (t RunZ) Run(ctx Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
-	if err := r.Err(); err != nil {
+	want := ctx.Scale.Instr(t.Z)
+	var st sim.Stats
+	ff, err := tracedSpan(ctx, r, want, true, func() error {
+		st = r.MeasureDetailed(want)
+		return r.Err()
+	})
+	if err != nil {
 		return Result{}, err
 	}
 	res := Result{
-		Stats:         st,
-		DetailedInstr: st.Instructions,
-		Wall:          time.Since(start),
-		Simulations:   1,
+		Stats:           st,
+		DetailedInstr:   st.Instructions,
+		FunctionalInstr: ff,
+		Wall:            time.Since(start),
+		Simulations:     1,
 	}
 	if ctx.CollectProfile {
 		prof, err := profileWindow(ctx, bench.Reference, 0, ctx.Scale.Instr(t.Z))
@@ -77,12 +84,18 @@ func (t FFRun) Run(ctx Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ff, err := checkpointedFF(ctx, r, ctx.Scale.Instr(t.X))
+	ff, err := skipTo(ctx, r, ctx.Scale.Instr(t.X))
 	if err != nil {
 		return Result{}, err
 	}
-	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
-	if err := r.Err(); err != nil {
+	want := ctx.Scale.Instr(t.Z)
+	var st sim.Stats
+	ff2, err := tracedSpan(ctx, r, want, true, func() error {
+		st = r.MeasureDetailed(want)
+		return r.Err()
+	})
+	ff += ff2
+	if err != nil {
 		return Result{}, err
 	}
 	res := Result{
@@ -132,15 +145,22 @@ func (t FFWURun) Run(ctx Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	ff, err := checkpointedFF(ctx, r, ctx.Scale.Instr(t.X))
+	ff, err := skipTo(ctx, r, ctx.Scale.Instr(t.X))
 	if err != nil {
 		return Result{}, err
 	}
-	wuSpan := ctx.startSpan("warm-up")
-	wu := r.Detailed(ctx.Scale.Instr(t.Y)) // warm-up: detailed, unmeasured
-	wuSpan.End()
-	st := r.MeasureDetailed(ctx.Scale.Instr(t.Z))
-	if err := r.Err(); err != nil {
+	wantY, wantZ := ctx.Scale.Instr(t.Y), ctx.Scale.Instr(t.Z)
+	var st sim.Stats
+	var wu uint64
+	ff2, err := tracedSpan(ctx, r, wantY+wantZ, true, func() error {
+		wuSpan := ctx.startSpan("warm-up")
+		wu = r.Detailed(wantY) // warm-up: detailed, unmeasured
+		wuSpan.End()
+		st = r.MeasureDetailed(wantZ)
+		return r.Err()
+	})
+	ff += ff2
+	if err != nil {
 		return Result{}, err
 	}
 	res := Result{

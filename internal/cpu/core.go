@@ -160,11 +160,13 @@ func (s CoreStats) CPI() float64 {
 }
 
 // Core is the cycle-level out-of-order superscalar engine. It consumes the
-// correct-path dynamic instruction stream from the functional emulator and
-// models fetch, dispatch, issue, execute, and commit timing.
+// correct-path dynamic instruction stream from an instruction source — the
+// functional emulator or a trace replayer — and models fetch, dispatch,
+// issue, execute, and commit timing.
 type Core struct {
 	cfg  CoreConfig
-	emu  *Emu
+	src  InstSource
+	dec  []decInst // src's pre-decoded table, cached for fetch/dispatch
 	hier *mem.Hierarchy
 	pred *branch.Predictor
 	btb  *branch.BTB
@@ -227,7 +229,8 @@ func NewCore(cfg CoreConfig, emu *Emu, hier *mem.Hierarchy, pred *branch.Predict
 	}
 	c := &Core{
 		cfg:  cfg,
-		emu:  emu,
+		src:  emu,
+		dec:  emu.dec,
 		hier: hier,
 		pred: pred,
 		btb:  btb,
@@ -253,6 +256,18 @@ func NewCore(cfg CoreConfig, emu *Emu, hier *mem.Hierarchy, pred *branch.Predict
 
 // Config returns the core configuration.
 func (c *Core) Config() CoreConfig { return c.cfg }
+
+// SetSource swaps the core's instruction source (emulator or trace
+// replayer) at a stream boundary: the new source must continue the
+// dynamic instruction stream exactly where the old one stopped. Timing
+// state is untouched — in particular the last-fetched I-cache block is
+// preserved, because the stream is continuous — so a run that switches
+// sources cycles identically to one that never does.
+func (c *Core) SetSource(s InstSource) {
+	c.src = s
+	c.dec = s.decTable()
+	c.traceDone = false
+}
 
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() uint64 { return c.cycle }
@@ -521,7 +536,7 @@ func (c *Core) dispatch() {
 			}
 			return c.lastWriter[r]
 		}
-		d := &c.emu.dec[e.di.PC]
+		d := &c.dec[e.di.PC]
 		if d.readsA {
 			e.depA = dep(e.di.SrcA)
 		}
@@ -560,11 +575,11 @@ func (c *Core) fetch() {
 		if c.fqCount >= len(c.fetchQ) {
 			return
 		}
-		if c.emu.Halted {
+		if c.src.SrcDone() {
 			c.traceDone = true
 			return
 		}
-		pc := c.emu.PC
+		pc := c.src.SrcPC()
 		faddr := uint64(pc) * isa.InstBytes
 		blk := (faddr & blockMask) + 1 // +1 so zero means "none yet"
 		if blk != c.lastFetchBlock {
@@ -579,7 +594,7 @@ func (c *Core) fetch() {
 		}
 
 		slot := &c.fetchQ[(c.fqHead+c.fqCount)%len(c.fetchQ)]
-		if !c.emu.Step(&slot.di) {
+		if !c.src.Step(&slot.di) {
 			c.traceDone = true
 			return
 		}
@@ -599,7 +614,7 @@ func (c *Core) fetch() {
 		// fetching, must simply redirect (one-group bubble), or must wait
 		// for the branch to resolve. The control kind is pre-decoded.
 		seqOfThis := c.nextSeq + int64(c.fqCount) - 1 // seq it will get at dispatch
-		switch c.emu.dec[di.PC].ctrl {
+		switch c.dec[di.PC].ctrl {
 		case ctrlCond:
 			correct := c.pred.Update(faddr, di.Taken)
 			if di.Taken {
@@ -719,7 +734,7 @@ func (c *Core) Drain() {
 
 // Done reports whether the program has halted and fully committed.
 func (c *Core) Done() bool {
-	return c.traceDone && c.robCount() == 0 && c.fqCount == 0 && c.emu.Halted
+	return c.traceDone && c.robCount() == 0 && c.fqCount == 0 && c.src.SrcDone()
 }
 
 // InFlight returns the number of fetched-but-uncommitted instructions.

@@ -80,4 +80,30 @@ func TestHotLoopsDoNotAllocate(t *testing.T) {
 	if a := testing.AllocsPerRun(10, func() { core.Run(5000) }); a != 0 {
 		t.Errorf("Core.Run allocates %.1f times per call", a)
 	}
+
+	// Replay paths: record one long window of the loop, then drive every
+	// consumer off the trace. The record is sized so no probe exhausts it
+	// (AllocsPerRun executes its body 11 times).
+	rec := NewEmu(p)
+	rec.DetectTrivial = true
+	rec.StartRecording(1 << 19)
+	rec.Run(1 << 19)
+	recs := rec.StopRecording()
+
+	wr := NewReplayer(NewEmu(p), recs)
+	if a := testing.AllocsPerRun(10, func() { wr.RunWarm(10000, warmer) }); a != 0 {
+		t.Errorf("Replayer.RunWarm allocates %.1f times per call", a)
+	}
+
+	pr := NewReplayer(NewEmu(p), recs)
+	rprof := NewProfile(p)
+	if a := testing.AllocsPerRun(10, func() { pr.RunProfile(10000, rprof) }); a != 0 {
+		t.Errorf("Replayer.RunProfile allocates %.1f times per call", a)
+	}
+
+	_, rcore := testMachine(t, p, defaultCoreConfig())
+	rcore.SetSource(NewReplayer(NewEmu(p), recs))
+	if a := testing.AllocsPerRun(10, func() { rcore.Run(5000) }); a != 0 {
+		t.Errorf("Core.Run over a replay source allocates %.1f times per call", a)
+	}
 }

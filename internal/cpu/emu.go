@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/trace"
 )
 
 // Emu is the functional emulator: it executes the architectural semantics
@@ -39,6 +40,12 @@ type Emu struct {
 	// dec is the program's decode table, built once per emulator; Step
 	// indexes it instead of re-decoding the opcode per dynamic instruction.
 	dec []decInst
+
+	// recording/rec implement the trace sink: while recording is on, Step
+	// appends one trace.Rec per retired instruction. The off path costs a
+	// single predictable branch (see TestHotLoopsDoNotAllocate).
+	recording bool
+	rec       []trace.Rec
 }
 
 // NewEmu creates an emulator with freshly initialized architectural state.
@@ -199,6 +206,12 @@ func (e *Emu) Step(di *DynInst) bool {
 		e.Halted = true
 		e.Count++
 		di.Next = pc
+		if e.recording {
+			e.rec = append(e.rec, trace.Rec{
+				Addr: di.Addr, PC: di.PC, Next: di.Next,
+				Flags: trace.PackFlags(di.Taken, di.Trivial, true),
+			})
+		}
 		return true
 	default:
 		panic(fmt.Sprintf("cpu: unimplemented opcode %v at pc %d", di.Op, pc))
@@ -207,8 +220,43 @@ func (e *Emu) Step(di *DynInst) bool {
 	di.Next = next
 	e.PC = next
 	e.Count++
+	if e.recording {
+		e.rec = append(e.rec, trace.Rec{
+			Addr: di.Addr, PC: di.PC, Next: next,
+			Flags: trace.PackFlags(di.Taken, di.Trivial, false),
+		})
+	}
 	return true
 }
+
+// StartRecording turns on the trace sink: every subsequently retired
+// instruction appends one trace.Rec. capHint pre-sizes the record buffer
+// so the hot loop appends without growing in the common case.
+func (e *Emu) StartRecording(capHint int) {
+	e.rec = make([]trace.Rec, 0, capHint)
+	e.recording = true
+}
+
+// StopRecording turns the sink off and returns the records accumulated
+// since StartRecording.
+func (e *Emu) StopRecording() []trace.Rec {
+	r := e.rec
+	e.rec = nil
+	e.recording = false
+	return r
+}
+
+// Recording reports whether the trace sink is on.
+func (e *Emu) Recording() bool { return e.recording }
+
+// SrcPC returns the PC of the next instruction (InstSource).
+func (e *Emu) SrcPC() int32 { return e.PC }
+
+// SrcDone reports whether the stream is exhausted (InstSource).
+func (e *Emu) SrcDone() bool { return e.Halted }
+
+// decTable exposes the pre-decoded instruction table (InstSource).
+func (e *Emu) decTable() []decInst { return e.dec }
 
 func intALU(op isa.Op, a, b int64) int64 {
 	switch op {
@@ -314,6 +362,36 @@ type Warmer struct {
 	RAS  *branch.RAS
 }
 
+// warmInst applies one retired instruction to the warmed structures. It
+// is shared by the emulating and replaying warm loops so functional
+// warming is stream-equivalent across the two sources.
+func warmInst(di *DynInst, w Warmer) {
+	if w.Hier != nil {
+		w.Hier.WarmI(di.FetchAddr())
+		if di.Class == isa.ClassLoad {
+			w.Hier.WarmD(di.Addr, false)
+		} else if di.Class == isa.ClassStore {
+			w.Hier.WarmD(di.Addr, true)
+		}
+	}
+	if di.Class == isa.ClassBranch {
+		if isa.IsCondBranch(di.Op) && w.Pred != nil {
+			w.Pred.Update(di.FetchAddr(), di.Taken)
+		}
+		if di.Taken && w.BTB != nil && di.Op != isa.JR {
+			w.BTB.Update(di.FetchAddr(), di.Next)
+		}
+		if w.RAS != nil {
+			switch di.Op {
+			case isa.JAL:
+				w.RAS.Push(di.PC + 1)
+			case isa.JR:
+				w.RAS.Pop(di.Next)
+			}
+		}
+	}
+}
+
 // RunWarm executes up to n instructions while functionally warming caches,
 // TLBs and branch prediction state, as SMARTS does between detailed samples.
 func (e *Emu) RunWarm(n uint64, w Warmer) uint64 {
@@ -321,30 +399,7 @@ func (e *Emu) RunWarm(n uint64, w Warmer) uint64 {
 	var done uint64
 	for done < n && e.Step(&di) {
 		done++
-		if w.Hier != nil {
-			w.Hier.WarmI(di.FetchAddr())
-			if di.Class == isa.ClassLoad {
-				w.Hier.WarmD(di.Addr, false)
-			} else if di.Class == isa.ClassStore {
-				w.Hier.WarmD(di.Addr, true)
-			}
-		}
-		if di.Class == isa.ClassBranch {
-			if isa.IsCondBranch(di.Op) && w.Pred != nil {
-				w.Pred.Update(di.FetchAddr(), di.Taken)
-			}
-			if di.Taken && w.BTB != nil && di.Op != isa.JR {
-				w.BTB.Update(di.FetchAddr(), di.Next)
-			}
-			if w.RAS != nil {
-				switch di.Op {
-				case isa.JAL:
-					w.RAS.Push(di.PC + 1)
-				case isa.JR:
-					w.RAS.Pop(di.Next)
-				}
-			}
-		}
+		warmInst(&di, w)
 	}
 	return done
 }
@@ -386,18 +441,25 @@ func (p *Profile) AddWeighted(other *Profile, weight float64) {
 	p.Total += uint64(weight*float64(other.Total) + 0.5)
 }
 
+// profileInst accumulates one retired instruction into the profile.
+// Block entry is the pre-decoded leader flag, so the hot loop never
+// chases the Blocks slice. Shared by the emulating and replaying
+// profile loops.
+func profileInst(di *DynInst, dec []decInst, prof *Profile) {
+	prof.Instrs[di.Block]++
+	if dec[di.PC].leader {
+		prof.Entries[di.Block]++
+	}
+}
+
 // RunProfile executes up to n instructions while accumulating the
-// execution profile. Block entry is the pre-decoded leader flag, so the
-// hot loop never chases the Blocks slice.
+// execution profile.
 func (e *Emu) RunProfile(n uint64, prof *Profile) uint64 {
 	var di DynInst
 	var done uint64
 	for done < n && e.Step(&di) {
 		done++
-		prof.Instrs[di.Block]++
-		if e.dec[di.PC].leader {
-			prof.Entries[di.Block]++
-		}
+		profileInst(&di, e.dec, prof)
 	}
 	prof.Total += done
 	return done

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -17,13 +18,27 @@ func withCkptStore(t *testing.T, s *ckpt.Store, f func()) {
 	f()
 }
 
+// ckptOptions builds sweep options with the trace store off, so these
+// tests measure the checkpoint layer in isolation — a replayed window
+// skips the functional positioning that would otherwise hit the
+// checkpoint store, which skews the hit/miss ratio asserted below.
+func ckptOptions(workers int) *Options {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	o.Parallel = workers
+	o.TraceMode = "off"
+	o.Engine().Obs = obs.NewRegistry()
+	return o
+}
+
 // TestCheckpointStoreFigureDeterminism: the rendered Figure 1 artifact is
 // byte-identical with the checkpoint store disabled, and with it enabled
 // under the 8-worker scheduler — restored functional prefixes (including
 // single-flight waits between concurrent cells) change nothing observable.
 func TestCheckpointStoreFigureDeterminism(t *testing.T) {
 	render := func(workers int) string {
-		o := parallelOptions(workers)
+		o := ckptOptions(workers)
 		f1, err := Figure1(o)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -61,7 +76,7 @@ func TestOptionsCloseResetsStore(t *testing.T) {
 	s := ckpt.New(core.DefaultCheckpointBudget)
 	s.Obs = obs.NewRegistry()
 	withCkptStore(t, s, func() {
-		o := parallelOptions(0)
+		o := ckptOptions(0)
 		if _, err := Figure1(o); err != nil {
 			t.Fatal(err)
 		}

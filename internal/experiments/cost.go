@@ -54,10 +54,13 @@ type CostRow struct {
 	// instruction (0 when the row simulated nothing).
 	NSPerInstr float64 `json:"ns_per_instr"`
 
-	CkptHits   int64 `json:"ckpt_hits"`
-	CkptMisses int64 `json:"ckpt_misses"`
-	Retries    int64 `json:"retries"`
-	Dedups     int64 `json:"dedups"`
+	CkptHits    int64 `json:"ckpt_hits"`
+	CkptMisses  int64 `json:"ckpt_misses"`
+	TraceHits   int64 `json:"trace_hits"`
+	TraceMisses int64 `json:"trace_misses"`
+	TraceBytes  int64 `json:"trace_bytes"`
+	Retries     int64 `json:"retries"`
+	Dedups      int64 `json:"dedups"`
 }
 
 // add folds one cell into the row.
@@ -74,6 +77,9 @@ func (r *CostRow) add(c CellCost) {
 	r.FunctionalInstr += c.Cost.FunctionalInstr
 	r.CkptHits += c.Cost.CkptHits
 	r.CkptMisses += c.Cost.CkptMisses
+	r.TraceHits += c.Cost.TraceHits
+	r.TraceMisses += c.Cost.TraceMisses
+	r.TraceBytes += c.Cost.TraceBytes
 	r.Retries += c.Cost.Retries
 	if c.Cost.Dedup {
 		r.Dedups++
@@ -132,6 +138,7 @@ func (s CostSummary) Deterministic() CostSummary {
 func (r CostRow) deterministic() CostRow {
 	r.WallNS, r.CPUNS, r.AllocBytes, r.NSPerInstr = 0, 0, 0, 0
 	r.CkptHits, r.CkptMisses, r.Retries, r.Dedups = 0, 0, 0, 0
+	r.TraceHits, r.TraceMisses, r.TraceBytes = 0, 0, 0
 	return r
 }
 

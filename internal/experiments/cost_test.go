@@ -14,12 +14,15 @@ import (
 // runCostPlan executes the Figure 6 plan (small: refs + techniques over
 // three configurations) on a fresh tiny corpus at the given worker count
 // and returns the options for cost inspection.
-func runCostPlan(t *testing.T, workers int) *Options {
+func runCostPlan(t *testing.T, workers int, mut ...func(*Options)) *Options {
 	t.Helper()
 	o := tinyOptions()
 	o.Benches = []bench.Name{bench.Mcf}
 	o.TechniquesFn = tinyTechniques
 	o.Parallel = workers
+	for _, m := range mut {
+		m(o)
+	}
 	o.Engine().Obs = obs.NewRegistry()
 	cells := Figure6Plan(o, bench.Mcf, nil)
 	o.RunPlan(cells)
@@ -41,6 +44,9 @@ func sumRows(rows []CostRow) CostRow {
 		total.FunctionalInstr += r.FunctionalInstr
 		total.CkptHits += r.CkptHits
 		total.CkptMisses += r.CkptMisses
+		total.TraceHits += r.TraceHits
+		total.TraceMisses += r.TraceMisses
+		total.TraceBytes += r.TraceBytes
 		total.Retries += r.Retries
 		total.Dedups += r.Dedups
 	}
@@ -100,8 +106,12 @@ func TestCostSummaryDeterministicAcrossWorkers(t *testing.T) {
 	core.SetCheckpointStore(nil)
 	defer core.SetCheckpointStore(old)
 
-	a := runCostPlan(t, 1).CostSummary().Deterministic()
-	b := runCostPlan(t, 8).CostSummary().Deterministic()
+	// The shared trace store is disabled for the same reason: which cell
+	// records a window (and so pays its functional prefix) is a
+	// scheduling artifact.
+	traceOff := func(o *Options) { o.TraceMode = "off" }
+	a := runCostPlan(t, 1, traceOff).CostSummary().Deterministic()
+	b := runCostPlan(t, 8, traceOff).CostSummary().Deterministic()
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("deterministic cost views differ across worker counts:\n 1 worker: %+v\n 8 workers: %+v", a, b)
 	}

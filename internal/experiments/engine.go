@@ -25,6 +25,7 @@ import (
 	"repro/internal/pb"
 	"repro/internal/runstate"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/watchdog"
 	"repro/internal/xrand"
 )
@@ -606,6 +607,19 @@ type Options struct {
 	// Set before the first Engine()/ProfileEngine() call.
 	CellTimeout time.Duration
 
+	// TraceMode selects the record-once/replay-many functional trace store
+	// (see core.TraceStore): "auto" installs a shared store sized by
+	// TraceBudget on first engine use, so sweeps record each measured
+	// window once and replay it under every other configuration; "off"
+	// (and the zero value, preserving direct-construction behavior)
+	// disables recording and replay entirely. Set before the first
+	// Engine()/ProfileEngine() call.
+	TraceMode string
+
+	// TraceBudget bounds the trace store's resident bytes under
+	// TraceMode "auto" (0 = core.DefaultTraceBudget).
+	TraceBudget int64
+
 	// Report collects per-cell outcomes; created on first use via
 	// Report(). Assign one to share a report across drivers.
 	report *RunReport
@@ -613,6 +627,7 @@ type Options struct {
 	engine        *Engine
 	profileEngine *Engine
 	design        *pb.Design
+	traceOnce     sync.Once
 
 	// Scheduler state: warm memoizes per-cell outcomes (successes and
 	// failures) by engine key for the assembly pass; schedTel aggregates
@@ -643,6 +658,8 @@ type Options struct {
 // should defer this.
 func (o *Options) Close() {
 	core.ResetCheckpointCache()
+	core.ResetTraceCache()
+	core.SetTraceStore(nil)
 	o.warmMu.Lock()
 	st := o.state
 	o.state = nil
@@ -656,13 +673,31 @@ func (o *Options) Close() {
 // representative catalogue, the unfolded 44-run design, CLI scale.
 func DefaultOptions() *Options {
 	return &Options{
-		Scale:   sim.ScaleCLI,
-		Benches: bench.All(),
+		Scale:     sim.ScaleCLI,
+		Benches:   bench.All(),
+		TraceMode: "auto",
 	}
+}
+
+// ensureTrace installs (or uninstalls) the shared trace store according to
+// TraceMode, once per option set, before the first engine run.
+func (o *Options) ensureTrace() {
+	o.traceOnce.Do(func() {
+		if o.TraceMode != "auto" {
+			core.SetTraceStore(nil)
+			return
+		}
+		budget := o.TraceBudget
+		if budget <= 0 {
+			budget = core.DefaultTraceBudget
+		}
+		core.SetTraceStore(trace.New(budget))
+	})
 }
 
 // Engine returns the option set's shared engine, creating it on first use.
 func (o *Options) Engine() *Engine {
+	o.ensureTrace()
 	if o.engine == nil {
 		o.engine = NewEngine(o.Scale)
 		o.engine.CellTimeout = o.CellTimeout

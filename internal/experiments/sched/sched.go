@@ -145,6 +145,13 @@ type CostReport struct {
 	CkptHits   int64 `json:"ckpt_hits"`
 	CkptMisses int64 `json:"ckpt_misses"`
 
+	// Trace-store deltas bracketed around the cell, like the checkpoint
+	// deltas above: replay hits, recording misses, and bytes recorded
+	// while the cell ran.
+	TraceHits   int64 `json:"trace_hits"`
+	TraceMisses int64 `json:"trace_misses"`
+	TraceBytes  int64 `json:"trace_bytes"`
+
 	// Retries and Dedup come from the RunFunc via Worker.Notes: how many
 	// transient-failure retries the engine spent, and whether the result
 	// was answered by cache/single-flight instead of a fresh run.
@@ -365,11 +372,13 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 				}
 				wk.Notes = CellNotes{}
 				ckHits0, ckMiss0 := core.CheckpointCounters()
+				trHits0, trMiss0, trBytes0 := core.TraceCounters()
 				host0 := wk.host.Read()
 				t0 := time.Now()
 				res, err := runCell(ctx, wk, cells[idx], run, jnl)
 				wall := time.Since(t0)
 				host1 := wk.host.Read()
+				trHits1, trMiss1, trBytes1 := core.TraceCounters()
 				ckHits1, ckMiss1 := core.CheckpointCounters()
 				mInflight.Add(-1)
 				mCells.Inc()
@@ -396,6 +405,9 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 					SimulatedInstr:  res.DetailedInstr + res.FunctionalInstr,
 					CkptHits:        ckHits1 - ckHits0,
 					CkptMisses:      ckMiss1 - ckMiss0,
+					TraceHits:       trHits1 - trHits0,
+					TraceMisses:     trMiss1 - trMiss0,
+					TraceBytes:      trBytes1 - trBytes0,
 					Retries:         wk.Notes.Retries,
 					Dedup:           wk.Notes.Dedup,
 				}

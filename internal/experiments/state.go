@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments/sched"
 	"repro/internal/obs"
 	"repro/internal/runstate"
@@ -56,12 +57,16 @@ type RunStateInfo struct {
 	Torn     *runstate.Truncation `json:"torn,omitempty"`
 }
 
-// PlanFingerprint derives the sweep identity from a plan: the scale plus
-// the sorted, deduplicated engine keys of every cell. Engine keys embed
-// benchmark, technique permutation, canonical configuration, and profile
-// mode, so any change to the corpus or design changes the fingerprint.
-// Worker count and scheduling deliberately do not participate — a sweep
-// may be resumed at a different -parallel.
+// PlanFingerprint derives the sweep identity from a plan: the scale, the
+// trace record/replay mode and budget, plus the sorted, deduplicated
+// engine keys of every cell. Engine keys embed benchmark, technique
+// permutation, canonical configuration, and profile mode, so any change
+// to the corpus or design changes the fingerprint. The trace mode
+// participates because it changes which cells execute functionally versus
+// replay — a sweep resumed across a -trace-mode (or -trace-budget) toggle
+// would mix cost accounting from incompatible execution strategies, so it
+// is refused. Worker count and scheduling deliberately do not participate
+// — a sweep may be resumed at a different -parallel.
 func (o *Options) PlanFingerprint(cells []sched.Cell) uint64 {
 	eng := o.Engine()
 	var peng *Engine
@@ -81,8 +86,19 @@ func (o *Options) PlanFingerprint(cells []sched.Cell) uint64 {
 		}
 	}
 	sort.Strings(keys)
-	parts := make([]string, 0, len(keys)+1)
+	mode := o.TraceMode
+	if mode != "auto" {
+		mode = "off"
+	}
+	budget := int64(0) // irrelevant when off; don't refuse resumes over it
+	if mode == "auto" {
+		if budget = o.TraceBudget; budget <= 0 {
+			budget = core.DefaultTraceBudget
+		}
+	}
+	parts := make([]string, 0, len(keys)+2)
 	parts = append(parts, "scale="+strconv.FormatUint(o.Scale.Unit, 10))
+	parts = append(parts, "trace="+mode+"/"+strconv.FormatInt(budget, 10))
 	parts = append(parts, keys...)
 	return runstate.Fingerprint(parts...)
 }

@@ -81,6 +81,7 @@ func (o *Options) RegisterSections(s SectionSink) {
 	s.AddSection("engine", func() any { return eng.Telemetry() })
 	s.AddSection("sched", func() any { return o.SchedTelemetry() })
 	s.AddSection("ckpt", func() any { return core.CheckpointStats() })
+	s.AddSection("trace", func() any { return core.TraceStats() })
 	s.AddSection("cost", func() any { return o.CostSummary() })
 	s.AddSection("cells", func() any { return rep.Cells() })
 	// Durable-run-state telemetry, only when a log is attached (so the

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// traceOptions builds the tiny Mcf corpus with an explicit trace mode set
+// before the engine (and so the shared trace store) is first resolved.
+func traceOptions(workers int, mode string) *Options {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	o.Parallel = workers
+	o.TraceMode = mode
+	o.Engine().Obs = obs.NewRegistry()
+	return o
+}
+
+// TestTraceStoreFigureDeterminism is the record/replay acceptance check:
+// the rendered Figure 1 artifact is byte-identical with the trace store
+// off, and with it on at one worker and under the 8-worker scheduler —
+// replayed measurement windows (including single-flight recording races
+// between concurrent cells) change nothing observable.
+func TestTraceStoreFigureDeterminism(t *testing.T) {
+	render := func(workers int, mode string) string {
+		o := traceOptions(workers, mode)
+		defer o.Close()
+		f1, err := Figure1(o)
+		if err != nil {
+			t.Fatalf("workers=%d mode=%s: %v", workers, mode, err)
+		}
+		if mode == "auto" {
+			st := core.TraceStats()
+			if st.Hits == 0 || st.Misses == 0 {
+				t.Errorf("workers=%d: PB sweep did not exercise the trace store: %+v", workers, st)
+			}
+			if st.Bytes > st.MaxBytes {
+				t.Errorf("workers=%d: trace store over budget: %+v", workers, st)
+			}
+		}
+		return f1.Render()
+	}
+
+	off := render(0, "off")
+	for _, workers := range []int{1, 8} {
+		if on := render(workers, "auto"); on != off {
+			t.Errorf("Figure 1 render differs with the trace store on at %d workers:\n--- trace off ---\n%s--- trace on ---\n%s",
+				workers, off, on)
+		}
+	}
+}
+
+// TestOptionsCloseResetsTraceStore: sweep teardown drops the recorded
+// regions and detaches the store so the next sweep starts cold.
+func TestOptionsCloseResetsTraceStore(t *testing.T) {
+	o := traceOptions(0, "auto")
+	if _, err := Figure1(o); err != nil {
+		t.Fatal(err)
+	}
+	if st := core.TraceStats(); st.Entries == 0 {
+		t.Fatalf("sweep recorded nothing: %+v", st)
+	}
+	o.Close()
+	if s := core.TraceStore(); s != nil {
+		t.Errorf("Close left the trace store attached: %+v", s.Stats())
+	}
+}
+
+// TestResumeRefusesTraceModeToggle: the trace mode and budget participate
+// in the plan fingerprint, so a sweep resumed across a -trace-mode (or
+// -trace-budget) toggle must refuse rather than mix cost accounting from
+// incompatible execution strategies.
+func TestResumeRefusesTraceModeToggle(t *testing.T) {
+	dir := t.TempDir()
+	o := resumeOptions(1) // DefaultOptions: trace mode "auto"
+	openState(t, o, dir, false)
+	o.Close()
+
+	refuse := func(name string, mut func(*Options)) {
+		other := resumeOptions(1)
+		mut(other)
+		_, err := other.OpenRunState(StateConfig{
+			Dir: dir, Resume: true, FsyncEvery: 1, Command: "test",
+		}, Figure6Plan(other, bench.Mcf, nil))
+		if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+			t.Errorf("%s: resume returned %v, want fingerprint-mismatch refusal", name, err)
+		}
+		other.Close()
+	}
+	refuse("mode toggled off", func(o *Options) { o.TraceMode = "off" })
+	refuse("budget changed", func(o *Options) { o.TraceBudget = 123 << 20 })
+
+	// The same mode and budget still resume cleanly.
+	same := resumeOptions(1)
+	info, err := same.OpenRunState(StateConfig{
+		Dir: dir, Resume: true, FsyncEvery: 1, Command: "test",
+	}, Figure6Plan(same, bench.Mcf, nil))
+	if err != nil {
+		t.Fatalf("resume with an unchanged trace mode failed: %v", err)
+	}
+	if !info.Resumed {
+		t.Errorf("resume info = %+v, want resumed", info)
+	}
+	same.Close()
+}

@@ -50,10 +50,15 @@ const (
 	// The process received a termination signal and dumped a mid-run
 	// manifest post-mortem; Subject names the signal.
 	EvSignal
+	// Trace store traffic (internal/trace): a replay hit, a recording
+	// miss, or an eviction under byte pressure.
+	EvTraceHit
+	EvTraceMiss
+	EvTraceEvict
 )
 
 // evKindMax is the last valid kind, the bound UnmarshalText scans to.
-const evKindMax = EvSignal
+const evKindMax = EvTraceEvict
 
 // String names the kind in snake_case (the JSON wire form).
 func (k EventKind) String() string {
@@ -90,6 +95,12 @@ func (k EventKind) String() string {
 		return "state_resume"
 	case EvSignal:
 		return "signal"
+	case EvTraceHit:
+		return "trace_hit"
+	case EvTraceMiss:
+		return "trace_miss"
+	case EvTraceEvict:
+		return "trace_evict"
 	default:
 		return "unknown"
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/program"
+	"repro/internal/trace"
 	"repro/internal/watchdog"
 )
 
@@ -200,6 +201,19 @@ type Runner struct {
 
 	stopErr error // first context error observed; sticky
 
+	// ahead is the virtual skip-ahead: functional-stream instructions
+	// accounted for without emulating them, either deferred (SkipTo, to
+	// be materialized on demand) or already consumed from a recorded
+	// trace (EndReplay). Position() = Emu.Count + ahead.
+	ahead uint64
+
+	// replay is the active trace replay source, nil while emulating.
+	replay *cpu.Replayer
+
+	// savedDetect remembers Emu.DetectTrivial across a recording span,
+	// which forces classification on so traces are config independent.
+	savedDetect bool
+
 	// Heartbeat plumbing for the hang watchdog: resolved lazily from Ctx
 	// on the first interrupted() poll, then beaten once per chunk. A
 	// context without a heartbeat costs one value lookup per run.
@@ -364,10 +378,15 @@ func (r *Runner) FastForward(n uint64) uint64 {
 }
 
 // FunctionalWarm functionally executes n instructions while warming caches,
-// TLBs, and branch prediction structures (the SMARTS warming mode).
+// TLBs, and branch prediction structures (the SMARTS warming mode). While a
+// replay source is active the warm stream comes from the recorded trace,
+// producing the identical sequence of warming updates without emulating.
 func (r *Runner) FunctionalWarm(n uint64) uint64 {
 	warmer := cpu.Warmer{Hier: r.Hier, Pred: r.Pred, BTB: r.BTB, RAS: r.RAS}
 	step := func(c, _ uint64) uint64 { return r.Emu.RunWarm(c, warmer) }
+	if r.replay != nil {
+		step = func(c, _ uint64) uint64 { return r.replay.RunWarm(c, warmer) }
+	}
 	if !r.instrumented() {
 		return r.chunked(n, step)
 	}
@@ -496,12 +515,95 @@ func (r *Runner) SetAssumeHit(on bool) { r.Hier.SetAssumeHit(on) }
 
 // Checkpoint snapshots the architectural state (see cpu.Checkpoint). The
 // pipeline must be empty: take checkpoints only between detailed windows,
-// after a Drain.
+// after a Drain. The machine must also be materialized — not replaying and
+// with no pending virtual skip — since a snapshot captures only what the
+// emulator actually executed.
 func (r *Runner) Checkpoint() (*cpu.Checkpoint, error) {
 	if n := r.Core.InFlight(); n != 0 {
 		return nil, fmt.Errorf("sim: checkpoint with %d instructions in flight", n)
 	}
+	if r.replay != nil || r.ahead != 0 {
+		return nil, fmt.Errorf("sim: checkpoint at virtual position %d (emulated %d): materialize first",
+			r.Position(), r.Emu.Count)
+	}
 	return r.Emu.Snapshot(), nil
+}
+
+// Position returns the absolute position in the functional instruction
+// stream: instructions the emulator executed plus those virtually skipped
+// or consumed from a recorded trace. Techniques track stream progress
+// through Position, never Emu.Count directly, so replayed and emulated
+// runs see identical positions.
+func (r *Runner) Position() uint64 { return r.Emu.Count + r.ahead }
+
+// SkipTo advances the virtual position to target without executing
+// anything — O(1). Callers use it when a recorded trace region will
+// supply the skipped stream; materializing the architectural state at the
+// virtual position (ClearAhead + fast-forward) is only needed if
+// emulation must resume there.
+func (r *Runner) SkipTo(target uint64) {
+	if p := r.Position(); target > p {
+		r.ahead += target - p
+	}
+}
+
+// Ahead returns the pending virtual skip (instructions Position is ahead
+// of the emulator).
+func (r *Runner) Ahead() uint64 { return r.ahead }
+
+// ClearAhead discards the virtual skip, returning its size. The caller
+// must then bring the emulator to the old Position (checkpoint restore or
+// fast-forward) before executing further.
+func (r *Runner) ClearAhead() uint64 {
+	a := r.ahead
+	r.ahead = 0
+	return a
+}
+
+// BeginReplay switches the machine onto a recorded trace: the timing core
+// (and FunctionalWarm) consume recs instead of the emulator. The records
+// must continue the stream exactly at Position().
+func (r *Runner) BeginReplay(recs []trace.Rec) {
+	r.replay = cpu.NewReplayer(r.Emu, recs)
+	r.Core.SetSource(r.replay)
+}
+
+// EndReplay switches back to the emulator, accounting every replayed
+// record as virtually skipped so Position stays exact. When the replayed
+// stream consumed the program's halt, the exhausted replayer stays
+// installed as the core's source: the stream is over, and Done must keep
+// reporting that — the emulator, never run this far, still looks alive.
+func (r *Runner) EndReplay() {
+	if r.replay == nil {
+		return
+	}
+	r.ahead += r.replay.Consumed()
+	halted := r.replay.SrcDone()
+	r.replay = nil
+	if !halted {
+		r.Core.SetSource(r.Emu)
+	}
+}
+
+// Replaying reports whether a trace replay source is active.
+func (r *Runner) Replaying() bool { return r.replay != nil }
+
+// StartRecording turns on the emulator's trace sink. Trivial-computation
+// classification is forced on for the recording span — the recorded
+// stream must be configuration independent, and classification is
+// behavior-neutral for cores with the TC enhancement off — and restored
+// by StopRecording.
+func (r *Runner) StartRecording(capHint int) {
+	r.savedDetect = r.Emu.DetectTrivial
+	r.Emu.DetectTrivial = true
+	r.Emu.StartRecording(capHint)
+}
+
+// StopRecording turns the sink off, restores the configured trivial
+// detection, and returns the records accumulated since StartRecording.
+func (r *Runner) StopRecording() []trace.Rec {
+	r.Emu.DetectTrivial = r.savedDetect
+	return r.Emu.StopRecording()
 }
 
 // RestoreCheckpoint rewinds the architectural state to a checkpoint taken
