@@ -87,6 +87,11 @@ type Baseline struct {
 	// with the recorder off (the always-on tax every instrumented code
 	// path pays) and on, plus sustained events/sec.
 	Journal *JournalBaseline `json:"journal,omitempty"`
+
+	// Mem compares a detailed run of the memory-bound benchmark with the
+	// memory-hierarchy fast paths (SoA layout memos, open-addressed TLB,
+	// batched warming) disabled versus enabled.
+	Mem *MemBaseline `json:"mem,omitempty"`
 }
 
 // Entry records the best-of-N run for one benchmark, without and with
@@ -167,6 +172,26 @@ type TraceBaseline struct {
 	Misses        int64   `json:"misses"`
 	Evictions     int64   `json:"evictions"`
 	Bytes         int64   `json:"bytes"`
+}
+
+// MemBaseline is the before/after comparison for the memory-hierarchy
+// fast paths over a warming-heavy SMARTS run of one benchmark (the
+// memory-bound one, so the cache/TLB model dominates the functional
+// warming between samples). Off disables the way/page memos, the
+// open-addressed TLB engine, and the batched warm pipeline; On is the
+// shipping default. Both walls are minima over the same iteration count
+// and simulate the identical instruction stream, so StatsIdentical — every
+// per-level cache and TLB counter equal between the arms — is a
+// correctness assertion the writer enforces, not a tolerance.
+type MemBaseline struct {
+	Bench          string  `json:"bench"`
+	SimulatedInstr uint64  `json:"simulated_instr"`
+	OffWallNS      int64   `json:"off_wall_ns"`
+	OnWallNS       int64   `json:"on_wall_ns"`
+	OffNSPerInstr  float64 `json:"off_ns_per_instr"`
+	OnNSPerInstr   float64 `json:"on_ns_per_instr"`
+	Speedup        float64 `json:"speedup"`
+	StatsIdentical bool    `json:"stats_identical"`
 }
 
 // JournalBaseline is the flight-recorder cost measurement: the

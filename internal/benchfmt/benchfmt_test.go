@@ -21,6 +21,8 @@ func sample() *Baseline {
 			Speedup: 2.5, P50NS: 10, P95NS: 20, P99NS: 30},
 		Ckpt:    &CkptBaseline{Bench: "gcc", Configs: 8, OnNSPerInstr: 2.0, OffNSPerInstr: 4.0, Hits: 7, Misses: 1},
 		Journal: &JournalBaseline{Events: 1 << 16, DisabledNSPerEvent: 1.5, EnabledNSPerEvent: 40},
+		Mem: &MemBaseline{Bench: "mcf", SimulatedInstr: 2000000, OffNSPerInstr: 5.0, OnNSPerInstr: 3.5,
+			Speedup: 1.43, StatsIdentical: true},
 	}
 }
 
@@ -110,6 +112,24 @@ func TestCompareStructural(t *testing.T) {
 		t.Error("zero checkpoint hits not flagged in structural-only mode")
 	}
 
+	missingMem := sample()
+	missingMem.Mem = nil
+	if cmp := Compare(sample(), missingMem, tol); !cmp.Regressed() {
+		t.Error("missing mem block not flagged")
+	}
+
+	divergedMem := sample()
+	divergedMem.Mem.StatsIdentical = false
+	if cmp := Compare(sample(), divergedMem, tol); !cmp.Regressed() {
+		t.Error("mem fast-path stat divergence not flagged in structural-only mode")
+	}
+
+	memCorpus := sample()
+	memCorpus.Mem.SimulatedInstr++
+	if cmp := Compare(sample(), memCorpus, tol); !cmp.Regressed() {
+		t.Error("mem simulated_instr mismatch not flagged")
+	}
+
 	// Structural-only ignores even a catastrophic slowdown.
 	slow := sample()
 	for i := range slow.Entries {
@@ -169,8 +189,11 @@ func TestCommittedBaselineParses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b.Entries) == 0 || b.Sched == nil || b.Ckpt == nil || b.Journal == nil {
+	if len(b.Entries) == 0 || b.Sched == nil || b.Ckpt == nil || b.Journal == nil || b.Mem == nil {
 		t.Errorf("committed baseline incomplete: %+v", b)
+	}
+	if b.Mem != nil && !b.Mem.StatsIdentical {
+		t.Error("committed baseline records diverged mem fast-path arms")
 	}
 	for _, e := range b.Entries {
 		if e.CancelOverheadPct < 0 {

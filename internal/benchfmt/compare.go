@@ -18,6 +18,7 @@ type Tolerances struct {
 	CkptPct    float64 // checkpoint-on ns/instr
 	TracePct   float64 // trace-replay-on ns/instr
 	JournalPct float64 // flight-recorder per-event costs
+	MemPct     float64 // mem-fast-paths-on ns/instr
 
 	// StructuralOnly skips every timing comparison and keeps only the
 	// host-independent checks: blocks present, benchmarks present,
@@ -29,7 +30,7 @@ type Tolerances struct {
 
 // DefaultTolerances returns the standard gate.
 func DefaultTolerances() Tolerances {
-	return Tolerances{EntryPct: 25, SchedPct: 40, CkptPct: 40, TracePct: 40, JournalPct: 50}
+	return Tolerances{EntryPct: 25, SchedPct: 40, CkptPct: 40, TracePct: 40, JournalPct: 50, MemPct: 40}
 }
 
 // Delta is one compared metric.
@@ -164,6 +165,26 @@ func Compare(old, new *Baseline, tol Tolerances) *Comparison {
 		}
 		if !tol.StructuralOnly {
 			c.check("trace on_ns_per_instr", old.Trace.OnNSPerInstr, new.Trace.OnNSPerInstr, tol.TracePct)
+		}
+	}
+
+	switch {
+	case old.Mem == nil:
+	case new.Mem == nil:
+		c.problem("mem block present in old baseline but missing from new")
+	default:
+		// The fast paths are only admissible because they are
+		// semantics-preserving; an arm divergence is a correctness bug,
+		// not a perf regression, and fails even in structural-only mode.
+		if !new.Mem.StatsIdentical {
+			c.problem("mem fast-path arms diverged on %q (cache/TLB stats not identical)", new.Mem.Bench)
+		}
+		if old.Mem.SimulatedInstr != new.Mem.SimulatedInstr {
+			c.problem("mem block simulated %d instructions, baseline simulated %d (corpus changed)",
+				new.Mem.SimulatedInstr, old.Mem.SimulatedInstr)
+		}
+		if !tol.StructuralOnly {
+			c.check("mem on_ns_per_instr", old.Mem.OnNSPerInstr, new.Mem.OnNSPerInstr, tol.MemPct)
 		}
 	}
 

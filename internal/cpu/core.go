@@ -212,7 +212,8 @@ type Core struct {
 	traceDone      bool
 	runTarget      uint64 // commit ceiling for the current Run/Drain call
 
-	l1iHitLat int
+	l1iHitLat      int
+	fetchBlockMask uint64 // ^(L1I block bytes - 1), hoisted out of fetch
 
 	Stats CoreStats
 }
@@ -245,8 +246,9 @@ func NewCore(cfg CoreConfig, emu *Emu, hier *mem.Hierarchy, pred *branch.Predict
 		fuFPMult:  make([]uint64, cfg.FPMultUnits),
 		dports:    make([]uint64, cfg.DMemPorts),
 
-		waitBranchSeq: -1,
-		l1iHitLat:     hier.L1I.Latency(),
+		waitBranchSeq:  -1,
+		l1iHitLat:      hier.L1I.Latency(),
+		fetchBlockMask: ^uint64(hier.L1I.BlockBytes() - 1),
 	}
 	for i := range c.lastWriter {
 		c.lastWriter[i] = -1
@@ -570,7 +572,6 @@ func (c *Core) fetch() {
 		c.Stats.FetchStallCycles++
 		return
 	}
-	blockMask := ^uint64(c.hier.L1I.BlockBytes() - 1)
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if c.fqCount >= len(c.fetchQ) {
 			return
@@ -581,7 +582,7 @@ func (c *Core) fetch() {
 		}
 		pc := c.src.SrcPC()
 		faddr := uint64(pc) * isa.InstBytes
-		blk := (faddr & blockMask) + 1 // +1 so zero means "none yet"
+		blk := (faddr & c.fetchBlockMask) + 1 // +1 so zero means "none yet"
 		if blk != c.lastFetchBlock {
 			lat := c.hier.AccessI(faddr)
 			c.lastFetchBlock = blk

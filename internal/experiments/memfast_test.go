@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// TestMemFastPathFigureDeterminism is the batched-hierarchy acceptance
+// check at the artifact level: the rendered Figure 1 is byte-identical
+// with the mem fast paths and batched warming disabled, and with them
+// enabled at one worker and under the 8-worker scheduler. The memos and
+// the slab pipeline change wall-clock only — never a figure byte.
+func TestMemFastPathFigureDeterminism(t *testing.T) {
+	prevFast := mem.FastPathsEnabled()
+	prevBatch := cpu.BatchedWarmEnabled()
+	defer func() {
+		mem.EnableFastPaths(prevFast)
+		cpu.EnableBatchedWarm(prevBatch)
+	}()
+
+	render := func(workers int, fast bool) string {
+		mem.EnableFastPaths(fast)
+		cpu.EnableBatchedWarm(fast)
+		o := tinyOptions()
+		o.Benches = []bench.Name{bench.Mcf}
+		o.TechniquesFn = tinyTechniques
+		o.Parallel = workers
+		o.Engine().Obs = obs.NewRegistry()
+		defer o.Close()
+		f1, err := Figure1(o)
+		if err != nil {
+			t.Fatalf("workers=%d fast=%v: %v", workers, fast, err)
+		}
+		return f1.Render()
+	}
+
+	plain := render(1, false)
+	for _, workers := range []int{1, 8} {
+		if on := render(workers, true); on != plain {
+			t.Errorf("Figure 1 render differs with mem fast paths on at %d workers:\n--- off ---\n%s--- on ---\n%s",
+				workers, plain, on)
+		}
+	}
+}

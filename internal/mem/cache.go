@@ -2,9 +2,39 @@
 // caches with LRU replacement, translation lookaside buffers, and a main
 // memory with distinct first/following-word latencies, matching the memory
 // system parameters characterized by the paper's Plackett-Burman design.
+//
+// The structures are laid out for the host, not the guest: caches keep
+// their tags and LRU stamps in dense struct-of-arrays slices (a way scan is
+// a short linear read, not a pointer hop per line struct), dirty bits live
+// in a bitset, and the hot paths carry semantics-preserving memos (a
+// last-block way memo per cache, a last-page deferred-stamp memo in the
+// TLB). Every memo is proven stat-identical to the plain path — see
+// EnableFastPaths and the equivalence suites in mem, cpu, and core.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// fastPaths gates the semantics-preserving hot-path shortcuts across the
+// package: the caches' last-block way memo and the TLB's open-addressed
+// layout with its deferred-stamp page memo. It exists so the equivalence
+// suites (and cmd/benchjson's mem block) can run the identical workload
+// down the plain path and assert the statistics match bit for bit.
+// Structures snapshot the flag at construction time, so toggling affects
+// machines built afterwards, never ones mid-run.
+var fastPaths atomic.Bool
+
+func init() { fastPaths.Store(true) }
+
+// EnableFastPaths toggles the package's hot-path shortcuts for structures
+// constructed afterwards. The default is on; tests and A/B measurements
+// turn it off to exercise the reference implementations.
+func EnableFastPaths(on bool) { fastPaths.Store(on) }
+
+// FastPathsEnabled reports the current toggle.
+func FastPathsEnabled() bool { return fastPaths.Load() }
 
 // Replacement selects a cache replacement policy.
 type Replacement uint8
@@ -62,12 +92,6 @@ func (c CacheConfig) Validate(name string) error {
 	return nil
 }
 
-type line struct {
-	tag   uint64
-	stamp uint64 // LRU timestamp; 0 means invalid
-	dirty bool
-}
-
 // CacheStats counts cache events. Reads of these fields are cheap, so the
 // measurement windows snapshot and subtract them.
 type CacheStats struct {
@@ -99,15 +123,35 @@ func (s CacheStats) Sub(t CacheStats) CacheStats {
 
 // Cache is a set-associative, write-back, write-allocate cache with true LRU
 // replacement.
+//
+// Lines live in struct-of-arrays form: tags and LRU stamps are dense
+// uint64 slices (sets*assoc entries, flattened) and dirty bits a bitset,
+// so the way scan that dominates every access is a short branch-predictable
+// linear read over one or two cache lines of host memory instead of a hop
+// per 17-byte line struct.
 type Cache struct {
 	cfg        CacheConfig
-	lines      []line // sets*assoc entries, flattened
+	tags       []uint64 // block address per line; valid iff stamp != 0
+	stamps     []uint64 // LRU timestamp; 0 means invalid
+	dirty      []uint64 // bitset, one bit per line
 	sets       int
 	assoc      int
 	blockShift uint
 	setMask    uint64
 	clock      uint64
 	rngState   uint64 // deterministic stream for random replacement
+
+	// Last-block way memo: most access streams hit the same block
+	// repeatedly (stack frames, streaming reads, I-fetch fall-through).
+	// memoBlk holds that block address +1 (0 = none) and memoIdx its line
+	// index; a memo hit still verifies tag+valid, still bumps the LRU
+	// stamp and the Accesses counter, and still sets the dirty bit, so it
+	// is stat-identical to the full scan — it only skips the scan itself.
+	// The memo is a hint: installs may steal the line, and the
+	// verification catches that, so no invalidation bookkeeping exists.
+	memoBlk uint64
+	memoIdx int32
+	fast    bool // snapshot of EnableFastPaths at construction
 
 	// AssumeHit implements the paper's SimPoint cold-start policy
 	// ("Warm-Up: assume cache hit"): while enabled, a miss whose victim
@@ -129,16 +173,24 @@ func NewCache(cfg CacheConfig, name string) (*Cache, error) {
 	for 1<<shift < cfg.BlockBytes {
 		shift++
 	}
+	lines := sets * cfg.Assoc
 	return &Cache{
 		cfg:        cfg,
-		lines:      make([]line, sets*cfg.Assoc),
+		tags:       make([]uint64, lines),
+		stamps:     make([]uint64, lines),
+		dirty:      make([]uint64, (lines+63)/64),
 		sets:       sets,
 		assoc:      cfg.Assoc,
 		blockShift: shift,
 		setMask:    uint64(sets - 1),
 		rngState:   0x9e3779b97f4a7c15,
+		fast:       FastPathsEnabled(),
 	}, nil
 }
+
+func (c *Cache) isDirty(i int) bool { return c.dirty[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (c *Cache) setDirty(i int)     { c.dirty[i>>6] |= 1 << (uint(i) & 63) }
+func (c *Cache) clearDirty(i int)   { c.dirty[i>>6] &^= 1 << (uint(i) & 63) }
 
 // victimIdx selects the way to replace in the set starting at base,
 // honouring the replacement policy. Invalid ways are always used first.
@@ -146,11 +198,12 @@ func (c *Cache) victimIdx(base int) int {
 	idx := base
 	oldest := ^uint64(0)
 	for i := base; i < base+c.assoc; i++ {
-		if c.lines[i].stamp == 0 {
+		s := c.stamps[i]
+		if s == 0 {
 			return i // invalid way: free slot
 		}
-		if c.lines[i].stamp < oldest {
-			oldest = c.lines[i].stamp
+		if s < oldest {
+			oldest = s
 			idx = i
 		}
 	}
@@ -175,10 +228,15 @@ func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
 
 // Reset invalidates all lines and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.stamps {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	for i := range c.dirty {
+		c.dirty[i] = 0
 	}
 	c.clock = 0
+	c.memoBlk = 0
 	c.Stats = CacheStats{}
 }
 
@@ -190,34 +248,53 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, writeback bool, evict
 	c.Stats.Accesses++
 	c.clock++
 	blk := addr >> c.blockShift
+	if c.fast && blk+1 == c.memoBlk {
+		// Way memo: verified same-block hit without the set scan. The
+		// bookkeeping below is exactly the scan's hit path.
+		i := int(c.memoIdx)
+		if c.stamps[i] != 0 && c.tags[i] == blk {
+			if c.cfg.Replace == ReplaceLRU {
+				c.stamps[i] = c.clock
+			}
+			if write {
+				c.setDirty(i)
+			}
+			return true, false, 0
+		}
+		c.memoBlk = 0 // line was stolen by an install; fall through
+	}
 	set := blk & c.setMask
-	tag := blk >> 0 // full block address as tag; set bits redundant but harmless
 	base := int(set) * c.assoc
 
 	for i := base; i < base+c.assoc; i++ {
-		ln := &c.lines[i]
-		if ln.stamp != 0 && ln.tag == tag {
+		if c.stamps[i] != 0 && c.tags[i] == blk {
 			if c.cfg.Replace == ReplaceLRU {
-				ln.stamp = c.clock // FIFO/random keep the insertion stamp
+				c.stamps[i] = c.clock // FIFO/random keep the insertion stamp
 			}
 			if write {
-				ln.dirty = true
+				c.setDirty(i)
 			}
+			c.memoBlk, c.memoIdx = blk+1, int32(i)
 			return true, false, 0
 		}
 	}
 	// Miss: install in the policy-selected victim way.
 	c.Stats.Misses++
-	victim := &c.lines[c.victimIdx(base)]
-	coldVictim := victim.stamp == 0
-	if victim.stamp != 0 && victim.dirty {
+	v := c.victimIdx(base)
+	coldVictim := c.stamps[v] == 0
+	if !coldVictim && c.isDirty(v) {
 		writeback = true
-		evicted = victim.tag << c.blockShift
+		evicted = c.tags[v] << c.blockShift
 		c.Stats.Writebacks++
 	}
-	victim.tag = tag
-	victim.stamp = c.clock
-	victim.dirty = write
+	c.tags[v] = blk
+	c.stamps[v] = c.clock
+	if write {
+		c.setDirty(v)
+	} else {
+		c.clearDirty(v)
+	}
+	c.memoBlk, c.memoIdx = blk+1, int32(v)
 	if c.AssumeHit && coldVictim {
 		c.Stats.AssumedHits++
 		return true, writeback, evicted
@@ -232,7 +309,7 @@ func (c *Cache) Probe(addr uint64) bool {
 	set := blk & c.setMask
 	base := int(set) * c.assoc
 	for i := base; i < base+c.assoc; i++ {
-		if c.lines[i].stamp != 0 && c.lines[i].tag == blk {
+		if c.stamps[i] != 0 && c.tags[i] == blk {
 			return true
 		}
 	}
@@ -241,25 +318,62 @@ func (c *Cache) Probe(addr uint64) bool {
 
 // Prefetch installs the block containing addr if absent, counting it as a
 // prefetch rather than a demand access. It returns true when the block was
-// absent (i.e. the prefetch was useful work).
+// absent (i.e. the prefetch was useful work). Residency check and victim
+// selection share a single set scan.
 func (c *Cache) Prefetch(addr uint64) bool {
-	if c.Probe(addr) {
-		return false
-	}
-	c.clock++
 	blk := addr >> c.blockShift
 	set := blk & c.setMask
 	base := int(set) * c.assoc
-	victim := &c.lines[c.victimIdx(base)]
-	if victim.stamp != 0 && victim.dirty {
+
+	// One scan finds a resident copy (prefetch is then a no-op), the
+	// victim way (invalid-first, else oldest stamp), and the oldest live
+	// stamp used for the LRU-friendly insertion below.
+	victim := base
+	oldest := ^uint64(0)
+	minLive := ^uint64(0)
+	haveInvalid := false
+	for i := base; i < base+c.assoc; i++ {
+		s := c.stamps[i]
+		if s == 0 {
+			if !haveInvalid {
+				victim = i
+				haveInvalid = true
+			}
+			continue
+		}
+		if c.tags[i] == blk {
+			return false // resident: nothing mutated yet
+		}
+		if s < minLive {
+			minLive = s
+		}
+		if !haveInvalid && s < oldest {
+			oldest = s
+			victim = i
+		}
+	}
+	if !haveInvalid && c.cfg.Replace == ReplaceRandom {
+		c.rngState ^= c.rngState << 13
+		c.rngState ^= c.rngState >> 7
+		c.rngState ^= c.rngState << 17
+		victim = base + int(c.rngState%uint64(c.assoc))
+	}
+	if c.stamps[victim] != 0 && c.isDirty(victim) {
 		c.Stats.Writebacks++
 	}
-	victim.tag = blk
-	// Install prefetched blocks at LRU-friendly (oldest live) position so a
-	// useless prefetch is the next victim; stamp 1 would collide with the
-	// invalid sentinel after Reset, so use the smallest live stamp.
-	victim.stamp = c.clock
-	victim.dirty = false
+	// Install at LRU-friendly position — strictly older than every live
+	// line in the set — so a never-used prefetch is the next victim
+	// instead of being shielded behind an MRU stamp. The floor of 1 keeps
+	// the stamp distinct from the invalid sentinel; at the floor the
+	// prefetch ties the set's oldest line and may outlive it by index
+	// order, which only happens before the set's first few accesses.
+	stamp := uint64(1)
+	if minLive != ^uint64(0) && minLive > 1 {
+		stamp = minLive - 1
+	}
+	c.tags[victim] = blk
+	c.stamps[victim] = stamp
+	c.clearDirty(victim)
 	c.Stats.Prefetches++
 	return true
 }
@@ -268,10 +382,10 @@ func (c *Cache) Prefetch(addr uint64) bool {
 // and the example tooling.
 func (c *Cache) Utilization() float64 {
 	valid := 0
-	for i := range c.lines {
-		if c.lines[i].stamp != 0 {
+	for i := range c.stamps {
+		if c.stamps[i] != 0 {
 			valid++
 		}
 	}
-	return float64(valid) / float64(len(c.lines))
+	return float64(valid) / float64(len(c.stamps))
 }

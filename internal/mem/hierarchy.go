@@ -192,6 +192,71 @@ func (h *Hierarchy) WarmD(addr uint64, write bool) {
 	}
 }
 
+// ReqKind classifies one batched memory request.
+type ReqKind uint8
+
+// Request kinds: an instruction fetch, a data load, or a data store.
+const (
+	ReqIFetch ReqKind = iota
+	ReqLoad
+	ReqStore
+)
+
+// MemReq is one element of a batched request stream: an address plus the
+// access kind. Slabs of these are filled by the cpu warm/replay loops and
+// streamed through the hierarchy in one call, so the per-instruction
+// call overhead and the cache/TLB working state stay hot across a whole
+// batch instead of being re-established per retired instruction.
+type MemReq struct {
+	Addr uint64
+	Kind ReqKind
+}
+
+// WarmBatch applies a request slab to the hierarchy in order, updating
+// cache and TLB state without computing latencies (the functional-warming
+// contract of WarmI/WarmD). State and statistics after WarmBatch are
+// identical to issuing the same requests through WarmI/WarmD one at a
+// time, because the per-request work is exactly the same — batching only
+// removes call overhead and keeps the scan state resident.
+func (h *Hierarchy) WarmBatch(reqs []MemReq) {
+	for i := range reqs {
+		r := &reqs[i]
+		switch r.Kind {
+		case ReqIFetch:
+			h.WarmI(r.Addr)
+		case ReqLoad:
+			h.WarmD(r.Addr, false)
+		case ReqStore:
+			h.WarmD(r.Addr, true)
+		}
+	}
+}
+
+// AccessBatch applies a request slab in order, computing latencies. When
+// lats is non-nil it must have len(reqs) and receives the per-request
+// latency; the return value is the total. State changes are identical to
+// issuing the same requests through AccessI/AccessD individually.
+func (h *Hierarchy) AccessBatch(reqs []MemReq, lats []int) int {
+	total := 0
+	for i := range reqs {
+		r := &reqs[i]
+		var lat int
+		switch r.Kind {
+		case ReqIFetch:
+			lat = h.AccessI(r.Addr)
+		case ReqLoad:
+			lat = h.AccessD(r.Addr, false)
+		case ReqStore:
+			lat = h.AccessD(r.Addr, true)
+		}
+		if lats != nil {
+			lats[i] = lat
+		}
+		total += lat
+	}
+	return total
+}
+
 // Snapshot captures the statistics of every level for delta accounting.
 type Snapshot struct {
 	L1I, L1D, L2 CacheStats
