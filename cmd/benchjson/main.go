@@ -13,6 +13,12 @@
 // recorded so CI on a multi-core runner can verify the parallel path
 // actually scales.
 //
+// It also measures the interval timeline recorder (internal/cpu.Timeline):
+// the same reference run with recording off versus on at the default
+// stride, with bit-identical architectural stats enforced between the
+// arms, so the telemetry tax is a number and "observe, never perturb" is
+// a gate.
+//
 // Finally it measures the flight recorder (internal/obs.Journal): the
 // per-event cost of the disabled fast path and the enabled ring insert,
 // so the "free when off" property is a number, not a claim.
@@ -173,6 +179,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "mem      %s warming-heavy run: off %v, on %v (%.2fx, stats identical: %v)\n",
 		mb.Bench, time.Duration(mb.OffWallNS).Round(time.Microsecond),
 		time.Duration(mb.OnWallNS).Round(time.Microsecond), mb.Speedup, mb.StatsIdentical)
+
+	tlb, err := measureTimeline(memBench, *itersFlag)
+	die(err)
+	base.Timeline = &tlb
+	fmt.Fprintf(os.Stderr, "timeline %s sampled run: off %v, on %v (%d intervals, +%.2f%%, stats identical: %v)\n",
+		tlb.Bench, time.Duration(tlb.OffWallNS).Round(time.Microsecond),
+		time.Duration(tlb.OnWallNS).Round(time.Microsecond), tlb.Intervals, tlb.OverheadPct, tlb.StatsIdentical)
 
 	jb := measureJournal(*itersFlag)
 	base.Journal = &jb
@@ -424,6 +437,78 @@ func measureMem(b bench.Name, iters int) (benchfmt.MemBaseline, error) {
 	}
 	if onWall > 0 {
 		out.Speedup = float64(offWall) / float64(onWall)
+	}
+	return out, nil
+}
+
+// measureTimeline runs a reference simulation of one benchmark twice —
+// once with the interval timeline recorder disabled (the shipping fast
+// path when no stride is set), once recording at the default
+// 100k-instruction stride — and reports the min-of-iters walls. The
+// recorder observes the commit stream without perturbing it, so the two
+// arms must produce bit-identical architectural statistics, and the on
+// arm must actually capture intervals; either failure writes no baseline
+// rather than a poisoned one.
+func measureTimeline(b bench.Name, iters int) (benchfmt.TimelineBaseline, error) {
+	ctx := core.Context{Bench: b, Config: sim.BaseConfig(), Scale: sim.ScaleTest}
+	arm := func(stride uint64) (time.Duration, uint64, int, sim.Stats, error) {
+		c := ctx
+		c.TimelineStride = stride
+		var bestWall time.Duration
+		var instr uint64
+		var intervals int
+		var stats sim.Stats
+		for i := 0; i < iters; i++ {
+			res, err := core.Reference{}.Run(c)
+			if err != nil {
+				return 0, 0, 0, stats, err
+			}
+			tel := res.Telemetry()
+			if i == 0 || tel.Wall < bestWall {
+				bestWall = tel.Wall
+			}
+			instr = tel.SimulatedInstr
+			intervals = len(res.Timeline)
+			stats = res.Stats
+		}
+		return bestWall, instr, intervals, stats, nil
+	}
+	offWall, offInstr, _, offStats, err := arm(0)
+	if err != nil {
+		return benchfmt.TimelineBaseline{}, err
+	}
+	onWall, onInstr, intervals, onStats, err := arm(cpu.DefaultTimelineStride)
+	if err != nil {
+		return benchfmt.TimelineBaseline{}, err
+	}
+	identical := offInstr == onInstr && reflect.DeepEqual(offStats, onStats)
+	if !identical {
+		return benchfmt.TimelineBaseline{}, fmt.Errorf(
+			"timeline recorder changed simulation results on %s:\noff: %+v\non:  %+v", b, offStats, onStats)
+	}
+	if intervals == 0 {
+		return benchfmt.TimelineBaseline{}, fmt.Errorf(
+			"timeline recorder captured zero intervals on %s at stride %d", b, uint64(cpu.DefaultTimelineStride))
+	}
+	out := benchfmt.TimelineBaseline{
+		Bench:          string(b),
+		SimulatedInstr: offInstr,
+		Intervals:      intervals,
+		OffWallNS:      offWall.Nanoseconds(),
+		OnWallNS:       onWall.Nanoseconds(),
+		StatsIdentical: true,
+	}
+	if offInstr > 0 {
+		out.OffNSPerInstr = float64(offWall.Nanoseconds()) / float64(offInstr)
+		out.OnNSPerInstr = float64(onWall.Nanoseconds()) / float64(offInstr)
+	}
+	if offWall > 0 {
+		out.OverheadPct = 100 * (float64(onWall) - float64(offWall)) / float64(offWall)
+	}
+	// Both walls are independent minima; a negative overhead is sampling
+	// noise, not a speedup. Clamp at zero, as the cancel-poll entry does.
+	if out.OverheadPct < 0 {
+		out.OverheadPct = 0
 	}
 	return out, nil
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	characterize -method bottleneck|profile|arch [-bench mcf] [-scale test|cli|full] [-full] [-parallel N]
+//	characterize -method bottleneck|profile|arch|attribution [-bench mcf] [-scale test|cli|full] [-full] [-parallel N]
 //
 // Observability: -debug-addr serves /statusz, /eventsz, /tracez and pprof
 // while the sweep runs; -manifest and -trace-out write the run manifest
@@ -17,16 +17,19 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cliutil"
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 	"repro/internal/experiments/sched"
 )
 
 func main() {
-	methodFlag := flag.String("method", "bottleneck", "bottleneck, profile, or arch")
+	methodFlag := flag.String("method", "bottleneck", "bottleneck, profile, arch, or attribution")
 	benchFlag := flag.String("bench", "mcf", "benchmark")
 	scaleFlag := flag.String("scale", "test", "scale: test, cli, full")
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
 	costOut := flag.String("cost-out", "", "write per-cell cost attribution and aggregate cost tables (JSON) to this file")
+	timelineOut := flag.String("timeline-out", "", "write per-cell interval timelines (CPI stacks, miss rates; JSON) to this file")
+	timelineStride := flag.Uint64("timeline-stride", cpu.DefaultTimelineStride, "timeline interval width in committed instructions (0 disables the recorder)")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial tables")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
@@ -53,6 +56,7 @@ func main() {
 	o.Scale = scale
 	o.Full = *fullFlag
 	o.FailFast = *failFast
+	o.TimelineStride = *timelineStride
 	o.Benches = []bench.Name{bench.Name(*benchFlag)}
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
@@ -77,6 +81,8 @@ func main() {
 		plan = experiments.ProfilePlan(o)
 	case "arch":
 		plan = experiments.ArchPlan(o)
+	case "attribution":
+		plan = experiments.AttributionPlan(o)
 	}
 	sinfo, err := o.OpenRunState(experiments.StateConfig{
 		Dir: stateFlags.StateDir, Resume: stateFlags.Resume,
@@ -104,6 +110,10 @@ func main() {
 		rows, err := experiments.ArchCharacterization(o)
 		die(err)
 		fmt.Print(experiments.RenderArchChar(rows))
+	case "attribution":
+		rows, err := experiments.CPIAttribution(o)
+		die(err)
+		fmt.Print(experiments.RenderCPIAttribution(rows))
 	default:
 		die(fmt.Errorf("unknown method %q", *methodFlag))
 	}
@@ -117,6 +127,13 @@ func main() {
 		die(o.WriteCostJSON(f))
 		die(f.Close())
 		run.Log.Infof("wrote %s", *costOut)
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		die(err)
+		die(o.WriteTimelineJSON(f))
+		die(f.Close())
+		run.Log.Infof("wrote %s", *timelineOut)
 	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())

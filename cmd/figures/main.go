@@ -6,7 +6,7 @@
 //
 //	figures [-scale test|cli|full] [-benches gzip,mcf,...] [-full] [-foldover] [-only T1,F1,...] [-parallel N]
 //
-// Artifacts: T1 T2 T3 SURVEY F1 F2 F3 F4 F5 F6 F7 PROFILE ARCH
+// Artifacts: T1 T2 T3 SURVEY F1 F2 F3 F4 F5 F6 F7 PROFILE ARCH ATTR
 //
 // Observability: -debug-addr serves /statusz, /eventsz, /tracez and pprof
 // while the sweep runs; -manifest and -trace-out write the run manifest
@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cliutil"
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 )
 
@@ -30,9 +31,11 @@ func main() {
 	benchFlag := flag.String("benches", "", "comma-separated benchmark subset (default: all ten)")
 	fullFlag := flag.Bool("full", false, "use the full 69-permutation Table 1 catalogue")
 	foldFlag := flag.Bool("foldover", false, "fold the PB design (88 configurations instead of 44)")
-	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH)")
+	onlyFlag := flag.String("only", "", "comma-separated artifact subset (T1,T2,T3,SURVEY,F1,...,F7,PROFILE,ARCH,ATTR)")
 	jsonFlag := flag.String("json", "", "also write machine-readable results to this file")
 	costOut := flag.String("cost-out", "", "write per-cell cost attribution and aggregate cost tables (JSON) to this file")
+	timelineOut := flag.String("timeline-out", "", "write per-cell interval timelines (CPI stacks, miss rates; JSON) to this file")
+	timelineStride := flag.Uint64("timeline-stride", cpu.DefaultTimelineStride, "timeline interval width in committed instructions (0 disables the recorder)")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to partial figures")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
@@ -62,6 +65,7 @@ func main() {
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
 	o.FailFast = *failFast
+	o.TimelineStride = *timelineStride
 	if *benchFlag != "" {
 		o.Benches = nil
 		for _, s := range strings.Split(*benchFlag, ",") {
@@ -188,6 +192,12 @@ func main() {
 		emit("ARCH", experiments.RenderArchChar(rows))
 		record("ARCH", rows)
 	}
+	if sel("ATTR") {
+		rows, err := experiments.CPIAttribution(o)
+		die(err)
+		emit("ATTR", experiments.RenderCPIAttribution(rows))
+		record("ATTR", rows)
+	}
 	if *jsonFlag != "" {
 		f, err := os.Create(*jsonFlag)
 		die(err)
@@ -200,6 +210,13 @@ func main() {
 		die(o.WriteCostJSON(f))
 		die(f.Close())
 		run.Log.Infof("wrote %s", *costOut)
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		die(err)
+		die(o.WriteTimelineJSON(f))
+		die(f.Close())
+		run.Log.Infof("wrote %s", *timelineOut)
 	}
 	run.Log.Infof("done in %v; %s",
 		time.Since(start).Round(time.Millisecond), o.Engine().Telemetry())

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cliutil"
+	"repro/internal/cpu"
 	"repro/internal/experiments"
 )
 
@@ -26,6 +27,8 @@ func main() {
 	fullFlag := flag.Bool("full", false, "full Table 1 catalogue")
 	foldFlag := flag.Bool("foldover", false, "fold the PB configuration envelope")
 	costOut := flag.String("cost-out", "", "write per-cell cost attribution and aggregate cost tables (JSON) to this file")
+	timelineOut := flag.String("timeline-out", "", "write per-cell interval timelines (CPI stacks, miss rates; JSON) to this file")
+	timelineStride := flag.Uint64("timeline-stride", cpu.DefaultTimelineStride, "timeline interval width in committed instructions (0 disables the recorder)")
 	failFast := flag.Bool("fail-fast", false, "abort on the first failed cell instead of degrading to a partial graph")
 	timeout := flag.Duration("timeout", 0, "abandon the run after this long (0 = no deadline)")
 	parallel := flag.Int("parallel", cliutil.DefaultParallel(), "scheduler workers for experiment cells")
@@ -53,6 +56,7 @@ func main() {
 	o.Full = *fullFlag
 	o.Foldover = *foldFlag
 	o.FailFast = *failFast
+	o.TimelineStride = *timelineStride
 	die(cliutil.ValidateParallel(*parallel))
 	o.Parallel = *parallel
 	die(stateFlags.Validate())
@@ -103,6 +107,13 @@ func main() {
 		die(o.WriteCostJSON(f))
 		die(f.Close())
 		run.Log.Infof("wrote %s", *costOut)
+	}
+	if *timelineOut != "" {
+		f, err := os.Create(*timelineOut)
+		die(err)
+		die(o.WriteTimelineJSON(f))
+		die(f.Close())
+		run.Log.Infof("wrote %s", *timelineOut)
 	}
 	if rep := o.Report(); rep.HasFailures() {
 		fmt.Fprint(os.Stderr, rep.Render())

@@ -92,6 +92,10 @@ type Baseline struct {
 	// memory-hierarchy fast paths (SoA layout memos, open-addressed TLB,
 	// batched warming) disabled versus enabled.
 	Mem *MemBaseline `json:"mem,omitempty"`
+
+	// Timeline compares a sampled run of one benchmark with the interval
+	// timeline recorder off versus on, so the telemetry tax stays visible.
+	Timeline *TimelineBaseline `json:"timeline,omitempty"`
 }
 
 // Entry records the best-of-N run for one benchmark, without and with
@@ -191,6 +195,27 @@ type MemBaseline struct {
 	OffNSPerInstr  float64 `json:"off_ns_per_instr"`
 	OnNSPerInstr   float64 `json:"on_ns_per_instr"`
 	Speedup        float64 `json:"speedup"`
+	StatsIdentical bool    `json:"stats_identical"`
+}
+
+// TimelineBaseline is the before/after comparison for the interval
+// timeline recorder over a sampled run of one benchmark. Off runs with
+// recording disabled (the shipping fast path when no stride is set); On
+// records at the default 100k-instruction stride. Recording must never
+// perturb simulation, so StatsIdentical — the full architectural stats
+// struct equal between the arms — is a correctness assertion the writer
+// enforces, not a tolerance. Intervals counts the samples the on arm
+// captured; OverheadPct is the on arm's wall-clock cost in percent,
+// clamped at zero (both walls are independent minima).
+type TimelineBaseline struct {
+	Bench          string  `json:"bench"`
+	SimulatedInstr uint64  `json:"simulated_instr"`
+	Intervals      int     `json:"intervals"`
+	OffWallNS      int64   `json:"off_wall_ns"`
+	OnWallNS       int64   `json:"on_wall_ns"`
+	OffNSPerInstr  float64 `json:"off_ns_per_instr"`
+	OnNSPerInstr   float64 `json:"on_ns_per_instr"`
+	OverheadPct    float64 `json:"overhead_pct"`
 	StatsIdentical bool    `json:"stats_identical"`
 }
 

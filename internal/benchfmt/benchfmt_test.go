@@ -23,6 +23,8 @@ func sample() *Baseline {
 		Journal: &JournalBaseline{Events: 1 << 16, DisabledNSPerEvent: 1.5, EnabledNSPerEvent: 40},
 		Mem: &MemBaseline{Bench: "mcf", SimulatedInstr: 2000000, OffNSPerInstr: 5.0, OnNSPerInstr: 3.5,
 			Speedup: 1.43, StatsIdentical: true},
+		Timeline: &TimelineBaseline{Bench: "mcf", SimulatedInstr: 2000000, Intervals: 20,
+			OffNSPerInstr: 4.0, OnNSPerInstr: 4.05, OverheadPct: 1.2, StatsIdentical: true},
 	}
 }
 

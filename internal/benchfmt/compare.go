@@ -13,12 +13,13 @@ import (
 // not single-digit drift (which the committed baseline's host would
 // misreport anyway).
 type Tolerances struct {
-	EntryPct   float64 // per-benchmark ns/instr
-	SchedPct   float64 // scheduler serial/parallel walls
-	CkptPct    float64 // checkpoint-on ns/instr
-	TracePct   float64 // trace-replay-on ns/instr
-	JournalPct float64 // flight-recorder per-event costs
-	MemPct     float64 // mem-fast-paths-on ns/instr
+	EntryPct    float64 // per-benchmark ns/instr
+	SchedPct    float64 // scheduler serial/parallel walls
+	CkptPct     float64 // checkpoint-on ns/instr
+	TracePct    float64 // trace-replay-on ns/instr
+	JournalPct  float64 // flight-recorder per-event costs
+	MemPct      float64 // mem-fast-paths-on ns/instr
+	TimelinePct float64 // timeline-recorder-on ns/instr
 
 	// StructuralOnly skips every timing comparison and keeps only the
 	// host-independent checks: blocks present, benchmarks present,
@@ -30,7 +31,7 @@ type Tolerances struct {
 
 // DefaultTolerances returns the standard gate.
 func DefaultTolerances() Tolerances {
-	return Tolerances{EntryPct: 25, SchedPct: 40, CkptPct: 40, TracePct: 40, JournalPct: 50, MemPct: 40}
+	return Tolerances{EntryPct: 25, SchedPct: 40, CkptPct: 40, TracePct: 40, JournalPct: 50, MemPct: 40, TimelinePct: 50}
 }
 
 // Delta is one compared metric.
@@ -185,6 +186,29 @@ func Compare(old, new *Baseline, tol Tolerances) *Comparison {
 		}
 		if !tol.StructuralOnly {
 			c.check("mem on_ns_per_instr", old.Mem.OnNSPerInstr, new.Mem.OnNSPerInstr, tol.MemPct)
+		}
+	}
+
+	switch {
+	case old.Timeline == nil:
+	case new.Timeline == nil:
+		c.problem("timeline block present in old baseline but missing from new")
+	default:
+		// Recording may only observe, never perturb: an arm divergence is
+		// a correctness bug, not a perf regression, and fails even in
+		// structural-only mode. So does a recorder that captured nothing.
+		if !new.Timeline.StatsIdentical {
+			c.problem("timeline recorder arms diverged on %q (architectural stats not identical)", new.Timeline.Bench)
+		}
+		if new.Timeline.Intervals == 0 {
+			c.problem("timeline recorder captured zero intervals on %q (recording broken)", new.Timeline.Bench)
+		}
+		if old.Timeline.SimulatedInstr != new.Timeline.SimulatedInstr {
+			c.problem("timeline block simulated %d instructions, baseline simulated %d (corpus changed)",
+				new.Timeline.SimulatedInstr, old.Timeline.SimulatedInstr)
+		}
+		if !tol.StructuralOnly {
+			c.check("timeline on_ns_per_instr", old.Timeline.OnNSPerInstr, new.Timeline.OnNSPerInstr, tol.TimelinePct)
 		}
 	}
 

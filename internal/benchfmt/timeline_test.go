@@ -1,0 +1,68 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareTimelineStructural: the timeline block's correctness
+// assertions — identical stats between arms, a recorder that actually
+// recorded, a stable corpus — fail even under StructuralOnly, while the
+// overhead check respects its tolerance.
+func TestCompareTimelineStructural(t *testing.T) {
+	structural := DefaultTolerances()
+	structural.StructuralOnly = true
+
+	missing := sample()
+	missing.Timeline = nil
+	cmp := Compare(sample(), missing, structural)
+	if !cmp.Regressed() {
+		t.Error("dropped timeline block not flagged")
+	}
+
+	diverged := sample()
+	diverged.Timeline.StatsIdentical = false
+	cmp = Compare(sample(), diverged, structural)
+	if !cmp.Regressed() || !strings.Contains(cmp.Render(), "diverged") {
+		t.Errorf("recorder perturbation not flagged:\n%s", cmp.Render())
+	}
+
+	empty := sample()
+	empty.Timeline.Intervals = 0
+	cmp = Compare(sample(), empty, structural)
+	if !cmp.Regressed() || !strings.Contains(cmp.Render(), "zero intervals") {
+		t.Errorf("empty recorder not flagged:\n%s", cmp.Render())
+	}
+
+	corpus := sample()
+	corpus.Timeline.SimulatedInstr++
+	if cmp = Compare(sample(), corpus, structural); !cmp.Regressed() {
+		t.Error("timeline corpus change not flagged")
+	}
+}
+
+// TestCompareTimelineOverhead: the on-arm cost is gated at TimelinePct in
+// full mode and ignored under StructuralOnly.
+func TestCompareTimelineOverhead(t *testing.T) {
+	old, worse := sample(), sample()
+	worse.Timeline.OnNSPerInstr *= 2 // +100%, tolerance +50%
+	cmp := Compare(old, worse, DefaultTolerances())
+	if !cmp.Regressed() {
+		t.Fatalf("2x timeline-on ns/instr not flagged:\n%s", cmp.Render())
+	}
+	var flagged bool
+	for _, d := range cmp.Deltas {
+		if d.Metric == "timeline on_ns_per_instr" && d.Regression {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("no timeline delta flagged:\n%s", cmp.Render())
+	}
+
+	structural := DefaultTolerances()
+	structural.StructuralOnly = true
+	if cmp := Compare(old, worse, structural); cmp.Regressed() {
+		t.Fatalf("structural-only mode gated on timeline timing:\n%s", cmp.Render())
+	}
+}

@@ -1,0 +1,65 @@
+package characterize
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// This file is the per-component error attribution of the tentpole
+// telemetry work: where the architectural characterization reduces a
+// technique's error to one Euclidean distance, attribution decomposes it
+// — each technique's CPI stack (base, frontend, branch, L1D, L2, memory,
+// structural cycles per instruction) is diffed component-by-component
+// against the reference's, so a technique's CPI error is traced to the
+// microarchitectural events it mis-samples rather than reported as one
+// opaque number.
+
+// Attribution is one technique's per-component CPI comparison against a
+// reference run of the same benchmark/configuration.
+type Attribution struct {
+	// RefCPI and TechCPI are the per-component CPI stacks (indexed by
+	// cpu.CPIComponent); each stack sums to its run's total CPI by the
+	// cycle-accounting conservation invariant.
+	RefCPI  [cpu.NumCPIComponents]float64
+	TechCPI [cpu.NumCPIComponents]float64
+
+	// Delta is the signed per-component error (technique minus reference);
+	// the deltas sum to TotalErr by construction.
+	Delta [cpu.NumCPIComponents]float64
+
+	// TotalErr is the technique's total CPI error (signed).
+	TotalErr float64
+
+	// Dominant is the component with the largest absolute delta — the
+	// microarchitectural event class the technique mis-estimates most.
+	Dominant cpu.CPIComponent
+}
+
+// Attribute diffs a technique's CPI stack against the reference's. Both
+// stats must come from runs of the same benchmark and configuration.
+func Attribute(ref, tech sim.Stats) (Attribution, error) {
+	if ref.Instructions == 0 || tech.Instructions == 0 {
+		return Attribution{}, fmt.Errorf("characterize: attribution needs non-empty reference and technique windows")
+	}
+	a := Attribution{
+		RefCPI:  ref.Core.CPIStack(),
+		TechCPI: tech.Core.CPIStack(),
+	}
+	for i := range a.Delta {
+		a.Delta[i] = a.TechCPI[i] - a.RefCPI[i]
+		a.TotalErr += a.Delta[i]
+		if abs(a.Delta[i]) > abs(a.Delta[a.Dominant]) {
+			a.Dominant = cpu.CPIComponent(i)
+		}
+	}
+	return a, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,70 @@
+package characterize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// stackStats builds sim.Stats whose CPI stack has the given per-component
+// cycle counts over the given instruction count.
+func stackStats(instr uint64, stack [cpu.NumCPIComponents]uint64) sim.Stats {
+	var s sim.Stats
+	s.Instructions = instr
+	s.Core.Committed = instr
+	for i, v := range stack {
+		s.Core.CycleStack[i] = v
+		s.Core.Cycles += v
+	}
+	s.Cycles = s.Core.Cycles
+	return s
+}
+
+func TestAttributeDecomposesCPIError(t *testing.T) {
+	ref := stackStats(1000, [cpu.NumCPIComponents]uint64{cpu.CPIBase: 1000, cpu.CPIMem: 500})
+	tech := stackStats(2000, [cpu.NumCPIComponents]uint64{cpu.CPIBase: 2000, cpu.CPIMem: 600, cpu.CPIBranch: 200})
+
+	a, err := Attribute(ref, tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ref CPI = 1.5; tech CPI = 1.4 (base 1.0, mem 0.3, branch 0.1).
+	if got := a.Delta[cpu.CPIBase]; math.Abs(got) > 1e-12 {
+		t.Errorf("base delta = %v, want 0", got)
+	}
+	if got, want := a.Delta[cpu.CPIMem], -0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mem delta = %v, want %v", got, want)
+	}
+	if got, want := a.Delta[cpu.CPIBranch], 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("branch delta = %v, want %v", got, want)
+	}
+	// The deltas sum to the total CPI error.
+	var refCPI, techCPI, deltaSum float64
+	for i := 0; i < int(cpu.NumCPIComponents); i++ {
+		refCPI += a.RefCPI[i]
+		techCPI += a.TechCPI[i]
+		deltaSum += a.Delta[i]
+	}
+	if math.Abs(deltaSum-(techCPI-refCPI)) > 1e-12 {
+		t.Errorf("deltas sum to %v, CPI error is %v", deltaSum, techCPI-refCPI)
+	}
+	if math.Abs(a.TotalErr-deltaSum) > 1e-12 {
+		t.Errorf("TotalErr = %v, deltas sum to %v", a.TotalErr, deltaSum)
+	}
+	if a.Dominant != cpu.CPIMem {
+		t.Errorf("dominant component = %s, want mem", a.Dominant)
+	}
+}
+
+func TestAttributeRejectsEmptyRuns(t *testing.T) {
+	var empty sim.Stats
+	ok := stackStats(100, [cpu.NumCPIComponents]uint64{cpu.CPIBase: 100})
+	if _, err := Attribute(empty, ok); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := Attribute(ok, empty); err == nil {
+		t.Error("empty technique run accepted")
+	}
+}

@@ -156,6 +156,7 @@ type Run struct {
 	closers  []func()
 	finished bool
 	manifest *Manifest
+	tracks   func() []obs.CounterTrack // counter tracks for -trace-out
 }
 
 // StartRun validates the observability flags and brings the run's
@@ -251,6 +252,34 @@ func (r *Run) AddSection(name string, fn func() any) {
 	}
 }
 
+// SetTimeline forwards the /timelinez payload provider to the debugz
+// server (a no-op without -debug-addr). Satisfies the optional interface
+// experiments.RegisterSections type-asserts on its sink.
+func (r *Run) SetTimeline(fn func() any) {
+	if r == nil {
+		return
+	}
+	if r.Debug != nil {
+		r.Debug.SetTimeline(fn)
+	}
+}
+
+// SetCounterTracks attaches a Chrome-trace counter-track provider: the
+// -trace-out export and the debugz /tracez download both pass its result
+// to obs.WriteChromeTrace, so interval timelines render as counter
+// series alongside the journal's cell slices.
+func (r *Run) SetCounterTracks(fn func() []obs.CounterTrack) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tracks = fn
+	r.mu.Unlock()
+	if r.Debug != nil {
+		r.Debug.SetCounterTracks(fn)
+	}
+}
+
 // OnClose registers teardown that must run *after* the manifest snapshot
 // (checkpoint-store reset, option teardown). Closers run in registration
 // order, exactly once, from Finish/Exit/Fatal.
@@ -333,9 +362,16 @@ func (r *Run) Finish(runErr error) *Manifest {
 	r.mu.Unlock()
 
 	if r.flags != nil && r.flags.TraceOut != "" {
+		r.mu.Lock()
+		tracks := r.tracks
+		r.mu.Unlock()
+		var cts []obs.CounterTrack
+		if tracks != nil {
+			cts = tracks()
+		}
 		if err := writeFileWith(r.flags.TraceOut, func(w io.Writer) error {
 			var t *obs.Tracer // sweeps are journal-only; simrun-style tracers export via /tracez
-			return obs.WriteChromeTrace(w, t, r.Journal)
+			return obs.WriteChromeTrace(w, t, r.Journal, cts...)
 		}); err != nil {
 			r.Log.Errorf("trace-out: %v", err)
 		} else {

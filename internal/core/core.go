@@ -70,6 +70,12 @@ type Context struct {
 	// CheckEvery overrides the cancellation polling interval, in
 	// instructions; zero uses sim.DefaultCheckEvery.
 	CheckEvery uint64
+
+	// TimelineStride, when positive, attaches an interval timeline
+	// recorder to the simulated core: one sample per TimelineStride
+	// committed (detailed) instructions lands in Result.Timeline. Zero
+	// (the default) attaches nothing and the run pays no recording cost.
+	TimelineStride uint64
 }
 
 // Err reports the context's cancellation error (nil without a context).
@@ -114,6 +120,16 @@ type Result struct {
 
 	// Simulations counts the passes SMARTS needed (1 for everything else).
 	Simulations int
+
+	// Timeline holds the technique's interval samples when the context
+	// requested a recorder (Context.TimelineStride > 0): one entry per
+	// stride of detailed instructions, in execution order. For multi-pass
+	// techniques (SMARTS) the passes' samples concatenate in pass order,
+	// each pass's At counter restarting from zero. The samples derive
+	// purely from the deterministic cycle stream, so a cell's timeline is
+	// byte-identical at any worker count and across the trace-replay,
+	// checkpoint, and memory fast-path toggles.
+	Timeline []cpu.TimelineSample `json:"timeline,omitempty"`
 }
 
 // CPI is shorthand for the estimated cycles per instruction.
@@ -194,6 +210,9 @@ func newRunner(ctx Context, input bench.InputSet) (*sim.Runner, error) {
 	r.Metrics = ctx.Metrics
 	r.Ctx = ctx.Ctx
 	r.CheckEvery = ctx.CheckEvery
+	if ctx.TimelineStride > 0 {
+		r.AttachTimeline(ctx.TimelineStride)
+	}
 	return r, nil
 }
 
@@ -281,6 +300,7 @@ func (t Reference) Run(ctx Context) (Result, error) {
 		DetailedInstr: st.Instructions,
 		Wall:          time.Since(start),
 		Simulations:   1,
+		Timeline:      r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		prof, err := profileWindow(ctx, bench.Reference, 0, ^uint64(0)>>1)
@@ -325,6 +345,7 @@ func (t Reduced) Run(ctx Context) (Result, error) {
 		DetailedInstr: st.Instructions,
 		Wall:          time.Since(start),
 		Simulations:   1,
+		Timeline:      r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		prof, err := profileWindow(ctx, t.Input, 0, ^uint64(0)>>1)

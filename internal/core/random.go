@@ -146,6 +146,7 @@ func (t RandomSample) Run(ctx Context) (Result, error) {
 		FunctionalInstr: functional,
 		Wall:            time.Since(start),
 		Simulations:     1,
+		Timeline:        r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		prof, err := t.sampledProfile(ctx, starts)

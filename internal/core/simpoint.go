@@ -211,6 +211,7 @@ func (t SimPoint) Run(ctx Context) (Result, error) {
 		Wall:            time.Since(start),
 		SetupWall:       setup,
 		Simulations:     1,
+		Timeline:        r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		prog, err := bench.Build(ctx.Bench, bench.Reference, ctx.Scale)

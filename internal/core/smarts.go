@@ -44,6 +44,10 @@ func (SMARTS) Family() Family { return FamilySMARTS }
 type smartsMachine struct {
 	ctx   Context
 	total uint64
+
+	// timeline accumulates the passes' interval samples in pass order
+	// (each pass runs a fresh machine, so its At counter restarts).
+	timeline []cpu.TimelineSample
 }
 
 // SampledPass implements smarts.Runner: a full sampled pass with n units
@@ -115,6 +119,7 @@ func (m *smartsMachine) SampledPass(n int, u, w uint64) ([]float64, sim.Stats, u
 	if len(cpis) == 0 {
 		return nil, sim.Stats{}, 0, 0, fmt.Errorf("core: SMARTS measured no units (program too short)")
 	}
+	m.timeline = append(m.timeline, r.TimelineSamples()...)
 	return cpis, agg, detailed, functional, nil
 }
 
@@ -143,6 +148,7 @@ func (t SMARTS) Run(ctx Context) (Result, error) {
 		FunctionalInstr: out.FunctionalInstr,
 		Wall:            time.Since(start),
 		Simulations:     out.Simulations,
+		Timeline:        m.timeline,
 	}
 	if ctx.CollectProfile {
 		// The measured profile is the sampled units' profile, collected

@@ -47,6 +47,7 @@ func (t RunZ) Run(ctx Context) (Result, error) {
 		FunctionalInstr: ff,
 		Wall:            time.Since(start),
 		Simulations:     1,
+		Timeline:        r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		prof, err := profileWindow(ctx, bench.Reference, 0, ctx.Scale.Instr(t.Z))
@@ -104,6 +105,7 @@ func (t FFRun) Run(ctx Context) (Result, error) {
 		FunctionalInstr: ff,
 		Wall:            time.Since(start),
 		Simulations:     1,
+		Timeline:        r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		prof, err := profileWindow(ctx, bench.Reference, ctx.Scale.Instr(t.X), ctx.Scale.Instr(t.Z))
@@ -169,6 +171,7 @@ func (t FFWURun) Run(ctx Context) (Result, error) {
 		FunctionalInstr: ff,
 		Wall:            time.Since(start),
 		Simulations:     1,
+		Timeline:        r.TimelineSamples(),
 	}
 	if ctx.CollectProfile {
 		skip := ctx.Scale.Instr(t.X) + ctx.Scale.Instr(t.Y)

@@ -103,6 +103,7 @@ type robEntry struct {
 	issued    bool
 	done      bool
 	doneCycle uint64
+	level     mem.Level // for loads: the hierarchy level that served the access
 }
 
 // CoreStats counts events observed by the core itself; predictor and memory
@@ -122,6 +123,11 @@ type CoreStats struct {
 	ROBFullStalls    uint64 // dispatch stalls due to a full ROB
 	IQFullStalls     uint64
 	LSQFullStalls    uint64
+
+	// CycleStack decomposes every cycle into exactly one CPI-stack
+	// component (see attributeCycle); the components sum to Cycles at all
+	// times, an invariant pinned by TestCPIStackConservation.
+	CycleStack [NumCPIComponents]uint64
 }
 
 // Sub returns s - t for measurement-window deltas.
@@ -140,6 +146,9 @@ func (s CoreStats) Sub(t CoreStats) CoreStats {
 	r.ROBFullStalls -= t.ROBFullStalls
 	r.IQFullStalls -= t.IQFullStalls
 	r.LSQFullStalls -= t.LSQFullStalls
+	for i := range r.CycleStack {
+		r.CycleStack[i] -= t.CycleStack[i]
+	}
 	return r
 }
 
@@ -157,6 +166,21 @@ func (s CoreStats) CPI() float64 {
 		return 0
 	}
 	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// CPIStack returns the per-component cycles-per-instruction decomposition:
+// element i is CycleStack[i] divided by Committed, so the elements sum to
+// CPI (conservation: the raw components sum to Cycles).
+func (s CoreStats) CPIStack() [NumCPIComponents]float64 {
+	var out [NumCPIComponents]float64
+	if s.Committed == 0 {
+		return out
+	}
+	inv := 1 / float64(s.Committed)
+	for i, v := range s.CycleStack {
+		out[i] = float64(v) * inv
+	}
+	return out
 }
 
 // Core is the cycle-level out-of-order superscalar engine. It consumes the
@@ -215,6 +239,17 @@ type Core struct {
 	l1iHitLat      int
 	fetchBlockMask uint64 // ^(L1I block bytes - 1), hoisted out of fetch
 
+	// frontRefill is the CPI component charged while the frontend waits
+	// out a fetchResume window: CPIBranch after a branch redirect,
+	// CPIFrontend after an I-cache miss.
+	frontRefill CPIComponent
+
+	// tl is the optional interval timeline recorder; tlNext is the
+	// committed-instruction threshold of its next sample. A nil tl costs
+	// one pointer check per cycle (the disabled contract).
+	tl     *Timeline
+	tlNext uint64
+
 	Stats CoreStats
 }
 
@@ -249,6 +284,7 @@ func NewCore(cfg CoreConfig, emu *Emu, hier *mem.Hierarchy, pred *branch.Predict
 		waitBranchSeq:  -1,
 		l1iHitLat:      hier.L1I.Latency(),
 		fetchBlockMask: ^uint64(hier.L1I.BlockBytes() - 1),
+		frontRefill:    CPIFrontend,
 	}
 	for i := range c.lastWriter {
 		c.lastWriter[i] = -1
@@ -484,16 +520,18 @@ func (c *Core) issueLoad(e *robEntry) bool {
 		e.issued = true
 		e.done = true
 		e.doneCycle = c.cycle + uint64(c.cfg.StoreForward)
+		e.level = mem.LevelL1
 		c.Stats.LoadsForwarded++
 		return true
 	}
 	if !freeUnit(c.dports, c.cycle, 1) {
 		return false
 	}
-	lat := c.hier.AccessD(e.di.Addr, false)
+	lat, level := c.hier.AccessDLevel(e.di.Addr, false)
 	e.issued = true
 	e.done = true
 	e.doneCycle = c.cycle + uint64(lat)
+	e.level = level
 	return true
 }
 
@@ -504,6 +542,7 @@ func (c *Core) resolveBranchWait(e *robEntry) {
 		r := e.doneCycle + 1 + c.pendingRefill
 		if r > c.fetchResume {
 			c.fetchResume = r
+			c.frontRefill = CPIBranch
 		}
 	}
 }
@@ -590,6 +629,7 @@ func (c *Core) fetch() {
 				// Miss: the block arrives after the excess latency; stop
 				// fetching until then.
 				c.fetchResume = c.cycle + uint64(lat-c.l1iHitLat)
+				c.frontRefill = CPIFrontend
 				return
 			}
 		}
@@ -677,13 +717,106 @@ func (c *Core) stallOnBranch(seq int64, refill uint64) {
 
 // step advances the machine one cycle.
 func (c *Core) step() {
+	committedBefore := c.Stats.Committed
 	c.commit()
 	c.issue()
 	c.dispatch()
 	c.fetch()
+	c.attributeCycle(committedBefore)
 	c.cycle++
 	c.Stats.Cycles++
+	if c.tl != nil && c.Stats.Committed >= c.tlNext {
+		c.tlNext = c.tl.record(c)
+	}
 }
+
+// attributeCycle charges the cycle that just executed to exactly one
+// CPI-stack component — the conservation invariant sum(CycleStack) ==
+// Cycles holds by construction. The priority order follows the classic
+// interval model: a cycle that committed anything is base work; otherwise
+// the oldest in-flight instruction names the bottleneck (an executing
+// head load by its serving memory level, a waiting head by its executing
+// producer, a ready-but-blocked head as structural contention); an empty
+// window is the frontend's fault (branch recovery, I-cache refill, or
+// plain fetch starvation).
+func (c *Core) attributeCycle(committedBefore uint64) {
+	st := &c.Stats
+	if st.Committed > committedBefore {
+		st.CycleStack[CPIBase]++
+		return
+	}
+	if c.headSeq < c.nextSeq {
+		e := c.robAt(c.headSeq)
+		if !e.issued {
+			// Head is waiting on operands, a functional unit, or a port.
+			// Charge an executing producer when one exists (a load by its
+			// serving level); otherwise the stall is structural.
+			if comp, ok := c.producerComponent(e); ok {
+				st.CycleStack[comp]++
+			} else {
+				st.CycleStack[CPIStructural]++
+			}
+			return
+		}
+		if e.doneCycle > c.cycle {
+			// Head is executing.
+			if e.di.Class == isa.ClassLoad {
+				st.CycleStack[loadComponent(e.level)]++
+			} else {
+				st.CycleStack[CPIBase]++
+			}
+			return
+		}
+		// Head completed but could not commit: the store port was busy or
+		// the run target throttled commit this cycle.
+		st.CycleStack[CPIStructural]++
+		return
+	}
+	// Empty window: the backend is starved by the frontend.
+	if c.waitBranchSeq != -1 {
+		st.CycleStack[CPIBranch]++
+		return
+	}
+	if c.cycle < c.fetchResume {
+		st.CycleStack[c.frontRefill]++
+		return
+	}
+	st.CycleStack[CPIFrontend]++
+}
+
+// producerComponent finds an in-flight producer of e still executing and
+// returns the component its latency belongs to, preferring a load (whose
+// serving level names the memory component) over ALU work.
+func (c *Core) producerComponent(e *robEntry) (CPIComponent, bool) {
+	comp, ok := CPIBase, false
+	for _, dep := range [2]int64{e.depA, e.depB} {
+		if dep < c.headSeq {
+			continue // includes -1: operand was ready at dispatch
+		}
+		p := c.robAt(dep)
+		if !p.issued || p.doneCycle <= c.cycle {
+			continue
+		}
+		if p.di.Class == isa.ClassLoad {
+			return loadComponent(p.level), true
+		}
+		ok = true
+	}
+	return comp, ok
+}
+
+// SetTimeline attaches (or with nil detaches) an interval recorder. The
+// next sample lands at the next stride multiple of the committed count,
+// so sample boundaries are a pure function of the instruction stream.
+func (c *Core) SetTimeline(t *Timeline) {
+	c.tl = t
+	if t != nil {
+		c.tlNext = c.Stats.Committed - c.Stats.Committed%t.stride + t.stride
+	}
+}
+
+// Timeline returns the attached interval recorder, or nil.
+func (c *Core) Timeline() *Timeline { return c.tl }
 
 // Run commits up to n further instructions, returning the number committed.
 // It returns early (with fewer) only when the program halts and the

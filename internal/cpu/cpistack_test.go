@@ -1,0 +1,191 @@
+package cpu
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/program"
+)
+
+// stackSum is the total of a cycle-stack decomposition.
+func stackSum(stack [NumCPIComponents]uint64) uint64 {
+	var sum uint64
+	for _, v := range stack {
+		sum += v
+	}
+	return sum
+}
+
+// TestCPIStackConservation pins the conservation invariant at the core
+// level: every cycle is charged to exactly one component, so the stack
+// sums to Cycles at every observation point, not just at the end.
+func TestCPIStackConservation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *program.Program
+	}{
+		{"sum", sumProgram(t, 2000)},
+		{"fp", fpProgram(t, 2000)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, core := testMachine(t, tc.p, defaultCoreConfig())
+			for !core.Done() {
+				core.Run(1 << 10)
+				if got, want := stackSum(core.Stats.CycleStack), core.Stats.Cycles; got != want {
+					t.Fatalf("mid-run: cycle stack sums to %d, core ran %d cycles", got, want)
+				}
+			}
+			s := core.Stats
+			if s.Cycles == 0 || s.Committed == 0 {
+				t.Fatal("no progress recorded")
+			}
+			if s.CycleStack[CPIBase] == 0 {
+				t.Error("no cycles charged to base; attribution suspicious")
+			}
+			var cpiSum float64
+			for _, v := range s.CPIStack() {
+				cpiSum += v
+			}
+			if math.Abs(cpiSum-s.CPI()) > 1e-9 {
+				t.Errorf("CPIStack sums to %.9f, CPI is %.9f", cpiSum, s.CPI())
+			}
+		})
+	}
+}
+
+// TestCPIStackSubConservation: measurement-window deltas inherit the
+// invariant, so windowed techniques (Run Z, SMARTS samples) decompose
+// exactly too.
+func TestCPIStackSubConservation(t *testing.T) {
+	_, core := testMachine(t, sumProgram(t, 3000), defaultCoreConfig())
+	core.Run(5000)
+	mark := core.Stats
+	for !core.Done() {
+		core.Run(1 << 12)
+	}
+	w := core.Stats.Sub(mark)
+	if w.Cycles == 0 {
+		t.Fatal("window saw no cycles; grow the program")
+	}
+	if got := stackSum(w.CycleStack); got != w.Cycles {
+		t.Errorf("window cycle stack sums to %d, window ran %d cycles", got, w.Cycles)
+	}
+}
+
+// TestTimelineSamplesConserve checks the interval recorder's contract:
+// samples land on stride boundaries (within commit-width overshoot), are
+// strictly ordered, telescope back to the cumulative counters, and each
+// interval's cycle stack sums to the interval's cycles.
+func TestTimelineSamplesConserve(t *testing.T) {
+	cfg := defaultCoreConfig()
+	_, core := testMachine(t, sumProgram(t, 3000), cfg)
+	const stride = 512
+	tl := NewTimeline(stride, 0)
+	core.SetTimeline(tl)
+	for !core.Done() {
+		core.Run(1 << 12)
+	}
+	samples := tl.Samples()
+	if len(samples) < 5 {
+		t.Fatalf("got %d samples, want at least 5; grow the program", len(samples))
+	}
+	var prevAt, instr, cycles uint64
+	for i, s := range samples {
+		if s.At <= prevAt && i > 0 {
+			t.Fatalf("sample %d at %d not after previous at %d", i, s.At, prevAt)
+		}
+		// The core checks the threshold after each full-width commit, so a
+		// boundary can overshoot its stride multiple by under one commit
+		// group, never more.
+		if s.At%stride >= uint64(cfg.CommitWidth) {
+			t.Errorf("sample %d at %d overshoots the stride boundary by %d (commit width %d)",
+				i, s.At, s.At%stride, cfg.CommitWidth)
+		}
+		if got := stackSum(s.CycleStack); got != s.Cycles {
+			t.Errorf("sample %d cycle stack sums to %d, interval ran %d cycles", i, got, s.Cycles)
+		}
+		if s.Instructions != s.At-prevAt {
+			t.Errorf("sample %d spans %d instructions, boundary delta is %d", i, s.Instructions, s.At-prevAt)
+		}
+		prevAt = s.At
+		instr += s.Instructions
+		cycles += s.Cycles
+	}
+	// The samples telescope: their deltas sum to the cumulative counters
+	// at the last boundary, which the core's totals can only exceed by
+	// the unsampled tail.
+	if instr != prevAt {
+		t.Errorf("interval instructions sum to %d, last boundary is %d", instr, prevAt)
+	}
+	if instr > core.Stats.Committed || cycles > core.Stats.Cycles {
+		t.Errorf("intervals cover %d instr / %d cycles, core ran %d / %d",
+			instr, cycles, core.Stats.Committed, core.Stats.Cycles)
+	}
+}
+
+// TestTimelineRingKeepsNewest: a full ring overwrites oldest-first and
+// keeps counting, so long runs degrade to a recent window, never an error.
+func TestTimelineRingKeepsNewest(t *testing.T) {
+	_, core := testMachine(t, sumProgram(t, 3000), defaultCoreConfig())
+	tl := NewTimeline(128, 4)
+	core.SetTimeline(tl)
+	for !core.Done() {
+		core.Run(1 << 12)
+	}
+	if tl.Total() <= 4 {
+		t.Fatalf("recorded %d samples, want more than the ring's 4", tl.Total())
+	}
+	samples := tl.Samples()
+	if len(samples) != 4 || tl.Len() != 4 {
+		t.Fatalf("resident samples = %d, want the full ring of 4", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At <= samples[i-1].At {
+			t.Fatalf("resident samples not oldest-first: %d then %d", samples[i-1].At, samples[i].At)
+		}
+	}
+	if last := samples[len(samples)-1].At; last < tl.Total()*128-128 {
+		t.Errorf("newest resident sample at %d; ring dropped the recent window", last)
+	}
+}
+
+// TestTimelineDoesNotPerturb: recording is observation only — the cycle
+// stream, stats, and architectural state are bit-identical with and
+// without a recorder attached.
+func TestTimelineDoesNotPerturb(t *testing.T) {
+	p := sumProgram(t, 2000)
+	run := func(attach bool) CoreStats {
+		_, core := testMachine(t, p, defaultCoreConfig())
+		if attach {
+			core.SetTimeline(NewTimeline(256, 0))
+		}
+		for !core.Done() {
+			core.Run(1 << 12)
+		}
+		return core.Stats
+	}
+	plain, recorded := run(false), run(true)
+	if !reflect.DeepEqual(plain, recorded) {
+		t.Errorf("recorder perturbed the simulation:\nplain:    %+v\nrecorded: %+v", plain, recorded)
+	}
+}
+
+// TestTimelineZeroAlloc pins the cost contract: the detached core's
+// per-cycle check is a nil test, and an attached recorder samples into its
+// preallocated ring without allocating.
+func TestTimelineZeroAlloc(t *testing.T) {
+	_, core := testMachine(t, fpProgram(t, 50000), defaultCoreConfig())
+	core.Run(4096) // past cold-start so the measurement sees steady state
+	if allocs := testing.AllocsPerRun(200, func() { core.Run(64) }); allocs != 0 {
+		t.Errorf("detached core allocated %.1f objects per chunk in steady state", allocs)
+	}
+	tl := NewTimeline(64, 8)
+	core.SetTimeline(tl)
+	if allocs := testing.AllocsPerRun(200, func() { core.Run(64) }); allocs != 0 {
+		t.Errorf("recording core allocated %.1f objects per chunk in steady state", allocs)
+	}
+	if tl.Total() == 0 {
+		t.Fatal("alloc measurement never sampled; stride too wide for the chunk size")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/characterize"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/sim"
 )
 
@@ -173,6 +174,99 @@ func RenderArchChar(rows []ArchCharRow) string {
 	sb.WriteString(fmt.Sprintf("%-10s %-36s %-10s %9s\n", "benchmark", "technique", "family", "distance"))
 	for _, r := range rows {
 		sb.WriteString(fmt.Sprintf("%-10s %-36s %-10s %9.4f\n", r.Bench, r.Technique, r.Family, r.Distance))
+	}
+	return sb.String()
+}
+
+// CPIAttrRow is one technique's per-component CPI error attribution for a
+// benchmark: the signed delta of each CPI-stack component against the
+// reference on the base configuration, and the dominant error source.
+type CPIAttrRow struct {
+	Bench     bench.Name
+	Technique string
+	Family    core.Family
+
+	RefCPI   float64
+	TechCPI  float64
+	Delta    [cpu.NumCPIComponents]float64
+	TotalErr float64
+	Dominant cpu.CPIComponent
+}
+
+// CPIAttribution diffs every technique's CPI stack component-by-component
+// against the reference's on the base configuration — the telemetry
+// layer's answer to "which microarchitectural events does this technique
+// mis-sample". A failed technique loses only its own row; a failed
+// reference loses its benchmark (recorded in o.Report()).
+func CPIAttribution(o *Options) ([]CPIAttrRow, error) {
+	// Plan + schedule (no-op when Parallel is 0).
+	o.RunPlan(AttributionPlan(o))
+	cfg := sim.BaseConfig()
+
+	var rows []CPIAttrRow
+	for _, b := range o.Benches {
+		ref, err := o.run(b, core.Reference{}, cfg)
+		if err != nil {
+			if aerr := o.cellErr("ATTR", b, "reference", cfg.Name, err); aerr != nil {
+				return nil, aerr
+			}
+			o.Report().Skip("ATTR", b, "", "reference CPI stack failed; benchmark dropped")
+			continue
+		}
+		for _, tech := range o.Techniques(b) {
+			res, err := o.run(b, tech, cfg)
+			if err != nil {
+				if aerr := o.cellErr("ATTR", b, tech.Name(), cfg.Name, err); aerr != nil {
+					return nil, aerr
+				}
+				continue
+			}
+			attr, err := characterize.Attribute(ref.Stats, res.Stats)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: attribution of %s on %s: %w", tech.Name(), b, err)
+			}
+			o.Report().Completed()
+			row := CPIAttrRow{
+				Bench: b, Technique: tech.Name(), Family: tech.Family(),
+				Delta: attr.Delta, TotalErr: attr.TotalErr, Dominant: attr.Dominant,
+			}
+			for i := range attr.RefCPI {
+				row.RefCPI += attr.RefCPI[i]
+				row.TechCPI += attr.TechCPI[i]
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Bench != rows[j].Bench {
+			return rows[i].Bench < rows[j].Bench
+		}
+		if rows[i].Family != rows[j].Family {
+			return familyOrder[rows[i].Family] < familyOrder[rows[j].Family]
+		}
+		return rows[i].Technique < rows[j].Technique
+	})
+	return rows, nil
+}
+
+// RenderCPIAttribution formats the attribution table: one row per
+// technique with the signed per-component CPI deltas versus reference.
+func RenderCPIAttribution(rows []CPIAttrRow) string {
+	var sb strings.Builder
+	sb.WriteString("Per-component CPI error attribution: signed CPI-stack deltas vs reference\n")
+	sb.WriteString("(base configuration; components sum to the total CPI error; 'dominant' is\n")
+	sb.WriteString("the component with the largest absolute delta)\n\n")
+	sb.WriteString(fmt.Sprintf("%-10s %-36s %8s", "benchmark", "technique", "CPIerr"))
+	for c := cpu.CPIComponent(0); c < cpu.NumCPIComponents; c++ {
+		sb.WriteString(fmt.Sprintf(" %10s", c.String()))
+	}
+	sb.WriteString("  dominant\n")
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-10s %-36s %+8.4f", r.Bench, r.Technique, r.TotalErr))
+		for _, d := range r.Delta {
+			sb.WriteString(fmt.Sprintf(" %+10.4f", d))
+		}
+		sb.WriteString("  " + r.Dominant.String() + "\n")
 	}
 	return sb.String()
 }

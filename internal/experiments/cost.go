@@ -61,6 +61,11 @@ type CostRow struct {
 	TraceBytes  int64 `json:"trace_bytes"`
 	Retries     int64 `json:"retries"`
 	Dedups      int64 `json:"dedups"`
+
+	// TimelineIntervals is the row's total recorded interval samples — a
+	// pure function of the cells' deterministic instruction streams, so it
+	// survives Deterministic() alongside the instruction counts.
+	TimelineIntervals int64 `json:"timeline_intervals,omitempty"`
 }
 
 // add folds one cell into the row.
@@ -84,6 +89,7 @@ func (r *CostRow) add(c CellCost) {
 	if c.Cost.Dedup {
 		r.Dedups++
 	}
+	r.TimelineIntervals += c.Cost.TimelineIntervals
 }
 
 // finish derives the row's quotient fields after aggregation.

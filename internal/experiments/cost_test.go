@@ -49,6 +49,7 @@ func sumRows(rows []CostRow) CostRow {
 		total.TraceBytes += r.TraceBytes
 		total.Retries += r.Retries
 		total.Dedups += r.Dedups
+		total.TimelineIntervals += r.TimelineIntervals
 	}
 	return total
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/experiments/sched"
 	"repro/internal/obs"
 	"repro/internal/pb"
@@ -79,6 +80,15 @@ type Engine struct {
 	// CheckEvery overrides the runner's cancellation polling interval for
 	// runs issued through this engine (0 = sim.DefaultCheckEvery).
 	CheckEvery uint64
+
+	// TimelineStride, when positive, arms the interval timeline recorder
+	// on every run this engine issues (see core.Context.TimelineStride):
+	// one sample per TimelineStride committed detailed instructions lands
+	// in the result's Timeline. 0 disables recording. Part of neither the
+	// cache key nor the determinism contract's inputs — a timeline is a
+	// pure function of the cell's deterministic cycle stream. Set before
+	// the first Run.
+	TimelineStride uint64
 
 	// CellTimeout arms the hang watchdog: an attempt whose runner makes
 	// no progress (no heartbeat from the chunked cancellation polling)
@@ -562,6 +572,7 @@ func (e *Engine) runOnce(ctx context.Context, b bench.Name, tech core.Technique,
 		CollectProfile: e.Profile,
 		Ctx:            runCtx,
 		CheckEvery:     e.CheckEvery,
+		TimelineStride: e.TimelineStride,
 	})
 }
 
@@ -620,6 +631,13 @@ type Options struct {
 	// TraceMode "auto" (0 = core.DefaultTraceBudget).
 	TraceBudget int64
 
+	// TimelineStride arms the engines' interval timeline recorder (see
+	// Engine.TimelineStride); DefaultOptions sets
+	// cpu.DefaultTimelineStride, so sweeps record timelines by default.
+	// 0 disables recording entirely. Set before the first
+	// Engine()/ProfileEngine() call.
+	TimelineStride uint64
+
 	// Report collects per-cell outcomes; created on first use via
 	// Report(). Assign one to share a report across drivers.
 	report *RunReport
@@ -640,6 +658,15 @@ type Options struct {
 	// plan order by RunPlan (see cost.go).
 	costMu    sync.Mutex
 	costCells []CellCost
+
+	// Timeline ledger: every distinct cell's interval timeline, captured
+	// by o.run/o.profileRun — the warm-map-first accessors the drivers'
+	// serial assembly passes call in deterministic order — so the ledger
+	// (and everything rendered from it) is byte-identical at any worker
+	// count (see timeline.go).
+	tlMu    sync.Mutex
+	tlSeen  map[string]bool
+	tlCells []TimelineCell
 
 	// state is the durable run-state log (nil unless OpenRunState
 	// attached one); guarded by warmMu like the warm map it feeds.
@@ -673,9 +700,10 @@ func (o *Options) Close() {
 // representative catalogue, the unfolded 44-run design, CLI scale.
 func DefaultOptions() *Options {
 	return &Options{
-		Scale:     sim.ScaleCLI,
-		Benches:   bench.All(),
-		TraceMode: "auto",
+		Scale:          sim.ScaleCLI,
+		Benches:        bench.All(),
+		TraceMode:      "auto",
+		TimelineStride: cpu.DefaultTimelineStride,
 	}
 }
 
@@ -701,6 +729,7 @@ func (o *Options) Engine() *Engine {
 	if o.engine == nil {
 		o.engine = NewEngine(o.Scale)
 		o.engine.CellTimeout = o.CellTimeout
+		o.engine.TimelineStride = o.TimelineStride
 	}
 	return o.engine
 }
@@ -717,6 +746,7 @@ func (o *Options) ProfileEngine() *Engine {
 		pe.Retry = o.Engine().Retry
 		pe.CheckEvery = o.Engine().CheckEvery
 		pe.CellTimeout = o.Engine().CellTimeout
+		pe.TimelineStride = o.Engine().TimelineStride
 		o.profileEngine = pe
 	}
 	return o.profileEngine
@@ -746,10 +776,13 @@ func (o *Options) ctx() context.Context {
 func (o *Options) run(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
 	if o.warm != nil {
 		if res, err, ok := o.warmLookup(o.Engine().key(b, tech, cfg)); ok {
+			o.recordTimeline(b, tech, cfg, res, err)
 			return res, err
 		}
 	}
-	return o.Engine().RunContext(o.ctx(), b, tech, cfg)
+	res, err := o.Engine().RunContext(o.ctx(), b, tech, cfg)
+	o.recordTimeline(b, tech, cfg, res, err)
+	return res, err
 }
 
 // profileRun is run for the profiling engine (the §5.2 execution-profile
@@ -757,10 +790,13 @@ func (o *Options) run(b bench.Name, tech core.Technique, cfg sim.Config) (core.R
 func (o *Options) profileRun(b bench.Name, tech core.Technique, cfg sim.Config) (core.Result, error) {
 	if o.warm != nil {
 		if res, err, ok := o.warmLookup(o.ProfileEngine().key(b, tech, cfg)); ok {
+			o.recordTimeline(b, tech, cfg, res, err)
 			return res, err
 		}
 	}
-	return o.ProfileEngine().RunContext(o.ctx(), b, tech, cfg)
+	res, err := o.ProfileEngine().RunContext(o.ctx(), b, tech, cfg)
+	o.recordTimeline(b, tech, cfg, res, err)
+	return res, err
 }
 
 // cellErr applies the fault policy to one failed cell: under FailFast (or

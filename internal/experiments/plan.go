@@ -379,7 +379,28 @@ func FiguresPlan(o *Options, sel func(id string) bool) ([]sched.Cell, error) {
 	if sel("ARCH") {
 		cells = append(cells, ArchPlan(o)...)
 	}
+	if sel("ATTR") {
+		cells = append(cells, AttributionPlan(o)...)
+	}
 	return cells, nil
+}
+
+// AttributionPlan enumerates the per-component CPI error attribution
+// cells: reference and techniques on the base configuration, one row per
+// (benchmark, technique). The cells coincide with the PROFILE plan's
+// non-profiled twin, so a union plan shares the runs.
+func AttributionPlan(o *Options) []sched.Cell {
+	cfg := sim.BaseConfig()
+	var cells []sched.Cell
+	for _, b := range o.Benches {
+		cells = append(cells, sched.Cell{Artifact: "ATTR", Phase: "reference",
+			Bench: b, Technique: core.Reference{}, Config: cfg})
+		for _, tech := range o.Techniques(b) {
+			cells = append(cells, sched.Cell{Artifact: "ATTR", Phase: "technique",
+				Bench: b, Technique: tech, Config: cfg})
+		}
+	}
+	return cells
 }
 
 // ArchPlan enumerates the architecture-level characterization cells

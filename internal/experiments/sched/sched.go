@@ -157,6 +157,12 @@ type CostReport struct {
 	// was answered by cache/single-flight instead of a fresh run.
 	Retries int64 `json:"retries"`
 	Dedup   bool  `json:"dedup,omitempty"`
+
+	// TimelineIntervals counts the interval samples the cell's timeline
+	// recorder captured (0 when recording was off). The count is a pure
+	// function of the cell's deterministic instruction stream, so unlike
+	// the host-cost fields above it is scheduling-independent.
+	TimelineIntervals int64 `json:"timeline_intervals,omitempty"`
 }
 
 // CellNotes carries per-cell annotations from the RunFunc back to the
@@ -410,6 +416,8 @@ func (p *Pool) Run(ctx context.Context, cells []Cell, run RunFunc) ([]Outcome, T
 					TraceBytes:      trBytes1 - trBytes0,
 					Retries:         wk.Notes.Retries,
 					Dedup:           wk.Notes.Dedup,
+
+					TimelineIntervals: int64(len(res.Timeline)),
 				}
 				if cost.SimulatedInstr > 0 {
 					cost.NSPerInstr = float64(cost.WallNS) / float64(cost.SimulatedInstr)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // planProgress is the sweep's live progress accounting, updated by the
@@ -83,7 +84,18 @@ func (o *Options) RegisterSections(s SectionSink) {
 	s.AddSection("ckpt", func() any { return core.CheckpointStats() })
 	s.AddSection("trace", func() any { return core.TraceStats() })
 	s.AddSection("cost", func() any { return o.CostSummary() })
+	s.AddSection("timeline", func() any { return o.TimelineSummary() })
 	s.AddSection("cells", func() any { return rep.Cells() })
+	// Sinks with the richer debugz-style surfaces additionally get the
+	// full /timelinez payload and the Chrome-trace counter tracks.
+	if ts, ok := s.(interface{ SetTimeline(func() any) }); ok {
+		ts.SetTimeline(func() any { return o.TimelineDocument() })
+	}
+	if ct, ok := s.(interface {
+		SetCounterTracks(func() []obs.CounterTrack)
+	}); ok {
+		ct.SetCounterTracks(o.CounterTracks)
+	}
 	// Durable-run-state telemetry, only when a log is attached (so the
 	// section is registered after OpenRunState in the CLIs).
 	if o.stateLog() != nil {

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file is the sweep-level face of the interval timeline recorder
+// (see internal/cpu: Timeline, TimelineSample): Options collects every
+// distinct cell's timeline into a ledger as the drivers assemble their
+// artifacts, and exposes it as -timeline-out JSON, a /statusz section,
+// the /timelinez payload, and Chrome-trace counter tracks.
+//
+// Determinism: capture happens in o.run/o.profileRun — the accessors the
+// drivers' serial assembly passes call in deterministic order whether the
+// cells were executed inline or prewarmed by the parallel scheduler — and
+// a timeline itself is a pure function of the cell's deterministic cycle
+// stream. The ledger (and the -timeline-out bytes) is therefore identical
+// at any worker count (pinned by TestTimelineDeterministicAcrossWorkers).
+
+// TimelineCell is one cell's recorded interval timeline.
+type TimelineCell struct {
+	Bench     bench.Name           `json:"bench"`
+	Technique string               `json:"technique"`
+	Config    string               `json:"config"`
+	Samples   []cpu.TimelineSample `json:"samples"`
+}
+
+// TimelineDocument is the -timeline-out JSON shape.
+type TimelineDocument struct {
+	// Stride is the recorder's sampling stride in committed detailed
+	// instructions (cpu.TimelineSample.At counts strides of it).
+	Stride uint64         `json:"stride"`
+	Cells  []TimelineCell `json:"cells"`
+}
+
+// TimelineSummary is the compact /statusz section: how much the recorder
+// captured, without the sample payload.
+type TimelineSummary struct {
+	Stride    uint64 `json:"stride"`
+	Cells     int    `json:"cells"`
+	Intervals int    `json:"intervals"`
+}
+
+// recordTimeline captures one assembled cell's timeline into the ledger
+// (first capture wins; repeat lookups of the same cell are no-ops).
+// Called from o.run/o.profileRun, so capture order is the deterministic
+// assembly order.
+func (o *Options) recordTimeline(b bench.Name, tech core.Technique, cfg sim.Config, res core.Result, err error) {
+	if err != nil || len(res.Timeline) == 0 {
+		return
+	}
+	key := string(b) + "|" + tech.Name() + "|" + cfg.Key()
+	o.tlMu.Lock()
+	defer o.tlMu.Unlock()
+	if o.tlSeen[key] {
+		return
+	}
+	if o.tlSeen == nil {
+		o.tlSeen = make(map[string]bool)
+	}
+	o.tlSeen[key] = true
+	o.tlCells = append(o.tlCells, TimelineCell{
+		Bench: b, Technique: tech.Name(), Config: cfg.Name,
+		Samples: res.Timeline,
+	})
+}
+
+// TimelineCells returns a copy of the timeline ledger, in capture
+// (assembly) order.
+func (o *Options) TimelineCells() []TimelineCell {
+	o.tlMu.Lock()
+	defer o.tlMu.Unlock()
+	out := make([]TimelineCell, len(o.tlCells))
+	copy(out, o.tlCells)
+	return out
+}
+
+// TimelineDocument assembles the ledger into the export document.
+func (o *Options) TimelineDocument() TimelineDocument {
+	return TimelineDocument{Stride: o.TimelineStride, Cells: o.TimelineCells()}
+}
+
+// TimelineSummary folds the ledger into the compact status form.
+func (o *Options) TimelineSummary() TimelineSummary {
+	cells := o.TimelineCells()
+	s := TimelineSummary{Stride: o.TimelineStride, Cells: len(cells)}
+	for _, c := range cells {
+		s.Intervals += len(c.Samples)
+	}
+	return s
+}
+
+// WriteTimelineJSON writes the sweep's per-cell interval timelines as
+// indented JSON (the CLIs' -timeline-out).
+func (o *Options) WriteTimelineJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.TimelineDocument())
+}
+
+// counterTrackBudget caps the per-cell points a Chrome counter track
+// carries; long reference timelines are downsampled evenly so the trace
+// stays loadable.
+const counterTrackBudget = 256
+
+// CounterTracks converts the ledger into Chrome-trace counter tracks:
+// one track per captured cell, matched to the cell's journal slice by
+// the bench/technique/config fragment of its label, with IPC, mispredict
+// rate, and cache miss rates as counter series.
+func (o *Options) CounterTracks() []obs.CounterTrack {
+	cells := o.TimelineCells()
+	tracks := make([]obs.CounterTrack, 0, len(cells))
+	for _, c := range cells {
+		n := len(c.Samples)
+		step := 1
+		if n > counterTrackBudget {
+			step = (n + counterTrackBudget - 1) / counterTrackBudget
+		}
+		match := "/" + string(c.Bench) + "/" + c.Technique + "/" + c.Config
+		tr := obs.CounterTrack{Match: match, Name: "timeline " + string(c.Bench) + "/" + c.Technique}
+		for i := 0; i < n; i += step {
+			s := c.Samples[i]
+			tr.Points = append(tr.Points, obs.TrackPoint{
+				Frac: float64(i+1) / float64(n),
+				Values: map[string]float64{
+					"ipc":             s.IPC(),
+					"mispredict_rate": s.MispredictRate(),
+					"l1d_miss_rate":   s.L1DMissRate(),
+					"l2_miss_rate":    s.L2MissRate(),
+				},
+			})
+		}
+		tracks = append(tracks, tr)
+	}
+	return tracks
+}

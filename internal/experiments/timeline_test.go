@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// runTimelinePlan runs the attribution assembly (reference plus the tiny
+// technique set on one benchmark) at the given worker count with a stride
+// small enough that the tiny corpus produces samples, and returns the
+// options plus the attribution rows.
+func runTimelinePlan(t *testing.T, workers int) (*Options, []CPIAttrRow) {
+	t.Helper()
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	o.Parallel = workers
+	o.TimelineStride = 2000
+	o.Engine().Obs = obs.NewRegistry()
+	rows, err := CPIAttribution(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Report().HasFailures() {
+		t.Fatalf("attribution run had failures:\n%s", o.Report().Render())
+	}
+	return o, rows
+}
+
+// TestTimelineDeterministicAcrossWorkers is the acceptance check for the
+// export layer: the -timeline-out document is byte-identical at one and
+// eight workers, because samples are a pure function of each cell's
+// deterministic cycle stream and the ledger is assembled serially.
+func TestTimelineDeterministicAcrossWorkers(t *testing.T) {
+	o1, r1 := runTimelinePlan(t, 1)
+	o8, r8 := runTimelinePlan(t, 8)
+
+	var b1, b8 bytes.Buffer
+	if err := o1.WriteTimelineJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o8.WriteTimelineJSON(&b8); err != nil {
+		t.Fatal(err)
+	}
+	if b1.Len() == 0 || !json.Valid(b1.Bytes()) {
+		t.Fatalf("timeline document invalid: %q", b1.String())
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Errorf("timeline documents differ between 1 and 8 workers (%d vs %d bytes)", b1.Len(), b8.Len())
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Errorf("attribution rows differ between 1 and 8 workers")
+	}
+	doc := o1.TimelineDocument()
+	if doc.Stride != 2000 || len(doc.Cells) == 0 {
+		t.Fatalf("timeline document stride %d with %d cells", doc.Stride, len(doc.Cells))
+	}
+	for _, c := range doc.Cells {
+		if len(c.Samples) == 0 {
+			t.Errorf("cell %s/%s/%s captured no samples", c.Bench, c.Technique, c.Config)
+		}
+	}
+}
+
+// TestTimelineSummaryAndTracks: the manifest-facing summary counts what
+// the ledger holds, and the Chrome-trace counter tracks stay within the
+// downsampling budget with the derived rates populated.
+func TestTimelineSummaryAndTracks(t *testing.T) {
+	o, _ := runTimelinePlan(t, 4)
+	sum := o.TimelineSummary()
+	if sum.Cells == 0 || sum.Intervals == 0 || sum.Stride != 2000 {
+		t.Fatalf("timeline summary = %+v", sum)
+	}
+	var total int
+	for _, c := range o.TimelineCells() {
+		total += len(c.Samples)
+	}
+	if total != sum.Intervals {
+		t.Errorf("summary counts %d intervals, cells hold %d", sum.Intervals, total)
+	}
+
+	tracks := o.CounterTracks()
+	if len(tracks) == 0 {
+		t.Fatal("no counter tracks derived from the ledger")
+	}
+	for _, tr := range tracks {
+		if tr.Match == "" || tr.Name == "" {
+			t.Errorf("track missing identity: %+v", tr)
+		}
+		if len(tr.Points) == 0 || len(tr.Points) > counterTrackBudget {
+			t.Errorf("track %s has %d points, budget is %d", tr.Name, len(tr.Points), counterTrackBudget)
+		}
+		last := tr.Points[len(tr.Points)-1]
+		if last.Frac != 1 {
+			t.Errorf("track %s last point at frac %v, want 1", tr.Name, last.Frac)
+		}
+		for _, key := range []string{"ipc", "mispredict_rate", "l1d_miss_rate", "l2_miss_rate"} {
+			if _, ok := last.Values[key]; !ok {
+				t.Errorf("track %s missing value %q", tr.Name, key)
+			}
+		}
+	}
+}
+
+// TestTimelineIntervalsInCost: the scheduler's cost attribution carries
+// the interval counts, they aggregate across rows, and they survive the
+// Deterministic comparison view (they are simulation facts, not host
+// costs).
+func TestTimelineIntervalsInCost(t *testing.T) {
+	o, _ := runTimelinePlan(t, 4)
+	s := o.CostSummary()
+	if s.Total.TimelineIntervals == 0 {
+		t.Fatal("cost summary recorded no timeline intervals")
+	}
+	var byTech int64
+	for _, r := range s.ByTechnique {
+		byTech += r.TimelineIntervals
+	}
+	if byTech != s.Total.TimelineIntervals {
+		t.Errorf("technique rows sum to %d intervals, total is %d", byTech, s.Total.TimelineIntervals)
+	}
+	det := s.Deterministic()
+	if det.Total.TimelineIntervals != s.Total.TimelineIntervals {
+		t.Errorf("Deterministic() dropped timeline intervals: %d -> %d",
+			s.Total.TimelineIntervals, det.Total.TimelineIntervals)
+	}
+}
+
+// TestTimelineOffByDefaultIsEmpty: a zero stride records nothing — the
+// ledger stays empty and the JSON document says so, rather than erroring.
+func TestTimelineOffRecordsNothing(t *testing.T) {
+	o := tinyOptions()
+	o.Benches = []bench.Name{bench.Mcf}
+	o.TechniquesFn = tinyTechniques
+	o.Parallel = 2
+	o.TimelineStride = 0
+	o.Engine().Obs = obs.NewRegistry()
+	if _, err := CPIAttribution(o); err != nil {
+		t.Fatal(err)
+	}
+	if sum := o.TimelineSummary(); sum.Cells != 0 || sum.Intervals != 0 {
+		t.Fatalf("stride 0 still captured %+v", sum)
+	}
+	var buf bytes.Buffer
+	if err := o.WriteTimelineJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty timeline document invalid: %q", buf.String())
+	}
+	if tracks := o.CounterTracks(); len(tracks) != 0 {
+		t.Fatalf("stride 0 derived %d counter tracks", len(tracks))
+	}
+}

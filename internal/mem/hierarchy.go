@@ -109,18 +109,51 @@ func (h *Hierarchy) SetAssumeHit(on bool) {
 	h.L2.AssumeHit = on
 }
 
+// Level identifies the hierarchy level that served a data access, for
+// per-component cycle attribution (the CPI stack): an L1 hit, an L2 hit,
+// or a fill from main memory.
+type Level uint8
+
+// The serving levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
 // accessL2 handles an L1 miss: look up L2, fill from memory if needed, and
 // return the additional latency beyond the L1 hit cost.
 func (h *Hierarchy) accessL2(addr uint64, write bool) int {
+	lat, _ := h.accessL2Level(addr, write)
+	return lat
+}
+
+// accessL2Level is accessL2 reporting whether the block came from L2 or
+// from main memory.
+func (h *Hierarchy) accessL2Level(addr uint64, write bool) (int, Level) {
 	hit, _, _ := h.L2.Access(addr, write)
 	if hit {
-		return h.L2.Latency()
+		return h.L2.Latency(), LevelL2
 	}
 	lat := h.L2.Latency() + h.memFillLat
 	if h.cfg.Prefetch == PrefetchNextLine {
 		h.L2.Prefetch(addr + uint64(h.L2.BlockBytes()))
 	}
-	return lat
+	return lat, LevelMem
 }
 
 // AccessI performs an instruction fetch of the block containing addr and
@@ -145,6 +178,15 @@ func (h *Hierarchy) AccessI(addr uint64) int {
 // evictions from L1D are written through to L2 (counted, not timed: write
 // buffers hide their latency).
 func (h *Hierarchy) AccessD(addr uint64, write bool) int {
+	lat, _ := h.AccessDLevel(addr, write)
+	return lat
+}
+
+// AccessDLevel is AccessD additionally reporting which level served the
+// access (L1 hit, L2 hit, or memory fill) so the core can attribute the
+// stall cycles of a long-latency load to the right CPI-stack component.
+// State changes and the returned latency are identical to AccessD.
+func (h *Hierarchy) AccessDLevel(addr uint64, write bool) (int, Level) {
 	lat := h.L1D.Latency()
 	if !h.DTLB.Access(addr) {
 		lat += h.cfg.TLBMissCycles
@@ -154,13 +196,14 @@ func (h *Hierarchy) AccessD(addr uint64, write bool) int {
 		h.L2.Access(evicted, true)
 	}
 	if hit {
-		return lat
+		return lat, LevelL1
 	}
-	lat += h.accessL2(addr, false)
+	l2lat, level := h.accessL2Level(addr, false)
+	lat += l2lat
 	if h.cfg.Prefetch == PrefetchNextLine {
 		h.L1D.Prefetch(addr + uint64(h.L1D.BlockBytes()))
 	}
-	return lat
+	return lat, level
 }
 
 // WarmI updates instruction-side state without computing latency, for

@@ -37,6 +37,13 @@ type Server struct {
 	sections map[string]func() any
 	names    []string // registration order, for stable /statusz output
 	tracer   *obs.Tracer
+	timeline func() any                // /timelinez payload (nil = endpoint empty)
+	tracks   func() []obs.CounterTrack // counter tracks for /tracez
+
+	// lastDropped mirrors the journal's Dropped() into the monotonic
+	// journal_dropped_total counter at scrape time (the journal itself is
+	// registry-free); guarded by mu.
+	lastDropped uint64
 }
 
 // New builds a server over a registry and journal (either may be nil;
@@ -80,6 +87,45 @@ func (s *Server) SetTracer(t *obs.Tracer) {
 	s.mu.Unlock()
 }
 
+// SetTimeline attaches the /timelinez payload provider: fn is called per
+// request (it must be safe for concurrent use) and its result is
+// JSON-marshalled — the sweep's per-cell interval timelines, typically.
+func (s *Server) SetTimeline(fn func() any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.timeline = fn
+	s.mu.Unlock()
+}
+
+// SetCounterTracks attaches a provider of Chrome-trace counter tracks;
+// /tracez passes its result to obs.WriteChromeTrace so interval
+// timelines render as counter series alongside the cell slices.
+func (s *Server) SetCounterTracks(fn func() []obs.CounterTrack) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tracks = fn
+	s.mu.Unlock()
+}
+
+// syncDropped folds the journal's cumulative drop count into the
+// registry's journal_dropped_total counter (called on every scrape and
+// snapshot, so the counter is fresh wherever it is read).
+func (s *Server) syncDropped() uint64 {
+	d := s.journal.Dropped()
+	s.mu.Lock()
+	delta := d - s.lastDropped
+	s.lastDropped = d
+	s.mu.Unlock()
+	if delta > 0 {
+		s.reg.Counter("journal_dropped_total").Add(delta)
+	}
+	return d
+}
+
 // Status is the /statusz payload.
 type Status struct {
 	Command       string  `json:"command"`
@@ -100,8 +146,12 @@ type Status struct {
 	// estimates); nil when the sampler is off.
 	Runtime *obs.RuntimeStats `json:"runtime,omitempty"`
 
-	JournalEvents uint64         `json:"journal_events"`
-	Sections      map[string]any `json:"sections,omitempty"`
+	JournalEvents uint64 `json:"journal_events"`
+	// JournalDropped counts ring events overwritten before being read —
+	// non-zero means the flight recorder's tail is incomplete and a sink
+	// (or a larger ring) is needed for full fidelity.
+	JournalDropped uint64         `json:"journal_dropped,omitempty"`
+	Sections       map[string]any `json:"sections,omitempty"`
 }
 
 // snapshot evaluates every section into a Status.
@@ -116,12 +166,13 @@ func (s *Server) snapshot() Status {
 	s.mu.Unlock()
 
 	st := Status{
-		Command:       command,
-		PID:           os.Getpid(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		JournalEvents: s.journal.Total(),
+		Command:        command,
+		PID:            os.Getpid(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		JournalEvents:  s.journal.Total(),
+		JournalDropped: s.syncDropped(),
 	}
 	if rs, ok := obs.DefaultRuntimeSampler.Last(); ok {
 		st.Goroutines = int(rs.Goroutines)
@@ -144,6 +195,7 @@ func (s *Server) snapshot() Status {
 //	/statusz       live run status (JSON)
 //	/eventsz       journal tail as JSON lines (?n=256 bounds it)
 //	/tracez        Chrome trace_event download of the run so far
+//	/timelinez     per-cell interval timelines (CPI stacks, miss rates)
 //	/metrics       Prometheus text exposition
 //	/metrics.json  registry snapshot
 //	/debug/pprof/  the standard pprof surface
@@ -171,13 +223,35 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Lock()
 		t := s.tracer
+		tracks := s.tracks
 		s.mu.Unlock()
+		var cts []obs.CounterTrack
+		if tracks != nil {
+			cts = tracks()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
-		_ = obs.WriteChromeTrace(w, t, s.journal)
+		_ = obs.WriteChromeTrace(w, t, s.journal, cts...)
 	})
-	mux.Handle("/metrics", s.reg.Handler())
-	mux.Handle("/metrics.json", s.reg.Handler())
+	mux.HandleFunc("/timelinez", func(w http.ResponseWriter, _ *http.Request) {
+		s.mu.Lock()
+		tl := s.timeline
+		s.mu.Unlock()
+		var payload any
+		if tl != nil {
+			payload = tl()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	metrics := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.syncDropped() // keep journal_dropped_total fresh at scrape time
+		s.reg.Handler().ServeHTTP(w, r)
+	})
+	mux.Handle("/metrics", metrics)
+	mux.Handle("/metrics.json", metrics)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -206,6 +280,7 @@ func (s *Server) writeIndex(w io.Writer) {
 	fmt.Fprintln(w, "/statusz       live run status (sections: "+join(names)+")")
 	fmt.Fprintln(w, "/eventsz       flight-recorder tail (JSONL; ?n=256)")
 	fmt.Fprintln(w, "/tracez        Chrome trace_event download (chrome://tracing, Perfetto)")
+	fmt.Fprintln(w, "/timelinez     per-cell interval timelines (CPI stacks, miss rates; JSON)")
 	fmt.Fprintln(w, "/metrics       Prometheus text exposition")
 	fmt.Fprintln(w, "/metrics.json  metrics snapshot")
 	fmt.Fprintln(w, "/debug/pprof/  pprof surface")

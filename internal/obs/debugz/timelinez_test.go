@@ -1,0 +1,146 @@
+package debugz
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestTimelinez(t *testing.T) {
+	s, _, _, ts := newTestServer(t)
+
+	// No provider registered: an empty document, still valid JSON.
+	code, body := get(t, ts.URL+"/timelinez")
+	if code != http.StatusOK {
+		t.Fatalf("timelinez status %d", code)
+	}
+	var empty any
+	if err := json.Unmarshal([]byte(body), &empty); err != nil {
+		t.Fatalf("timelinez without a provider is not JSON: %v\n%s", err, body)
+	}
+
+	s.SetTimeline(func() any {
+		return map[string]any{"stride": 100000, "cells": []map[string]any{{"bench": "gcc", "technique": "smarts"}}}
+	})
+	code, body = get(t, ts.URL+"/timelinez")
+	if code != http.StatusOK {
+		t.Fatalf("timelinez status %d", code)
+	}
+	var doc struct {
+		Stride int `json:"stride"`
+		Cells  []struct {
+			Bench string `json:"bench"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("timelinez is not JSON: %v\n%s", err, body)
+	}
+	if doc.Stride != 100000 || len(doc.Cells) != 1 || doc.Cells[0].Bench != "gcc" {
+		t.Fatalf("timelinez document = %+v", doc)
+	}
+
+	// The index advertises the endpoint.
+	if _, idx := get(t, ts.URL+"/"); !strings.Contains(idx, "/timelinez") {
+		t.Error("index page does not mention /timelinez")
+	}
+}
+
+// TestJournalDroppedSurfaced: ring overflow shows up in /statusz and as a
+// monotonic counter in /metrics, with the delta mirrored exactly once.
+func TestJournalDroppedSurfaced(t *testing.T) {
+	_, _, j, ts := newTestServer(t)
+	for i := 0; i < 40; i++ { // ring holds 32
+		j.Record(obs.Event{Kind: obs.EvPhase, N: int64(i)})
+	}
+	code, body := get(t, ts.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz status %d", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalDropped != 8 {
+		t.Fatalf("JournalDropped = %d, want 8", st.JournalDropped)
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "journal_dropped_total 8") {
+		t.Fatalf("metrics missing journal_dropped_total 8:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "# HELP journal_dropped_total") {
+		t.Fatalf("metrics missing help for journal_dropped_total:\n%s", metrics)
+	}
+	// More overflow: the counter advances by the delta, not the total.
+	for i := 0; i < 3; i++ {
+		j.Record(obs.Event{Kind: obs.EvPhase})
+	}
+	_, metrics = get(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "journal_dropped_total 11") {
+		t.Fatalf("metrics missing journal_dropped_total 11:\n%s", metrics)
+	}
+}
+
+// TestEndpointsConcurrentWithRecording drives every read endpoint while a
+// writer floods the journal and registry and the timeline provider churns
+// — the -race pin for scraping a live sweep.
+func TestEndpointsConcurrentWithRecording(t *testing.T) {
+	s, reg, j, ts := newTestServer(t)
+	s.AddSection("cost", func() any { return map[string]int{"cells": 7} })
+	s.SetTimeline(func() any {
+		return map[string]any{"stride": 100000, "cells": []string{"gcc/smarts"}}
+	})
+	s.SetCounterTracks(func() []obs.CounterTrack {
+		return []obs.CounterTrack{{
+			Match:  "/gcc/",
+			Name:   "timeline gcc",
+			Points: []obs.TrackPoint{{Frac: 1, Values: map[string]float64{"ipc": 1}}},
+		}}
+	})
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			j.Record(obs.Event{Kind: obs.EvCellFinish, Actor: int32(i % 4), Subject: "F1/gcc/smarts/base", DurNS: 100})
+			reg.Counter("engine_runs_total").Inc()
+			reg.Gauge("sched_queue_depth").Set(float64(i % 8))
+		}
+	}()
+
+	endpoints := []string{"/statusz", "/eventsz?n=16", "/metrics", "/metrics.json", "/tracez", "/timelinez"}
+	var readers sync.WaitGroup
+	for _, ep := range endpoints {
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func(url string) {
+				defer readers.Done()
+				for i := 0; i < 25; i++ {
+					resp, err := http.Get(url)
+					if err != nil {
+						t.Errorf("%s: %v", url, err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s returned %d", url, resp.StatusCode)
+						return
+					}
+				}
+			}(ts.URL + ep)
+		}
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

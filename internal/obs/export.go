@@ -126,7 +126,9 @@ func promFloat(v float64) string {
 }
 
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (one # TYPE header per metric name, cumulative "le" buckets).
+// format (one # HELP and # TYPE header per metric name, cumulative "le"
+// buckets). Help text comes from the registry's catalogue (see SetHelp);
+// names without help get only the # TYPE line.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	s := r.Snapshot()
 	typed := map[string]bool{}
@@ -135,7 +137,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return ""
 		}
 		typed[name] = true
-		return fmt.Sprintf("# TYPE %s %s\n", name, kind)
+		h := ""
+		if help := r.Help(name); help != "" {
+			h = fmt.Sprintf("# HELP %s %s\n", name, help)
+		}
+		return h + fmt.Sprintf("# TYPE %s %s\n", name, kind)
 	}
 	var b strings.Builder
 	for _, c := range s.Counters {

@@ -1,0 +1,72 @@
+package obs
+
+// This file carries the metric help catalogue behind the Prometheus
+// exposition's # HELP lines. Well-known series ship a default help string
+// here so every registry exposes them without per-subsystem registration;
+// SetHelp overrides or extends the catalogue per registry (ad-hoc or
+// test-local series).
+
+// defaultHelp maps well-known metric names to their help text. Keep the
+// entries one-line and present-tense; they render verbatim in /metrics.
+var defaultHelp = map[string]string{
+	// Engine (internal/experiments).
+	"engine_runs_total":            "Fresh technique runs executed by the experiment engine.",
+	"engine_cache_hits_total":      "Engine requests answered from the result cache or a shared in-flight run.",
+	"engine_cache_evictions_total": "Cached results evicted under the engine's MaxEntries bound.",
+	"engine_inflight_runs":         "Fresh engine runs currently executing.",
+	"engine_fresh_run_seconds":     "Wall-clock latency of fresh engine runs.",
+	"engine_retries_total":         "Transient-failure re-attempts spent by the engine's retry policy.",
+	"engine_failures_total":        "Engine runs whose final attempt failed.",
+	"engine_panics_total":          "Technique panics recovered by the engine.",
+	"engine_cancellations_total":   "Engine requests ended by context cancellation or deadline.",
+	"engine_shared_errors_total":   "Single-flight waiters that inherited another caller's failure.",
+	"engine_hangs_total":           "Cells declared stalled by the hang watchdog.",
+
+	// Scheduler (internal/experiments/sched).
+	"sched_cells_total":         "Cells executed by the parallel experiment scheduler.",
+	"sched_cell_failures_total": "Scheduled cells whose run returned an error.",
+	"sched_cells_inflight":      "Cells currently executing on scheduler workers.",
+	"sched_queue_depth":         "Cells waiting in the scheduler queue.",
+	"sched_workers":             "Worker goroutines serving the scheduler pool.",
+	"sched_cell_seconds":        "Wall-clock latency of scheduled cells.",
+
+	// Cost attribution (internal/experiments).
+	"cost_cell_seconds": "Wall-clock latency of executed cells, labeled by technique.",
+
+	// Flight recorder (internal/obs).
+	"journal_dropped_total": "Journal ring events overwritten before being read (silent-loss indicator).",
+}
+
+// SetHelp registers (or overrides) the help text exposed for a metric
+// name in this registry's Prometheus exposition. Empty help removes a
+// registry-local entry, falling back to the default catalogue.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.helps == nil {
+		r.helps = make(map[string]string)
+	}
+	if help == "" {
+		delete(r.helps, name)
+		return
+	}
+	r.helps[name] = help
+}
+
+// Help returns the help text for a metric name: the registry-local
+// registration if any, else the default catalogue entry, else "".
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return defaultHelp[name]
+	}
+	r.mu.Lock()
+	h, ok := r.helps[name]
+	r.mu.Unlock()
+	if ok {
+		return h
+	}
+	return defaultHelp[name]
+}

@@ -167,10 +167,11 @@ type Event struct {
 type Journal struct {
 	enabled atomic.Bool
 
-	mu    sync.Mutex
-	buf   []Event
-	total uint64 // events ever recorded; buf[ (total-1) % len ] is newest
-	sink  io.Writer
+	mu      sync.Mutex
+	buf     []Event
+	total   uint64 // events ever recorded; buf[ (total-1) % len ] is newest
+	dropped uint64 // events overwritten before ever being read out
+	sink    io.Writer
 }
 
 // DefaultJournalCapacity sizes the process-wide journal: large enough to
@@ -219,6 +220,12 @@ func (j *Journal) Record(e Event) {
 	e.Seq = j.total
 	if e.TimeNS == 0 {
 		e.TimeNS = now
+	}
+	if j.total >= uint64(len(j.buf)) {
+		// The slot holds a live event the ring never surfaced; count the
+		// overwrite so ring overflow is observable instead of silent (see
+		// Dropped and the journal_dropped_total metric).
+		j.dropped++
 	}
 	j.buf[j.total%uint64(len(j.buf))] = e
 	j.total++
@@ -271,6 +278,18 @@ func (j *Journal) Total() uint64 {
 	return j.total
 }
 
+// Dropped returns the number of events the ring overwrote before they
+// could be read — the journal's silent-loss indicator. A sink (SetSink)
+// still receives every event; Dropped only measures ring residency loss.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
 // Tail returns the most recent n events in recording order (oldest
 // first). n < 1 or n > resident returns every resident event.
 func (j *Journal) Tail(n int) []Event {
@@ -303,6 +322,7 @@ func (j *Journal) Reset() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.total = 0
+	j.dropped = 0
 	for i := range j.buf {
 		j.buf[i] = Event{}
 	}

@@ -94,6 +94,7 @@ type Registry struct {
 	counters   map[string]*counterEntry
 	gauges     map[string]*gaugeEntry
 	histograms map[string]*histogramEntry
+	helps      map[string]string // per-registry # HELP overrides (see help.go)
 }
 
 type counterEntry struct {

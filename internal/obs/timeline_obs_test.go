@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJournalDropped: overwriting a full ring is silent data loss unless
+// counted — Dropped tracks exactly how many events fell off the tail.
+func TestJournalDropped(t *testing.T) {
+	j := NewJournal(4)
+	j.SetEnabled(true)
+	for i := 0; i < 4; i++ {
+		j.Record(Event{Kind: EvPhase, N: int64(i)})
+	}
+	if d := j.Dropped(); d != 0 {
+		t.Fatalf("dropped = %d before the ring filled", d)
+	}
+	for i := 0; i < 6; i++ {
+		j.Record(Event{Kind: EvPhase, N: int64(4 + i)})
+	}
+	if d := j.Dropped(); d != 6 {
+		t.Fatalf("dropped = %d after 6 overwrites, want 6", d)
+	}
+	j.Reset()
+	if d := j.Dropped(); d != 0 {
+		t.Fatalf("dropped = %d after Reset, want 0", d)
+	}
+	var nilJ *Journal
+	if d := nilJ.Dropped(); d != 0 {
+		t.Fatalf("nil journal dropped = %d", d)
+	}
+}
+
+// TestPrometheusHelp: every catalogued metric gets a # HELP line before
+// its # TYPE line; unknown metrics get none; SetHelp overrides win.
+func TestPrometheusHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_runs_total").Add(3)
+	r.Counter("mystery_metric_total").Add(1)
+	r.Gauge("sched_queue_depth").Set(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	helpLine := "# HELP engine_runs_total " + defaultHelp["engine_runs_total"]
+	if !strings.Contains(out, helpLine+"\n") {
+		t.Errorf("exposition missing %q:\n%s", helpLine, out)
+	}
+	if !strings.Contains(out, "# HELP sched_queue_depth ") {
+		t.Errorf("exposition missing gauge help:\n%s", out)
+	}
+	if strings.Contains(out, "# HELP mystery_metric_total") {
+		t.Errorf("uncatalogued metric grew a help line:\n%s", out)
+	}
+	if i, j := strings.Index(out, "# HELP engine_runs_total"), strings.Index(out, "# TYPE engine_runs_total"); i > j {
+		t.Errorf("HELP after TYPE for engine_runs_total:\n%s", out)
+	}
+
+	r.SetHelp("mystery_metric_total", "an ad-hoc counter")
+	r.SetHelp("engine_runs_total", "overridden")
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "# HELP mystery_metric_total an ad-hoc counter\n") {
+		t.Errorf("SetHelp not honored:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP engine_runs_total overridden\n") {
+		t.Errorf("SetHelp override not honored:\n%s", out)
+	}
+}
+
+// TestHelpCatalogue: the fallback catalogue answers for any registry —
+// including nil — and registry-local entries shadow it.
+func TestHelpCatalogue(t *testing.T) {
+	var nilR *Registry
+	if h := nilR.Help("engine_runs_total"); h == "" {
+		t.Error("nil registry lost the default catalogue")
+	}
+	r := NewRegistry()
+	if h := r.Help("journal_dropped_total"); h == "" {
+		t.Error("journal_dropped_total missing from the catalogue")
+	}
+	if h := r.Help("no_such_metric"); h != "" {
+		t.Errorf("unknown metric produced help %q", h)
+	}
+	r.SetHelp("engine_runs_total", "local")
+	if h := r.Help("engine_runs_total"); h != "local" {
+		t.Errorf("local help = %q, want shadowing entry", h)
+	}
+	r.SetHelp("engine_runs_total", "")
+	if h := r.Help("engine_runs_total"); h != defaultHelp["engine_runs_total"] {
+		t.Errorf("clearing local help should fall back to the catalogue, got %q", h)
+	}
+}
+
+// TestChromeTraceCounterTracks: a counter track anchors its points
+// fractionally inside the first cell slice whose subject matches, emitting
+// one "C" event per point with the track's values.
+func TestChromeTraceCounterTracks(t *testing.T) {
+	j := NewJournal(64)
+	j.SetEnabled(true)
+	base := time.Now().UnixNano()
+	j.Record(Event{Kind: EvCellFinish, Actor: 0, Subject: "F1/gcc/reference/base", TimeNS: base + 4e6, DurNS: 4e6})
+	j.Record(Event{Kind: EvCellFinish, Actor: 1, Subject: "F1/mcf/smarts/base", TimeNS: base + 8e6, DurNS: 2e6})
+
+	tracks := []CounterTrack{
+		{
+			Match: "/mcf/smarts/",
+			Name:  "timeline mcf/smarts",
+			Points: []TrackPoint{
+				{Frac: 0.5, Values: map[string]float64{"ipc": 1.25}},
+				{Frac: 1.0, Values: map[string]float64{"ipc": 0.75}},
+			},
+		},
+		{Match: "/art/none/", Name: "never matches", Points: []TrackPoint{{Frac: 1, Values: map[string]float64{"x": 1}}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, j, tracks...); err != nil {
+		t.Fatal(err)
+	}
+	out := decodeTrace(t, &buf)
+	var counters []map[string]any
+	for _, e := range traceEvents(t, out) {
+		if e["ph"] == "C" {
+			counters = append(counters, e)
+		}
+	}
+	if len(counters) != 2 {
+		t.Fatalf("got %d counter events, want 2: %v", len(counters), counters)
+	}
+	for i, want := range []float64{1.25, 0.75} {
+		if counters[i]["name"] != "timeline mcf/smarts" {
+			t.Errorf("counter %d named %v", i, counters[i]["name"])
+		}
+		args := counters[i]["args"].(map[string]any)
+		if args["ipc"] != want {
+			t.Errorf("counter %d ipc = %v, want %v", i, args["ipc"], want)
+		}
+	}
+	// The two points land inside the mcf slice: between its start and end.
+	startUS := counters[0]["ts"].(float64)
+	endUS := counters[1]["ts"].(float64)
+	if endUS <= startUS {
+		t.Errorf("counter timestamps not increasing: %v then %v", startUS, endUS)
+	}
+}
+
+// TestChromeTraceCounterTrackFirstMatchWins: one track annotates one
+// slice; later cells with a matching subject are left alone.
+func TestChromeTraceCounterTrackFirstMatchWins(t *testing.T) {
+	j := NewJournal(64)
+	j.SetEnabled(true)
+	base := time.Now().UnixNano()
+	j.Record(Event{Kind: EvCellFinish, Actor: 0, Subject: "F1/gcc/smarts/base", TimeNS: base + 2e6, DurNS: 2e6})
+	j.Record(Event{Kind: EvCellFinish, Actor: 0, Subject: "F5/gcc/smarts/base", TimeNS: base + 6e6, DurNS: 2e6})
+
+	tracks := []CounterTrack{{
+		Match:  "/gcc/smarts/",
+		Name:   "timeline gcc/smarts",
+		Points: []TrackPoint{{Frac: 1, Values: map[string]float64{"ipc": 2}}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, j, tracks...); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, e := range traceEvents(t, decodeTrace(t, &buf)) {
+		if e["ph"] == "C" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("track annotated %d slices, want first match only", count)
+	}
+}

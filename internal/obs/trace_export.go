@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -47,10 +48,33 @@ type chromeTrace struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// TrackPoint is one sample of a counter track, placed at a fractional
+// position within the matched cell slice's wall-clock extent (Frac in
+// [0,1]) with one value per counter series.
+type TrackPoint struct {
+	Frac   float64
+	Values map[string]float64
+}
+
+// CounterTrack is a set of counter samples correlated to one journal
+// cell_finish slice: Match selects the slice by substring of its subject
+// (cell labels embed bench/technique/config), and each point renders as a
+// Chrome "C" (counter) event under Name, positioned inside the slice.
+// Simulated-time samples (interval timelines) have no wall-clock of their
+// own; anchoring them fractionally inside the cell's slice is the export
+// layer's wall-clock mapping.
+type CounterTrack struct {
+	Match  string
+	Name   string
+	Points []TrackPoint
+}
+
 // WriteChromeTrace renders a tracer's span trees and a journal's events
 // as one Chrome trace_event file. Either source may be nil; with both
-// nil the output is a valid empty trace.
-func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal) error {
+// nil the output is a valid empty trace. Counter tracks, when given,
+// attach to the first cell_finish slice whose subject contains their
+// Match (tracks with no matching slice are skipped).
+func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal, tracks ...CounterTrack) error {
 	var events []Event
 	if j != nil {
 		events = j.Tail(0)
@@ -82,7 +106,7 @@ func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal) error {
 	usSince := func(ns int64) float64 { return float64(ns-base) / 1e3 }
 
 	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
-	tracks := map[int]string{0: "main"}
+	trackNames := map[int]string{0: "main"}
 
 	// Tracer spans: nested complete slices on the main track.
 	var walk func(s *Span)
@@ -113,12 +137,13 @@ func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal) error {
 
 	// Journal events: cell completions become per-worker slices, the rest
 	// instants on their actor's track.
+	trackDone := make([]bool, len(tracks))
 	for _, e := range events {
 		tid := 0
 		if e.Actor >= 0 {
 			tid = int(e.Actor) + 1
-			if _, ok := tracks[tid]; !ok {
-				tracks[tid] = fmt.Sprintf("worker %d", e.Actor)
+			if _, ok := trackNames[tid]; !ok {
+				trackNames[tid] = fmt.Sprintf("worker %d", e.Actor)
 			}
 		}
 		switch e.Kind {
@@ -137,6 +162,28 @@ func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal) error {
 				ev.Args = map[string]any{"error": e.Detail}
 			}
 			out.TraceEvents = append(out.TraceEvents, ev)
+			// Counter tracks anchored to this slice: each point lands at
+			// its fractional offset within the slice's extent.
+			for ti := range tracks {
+				tr := &tracks[ti]
+				if trackDone[ti] || tr.Match == "" || !strings.Contains(e.Subject, tr.Match) {
+					continue
+				}
+				trackDone[ti] = true
+				start := e.TimeNS - e.DurNS
+				for _, p := range tr.Points {
+					args := make(map[string]any, len(p.Values))
+					for k, v := range p.Values {
+						args[k] = v
+					}
+					out.TraceEvents = append(out.TraceEvents, traceEvent{
+						Name: tr.Name, Phase: "C",
+						TS:  usSince(start + int64(p.Frac*float64(e.DurNS))),
+						PID: tracePID, TID: tid,
+						Args: args,
+					})
+				}
+			}
 		default:
 			ev := traceEvent{
 				Name: e.Kind.String(), Phase: "i", Scope: "t",
@@ -161,8 +208,8 @@ func WriteChromeTrace(w io.Writer, t *Tracer, j *Journal) error {
 	}
 
 	// Track-name metadata, one per tid seen (sorted for determinism).
-	for tid := 0; tid <= maxKey(tracks); tid++ {
-		name, ok := tracks[tid]
+	for tid := 0; tid <= maxKey(trackNames); tid++ {
+		name, ok := trackNames[tid]
 		if !ok {
 			continue
 		}

@@ -112,6 +112,9 @@ func (s *Stats) Add(o Stats) {
 	cs.ROBFullStalls += os.ROBFullStalls
 	cs.IQFullStalls += os.IQFullStalls
 	cs.LSQFullStalls += os.LSQFullStalls
+	for i := range cs.CycleStack {
+		cs.CycleStack[i] += os.CycleStack[i]
+	}
 }
 
 // AddWeighted accumulates o scaled by w, for SimPoint's weighted points.
@@ -159,6 +162,30 @@ func (s *Stats) AddWeighted(o Stats, w float64) {
 	t.Core.TrivialSimplified = scale(o.Core.TrivialSimplified)
 	t.Core.TrivialEliminated = scale(o.Core.TrivialEliminated)
 	t.Core.LoadsForwarded = scale(o.Core.LoadsForwarded)
+	// The CPI stack must keep its conservation invariant (components sum
+	// to Cycles) through weighting, which independent rounding would
+	// break. The non-base components round independently and base absorbs
+	// the remainder; if rounding pushed the non-base sum past the scaled
+	// cycle count, the excess is trimmed in component order.
+	var rest uint64
+	for i := 1; i < int(cpu.NumCPIComponents); i++ {
+		t.Core.CycleStack[i] = scale(o.Core.CycleStack[i])
+		rest += t.Core.CycleStack[i]
+	}
+	if rest <= t.Core.Cycles {
+		t.Core.CycleStack[cpu.CPIBase] = t.Core.Cycles - rest
+	} else {
+		excess := rest - t.Core.Cycles
+		for i := 1; i < int(cpu.NumCPIComponents) && excess > 0; i++ {
+			cut := t.Core.CycleStack[i]
+			if cut > excess {
+				cut = excess
+			}
+			t.Core.CycleStack[i] -= cut
+			excess -= cut
+		}
+		t.Core.CycleStack[cpu.CPIBase] = 0
+	}
 	s.Add(t)
 }
 
@@ -198,6 +225,14 @@ type Runner struct {
 	// CheckEvery is the instruction budget between cancellation checks
 	// when Ctx is set; zero uses DefaultCheckEvery.
 	CheckEvery uint64
+
+	// Timeline, when set, is the interval recorder attached to the core
+	// (see cpu.Timeline). It samples on committed-instruction boundaries
+	// of the detailed cycle stream only, so its samples are deterministic
+	// across worker counts and the trace/checkpoint/fast-path toggles.
+	// Attach with AttachTimeline; a nil Timeline costs the core one
+	// pointer check per cycle.
+	Timeline *cpu.Timeline
 
 	stopErr error // first context error observed; sticky
 
@@ -507,6 +542,26 @@ func annotateWindow(sp *obs.Span, w Stats) {
 	sp.AddInstr(w.Instructions)
 	sp.SetAttr(obs.Int("cycles", int64(w.Cycles)))
 	sp.SetAttr(obs.Float("cpi", w.CPI()))
+}
+
+// AttachTimeline creates and attaches an interval recorder with the given
+// stride (in committed instructions; < 1 uses cpu.DefaultTimelineStride)
+// and returns it. Samples land on stride multiples of the core's committed
+// count, so the timeline is a pure function of the detailed cycle stream.
+func (r *Runner) AttachTimeline(stride uint64) *cpu.Timeline {
+	t := cpu.NewTimeline(stride, 0)
+	r.Timeline = t
+	r.Core.SetTimeline(t)
+	return t
+}
+
+// TimelineSamples returns the attached recorder's resident samples
+// oldest-first, or nil when no recorder is attached.
+func (r *Runner) TimelineSamples() []cpu.TimelineSample {
+	if r.Timeline == nil {
+		return nil
+	}
+	return r.Timeline.Samples()
 }
 
 // SetAssumeHit toggles the assume-hit cold-start policy across the memory

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func coreStackSum(s Stats) uint64 {
+	var sum uint64
+	for _, v := range s.Core.CycleStack {
+		sum += v
+	}
+	return sum
+}
+
+// TestStatsAddKeepsCycleStackConservation: summing window stats sums the
+// stacks component-wise, so the invariant survives aggregation.
+func TestStatsAddKeepsCycleStackConservation(t *testing.T) {
+	mk := func(base, mem uint64) Stats {
+		var s Stats
+		s.Core.Cycles = base + mem
+		s.Core.CycleStack[cpu.CPIBase] = base
+		s.Core.CycleStack[cpu.CPIMem] = mem
+		return s
+	}
+	var acc Stats
+	acc.Add(mk(100, 20))
+	acc.Add(mk(7, 93))
+	if acc.Core.Cycles != 220 || coreStackSum(acc) != 220 {
+		t.Errorf("added stacks sum to %d over %d cycles", coreStackSum(acc), acc.Core.Cycles)
+	}
+}
+
+// TestAddWeightedKeepsCycleStackConservation: weighted accumulation rounds
+// every counter independently, but the cycle stack must keep summing to
+// the accumulated core cycles exactly — the base component absorbs the
+// rounding remainder by construction.
+func TestAddWeightedKeepsCycleStackConservation(t *testing.T) {
+	r, err := NewRunner(tinyProgram(t, 5000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc Stats
+	weights := []float64{0.3, 0.7, 0.15, 1.0, 0.01}
+	i := 0
+	for !r.Done() {
+		w := r.MeasureDetailed(3000)
+		acc.AddWeighted(w, weights[i%len(weights)])
+		i++
+		if got, want := coreStackSum(acc), acc.Core.Cycles; got != want {
+			t.Fatalf("after %d weighted adds: stack sums to %d, core cycles %d", i, got, want)
+		}
+	}
+	if i < 5 {
+		t.Fatalf("want at least 5 windows to exercise rounding, got %d", i)
+	}
+	if acc.Core.Cycles == 0 {
+		t.Fatal("accumulated no cycles")
+	}
+}
+
+// TestRunnerTimeline: AttachTimeline records fixed-stride samples through
+// a full run, each conserving its interval cycles; no recorder means no
+// samples and no cost.
+func TestRunnerTimeline(t *testing.T) {
+	plain, err := NewRunner(tinyProgram(t, 5000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.RunToCompletion()
+	if plain.TimelineSamples() != nil {
+		t.Error("unattached runner reported timeline samples")
+	}
+
+	r, err := NewRunner(tinyProgram(t, 5000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := r.AttachTimeline(1000)
+	if tl.Stride() != 1000 {
+		t.Fatalf("stride = %d, want 1000", tl.Stride())
+	}
+	whole := r.RunToCompletion()
+	samples := r.TimelineSamples()
+	if len(samples) < 5 {
+		t.Fatalf("got %d samples, want at least 5", len(samples))
+	}
+	for i, s := range samples {
+		var sum uint64
+		for _, v := range s.CycleStack {
+			sum += v
+		}
+		if sum != s.Cycles {
+			t.Errorf("sample %d stack sums to %d over %d cycles", i, sum, s.Cycles)
+		}
+	}
+	// Recording must not perturb the run's statistics.
+	ref, err := NewRunner(tinyProgram(t, 5000), BaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refWhole := ref.RunToCompletion()
+	if whole != refWhole {
+		t.Errorf("recorded run stats diverge from plain run:\nplain:    %+v\nrecorded: %+v", refWhole, whole)
+	}
+}
